@@ -1,0 +1,71 @@
+// Command bsprun executes one application configuration on a chosen
+// transport and reports the BSP program parameters and the cost-model
+// predictions for the paper's three machines.
+//
+// Usage:
+//
+//	bsprun -app nbody -size 1000 -p 8 -transport shm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/harness"
+	"repro/internal/transport"
+)
+
+func main() {
+	app := flag.String("app", "nbody", "application: ocean|nbody|mst|sp|msp|mm|psort")
+	size := flag.Int("size", 1000, "input size (paper conventions per app)")
+	p := flag.Int("p", 4, "number of BSP processes")
+	trName := flag.String("transport", "shm", "transport: shm|xchg|tcp|sim")
+	flag.Parse()
+
+	tr, err := transport.New(*trName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bsprun:", err)
+		os.Exit(2)
+	}
+	// Live run on the requested transport for wall time and correctness.
+	t0 := time.Now()
+	st, err := harness.RunOn(*app, *size, *p, tr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bsprun:", err)
+		os.Exit(1)
+	}
+	wall := time.Since(t0)
+	// Deterministic work measurement on the sim transport for the model.
+	rows, err := harness.Collect(*app, []int{*size}, []int{1, *p})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bsprun:", err)
+		os.Exit(1)
+	}
+	var base, run harness.Row
+	for _, r := range rows {
+		if r.NP == 1 {
+			base = r
+		}
+		if r.NP == *p {
+			run = r
+		}
+	}
+	fmt.Printf("%s size=%d p=%d on %s: wall %v, %s\n", *app, *size, *p, *trName, wall, st)
+	fmt.Printf("  sim measurement: W = %v   H = %d   S = %d   total work = %v\n",
+		run.W, run.H, run.S, run.TotalWork)
+	if st.LoadImbalance() > 0 {
+		fmt.Printf("  load imbalance (work depth / ideal): %.2f\n", st.LoadImbalance())
+	}
+	fmt.Printf("  sequential baseline: %v\n", run.SeqTime)
+	for _, m := range cost.PaperMachines() {
+		if !m.Supports(*p) {
+			fmt.Printf("  %-5s: not available at %d processors\n", m.Name, *p)
+			continue
+		}
+		fmt.Printf("  %-5s: predicted %v (comm %v), model speed-up %.1f\n",
+			m.Name, run.Predict(m), run.PredictComm(m), run.Speedup(m, base))
+	}
+}

@@ -1,0 +1,94 @@
+// Command bsptables regenerates the paper's tables and figures
+// (DESIGN.md §4): Figure 1.1, Figure 2.1, Figure 3.1, Figure 3.2 and
+// Tables C.1–C.6, printing measured values next to the paper's.
+//
+// Usage:
+//
+//	bsptables                 # everything, scaled-down sizes
+//	bsptables -full           # paper-scale sizes (slow: minutes to hours)
+//	bsptables -fig C1,3.1     # only the listed figures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+var figOf = map[string]string{
+	"C1": "ocean", "C2": "mst", "C3": "mm", "C4": "nbody", "C5": "sp", "C6": "msp",
+}
+
+func main() {
+	full := flag.Bool("full", false, "run the paper's input sizes (slow)")
+	figs := flag.String("fig", "1.1,2.1,3.1,3.2,C1,C2,C3,C4,C5,C6", "comma-separated figures to regenerate")
+	flag.Parse()
+	want := make(map[string]bool)
+	for _, f := range strings.Split(*figs, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	out := os.Stdout
+
+	rowsByApp := make(map[string][]harness.Row)
+	need := func(app string) []harness.Row {
+		if rows, ok := rowsByApp[app]; ok {
+			return rows
+		}
+		rows, err := harness.Collect(app, harness.Sizes(app, *full), harness.Procs(app))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bsptables: %s: %v\n", app, err)
+			os.Exit(1)
+		}
+		rowsByApp[app] = rows
+		return rows
+	}
+
+	if want["2.1"] {
+		measured, err := harness.MeasureAll([]string{"shm", "xchg", "tcp"}, []int{1, 2, 4, 8, 16})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bsptables: params: %v\n", err)
+			os.Exit(1)
+		}
+		harness.PrintFig21(out, measured)
+	}
+	for _, fig := range []string{"C1", "C2", "C3", "C4", "C5", "C6"} {
+		if want[fig] {
+			app := figOf[fig]
+			harness.PrintTableC(out, app, need(app))
+		}
+	}
+	if want["1.1"] {
+		rows := need("ocean")
+		size := 34
+		if *full {
+			size = 130
+		}
+		// Figure 1.1 uses ocean at the second-smallest paper size; in
+		// scaled mode the analogous mid-size grid.
+		found := false
+		for _, r := range rows {
+			if r.Size == size {
+				found = true
+				break
+			}
+		}
+		if !found && len(rows) > 0 {
+			size = rows[len(rows)/2].Size
+		}
+		harness.PrintFig11(out, rows, size)
+	}
+	if want["3.1"] || want["3.2"] {
+		for _, app := range harness.Apps() {
+			need(app)
+		}
+		if want["3.1"] {
+			harness.PrintFig31(out, rowsByApp)
+		}
+		if want["3.2"] {
+			harness.PrintFig32(out, rowsByApp)
+		}
+	}
+}

@@ -1,0 +1,9 @@
+// Package repro is a Go reproduction of "Towards Efficiency and
+// Portability: Programming with the BSP Model" (Goudreau, Lang, Rao,
+// Suel, Tsantilas — SPAA 1996): the Green BSP library, its three
+// transport implementations, the six evaluation applications, and a
+// harness that regenerates every table and figure of the paper.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and the
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+package repro

@@ -1,0 +1,58 @@
+// N-body example: a Barnes-Hut simulation of a Plummer star cluster on
+// the BSP library (paper §3.2), with energy tracking and a comparison
+// against the sequential code.
+//
+// Run with: go run ./examples/nbody [-n 2000] [-p 4] [-steps 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/nbody"
+	"repro/internal/transport"
+)
+
+func main() {
+	n := flag.Int("n", 2000, "number of bodies")
+	p := flag.Int("p", 4, "BSP processes (power of two)")
+	steps := flag.Int("steps", 3, "simulation steps")
+	flag.Parse()
+
+	bodies := nbody.Plummer(*n, 42)
+	cfg := nbody.SimConfig{}
+	e0 := nbody.Energy(bodies, cfg)
+	fmt.Printf("Plummer cluster: %d bodies, initial energy %.4f (ideal -0.25)\n", *n, e0)
+
+	seq := append([]nbody.Body(nil), bodies...)
+	nbody.Sequential(seq, cfg, *steps)
+
+	final, stats, err := nbody.Parallel(core.Config{P: *p, Transport: transport.ShmTransport{}}, bodies, cfg, *steps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	e1 := nbody.Energy(final, cfg)
+	fmt.Printf("after %d steps on %d processes: energy %.4f (drift %.2f%%)\n",
+		*steps, *p, e1, 100*math.Abs((e1-e0)/e0))
+
+	// Parallel and sequential Barnes-Hut agree to force accuracy.
+	var worst float64
+	for _, b := range final {
+		best := math.Inf(1)
+		for _, sb := range seq {
+			if d := b.Pos.Sub(sb.Pos).Norm2(); d < best {
+				best = d
+			}
+		}
+		worst = math.Max(worst, math.Sqrt(best))
+	}
+	fmt.Printf("max displacement vs sequential Barnes-Hut: %.2e\n", worst)
+	fmt.Printf("BSP cost: S=%d supersteps (paper: 6 per step), H=%d packets, W=%v\n",
+		stats.S(), stats.H(), stats.W())
+	fmt.Printf("predicted on 16-proc SGI profile: %v\n",
+		cost.SGI.Predict(16, stats.W(), stats.H(), stats.S()))
+}

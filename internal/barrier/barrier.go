@@ -1,0 +1,256 @@
+// Package barrier provides reusable p-way synchronization barriers.
+//
+// The shared-memory Green BSP implementation synchronizes "using p
+// variables in shared memory that are incremented by the processors...
+// Processor 0 then spins on variables 1 through p-1, while processors 1
+// through p-1 spin on variable 0" (paper, Appendix B.1). That scheme is
+// implemented here as Central; SenseReversing, Dissemination and ChanTree
+// are alternatives benchmarked by the barrier ablation (DESIGN.md A2).
+//
+// All barriers in this package are reusable: a process may call Wait again
+// immediately after it returns. Spin loops yield to the Go scheduler so
+// the barriers remain live even on a single-CPU host.
+package barrier
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Barrier blocks each of p participants in Wait until all have arrived.
+type Barrier interface {
+	// Wait blocks participant id (0 <= id < P) until all P participants
+	// have called Wait for the current round.
+	Wait(id int)
+	// P returns the number of participants.
+	P() int
+}
+
+// spin yields the processor while waiting; on a single-CPU host a raw spin
+// would starve the peers this barrier is waiting for.
+func spin() { runtime.Gosched() }
+
+// Central is the paper's barrier: per-process arrival counters; process
+// 0 waits for everyone, then everyone waits for process 0's release.
+type Central struct {
+	p       int
+	arrive  []atomic.Uint64 // one slot per participant, padded
+	release atomic.Uint64
+	round   []uint64 // per-participant local round counter, padded
+}
+
+// NewCentral returns a Central barrier for p participants.
+func NewCentral(p int) *Central {
+	return &Central{
+		p:      p,
+		arrive: make([]atomic.Uint64, p*8), // *8 pads to separate cache lines
+		round:  make([]uint64, p*8),
+	}
+}
+
+// P returns the number of participants.
+func (b *Central) P() int { return b.p }
+
+// Wait implements Barrier.
+func (b *Central) Wait(id int) {
+	b.round[id*8]++
+	r := b.round[id*8]
+	b.arrive[id*8].Store(r)
+	if id == 0 {
+		for i := 1; i < b.p; i++ {
+			for b.arrive[i*8].Load() < r {
+				spin()
+			}
+		}
+		b.release.Store(r)
+		return
+	}
+	for b.release.Load() < r {
+		spin()
+	}
+}
+
+// SenseReversing is a classic central counter barrier with a reversing
+// sense flag; one atomic decrement per arrival.
+type SenseReversing struct {
+	p     int
+	count atomic.Int64
+	sense atomic.Bool
+	local []bool // per-participant sense, padded
+	pad   []byte
+}
+
+// NewSenseReversing returns a sense-reversing barrier for p participants.
+func NewSenseReversing(p int) *SenseReversing {
+	b := &SenseReversing{p: p, local: make([]bool, p*64)}
+	b.count.Store(int64(p))
+	return b
+}
+
+// P returns the number of participants.
+func (b *SenseReversing) P() int { return b.p }
+
+// Wait implements Barrier.
+func (b *SenseReversing) Wait(id int) {
+	mySense := !b.local[id*64]
+	b.local[id*64] = mySense
+	if b.count.Add(-1) == 0 {
+		b.count.Store(int64(b.p))
+		b.sense.Store(mySense)
+		return
+	}
+	for b.sense.Load() != mySense {
+		spin()
+	}
+}
+
+// Dissemination is the log2(p)-round dissemination barrier. Each round k,
+// participant i signals participant (i+2^k) mod p and waits for a signal
+// from (i-2^k) mod p.
+type Dissemination struct {
+	p      int
+	rounds int
+	// flags[round][i] counts signals received by i in this round across
+	// all uses; comparing against a per-use epoch makes the barrier
+	// reusable without resetting.
+	flags [][]atomic.Uint64
+	epoch []uint64 // per-participant use counter, padded
+}
+
+// NewDissemination returns a dissemination barrier for p participants.
+func NewDissemination(p int) *Dissemination {
+	rounds := 0
+	for 1<<rounds < p {
+		rounds++
+	}
+	b := &Dissemination{p: p, rounds: rounds, epoch: make([]uint64, p*8)}
+	b.flags = make([][]atomic.Uint64, rounds)
+	for k := range b.flags {
+		b.flags[k] = make([]atomic.Uint64, p*8)
+	}
+	return b
+}
+
+// P returns the number of participants.
+func (b *Dissemination) P() int { return b.p }
+
+// Wait implements Barrier.
+func (b *Dissemination) Wait(id int) {
+	if b.p == 1 {
+		return
+	}
+	b.epoch[id*8]++
+	e := b.epoch[id*8]
+	for k := 0; k < b.rounds; k++ {
+		peer := (id + 1<<k) % b.p
+		b.flags[k][peer*8].Add(1)
+		for b.flags[k][id*8].Load() < e {
+			spin()
+		}
+	}
+}
+
+// ChanTree synchronizes via channels arranged as a binary reduction tree
+// followed by a broadcast, the idiomatic Go structure.
+type ChanTree struct {
+	p    int
+	up   []chan struct{} // child -> parent arrival
+	down []chan struct{} // parent -> child release
+}
+
+// NewChanTree returns a channel-tree barrier for p participants.
+func NewChanTree(p int) *ChanTree {
+	b := &ChanTree{p: p, up: make([]chan struct{}, p), down: make([]chan struct{}, p)}
+	for i := 0; i < p; i++ {
+		b.up[i] = make(chan struct{}, 1)
+		b.down[i] = make(chan struct{}, 1)
+	}
+	return b
+}
+
+// P returns the number of participants.
+func (b *ChanTree) P() int { return b.p }
+
+// Wait implements Barrier.
+func (b *ChanTree) Wait(id int) {
+	l, r := 2*id+1, 2*id+2
+	if l < b.p {
+		<-b.up[l]
+	}
+	if r < b.p {
+		<-b.up[r]
+	}
+	if id != 0 {
+		b.up[id] <- struct{}{}
+		<-b.down[id]
+	}
+	if l < b.p {
+		b.down[l] <- struct{}{}
+	}
+	if r < b.p {
+		b.down[r] <- struct{}{}
+	}
+}
+
+// WaitGroupBarrier is a mutex/cond based barrier; the simplest correct
+// implementation, used as the ablation baseline.
+type WaitGroupBarrier struct {
+	p     int
+	mu    sync.Mutex
+	cond  *sync.Cond
+	count int
+	round uint64
+}
+
+// NewWaitGroup returns a cond-based barrier for p participants.
+func NewWaitGroup(p int) *WaitGroupBarrier {
+	b := &WaitGroupBarrier{p: p}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// P returns the number of participants.
+func (b *WaitGroupBarrier) P() int { return b.p }
+
+// Wait implements Barrier.
+func (b *WaitGroupBarrier) Wait(id int) {
+	b.mu.Lock()
+	round := b.round
+	b.count++
+	if b.count == b.p {
+		b.count = 0
+		b.round++
+		b.cond.Broadcast()
+	} else {
+		for b.round == round {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}
+
+// New returns a barrier implementation by name: "central",
+// "sense", "dissemination", "chantree" or "cond". It panics on an
+// unknown name; the set of names is fixed at compile time.
+func New(name string, p int) Barrier {
+	switch name {
+	case "central":
+		return NewCentral(p)
+	case "sense":
+		return NewSenseReversing(p)
+	case "dissemination":
+		return NewDissemination(p)
+	case "chantree":
+		return NewChanTree(p)
+	case "cond":
+		return NewWaitGroup(p)
+	default:
+		panic("barrier: unknown barrier " + name)
+	}
+}
+
+// Names lists the available barrier implementations.
+func Names() []string {
+	return []string{"central", "sense", "dissemination", "chantree", "cond"}
+}

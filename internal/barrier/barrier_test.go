@@ -1,0 +1,68 @@
+package barrier
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// checkBarrier runs p goroutines through rounds barriers and verifies
+// that no participant enters round r+1 before every participant has
+// finished round r.
+func checkBarrier(t *testing.T, b Barrier, p, rounds int) {
+	t.Helper()
+	var phase atomic.Int64 // count of (participant, round) completions
+	var wg sync.WaitGroup
+	for id := 0; id < p; id++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				phase.Add(1)
+				b.Wait(id)
+				// After the barrier, every participant must have
+				// completed at least (r+1)*p arrivals in total.
+				if got := phase.Load(); got < int64((r+1)*p) {
+					t.Errorf("participant %d passed barrier round %d with only %d arrivals (want >= %d)", id, r, got, (r+1)*p)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestBarriers(t *testing.T) {
+	for _, name := range Names() {
+		for _, p := range []int{1, 2, 3, 4, 7, 8, 16} {
+			b := New(name, p)
+			if b.P() != p {
+				t.Errorf("%s: P() = %d, want %d", name, b.P(), p)
+			}
+			checkBarrier(t, b, p, 25)
+		}
+	}
+}
+
+func TestBarrierReusableManyRounds(t *testing.T) {
+	for _, name := range Names() {
+		checkBarrier(t, New(name, 4), 4, 500)
+	}
+}
+
+func TestNewUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with unknown name should panic")
+		}
+	}()
+	New("bogus", 2)
+}
+
+func TestNamesConstructAll(t *testing.T) {
+	for _, name := range Names() {
+		if b := New(name, 3); b == nil {
+			t.Errorf("New(%q) = nil", name)
+		}
+	}
+}

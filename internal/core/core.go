@@ -1,0 +1,260 @@
+// Package core implements the Green BSP library: a minimalist
+// bulk-synchronous parallel programming interface with one communication
+// operation and one synchronization operation.
+//
+// The library follows the paper's Appendix A:
+//
+//   - (*Proc).Sync is bspSynch: "When a process calls this function, it
+//     is stopped until all other processes have called it. After a
+//     process returns from a bspSynch() call, all packets that were sent
+//     to it in the previous superstep can be assumed to be available."
+//   - (*Proc).SendPkt is bspSendPkt: sends a fixed-size 16-byte packet
+//     to another process.
+//   - (*Proc).GetPkt is bspGetPkt: returns a packet sent to this process
+//     in the previous superstep, in arbitrary order, with ok == false
+//     when no packets remain (the paper's NULL).
+//
+// Auxiliary functions (process id, process count, unreceived-packet
+// count) are provided as in the paper, and the arbitrary-length message
+// extension the paper describes in footnote 2 ("we are currently changing
+// our system to allow the programmer to send packets of any arbitrary
+// length") is available as (*Proc).Send / (*Proc).Recv.
+//
+// A program is a function executed by P processes over a
+// transport.Transport; Run launches the processes and returns per-
+// superstep statistics (work depth, h-relation sizes, superstep count)
+// that feed the BSP cost model in internal/cost.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// PktSize is the fixed packet size used throughout the paper: "All
+// results in this paper were obtained with a fixed packet size of 16
+// bytes."
+const PktSize = 16
+
+// Pkt is a fixed-size Green BSP packet. The data can be in any format; it
+// is up to the programmer to provide sufficient labeling information.
+type Pkt [PktSize]byte
+
+// Config describes a BSP machine instance.
+type Config struct {
+	// P is the number of BSP processes.
+	P int
+	// Transport selects the library implementation; nil means the
+	// shared-memory transport (the paper's B.1).
+	Transport transport.Transport
+}
+
+// Proc is one BSP process's handle to the library. A Proc is confined to
+// the goroutine running the process function; it is not safe for
+// concurrent use.
+type Proc struct {
+	id int
+	p  int
+	ep transport.Endpoint
+
+	inbox    [][]byte
+	inboxPos int
+
+	steps    []stepRecord
+	sentPkts int
+	units    int
+	segStart time.Time
+}
+
+// stepRecord captures one process's contribution to one superstep.
+type stepRecord struct {
+	work  time.Duration
+	units int // abstract work units reported via AddWork
+	sent  int // packet units sent during the superstep
+	recv  int // packet units delivered at the superstep's end
+}
+
+// ID returns this process's rank in [0, P).
+func (c *Proc) ID() int { return c.id }
+
+// P returns the number of BSP processes.
+func (c *Proc) P() int { return c.p }
+
+// pktUnits converts a message length to packet units, the currency of
+// the h-relation in the cost model: one fixed-size packet per PktSize
+// bytes, minimum one.
+func pktUnits(n int) int {
+	if n <= PktSize {
+		return 1
+	}
+	return (n + PktSize - 1) / PktSize
+}
+
+// SendPkt sends a fixed-size packet to process dst. The packet is
+// delivered at the beginning of the next superstep.
+func (c *Proc) SendPkt(dst int, pkt *Pkt) {
+	msg := make([]byte, PktSize)
+	copy(msg, pkt[:])
+	c.ep.Send(dst, msg)
+	c.sentPkts++
+}
+
+// GetPkt returns a packet that was sent to this process in the previous
+// superstep. Packets are returned in arbitrary order; ok is false when
+// no packets remain. GetPkt panics if the next pending message was not
+// sent with SendPkt (mixing SendPkt/Send streams within one superstep
+// requires draining with Recv, which accepts both).
+func (c *Proc) GetPkt() (pkt Pkt, ok bool) {
+	if c.inboxPos >= len(c.inbox) {
+		return Pkt{}, false
+	}
+	msg := c.inbox[c.inboxPos]
+	if len(msg) != PktSize {
+		panic(fmt.Sprintf("bsp: GetPkt on a %d-byte message; use Recv for variable-length messages", len(msg)))
+	}
+	c.inboxPos++
+	copy(pkt[:], msg)
+	return pkt, true
+}
+
+// Send sends an arbitrary-length message to process dst (the paper's
+// variable-length extension). The message is copied; the caller may
+// reuse b immediately. For cost accounting the message counts as
+// ceil(len(b)/PktSize) packets (minimum one).
+func (c *Proc) Send(dst int, b []byte) {
+	msg := make([]byte, len(b))
+	copy(msg, b)
+	c.ep.Send(dst, msg)
+	c.sentPkts += pktUnits(len(b))
+}
+
+// Recv returns the next message delivered to this process in the
+// previous superstep, or ok == false when none remain. The returned
+// slice is owned by the caller.
+func (c *Proc) Recv() ([]byte, bool) {
+	if c.inboxPos >= len(c.inbox) {
+		return nil, false
+	}
+	msg := c.inbox[c.inboxPos]
+	c.inboxPos++
+	return msg, true
+}
+
+// Pending returns the number of unreceived messages from the previous
+// superstep (the paper's auxiliary unreceived-packet query).
+func (c *Proc) Pending() int { return len(c.inbox) - c.inboxPos }
+
+// AddWork reports n abstract units of local computation for the current
+// superstep (cell updates, interactions, relaxations, flops — each
+// application picks its natural unit). Work units are a
+// machine-independent work measure: wall-clock work depths measured on
+// this host mix real computation with message-preparation overhead in a
+// ratio very different from the paper's 1996 machines, whereas unit
+// counts reproduce the paper's compute-dominated balance once scaled by
+// a calibrated seconds-per-unit (see internal/harness).
+func (c *Proc) AddWork(n int) { c.units += n }
+
+// Sync ends the current superstep: it blocks until all processes have
+// called Sync, after which all packets sent to this process during the
+// superstep just ended are available via GetPkt/Recv. Messages not yet
+// received from the previous superstep are discarded, as in the paper's
+// alternating-buffer implementations.
+func (c *Proc) Sync() {
+	work := time.Since(c.segStart)
+	inbox, err := c.ep.Sync()
+	if err != nil {
+		panic(syncFailure{err})
+	}
+	recv := 0
+	for _, m := range inbox {
+		recv += pktUnits(len(m))
+	}
+	c.steps = append(c.steps, stepRecord{work: work, units: c.units, sent: c.sentPkts, recv: recv})
+	c.sentPkts = 0
+	c.units = 0
+	c.inbox = inbox
+	c.inboxPos = 0
+	c.segStart = time.Now()
+}
+
+// finish records the trailing computation segment after the last Sync.
+func (c *Proc) finish() {
+	c.steps = append(c.steps, stepRecord{work: time.Since(c.segStart), units: c.units, sent: c.sentPkts})
+}
+
+// syncFailure wraps a transport error raised inside Sync so Run can tell
+// infrastructure failures from program panics.
+type syncFailure struct{ err error }
+
+// Run executes fn as P BSP processes and returns the merged per-superstep
+// statistics. Run returns an error if any process panics or if the
+// transport fails; the first failure aborts the whole machine.
+//
+// Every process must execute the same number of supersteps (call Sync the
+// same number of times); diverging superstep counts are reported as
+// errors by the concurrent transports.
+func Run(cfg Config, fn func(*Proc)) (*Stats, error) {
+	if cfg.P < 1 {
+		return nil, fmt.Errorf("bsp: config.P must be >= 1, got %d", cfg.P)
+	}
+	tr := cfg.Transport
+	if tr == nil {
+		tr = transport.ShmTransport{}
+	}
+	eps, err := tr.Open(cfg.P)
+	if err != nil {
+		return nil, err
+	}
+	procs := make([]*Proc, cfg.P)
+	errs := make([]error, cfg.P)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.P; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ep := eps[i]
+			defer ep.Close()
+			defer func() {
+				if r := recover(); r != nil {
+					if sf, ok := r.(syncFailure); ok {
+						errs[i] = fmt.Errorf("bsp: process %d: %w", i, sf.err)
+					} else {
+						errs[i] = fmt.Errorf("bsp: process %d panicked: %v\n%s", i, r, debug.Stack())
+					}
+					ep.Abort()
+				}
+			}()
+			ep.Begin()
+			c := &Proc{id: i, p: cfg.P, ep: ep, segStart: time.Now()}
+			procs[i] = c
+			fn(c)
+			c.finish()
+		}()
+	}
+	wg.Wait()
+	// Prefer reporting a genuine program panic over the secondary
+	// ErrAborted failures it induces in the peers.
+	var firstErr error
+	for _, e := range errs {
+		if e != nil && firstErr == nil {
+			firstErr = e
+		}
+	}
+	for _, e := range errs {
+		if e != nil && !isAbort(e) {
+			firstErr = e
+			break
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return mergeStats(cfg.P, procs)
+}
+
+func isAbort(err error) bool { return errors.Is(err, transport.ErrAborted) }

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/transport"
+)
+
+func mustRun(t *testing.T, p int, tr transport.Transport, fn func(*Proc)) *Stats {
+	t.Helper()
+	st, err := Run(Config{P: p, Transport: tr}, fn)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return st
+}
+
+func TestIDAndP(t *testing.T) {
+	seen := make([]bool, 5)
+	mustRun(t, 5, transport.SimTransport{}, func(c *Proc) {
+		if c.P() != 5 {
+			t.Errorf("P() = %d, want 5", c.P())
+		}
+		seen[c.ID()] = true // sim: one process at a time, no race
+	})
+	for i, ok := range seen {
+		if !ok {
+			t.Errorf("rank %d never ran", i)
+		}
+	}
+}
+
+func TestSendPktGetPkt(t *testing.T) {
+	mustRun(t, 3, transport.ShmTransport{}, func(c *Proc) {
+		var pkt Pkt
+		pkt[0] = byte(c.ID())
+		pkt[15] = 0xFF
+		c.SendPkt((c.ID()+1)%3, &pkt)
+		c.Sync()
+		got, ok := c.GetPkt()
+		if !ok {
+			t.Errorf("proc %d: no packet", c.ID())
+			return
+		}
+		want := byte((c.ID() + 2) % 3)
+		if got[0] != want || got[15] != 0xFF {
+			t.Errorf("proc %d: packet = %v", c.ID(), got)
+		}
+		if _, ok := c.GetPkt(); ok {
+			t.Errorf("proc %d: extra packet", c.ID())
+		}
+	})
+}
+
+func TestGetPktReturnsFalseWhenEmpty(t *testing.T) {
+	mustRun(t, 2, transport.ShmTransport{}, func(c *Proc) {
+		if _, ok := c.GetPkt(); ok {
+			t.Errorf("proc %d: packet before any superstep", c.ID())
+		}
+		c.Sync()
+		if _, ok := c.GetPkt(); ok {
+			t.Errorf("proc %d: packet after empty superstep", c.ID())
+		}
+	})
+}
+
+func TestGetPktPanicsOnVariableLength(t *testing.T) {
+	_, err := Run(Config{P: 2, Transport: transport.ShmTransport{}}, func(c *Proc) {
+		c.Send(1-c.ID(), []byte("this is not 16 bytes long!"))
+		c.Sync()
+		c.GetPkt()
+	})
+	if err == nil || !strings.Contains(err.Error(), "GetPkt") {
+		t.Fatalf("want GetPkt panic error, got %v", err)
+	}
+}
+
+func TestSendCopiesBuffer(t *testing.T) {
+	mustRun(t, 2, transport.ShmTransport{}, func(c *Proc) {
+		buf := []byte{byte(c.ID()), 1}
+		c.Send(1-c.ID(), buf)
+		buf[1] = 99 // reuse after Send must be safe
+		c.Sync()
+		msg, ok := c.Recv()
+		if !ok || msg[0] != byte(1-c.ID()) || msg[1] != 1 {
+			t.Errorf("proc %d: msg = %v ok=%v", c.ID(), msg, ok)
+		}
+	})
+}
+
+func TestPending(t *testing.T) {
+	mustRun(t, 2, transport.ShmTransport{}, func(c *Proc) {
+		for k := 0; k < 4; k++ {
+			var pkt Pkt
+			c.SendPkt(1-c.ID(), &pkt)
+		}
+		c.Sync()
+		if c.Pending() != 4 {
+			t.Errorf("proc %d: Pending = %d, want 4", c.ID(), c.Pending())
+		}
+		c.GetPkt()
+		if c.Pending() != 3 {
+			t.Errorf("proc %d: Pending after GetPkt = %d, want 3", c.ID(), c.Pending())
+		}
+	})
+}
+
+func TestUnreceivedMessagesDiscardedAtSync(t *testing.T) {
+	mustRun(t, 2, transport.ShmTransport{}, func(c *Proc) {
+		var pkt Pkt
+		c.SendPkt(1-c.ID(), &pkt)
+		c.Sync()
+		// Do not receive; next Sync discards.
+		c.Sync()
+		if c.Pending() != 0 {
+			t.Errorf("proc %d: stale messages survived Sync", c.ID())
+		}
+	})
+}
+
+func TestStatsSHW(t *testing.T) {
+	// A deterministic program: 3 supersteps; in step 0 process 0 sends
+	// 5 packets to process 1; in step 1 everyone sends 1 packet to rank
+	// 0; step 2 is silent.
+	st := mustRun(t, 4, transport.SimTransport{}, func(c *Proc) {
+		var pkt Pkt
+		if c.ID() == 0 {
+			for k := 0; k < 5; k++ {
+				c.SendPkt(1, &pkt)
+			}
+		}
+		c.Sync()
+		c.SendPkt(0, &pkt)
+		c.Sync()
+		c.Sync()
+	})
+	if st.S() != 3 {
+		t.Fatalf("S = %d, want 3", st.S())
+	}
+	if len(st.Steps) != 4 { // 3 supersteps + trailing segment
+		t.Fatalf("len(Steps) = %d, want 4", len(st.Steps))
+	}
+	if st.Steps[0].MaxH != 5 {
+		t.Errorf("step 0 MaxH = %d, want 5 (5 packets sent and received)", st.Steps[0].MaxH)
+	}
+	// Step 1: rank 0 receives 4 packets (including from itself), each
+	// sender sends 1; h = max(4, 1) = 4.
+	if st.Steps[1].MaxH != 4 {
+		t.Errorf("step 1 MaxH = %d, want 4", st.Steps[1].MaxH)
+	}
+	if st.Steps[2].MaxH != 0 {
+		t.Errorf("step 2 MaxH = %d, want 0", st.Steps[2].MaxH)
+	}
+	if st.H() != 9 {
+		t.Errorf("H = %d, want 9", st.H())
+	}
+	if st.TotalPkts() != 9 {
+		t.Errorf("TotalPkts = %d, want 9", st.TotalPkts())
+	}
+	if st.W() <= 0 || st.TotalWork() < st.W() {
+		t.Errorf("work accounting: W=%v TotalWork=%v", st.W(), st.TotalWork())
+	}
+	if !strings.Contains(st.String(), "S=3") {
+		t.Errorf("String() = %q", st.String())
+	}
+}
+
+func TestPktUnits(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 1}, {1, 1}, {15, 1}, {16, 1}, {17, 2}, {32, 2}, {33, 3}, {160, 10},
+	}
+	for _, c := range cases {
+		if got := pktUnits(c.n); got != c.want {
+			t.Errorf("pktUnits(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestQuickPktUnits(t *testing.T) {
+	f := func(n uint16) bool {
+		u := pktUnits(int(n))
+		if n == 0 {
+			return u == 1
+		}
+		// u packets must cover n bytes, and u-1 must not.
+		return u*PktSize >= int(n) && (u-1)*PktSize < int(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVariableLengthHAccounting(t *testing.T) {
+	st := mustRun(t, 2, transport.SimTransport{}, func(c *Proc) {
+		if c.ID() == 0 {
+			c.Send(1, make([]byte, 160)) // 10 packet units
+		}
+		c.Sync()
+	})
+	if st.Steps[0].MaxH != 10 {
+		t.Errorf("MaxH = %d, want 10 for a 160-byte message", st.Steps[0].MaxH)
+	}
+}
+
+func TestRunErrorOnPanic(t *testing.T) {
+	for _, tr := range []transport.Transport{
+		transport.ShmTransport{}, transport.XchgTransport{},
+		transport.TCPTransport{}, transport.SimTransport{},
+	} {
+		_, err := Run(Config{P: 3, Transport: tr}, func(c *Proc) {
+			if c.ID() == 1 {
+				panic("injected failure")
+			}
+			c.Sync()
+		})
+		if err == nil || !strings.Contains(err.Error(), "injected failure") {
+			t.Errorf("%s: want injected-failure error, got %v", tr.Name(), err)
+		}
+	}
+}
+
+func TestRunErrorOnDivergingSupersteps(t *testing.T) {
+	_, err := Run(Config{P: 2, Transport: transport.ShmTransport{}}, func(c *Proc) {
+		for s := 0; s <= c.ID(); s++ {
+			c.Sync()
+		}
+	})
+	if err == nil {
+		t.Fatal("diverging superstep counts should fail")
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(Config{P: 0}, func(*Proc) {}); err == nil {
+		t.Error("P=0 should fail")
+	}
+}
+
+func TestRunDefaultTransport(t *testing.T) {
+	st, err := Run(Config{P: 2}, func(c *Proc) { c.Sync() })
+	if err != nil || st.S() != 1 {
+		t.Fatalf("default transport run: st=%v err=%v", st, err)
+	}
+}
+
+func TestP1Loopback(t *testing.T) {
+	for _, tr := range []transport.Transport{
+		transport.ShmTransport{}, transport.XchgTransport{},
+		transport.TCPTransport{}, transport.SimTransport{},
+	} {
+		mustRun(t, 1, tr, func(c *Proc) {
+			var pkt Pkt
+			pkt[3] = 7
+			c.SendPkt(0, &pkt)
+			c.Sync()
+			got, ok := c.GetPkt()
+			if !ok || got[3] != 7 {
+				t.Errorf("%s: self-delivery failed: %v ok=%v", tr.Name(), got, ok)
+			}
+		})
+	}
+}
+
+// TestQuickDeliveryAllTransports: for random traffic shapes, the number
+// of delivered messages equals the number sent, on every transport.
+func TestQuickDeliveryAllTransports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test skipped in -short mode")
+	}
+	f := func(counts [3][3]uint8) bool {
+		for _, tr := range []transport.Transport{transport.ShmTransport{}, transport.SimTransport{}} {
+			var deliveredTotal int
+			st, err := Run(Config{P: 3, Transport: tr}, func(c *Proc) {
+				var pkt Pkt
+				sent := 0
+				for dst := 0; dst < 3; dst++ {
+					for k := 0; k < int(counts[c.ID()][dst]%8); k++ {
+						c.SendPkt(dst, &pkt)
+						sent++
+					}
+				}
+				c.Sync()
+				_ = sent
+			})
+			if err != nil {
+				return false
+			}
+			wantSent := 0
+			for i := 0; i < 3; i++ {
+				for j := 0; j < 3; j++ {
+					wantSent += int(counts[i][j] % 8)
+				}
+			}
+			deliveredTotal = st.TotalPkts()
+			if deliveredTotal != wantSent {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

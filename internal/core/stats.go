@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Step summarizes one superstep across all processes.
+type Step struct {
+	// MaxWork is w_i: the largest local computation time of any process
+	// during the superstep.
+	MaxWork time.Duration
+	// SumWork is the total local computation across processes.
+	SumWork time.Duration
+	// MaxUnits/SumUnits are the abstract work-unit analogues of
+	// MaxWork/SumWork (see Proc.AddWork).
+	MaxUnits int
+	SumUnits int
+	// MaxH is h_i: the largest number of packets sent or received by
+	// any process during the superstep.
+	MaxH int
+	// SumSent is the total number of packets sent during the superstep.
+	SumSent int
+}
+
+// Stats are the merged per-superstep measurements of a BSP run. They
+// provide the program parameters of the BSP cost model (Equation 1):
+// work depth W, communication volume H and superstep count S.
+type Stats struct {
+	// P is the number of processes.
+	P int
+	// Syncs is S, the number of global synchronizations.
+	Syncs int
+	// Steps has Syncs+1 entries: one per superstep plus the trailing
+	// computation segment after the final synchronization.
+	Steps []Step
+}
+
+// S returns the number of supersteps (global synchronizations).
+func (s *Stats) S() int { return s.Syncs }
+
+// W returns the work depth: the sum over supersteps of the largest local
+// computation performed by any process (including the trailing segment).
+func (s *Stats) W() time.Duration {
+	var w time.Duration
+	for _, st := range s.Steps {
+		w += st.MaxWork
+	}
+	return w
+}
+
+// H returns the sum over supersteps of the h-relation sizes, in packets.
+func (s *Stats) H() int {
+	h := 0
+	for _, st := range s.Steps {
+		h += st.MaxH
+	}
+	return h
+}
+
+// TotalWork returns the sum of the local computation done by all
+// processes: "this specifically does not include idle times caused by
+// load imbalance, or any communication time" (§3).
+func (s *Stats) TotalWork() time.Duration {
+	var w time.Duration
+	for _, st := range s.Steps {
+		w += st.SumWork
+	}
+	return w
+}
+
+// TotalPkts returns the total number of packets sent by all processes.
+func (s *Stats) TotalPkts() int {
+	n := 0
+	for _, st := range s.Steps {
+		n += st.SumSent
+	}
+	return n
+}
+
+// WUnits returns the work depth in abstract work units: the sum over
+// supersteps of the largest unit count reported by any process.
+func (s *Stats) WUnits() int {
+	w := 0
+	for _, st := range s.Steps {
+		w += st.MaxUnits
+	}
+	return w
+}
+
+// TotalUnits returns the total abstract work across all processes.
+func (s *Stats) TotalUnits() int {
+	w := 0
+	for _, st := range s.Steps {
+		w += st.SumUnits
+	}
+	return w
+}
+
+// String summarizes the run in the paper's (W, H, S) vocabulary.
+func (s *Stats) String() string {
+	return fmt.Sprintf("P=%d S=%d W=%v H=%d totalwork=%v pkts=%d",
+		s.P, s.S(), s.W(), s.H(), s.TotalWork(), s.TotalPkts())
+}
+
+// mergeStats folds the per-process step records into machine-wide
+// statistics. All processes must have recorded the same number of steps;
+// the concurrent transports guarantee this for runs that complete
+// without error.
+func mergeStats(p int, procs []*Proc) (*Stats, error) {
+	steps := -1
+	for i, pr := range procs {
+		if pr == nil {
+			return nil, fmt.Errorf("bsp: process %d produced no statistics", i)
+		}
+		if steps == -1 {
+			steps = len(pr.steps)
+		} else if len(pr.steps) != steps {
+			return nil, fmt.Errorf("bsp: superstep counts diverged: process 0 ran %d segments, process %d ran %d", steps, i, len(pr.steps))
+		}
+	}
+	st := &Stats{P: p, Syncs: steps - 1, Steps: make([]Step, steps)}
+	for _, pr := range procs {
+		for i, rec := range pr.steps {
+			s := &st.Steps[i]
+			s.MaxWork = max(s.MaxWork, rec.work)
+			s.SumWork += rec.work
+			s.MaxUnits = max(s.MaxUnits, rec.units)
+			s.SumUnits += rec.units
+			s.MaxH = max(s.MaxH, max(rec.sent, rec.recv))
+			s.SumSent += rec.sent
+		}
+	}
+	return st, nil
+}
+
+// LoadImbalance returns the ratio of the work depth to the ideal
+// balanced depth (total work ÷ P), in work units: 1.0 means perfectly
+// balanced supersteps, larger values quantify the idle time the BSP
+// barrier converts from imbalance ("this specifically does not include
+// idle times caused by load imbalance" — the paper's total work;
+// LoadImbalance is exactly that excluded idleness, made visible).
+// It returns 0 when no work units were recorded.
+func (s *Stats) LoadImbalance() float64 {
+	total := s.TotalUnits()
+	if total == 0 {
+		return 0
+	}
+	ideal := float64(total) / float64(s.P)
+	return float64(s.WUnits()) / ideal
+}

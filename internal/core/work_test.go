@@ -1,0 +1,146 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+func TestAddWorkAccounting(t *testing.T) {
+	st := mustRun(t, 3, transport.SimTransport{}, func(c *Proc) {
+		c.AddWork(10 * (c.ID() + 1)) // 10, 20, 30
+		c.Sync()
+		c.AddWork(5)
+		c.Sync()
+		c.AddWork(1) // trailing segment
+	})
+	if got := st.Steps[0].MaxUnits; got != 30 {
+		t.Errorf("step 0 MaxUnits = %d, want 30", got)
+	}
+	if got := st.Steps[0].SumUnits; got != 60 {
+		t.Errorf("step 0 SumUnits = %d, want 60", got)
+	}
+	if got := st.Steps[1].MaxUnits; got != 5 {
+		t.Errorf("step 1 MaxUnits = %d, want 5", got)
+	}
+	// W-units = 30 + 5 + 1 (trailing); total = 60 + 15 + 3.
+	if st.WUnits() != 36 {
+		t.Errorf("WUnits = %d, want 36", st.WUnits())
+	}
+	if st.TotalUnits() != 78 {
+		t.Errorf("TotalUnits = %d, want 78", st.TotalUnits())
+	}
+}
+
+func TestAddWorkZeroByDefault(t *testing.T) {
+	st := mustRun(t, 2, transport.SimTransport{}, func(c *Proc) { c.Sync() })
+	if st.WUnits() != 0 || st.TotalUnits() != 0 {
+		t.Errorf("work units without AddWork: W=%d total=%d", st.WUnits(), st.TotalUnits())
+	}
+}
+
+func TestPanicAfterSendsAborts(t *testing.T) {
+	// A process that panics after sending but before Sync must still
+	// abort the machine; no partial superstep may be delivered.
+	for _, tr := range []transport.Transport{
+		transport.ShmTransport{}, transport.XchgTransport{},
+		transport.TCPTransport{}, transport.SimTransport{},
+	} {
+		_, err := Run(Config{P: 3, Transport: tr}, func(c *Proc) {
+			var pkt Pkt
+			c.SendPkt((c.ID()+1)%3, &pkt)
+			if c.ID() == 2 {
+				panic("mid-superstep failure")
+			}
+			c.Sync()
+			c.Sync()
+		})
+		if err == nil || !strings.Contains(err.Error(), "mid-superstep failure") {
+			t.Errorf("%s: want mid-superstep panic surfaced, got %v", tr.Name(), err)
+		}
+	}
+}
+
+func TestPanicInLateSuperstep(t *testing.T) {
+	for _, tr := range []transport.Transport{transport.ShmTransport{}, transport.XchgTransport{}} {
+		_, err := Run(Config{P: 2, Transport: tr}, func(c *Proc) {
+			for s := 0; s < 5; s++ {
+				c.Sync()
+			}
+			if c.ID() == 0 {
+				panic("late failure")
+			}
+			c.Sync()
+		})
+		if err == nil || !strings.Contains(err.Error(), "late failure") {
+			t.Errorf("%s: want late panic surfaced, got %v", tr.Name(), err)
+		}
+	}
+}
+
+func TestMixedPktAndMessageDrainWithRecv(t *testing.T) {
+	mustRun(t, 2, transport.ShmTransport{}, func(c *Proc) {
+		var pkt Pkt
+		pkt[0] = 1
+		c.SendPkt(1-c.ID(), &pkt)
+		c.Send(1-c.ID(), []byte("variable-length"))
+		c.Sync()
+		// Recv accepts both kinds.
+		seen := 0
+		for {
+			msg, ok := c.Recv()
+			if !ok {
+				break
+			}
+			seen++
+			if len(msg) != PktSize && string(msg) != "variable-length" {
+				t.Errorf("unexpected message %q", msg)
+			}
+		}
+		if seen != 2 {
+			t.Errorf("drained %d messages, want 2", seen)
+		}
+	})
+}
+
+func TestEmptyMessage(t *testing.T) {
+	st := mustRun(t, 2, transport.ShmTransport{}, func(c *Proc) {
+		c.Send(1-c.ID(), nil)
+		c.Sync()
+		msg, ok := c.Recv()
+		if !ok || len(msg) != 0 {
+			t.Errorf("empty message round-trip: %v ok=%v", msg, ok)
+		}
+	})
+	// An empty message still counts as one packet.
+	if st.Steps[0].MaxH != 1 {
+		t.Errorf("empty message h = %d, want 1", st.Steps[0].MaxH)
+	}
+}
+
+func TestLoadImbalance(t *testing.T) {
+	// Perfect balance: every process reports the same units.
+	st := mustRun(t, 4, transport.SimTransport{}, func(c *Proc) {
+		c.AddWork(100)
+		c.Sync()
+	})
+	if got := st.LoadImbalance(); got < 0.99 || got > 1.01 {
+		t.Errorf("balanced imbalance = %g, want 1", got)
+	}
+	// Worst case: one process does everything → imbalance = P.
+	st = mustRun(t, 4, transport.SimTransport{}, func(c *Proc) {
+		if c.ID() == 0 {
+			c.AddWork(100)
+		}
+		c.Sync()
+	})
+	if got := st.LoadImbalance(); got < 3.99 || got > 4.01 {
+		t.Errorf("one-sided imbalance = %g, want 4", got)
+	}
+	// No units recorded.
+	st = mustRun(t, 2, transport.SimTransport{}, func(c *Proc) { c.Sync() })
+	if st.LoadImbalance() != 0 {
+		t.Errorf("imbalance without units = %g, want 0", st.LoadImbalance())
+	}
+}

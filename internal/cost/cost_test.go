@@ -1,0 +1,214 @@
+package cost
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPredictEquation1(t *testing.T) {
+	// T = W + g·H + L·S with W=1s, g=2µs, L=100µs, H=1000, S=10:
+	// 1s + 2000µs + 1000µs = 1.003s.
+	p := Params{G: 2, L: 100}
+	got := p.Predict(time.Second, 1000, 10)
+	want := time.Second + 3*time.Millisecond
+	if got != want {
+		t.Errorf("Predict = %v, want %v", got, want)
+	}
+}
+
+func TestCommTime(t *testing.T) {
+	p := Params{G: 1, L: 10}
+	if got := p.CommTime(100, 5); got != 150*time.Microsecond {
+		t.Errorf("CommTime = %v, want 150µs", got)
+	}
+}
+
+func TestPaperParams(t *testing.T) {
+	// Spot checks against Figure 2.1.
+	cases := []struct {
+		m    Machine
+		p    int
+		g, l float64
+	}{
+		{SGI, 1, 0.77, 3},
+		{SGI, 16, 0.95, 105},
+		{Cenju, 8, 2.5, 1470},
+		{Cenju, 16, 3.6, 2880},
+		{PC, 2, 3.3, 540},
+		{PC, 8, 8.6, 3715},
+	}
+	for _, c := range cases {
+		got := c.m.Params(c.p)
+		if got.G != c.g || got.L != c.l {
+			t.Errorf("%s.Params(%d) = %+v, want g=%g L=%g", c.m.Name, c.p, got, c.g, c.l)
+		}
+	}
+}
+
+func TestParamsInterpolationMonotone(t *testing.T) {
+	// L grows with p on every paper machine; interpolated values must
+	// stay within the bracketing table entries.
+	for _, m := range PaperMachines() {
+		for _, p := range []int{3, 5, 6, 7} {
+			if p > m.MaxProcs {
+				continue
+			}
+			got := m.Params(p)
+			lo, hi := m.Params(p-1), m.Params(p+1)
+			if got.L < min(lo.L, hi.L) || got.L > max(lo.L, hi.L) {
+				t.Errorf("%s.Params(%d).L = %g outside [%g, %g]", m.Name, p, got.L, lo.L, hi.L)
+			}
+		}
+	}
+}
+
+func TestParamsClamp(t *testing.T) {
+	if got := SGI.Params(32); got != SGI.ByProcs[16] {
+		t.Errorf("Params beyond table = %+v, want clamp to 16-proc entry", got)
+	}
+	if got := PC.Params(16); got != PC.ByProcs[8] {
+		t.Errorf("PC Params(16) = %+v, want clamp to 8-proc entry", got)
+	}
+}
+
+func TestSupports(t *testing.T) {
+	if PC.Supports(16) {
+		t.Error("PC LAN has only 8 processors")
+	}
+	if !SGI.Supports(16) || !Cenju.Supports(16) || !PC.Supports(8) {
+		t.Error("paper configurations must be supported")
+	}
+}
+
+func TestMachineByName(t *testing.T) {
+	for _, name := range []string{"SGI", "Cenju", "PC"} {
+		m, err := MachineByName(name)
+		if err != nil || m.Name != name {
+			t.Errorf("MachineByName(%q) = %v, %v", name, m, err)
+		}
+	}
+	if _, err := MachineByName("CM-5"); err == nil {
+		t.Error("unknown machine should fail")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(10*time.Second, 2*time.Second); got != 5 {
+		t.Errorf("Speedup = %g, want 5", got)
+	}
+	if got := Speedup(time.Second, 0); got != 0 {
+		t.Errorf("Speedup with zero parallel time = %g, want 0", got)
+	}
+}
+
+func TestScaleDefault(t *testing.T) {
+	if (Machine{}).Scale() != 1 {
+		t.Error("zero WorkScale should mean 1")
+	}
+	if (Machine{WorkScale: 0.5}).Scale() != 0.5 {
+		t.Error("explicit WorkScale ignored")
+	}
+}
+
+// TestQuickPredictMonotone: increasing any of W, H, S never decreases the
+// predicted time on any paper machine.
+func TestQuickPredictMonotone(t *testing.T) {
+	f := func(w uint32, h, s uint16, dw uint16, dh, ds uint8) bool {
+		for _, m := range PaperMachines() {
+			for p := range m.ByProcs {
+				base := m.Predict(p, time.Duration(w), int(h), int(s))
+				more := m.Predict(p, time.Duration(w)+time.Duration(dw), int(h)+int(dh), int(s)+int(ds))
+				if more < base {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPaperOceanPrediction reproduces one of the paper's predicted
+// values: for Ocean size 514 on 16 SGI processors the paper reports
+// W = 2.38 s, H = 69946, S = 312 and a predicted time of 2.48 s.
+func TestPaperOceanPrediction(t *testing.T) {
+	w := 2380 * time.Millisecond
+	got := SGI.Predict(16, w, 69946, 312)
+	want := 2480 * time.Millisecond
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 20*time.Millisecond {
+		t.Errorf("predicted ocean time = %v, paper says 2.48s (±0.02)", got)
+	}
+}
+
+// TestPaperNBodyPrediction: N-body 64k on 16 SGI processors: W = 4.95 s,
+// H = 24661, S = 6, predicted 4.97 s.
+func TestPaperNBodyPrediction(t *testing.T) {
+	got := SGI.Predict(16, 4950*time.Millisecond, 24661, 6)
+	want := 4970 * time.Millisecond
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 10*time.Millisecond {
+		t.Errorf("predicted nbody time = %v, paper says 4.97s (±0.01)", got)
+	}
+}
+
+// TestFigure11Breakpoint reproduces the Figure 1.1 observation: with the
+// paper's measured ocean-130 program parameters, the PC profile predicts
+// that "little will be gained by using 4 PCs rather than 2, and that
+// performance will severely degrade when using 8 PCs".
+func TestFigure11Breakpoint(t *testing.T) {
+	// Paper Table C.1, ocean size 130 rows (W measured on SGI, H, S).
+	rows := []struct {
+		p    int
+		w    time.Duration
+		h, s int
+	}{
+		{1, 2120 * time.Millisecond, 91, 379},
+		{2, 1210 * time.Millisecond, 20762, 379},
+		{4, 660 * time.Millisecond, 21034, 379},
+		{8, 370 * time.Millisecond, 25700, 379},
+	}
+	pred := make(map[int]time.Duration)
+	for _, r := range rows {
+		pred[r.p] = PC.Predict(r.p, r.w, r.h, r.s)
+	}
+	if gain := float64(pred[2]) / float64(pred[4]); gain > 1.25 {
+		t.Errorf("4 PCs should gain little over 2: pred2=%v pred4=%v", pred[2], pred[4])
+	}
+	if pred[8] <= pred[4] {
+		t.Errorf("8 PCs should degrade: pred4=%v pred8=%v", pred[4], pred[8])
+	}
+	if pred[8] <= pred[2] {
+		t.Errorf("8 PCs should be worse than 2: pred2=%v pred8=%v", pred[2], pred[8])
+	}
+}
+
+func TestParamsExtrapolated(t *testing.T) {
+	// Within the table: identical to Params.
+	if got := SGI.ParamsExtrapolated(8); got != SGI.ByProcs[8] {
+		t.Errorf("in-table extrapolation changed values: %+v", got)
+	}
+	// Beyond: L keeps growing, never negative.
+	p16 := SGI.ByProcs[16]
+	p32 := SGI.ParamsExtrapolated(32)
+	p64 := SGI.ParamsExtrapolated(64)
+	if p32.L <= p16.L || p64.L <= p32.L {
+		t.Errorf("extrapolated latency should grow: 16:%g 32:%g 64:%g", p16.L, p32.L, p64.L)
+	}
+	if p32.G < 0 || p64.G < 0 || p32.L < 0 {
+		t.Error("extrapolated parameters must be non-negative")
+	}
+	cj := Cenju.ParamsExtrapolated(64)
+	if cj.L <= Cenju.ByProcs[16].L {
+		t.Errorf("Cenju extrapolated L = %g should exceed the 16-proc value", cj.L)
+	}
+}

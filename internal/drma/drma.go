@@ -1,0 +1,203 @@
+// Package drma provides direct remote memory access in the style of the
+// Oxford BSP library, built entirely on the Green BSP message-passing
+// primitives.
+//
+// The paper contrasts the two designs (§1.3): "The Oxford BSP library,
+// developed by Miller..., allows a processor to directly access the
+// memory of another processor... it is well suited for many static
+// computations that arise in scientific computing. In contrast, the
+// Green BSP library is based on message passing, which requires the
+// programmer to prepare and read messages." This package implements the
+// Oxford interface on top of the Green one, demonstrating the layering
+// the BSP model prescribes: richer operations are "implemented on top of
+// these functions".
+//
+// Semantics follow the classic BSP DRMA rules:
+//
+//   - Register is collective: every process registers its areas in the
+//     same order, and same-order areas are associated across processes.
+//   - Put transfers local data into a remote area; the write takes
+//     effect at the end of the superstep (the source buffer is copied
+//     at call time, like bsp_put).
+//   - Get reads a remote area as it is at the end of the superstep,
+//     before any puts of the same superstep are applied.
+//   - Sync ends the superstep; afterwards all gets are filled and all
+//     puts applied. One drma Sync costs two underlying BSP supersteps
+//     (requests travel in the first, get replies in the second).
+package drma
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// Area is a handle to a registered memory region.
+type Area struct {
+	id int
+}
+
+// Ctx is one process's DRMA context over a BSP process handle. Like the
+// Proc it wraps, a Ctx is confined to its process goroutine.
+type Ctx struct {
+	c     *core.Proc
+	areas [][]byte
+	out   []*wire.Writer
+	// pending get destinations, filled when replies arrive.
+	gets []pendingGet
+}
+
+type pendingGet struct {
+	dst []byte
+}
+
+const (
+	opPut = iota
+	opGet
+	opGetReply
+)
+
+// New returns a DRMA context for the process.
+func New(c *core.Proc) *Ctx {
+	x := &Ctx{c: c, out: make([]*wire.Writer, c.P())}
+	for i := range x.out {
+		x.out[i] = wire.NewWriter(0)
+	}
+	return x
+}
+
+// Proc returns the underlying BSP process handle.
+func (x *Ctx) Proc() *core.Proc { return x.c }
+
+// Register associates buf with the next area id. Register is collective:
+// every process must register its areas in the same order (the id is
+// positional, like bsp_push_reg). The registration is usable in the
+// current superstep.
+func (x *Ctx) Register(buf []byte) Area {
+	x.areas = append(x.areas, buf)
+	return Area{id: len(x.areas) - 1}
+}
+
+// AreaBytes returns this process's local buffer for a registered area
+// (the memory Puts land in). The caller must not resize it.
+func (x *Ctx) AreaBytes(a Area) []byte { return x.area(a.id) }
+
+// area returns the local buffer for an area id.
+func (x *Ctx) area(id int) []byte {
+	if id < 0 || id >= len(x.areas) {
+		panic(fmt.Sprintf("drma: unregistered area %d", id))
+	}
+	return x.areas[id]
+}
+
+// Put copies data into [off, off+len(data)) of dst's copy of area a at
+// the end of the superstep. data is copied at call time.
+func (x *Ctx) Put(dst int, a Area, off int, data []byte) {
+	w := x.out[dst]
+	w.Uint32(opPut)
+	w.Uint32(uint32(a.id))
+	w.Uint32(uint32(off))
+	w.Uint32(uint32(len(data)))
+	w.Raw(data)
+}
+
+// Get requests [off, off+len(dst)) of src's copy of area a; dst is
+// filled when Sync returns. dst must not be written by the caller until
+// then.
+func (x *Ctx) Get(src int, a Area, off int, dst []byte) {
+	idx := len(x.gets)
+	x.gets = append(x.gets, pendingGet{dst: dst})
+	w := x.out[src]
+	w.Uint32(opGet)
+	w.Uint32(uint32(a.id))
+	w.Uint32(uint32(off))
+	w.Uint32(uint32(len(dst)))
+	w.Uint32(uint32(x.c.ID()))
+	w.Uint32(uint32(idx))
+}
+
+// Sync ends the DRMA superstep: gets observe end-of-superstep values
+// before puts land, then puts are applied, then get replies are
+// delivered. Costs two core supersteps.
+func (x *Ctx) Sync() {
+	c := x.c
+	for q := 0; q < c.P(); q++ {
+		if x.out[q].Len() > 0 {
+			c.Send(q, x.out[q].Bytes())
+			x.out[q].Reset()
+		}
+	}
+	c.Sync()
+	// First: serve gets against the pre-put state; stash puts.
+	type put struct {
+		id, off int
+		data    []byte
+	}
+	var puts []put
+	for {
+		msg, ok := c.Recv()
+		if !ok {
+			break
+		}
+		r := wire.NewReader(msg)
+		for r.Remaining() >= 4 {
+			switch r.Uint32() {
+			case opPut:
+				id := int(r.Uint32())
+				off := int(r.Uint32())
+				n := int(r.Uint32())
+				puts = append(puts, put{id: id, off: off, data: r.Raw(n)})
+			case opGet:
+				id := int(r.Uint32())
+				off := int(r.Uint32())
+				n := int(r.Uint32())
+				from := int(r.Uint32())
+				idx := r.Uint32()
+				buf := x.area(id)
+				if off < 0 || off+n > len(buf) {
+					panic(fmt.Sprintf("drma: get [%d,%d) outside area %d of %d bytes", off, off+n, id, len(buf)))
+				}
+				w := x.out[from]
+				w.Uint32(opGetReply)
+				w.Uint32(idx)
+				w.Uint32(uint32(n))
+				w.Raw(buf[off : off+n])
+			default:
+				panic("drma: corrupt operation stream")
+			}
+		}
+	}
+	// Then: apply puts (end-of-superstep writes).
+	for _, p := range puts {
+		buf := x.area(p.id)
+		if p.off < 0 || p.off+len(p.data) > len(buf) {
+			panic(fmt.Sprintf("drma: put [%d,%d) outside area %d of %d bytes", p.off, p.off+len(p.data), p.id, len(buf)))
+		}
+		copy(buf[p.off:], p.data)
+	}
+	// Second hop: deliver get replies.
+	for q := 0; q < c.P(); q++ {
+		if x.out[q].Len() > 0 {
+			c.Send(q, x.out[q].Bytes())
+			x.out[q].Reset()
+		}
+	}
+	c.Sync()
+	for {
+		msg, ok := c.Recv()
+		if !ok {
+			break
+		}
+		r := wire.NewReader(msg)
+		for r.Remaining() >= 4 {
+			if op := r.Uint32(); op != opGetReply {
+				panic("drma: unexpected operation in reply superstep")
+			}
+			idx := int(r.Uint32())
+			n := int(r.Uint32())
+			copy(x.gets[idx].dst, r.Raw(n))
+		}
+	}
+	x.gets = x.gets[:0]
+}

@@ -1,0 +1,254 @@
+package drma
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/matmult"
+	"repro/internal/transport"
+)
+
+func run(t *testing.T, p int, fn func(x *Ctx)) *core.Stats {
+	t.Helper()
+	st, err := core.Run(core.Config{P: p, Transport: transport.ShmTransport{}}, func(c *core.Proc) {
+		fn(New(c))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestPutBasic(t *testing.T) {
+	const p = 4
+	run(t, p, func(x *Ctx) {
+		c := x.Proc()
+		buf := make([]byte, p)
+		a := x.Register(buf)
+		// Everyone writes its rank into slot ID of every process.
+		for dst := 0; dst < p; dst++ {
+			x.Put(dst, a, c.ID(), []byte{byte(c.ID() + 1)})
+		}
+		x.Sync()
+		for i := 0; i < p; i++ {
+			if buf[i] != byte(i+1) {
+				t.Errorf("proc %d: buf[%d] = %d, want %d", c.ID(), i, buf[i], i+1)
+			}
+		}
+	})
+}
+
+func TestGetBasic(t *testing.T) {
+	const p = 4
+	run(t, p, func(x *Ctx) {
+		c := x.Proc()
+		local := []byte{byte(10 + c.ID()), byte(20 + c.ID())}
+		a := x.Register(local)
+		got := make([]byte, 2)
+		src := (c.ID() + 1) % p
+		x.Get(src, a, 0, got)
+		x.Sync()
+		want := []byte{byte(10 + src), byte(20 + src)}
+		if !bytes.Equal(got, want) {
+			t.Errorf("proc %d: got %v, want %v", c.ID(), got, want)
+		}
+	})
+}
+
+func TestGetSeesPrePutValues(t *testing.T) {
+	// BSP DRMA: a get in the same superstep as a put to the same
+	// location observes the value before the put lands.
+	run(t, 2, func(x *Ctx) {
+		c := x.Proc()
+		buf := []byte{byte(100 + c.ID())}
+		a := x.Register(buf)
+		got := make([]byte, 1)
+		other := 1 - c.ID()
+		x.Get(other, a, 0, got)
+		x.Put(other, a, 0, []byte{200})
+		x.Sync()
+		if got[0] != byte(100+other) {
+			t.Errorf("proc %d: get saw %d, want pre-put %d", c.ID(), got[0], 100+other)
+		}
+		if buf[0] != 200 {
+			t.Errorf("proc %d: put not applied: %d", c.ID(), buf[0])
+		}
+	})
+}
+
+func TestSelfPutGet(t *testing.T) {
+	run(t, 2, func(x *Ctx) {
+		c := x.Proc()
+		buf := make([]byte, 4)
+		a := x.Register(buf)
+		x.Put(c.ID(), a, 1, []byte{7, 8})
+		got := make([]byte, 4)
+		x.Get(c.ID(), a, 0, got)
+		x.Sync()
+		if buf[1] != 7 || buf[2] != 8 {
+			t.Errorf("self put failed: %v", buf)
+		}
+		if got[1] != 0 {
+			t.Errorf("self get should see pre-put zeros, got %v", got)
+		}
+	})
+}
+
+func TestMultipleAreas(t *testing.T) {
+	run(t, 3, func(x *Ctx) {
+		c := x.Proc()
+		a1buf := make([]byte, 3)
+		a2buf := make([]byte, 3)
+		a1 := x.Register(a1buf)
+		a2 := x.Register(a2buf)
+		next := (c.ID() + 1) % 3
+		x.Put(next, a1, 0, []byte{1})
+		x.Put(next, a2, 0, []byte{2})
+		x.Sync()
+		if a1buf[0] != 1 || a2buf[0] != 2 {
+			t.Errorf("proc %d: areas mixed up: %v %v", c.ID(), a1buf, a2buf)
+		}
+	})
+}
+
+func TestSyncCostsTwoSupersteps(t *testing.T) {
+	st := run(t, 4, func(x *Ctx) {
+		buf := make([]byte, 8)
+		a := x.Register(buf)
+		x.Put(0, a, 0, []byte{1})
+		x.Sync()
+		x.Sync()
+	})
+	if st.S() != 4 {
+		t.Errorf("S = %d, want 4 (2 per DRMA sync)", st.S())
+	}
+}
+
+func TestOutOfBoundsPutFailsRun(t *testing.T) {
+	_, err := core.Run(core.Config{P: 2, Transport: transport.SimTransport{}}, func(c *core.Proc) {
+		x := New(c)
+		a := x.Register(make([]byte, 4))
+		x.Put(1-c.ID(), a, 3, []byte{1, 2, 3})
+		x.Sync()
+	})
+	if err == nil {
+		t.Fatal("out-of-bounds put should abort the run")
+	}
+}
+
+// TestMatmultOverDRMA rewrites Cannon's shift as gets — the "static
+// scientific computation" style §1.3 attributes to the Oxford library.
+func TestMatmultOverDRMA(t *testing.T) {
+	const n, p = 12, 4
+	sq := 2
+	bn := n / sq
+	a := matmult.RandomMatrix(n, 1)
+	b := matmult.RandomMatrix(n, 2)
+	aBlks, bBlks, err := matmult.Distribute(a, b, n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := matmult.Naive(a, b, n)
+	cBlks := make([][]float64, p)
+	run(t, p, func(x *Ctx) {
+		c := x.Proc()
+		id := c.ID()
+		xg, yg := id/sq, id%sq
+		// Registered areas hold this process's current A and B blocks.
+		aBuf := make([]byte, 8*bn*bn)
+		bBuf := make([]byte, 8*bn*bn)
+		storeBlock(aBuf, aBlks[id])
+		storeBlock(bBuf, bBlks[id])
+		areaA := x.Register(aBuf)
+		areaB := x.Register(bBuf)
+		out := make([]float64, bn*bn)
+		for step := 0; step < sq; step++ {
+			matmult.MultiplyAdd(out, loadBlock(aBuf, bn), loadBlock(bBuf, bn), bn)
+			if step == sq-1 {
+				break
+			}
+			// Fetch the next blocks from the right/below neighbors
+			// (gets observe the pre-put state, so fetch-then-store
+			// within one DRMA superstep is race-free).
+			right := xg*sq + (yg+1)%sq
+			below := ((xg+1)%sq)*sq + yg
+			nextA := make([]byte, len(aBuf))
+			nextB := make([]byte, len(bBuf))
+			x.Get(right, areaA, 0, nextA)
+			x.Get(below, areaB, 0, nextB)
+			x.Sync()
+			copy(aBuf, nextA)
+			copy(bBuf, nextB)
+			x.Sync() // publish the new blocks before the next fetch
+		}
+		cBlks[id] = out
+	})
+	got := matmult.Assemble(cBlks, n, p)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("C[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func storeBlock(buf []byte, blk []float64) {
+	for i, v := range blk {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+}
+
+func loadBlock(buf []byte, bn int) []float64 {
+	out := make([]float64, bn*bn)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return out
+}
+
+// TestQuickRandomPuts: random non-overlapping puts land exactly.
+func TestQuickRandomPuts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test skipped in -short mode")
+	}
+	f := func(seed int64) bool {
+		const p, slots = 3, 16
+		rng := rand.New(rand.NewSource(seed))
+		// plan[dst][slot] = writer rank (each slot written once).
+		plan := make([][]int, p)
+		for d := range plan {
+			plan[d] = make([]int, slots)
+			for s := range plan[d] {
+				plan[d][s] = rng.Intn(p)
+			}
+		}
+		ok := true
+		_, err := core.Run(core.Config{P: p, Transport: transport.SimTransport{}}, func(c *core.Proc) {
+			x := New(c)
+			buf := make([]byte, slots)
+			a := x.Register(buf)
+			for d := 0; d < p; d++ {
+				for s := 0; s < slots; s++ {
+					if plan[d][s] == c.ID() {
+						x.Put(d, a, s, []byte{byte(10*c.ID() + s%10)})
+					}
+				}
+			}
+			x.Sync()
+			for s := 0; s < slots; s++ {
+				want := byte(10*plan[c.ID()][s] + s%10)
+				if buf[s] != want {
+					ok = false
+				}
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,64 @@
+package graph
+
+// DistHeap is a lazy binary min-heap of (distance, node) pairs for
+// Dijkstra-style algorithms. Stale entries (whose distance no longer
+// matches the label array) are skipped by the caller; this is the
+// classic lazy-deletion priority queue.
+type DistHeap struct {
+	d []float64
+	v []int32
+}
+
+// Len returns the number of entries (including stale ones).
+func (h *DistHeap) Len() int { return len(h.v) }
+
+// Push adds (d, v).
+func (h *DistHeap) Push(d float64, v int32) {
+	h.d = append(h.d, d)
+	h.v = append(h.v, v)
+	i := len(h.v) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.d[p] <= h.d[i] {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+// Pop removes and returns the minimum entry. It panics on an empty heap.
+func (h *DistHeap) Pop() (float64, int32) {
+	d, v := h.d[0], h.v[0]
+	last := len(h.v) - 1
+	h.d[0], h.v[0] = h.d[last], h.v[last]
+	h.d, h.v = h.d[:last], h.v[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.d[l] < h.d[smallest] {
+			smallest = l
+		}
+		if r < last && h.d[r] < h.d[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+	return d, v
+}
+
+// Min returns the minimum entry without removing it.
+func (h *DistHeap) Min() (float64, int32) { return h.d[0], h.v[0] }
+
+// Reset empties the heap, retaining capacity.
+func (h *DistHeap) Reset() { h.d, h.v = h.d[:0], h.v[:0] }
+
+func (h *DistHeap) swap(i, j int) {
+	h.d[i], h.d[j] = h.d[j], h.d[i]
+	h.v[i], h.v[j] = h.v[j], h.v[i]
+}

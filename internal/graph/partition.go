@@ -1,0 +1,175 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Part is one process's piece of a partitioned graph, following §3.3:
+// "Each processor contains a data structure representing the portion of
+// the graph for which it is responsible, and also a copy of each node in
+// the graph that is connected to a node in its portion. The nodes for
+// which a processor is responsible are called home nodes and the other
+// nodes are called border nodes."
+type Part struct {
+	// ID is the owning process rank; P the number of processes.
+	ID, P int
+	// NHome is the number of home nodes; local indices [0, NHome) are
+	// home nodes, [NHome, len(Global)) are border nodes.
+	NHome int
+	// Global maps local index to global node id.
+	Global []int32
+	local  map[int32]int32
+	// Off/Adj/W is the CSR adjacency of the home nodes (rows are home
+	// local indices; columns are local indices, home or border).
+	Off []int32
+	Adj []int32
+	W   []float64
+	// BorderOwner[b] is the owner of border node NHome+b.
+	BorderOwner []int32
+	// Ghosts[i] lists the processes holding home node i as a border
+	// node: the processes that must be told when i's state changes.
+	// The algorithms are "conservative" in the paper's DRAM sense
+	// because each process communicates at most along these edges.
+	Ghosts [][]int32
+}
+
+// NLocal returns the number of local nodes (home + border).
+func (pt *Part) NLocal() int { return len(pt.Global) }
+
+// LocalOf returns the local index of a global node id, if present.
+func (pt *Part) LocalOf(g int32) (int32, bool) {
+	l, ok := pt.local[g]
+	return l, ok
+}
+
+// IsHome reports whether local index l is a home node.
+func (pt *Part) IsHome(l int32) bool { return int(l) < pt.NHome }
+
+// Neighbors returns home node i's local adjacency and weights.
+func (pt *Part) Neighbors(i int32) ([]int32, []float64) {
+	return pt.Adj[pt.Off[i]:pt.Off[i+1]], pt.W[pt.Off[i]:pt.Off[i+1]]
+}
+
+// Partition is a full graph split into P parts.
+type Partition struct {
+	P     int
+	G     *Graph
+	Owner []int32
+	Parts []*Part
+}
+
+// PartitionStrips splits g into p parts by x-coordinate strips with
+// (near-)equal node counts — the paper's static spatial partitioning,
+// "load-balanced to within about 10%" in node count (here exactly
+// balanced up to rounding; edge balance still varies).
+func PartitionStrips(g *Graph, p int) *Partition {
+	if p < 1 {
+		panic(fmt.Sprintf("graph: PartitionStrips with p=%d", p))
+	}
+	order := make([]int32, g.N)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if g.X[ia] != g.X[ib] {
+			return g.X[ia] < g.X[ib]
+		}
+		return ia < ib
+	})
+	owner := make([]int32, g.N)
+	for rank, node := range order {
+		owner[node] = int32(rank * p / g.N)
+	}
+	return PartitionByOwner(g, p, owner)
+}
+
+// PartitionByOwner builds per-process parts from an explicit ownership
+// assignment; exposed separately so tests can exercise degenerate
+// partitions (all nodes on one process, round-robin, etc.).
+func PartitionByOwner(g *Graph, p int, owner []int32) *Partition {
+	if len(owner) != g.N {
+		panic(fmt.Sprintf("graph: owner length %d, want %d", len(owner), g.N))
+	}
+	pt := &Partition{P: p, G: g, Owner: owner, Parts: make([]*Part, p)}
+	for q := 0; q < p; q++ {
+		pt.Parts[q] = buildPart(g, p, q, owner)
+	}
+	return pt
+}
+
+func buildPart(g *Graph, p, q int, owner []int32) *Part {
+	part := &Part{ID: q, P: p, local: make(map[int32]int32)}
+	for u := int32(0); u < int32(g.N); u++ {
+		if owner[u] == int32(q) {
+			part.local[u] = int32(len(part.Global))
+			part.Global = append(part.Global, u)
+		}
+	}
+	part.NHome = len(part.Global)
+	// Border nodes: remote neighbors of home nodes, in first-seen order.
+	for i := 0; i < part.NHome; i++ {
+		u := part.Global[i]
+		adj, _ := g.Neighbors(u)
+		for _, v := range adj {
+			if owner[v] != int32(q) {
+				if _, ok := part.local[v]; !ok {
+					part.local[v] = int32(len(part.Global))
+					part.Global = append(part.Global, v)
+					part.BorderOwner = append(part.BorderOwner, owner[v])
+				}
+			}
+		}
+	}
+	// Home CSR with local column indices.
+	part.Off = make([]int32, part.NHome+1)
+	for i := 0; i < part.NHome; i++ {
+		part.Off[i+1] = part.Off[i] + int32(g.Degree(part.Global[i]))
+	}
+	part.Adj = make([]int32, part.Off[part.NHome])
+	part.W = make([]float64, part.Off[part.NHome])
+	for i := 0; i < part.NHome; i++ {
+		u := part.Global[i]
+		adj, w := g.Neighbors(u)
+		base := part.Off[i]
+		for k, v := range adj {
+			part.Adj[base+int32(k)] = part.local[v]
+			part.W[base+int32(k)] = w[k]
+		}
+	}
+	// Ghosts: processes where each home node appears as a border node,
+	// i.e. owners of remote neighbors.
+	part.Ghosts = make([][]int32, part.NHome)
+	for i := 0; i < part.NHome; i++ {
+		u := part.Global[i]
+		adj, _ := g.Neighbors(u)
+		var procs []int32
+		seen := make(map[int32]bool)
+		for _, v := range adj {
+			if o := owner[v]; o != int32(q) && !seen[o] {
+				seen[o] = true
+				procs = append(procs, o)
+			}
+		}
+		sort.Slice(procs, func(a, b int) bool { return procs[a] < procs[b] })
+		part.Ghosts[i] = procs
+	}
+	return part
+}
+
+// Imbalance returns max node count over mean node count across parts, a
+// load-balance figure of merit (1.0 = perfect).
+func (pt *Partition) Imbalance() float64 {
+	maxN := 0
+	for _, part := range pt.Parts {
+		if part.NHome > maxN {
+			maxN = part.NHome
+		}
+	}
+	mean := float64(pt.G.N) / float64(pt.P)
+	if mean == 0 {
+		return 1
+	}
+	return float64(maxN) / mean
+}

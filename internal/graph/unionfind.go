@@ -1,0 +1,54 @@
+package graph
+
+// UnionFind is a disjoint-set forest with union by rank and path
+// compression.
+type UnionFind struct {
+	parent []int32
+	rank   []int8
+	count  int
+}
+
+// NewUnionFind returns n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	uf := &UnionFind{parent: make([]int32, n), rank: make([]int8, n), count: n}
+	for i := range uf.parent {
+		uf.parent[i] = int32(i)
+	}
+	return uf
+}
+
+// Find returns the representative of x's set.
+func (uf *UnionFind) Find(x int) int {
+	root := int32(x)
+	for uf.parent[root] != root {
+		root = uf.parent[root]
+	}
+	for int32(x) != root {
+		uf.parent[x], x = root, int(uf.parent[x])
+	}
+	return int(root)
+}
+
+// Union merges the sets of x and y and reports whether they were
+// previously distinct.
+func (uf *UnionFind) Union(x, y int) bool {
+	rx, ry := uf.Find(x), uf.Find(y)
+	if rx == ry {
+		return false
+	}
+	if uf.rank[rx] < uf.rank[ry] {
+		rx, ry = ry, rx
+	}
+	uf.parent[ry] = int32(rx)
+	if uf.rank[rx] == uf.rank[ry] {
+		uf.rank[rx]++
+	}
+	uf.count--
+	return true
+}
+
+// Same reports whether x and y are in the same set.
+func (uf *UnionFind) Same(x, y int) bool { return uf.Find(x) == uf.Find(y) }
+
+// Count returns the number of disjoint sets.
+func (uf *UnionFind) Count() int { return uf.count }

@@ -1,0 +1,96 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/transport"
+)
+
+// FitParams estimates a transport's BSP parameters by curve fitting:
+// it times a sweep of synthetic programs with known (H, S) and solves
+// the least-squares problem T ≈ g·H + L·S. Section 4 of the paper holds
+// that "such a 'curve fitting' approach seems more realistic on fairly
+// simple subroutines (i.e., broadcast or sorting) than on more complex
+// application programs" — this is that approach, applied to the simplest
+// subroutine of all (a raw total exchange), and the test suite compares
+// the fit against the direct microbenchmark measurement of
+// MeasureParams.
+func FitParams(tr transport.Transport, p int) (cost.Params, error) {
+	type obs struct {
+		h, s int
+		t    float64 // microseconds
+	}
+	var observations []obs
+	// The sweep varies H at fixed S and S at fixed H so the two
+	// parameters are separately identifiable.
+	configs := []struct {
+		batch, steps int
+	}{
+		{1, 40}, {1, 160}, {8, 40}, {32, 40}, {128, 20}, {128, 80},
+	}
+	for _, cfgRow := range configs {
+		batch, steps := cfgRow.batch, cfgRow.steps
+		var elapsed time.Duration
+		_, err := core.Run(core.Config{P: p, Transport: tr}, func(c *core.Proc) {
+			var pkt core.Pkt
+			// Warm-up superstep.
+			c.Sync()
+			t0 := time.Now()
+			for s := 0; s < steps; s++ {
+				for dst := 0; dst < p; dst++ {
+					if dst == c.ID() {
+						continue
+					}
+					for k := 0; k < batch; k++ {
+						c.SendPkt(dst, &pkt)
+					}
+				}
+				c.Sync()
+				for {
+					if _, ok := c.GetPkt(); !ok {
+						break
+					}
+				}
+			}
+			if c.ID() == 0 {
+				elapsed = time.Since(t0)
+			}
+		})
+		if err != nil {
+			return cost.Params{}, fmt.Errorf("harness: curve-fit sweep (batch=%d steps=%d): %w", batch, steps, err)
+		}
+		observations = append(observations, obs{
+			h: steps * (p - 1) * batch,
+			s: steps,
+			t: float64(elapsed.Microseconds()),
+		})
+	}
+	// Normal equations for T = g·H + L·S (W of the empty loop body is
+	// absorbed into L, exactly as in the paper's L definition: "the
+	// minimum duration of a superstep").
+	var shh, shs, sss, sht, sst float64
+	for _, o := range observations {
+		h, s := float64(o.h), float64(o.s)
+		shh += h * h
+		shs += h * s
+		sss += s * s
+		sht += h * o.t
+		sst += s * o.t
+	}
+	det := shh*sss - shs*shs
+	if det == 0 {
+		return cost.Params{}, fmt.Errorf("harness: degenerate curve-fit sweep")
+	}
+	g := (sht*sss - sst*shs) / det
+	l := (sst*shh - sht*shs) / det
+	if g < 0 {
+		g = 0
+	}
+	if l < 0 {
+		l = 0
+	}
+	return cost.Params{G: g, L: l}, nil
+}

@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/transport"
+)
+
+// MeasuredParams is one host (g, L) measurement.
+type MeasuredParams struct {
+	Transport string
+	P         int
+	Params    cost.Params
+}
+
+// MeasureParams measures the BSP machine parameters of one transport on
+// this host, following the paper's definitions: "The value for L
+// corresponds to the time for a superstep in which each processor sends
+// a single packet. The bandwidth parameter g is the time per 16-byte
+// packet for a sufficiently large superstep with a total-exchange
+// communication pattern."
+func MeasureParams(tr transport.Transport, p int) (cost.Params, error) {
+	const (
+		warmup = 5
+		lIters = 100
+		gIters = 10
+		gBatch = 64 // packets per destination in the total exchange
+	)
+	var lTotal, gTotal time.Duration
+	_, err := core.Run(core.Config{P: p, Transport: tr}, func(c *core.Proc) {
+		var pkt core.Pkt
+		next := (c.ID() + 1) % p
+		for i := 0; i < warmup; i++ {
+			c.SendPkt(next, &pkt)
+			c.Sync()
+		}
+		t0 := time.Now()
+		for i := 0; i < lIters; i++ {
+			c.SendPkt(next, &pkt)
+			c.Sync()
+		}
+		if c.ID() == 0 {
+			lTotal = time.Since(t0)
+		}
+		t0 = time.Now()
+		for i := 0; i < gIters; i++ {
+			for dst := 0; dst < p; dst++ {
+				if dst == c.ID() {
+					continue
+				}
+				for k := 0; k < gBatch; k++ {
+					c.SendPkt(dst, &pkt)
+				}
+			}
+			c.Sync()
+			for {
+				if _, ok := c.GetPkt(); !ok {
+					break
+				}
+			}
+		}
+		if c.ID() == 0 {
+			gTotal = time.Since(t0)
+		}
+	})
+	if err != nil {
+		return cost.Params{}, err
+	}
+	l := float64(lTotal.Microseconds()) / lIters
+	h := (p - 1) * gBatch
+	var g float64
+	if h > 0 {
+		perStep := float64(gTotal.Microseconds()) / gIters
+		g = (perStep - l) / float64(h)
+		if g < 0 {
+			g = 0
+		}
+	}
+	return cost.Params{G: g, L: l}, nil
+}
+
+// MeasureAll measures (g, L) across processor counts for the named
+// transports.
+func MeasureAll(transports []string, procs []int) (map[string][]MeasuredParams, error) {
+	out := make(map[string][]MeasuredParams)
+	for _, name := range transports {
+		tr, err := transport.New(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range procs {
+			pr, err := MeasureParams(tr, p)
+			if err != nil {
+				return nil, fmt.Errorf("%s p=%d: %w", name, p, err)
+			}
+			out[name] = append(out[name], MeasuredParams{Transport: name, P: p, Params: pr})
+		}
+	}
+	return out, nil
+}

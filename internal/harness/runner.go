@@ -1,0 +1,288 @@
+// Package harness regenerates the paper's evaluation: every table and
+// figure of the SPAA'96 Green BSP paper, as described in DESIGN.md §4.
+//
+// Methodology (DESIGN.md §2): the program parameters (W, H, S, total
+// work) of every configuration are measured with the deterministic
+// single-processor simulation transport — the analogue of the paper's
+// "IPC shared-memory single-processor simulation" — and the BSP cost
+// model with each evaluation machine's (g, L) from Figure 2.1 predicts
+// the parallel running times and speed-ups. Paper values are printed
+// alongside for comparison.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/matmult"
+	"repro/internal/msp"
+	"repro/internal/mst"
+	"repro/internal/nbody"
+	"repro/internal/ocean"
+	"repro/internal/psort"
+	"repro/internal/sp"
+	"repro/internal/transport"
+)
+
+// Row is one experiment configuration's measurements.
+type Row struct {
+	App  string
+	Size int
+	NP   int
+	// W is the work depth, H the summed h-relation size (packets), S
+	// the superstep count, TotalWork the summed local computation —
+	// all measured on the sim transport.
+	W         time.Duration
+	H, S      int
+	TotalWork time.Duration
+	// WU and TotalWU are the abstract work-unit analogues of W and
+	// TotalWork (see core.Proc.AddWork): operation counts that
+	// reproduce the paper's compute-dominated work balance, free of the
+	// host's message-preparation overhead.
+	WU, TotalWU int
+	// SeqTime is the measured one-processor time of the same program
+	// (the paper's speed-up baseline).
+	SeqTime time.Duration
+}
+
+// CalibrationFactor returns seconds-per-work-unit for one application's
+// rows, anchored so that the one-processor work depth of the largest
+// size with a paper measurement equals the paper's W (SGI seconds). The
+// host's relative measurements (unit ratios, H, S) stay untouched; only
+// the CPU-speed unit is taken from the paper's own baseline, standing in
+// for the 1996 hardware we cannot run (DESIGN.md §2). Rows without any
+// paper anchor fall back to the host's wall-clock seconds per unit.
+func CalibrationFactor(rows []Row) float64 {
+	var anchor Row
+	var paperW float64
+	for _, r := range rows {
+		if r.NP != 1 || r.WU == 0 {
+			continue
+		}
+		if pr, ok := PaperRowFor(r.App, r.Size, 1); ok && r.Size >= anchor.Size {
+			anchor, paperW = r, pr.W
+		}
+	}
+	if paperW > 0 {
+		return paperW / float64(anchor.WU)
+	}
+	for _, r := range rows {
+		if r.NP == 1 && r.WU > 0 {
+			return r.W.Seconds() / float64(r.WU)
+		}
+	}
+	return 1e-9
+}
+
+// CalW returns the calibrated work depth given a seconds-per-unit
+// factor.
+func (r Row) CalW(factor float64) time.Duration {
+	return time.Duration(float64(r.WU) * factor * 1e9)
+}
+
+// CalTotalWork returns the calibrated total work.
+func (r Row) CalTotalWork(factor float64) time.Duration {
+	return time.Duration(float64(r.TotalWU) * factor * 1e9)
+}
+
+// PredictCal evaluates the cost model with the calibrated work depth.
+func (r Row) PredictCal(m cost.Machine, factor float64) time.Duration {
+	return m.Predict(r.NP, r.CalW(factor), r.H, r.S)
+}
+
+// SpeedupCal is the model speed-up with calibrated work.
+func (r Row) SpeedupCal(m cost.Machine, seq Row, factor float64) float64 {
+	return cost.Speedup(seq.PredictCal(m, factor), r.PredictCal(m, factor))
+}
+
+// Predict evaluates the cost model for this row on machine m.
+func (r Row) Predict(m cost.Machine) time.Duration {
+	return m.Predict(r.NP, r.W, r.H, r.S)
+}
+
+// PredictComm returns the predicted communication + synchronization
+// time on machine m (Figure 1.1's third series).
+func (r Row) PredictComm(m cost.Machine) time.Duration {
+	return m.Params(r.NP).CommTime(r.H, r.S)
+}
+
+// Speedup returns the model speed-up on machine m: predicted
+// one-processor time over predicted NP-processor time, using this row's
+// own W for the parallel machine and seq for the baseline.
+func (r Row) Speedup(m cost.Machine, seq Row) float64 {
+	return cost.Speedup(seq.Predict(m), r.Predict(m))
+}
+
+// Sizes returns the benchmark input sizes for app: the paper's sizes in
+// full mode, scaled-down counterparts otherwise.
+func Sizes(app string, full bool) []int {
+	if full {
+		sizes := PaperSizes(app)
+		if app == "nbody" {
+			return sizes[:4] // 256k needs hours of simulation; see -full docs
+		}
+		return sizes
+	}
+	switch app {
+	case "ocean":
+		return []int{18, 34, 66}
+	case "nbody":
+		return []int{256, 512, 1000}
+	case "mst", "sp", "msp":
+		return []int{500, 1000, 2500}
+	case "mm":
+		return []int{48, 96, 144}
+	case "psort":
+		return []int{1000, 4000, 16000}
+	default:
+		return nil
+	}
+}
+
+// Procs returns the processor counts evaluated for app (the paper's
+// configurations).
+func Procs(app string) []int {
+	if app == "mm" {
+		return []int{1, 4, 9, 16}
+	}
+	return []int{1, 2, 4, 8, 16}
+}
+
+// Apps lists the six paper applications in presentation order.
+func Apps() []string { return []string{"ocean", "nbody", "mst", "sp", "msp", "mm"} }
+
+// workload is a prepared input reused across processor counts.
+type workload struct {
+	g     *graph.Graph // mst/sp/msp
+	srcs  []int32      // msp sources
+	a, b  []float64    // mm matrices
+	bods  []nbody.Body // nbody
+	data  []float64    // psort
+	seqFn func()       // sequential baseline program
+}
+
+func prepare(app string, size int) (*workload, error) {
+	wl := &workload{}
+	switch app {
+	case "ocean":
+		// One timestep, like the paper's per-run measurement (their S
+		// values match a single multigrid-driven step).
+		wl.seqFn = func() {
+			if _, _, err := ocean.Sequential(ocean.Config{Size: size, Steps: 1}); err != nil {
+				panic(err)
+			}
+		}
+	case "nbody":
+		wl.bods = nbody.Plummer(size, 1996)
+		wl.seqFn = func() { nbody.Sequential(append([]nbody.Body(nil), wl.bods...), nbody.SimConfig{}, 1) }
+	case "mst":
+		wl.g = graph.Geometric(size, 1996)
+		wl.seqFn = func() { mst.Sequential(wl.g) }
+	case "sp":
+		wl.g = graph.Geometric(size, 1996)
+		wl.seqFn = func() { graph.Dijkstra(wl.g, 0) }
+	case "msp":
+		wl.g = graph.Geometric(size, 1996)
+		wl.srcs = msp.Sources(wl.g, msp.DefaultSources, 1996)
+		wl.seqFn = func() { msp.Sequential(wl.g, wl.srcs) }
+	case "mm":
+		wl.a = matmult.RandomMatrix(size, 1996)
+		wl.b = matmult.RandomMatrix(size, 1997)
+		wl.seqFn = func() { matmult.Sequential(wl.a, wl.b, size) }
+	case "psort":
+		wl.data = psort.RandomData(size, 1996)
+		wl.seqFn = func() { d := append([]float64(nil), wl.data...); sortFloats(d) }
+	default:
+		return nil, fmt.Errorf("harness: unknown app %q", app)
+	}
+	return wl, nil
+}
+
+// runOnce executes one configuration on the given transport and returns
+// its statistics.
+func runOnce(app string, size, p int, wl *workload, tr transport.Transport) (*core.Stats, error) {
+	cfg := core.Config{P: p, Transport: tr}
+	switch app {
+	case "ocean":
+		_, st, err := ocean.Parallel(cfg, ocean.Config{Size: size, Steps: 1})
+		return st, err
+	case "nbody":
+		_, st, err := nbody.Parallel(cfg, wl.bods, nbody.SimConfig{}, 1)
+		return st, err
+	case "mst":
+		_, st, err := mst.Parallel(cfg, wl.g, mst.Config{})
+		return st, err
+	case "sp":
+		_, st, err := sp.ParallelSingle(cfg, wl.g, 0, sp.Config{})
+		return st, err
+	case "msp":
+		_, st, err := msp.Parallel(cfg, wl.g, wl.srcs, sp.Config{})
+		return st, err
+	case "mm":
+		_, st, err := matmult.Parallel(cfg, wl.a, wl.b, size)
+		return st, err
+	case "psort":
+		_, st, err := psort.Parallel(cfg, wl.data)
+		return st, err
+	}
+	return nil, fmt.Errorf("harness: unknown app %q", app)
+}
+
+// RunOn executes one configuration on an arbitrary transport and
+// returns its statistics (used by cmd/bsprun for live runs; Collect
+// uses the sim transport for work measurement).
+func RunOn(app string, size, p int, tr transport.Transport) (*core.Stats, error) {
+	wl, err := prepare(app, size)
+	if err != nil {
+		return nil, err
+	}
+	return runOnce(app, size, p, wl, tr)
+}
+
+// Collect measures one application across sizes × processor counts on
+// the sim transport, including the sequential baseline per size.
+func Collect(app string, sizes, procs []int) ([]Row, error) {
+	var rows []Row
+	for _, size := range sizes {
+		wl, err := prepare(app, size)
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		wl.seqFn()
+		seqTime := time.Since(t0)
+		for _, p := range procs {
+			if app == "nbody" && p&(p-1) != 0 {
+				continue // ORB needs a power of two
+			}
+			st, err := runOnce(app, size, p, wl, transport.SimTransport{})
+			if err != nil {
+				return nil, fmt.Errorf("%s size=%d p=%d: %w", app, size, p, err)
+			}
+			rows = append(rows, Row{
+				App: app, Size: size, NP: p,
+				W: st.W(), H: st.H(), S: st.S(),
+				TotalWork: st.TotalWork(),
+				WU:        st.WUnits(), TotalWU: st.TotalUnits(),
+				SeqTime: seqTime,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// baselineFor returns the NP=1 row of the same app/size.
+func baselineFor(rows []Row, r Row) Row {
+	for _, b := range rows {
+		if b.App == r.App && b.Size == r.Size && b.NP == 1 {
+			return b
+		}
+	}
+	return r
+}
+
+func sortFloats(d []float64) { sort.Float64s(d) }

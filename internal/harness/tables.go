@@ -1,0 +1,206 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cost"
+)
+
+// fsec formats a duration in seconds with millisecond resolution.
+func fsec(d time.Duration) string { return fmt.Sprintf("%8.3f", d.Seconds()) }
+
+// fspdp formats "ours(paper)" speed-up pairs; paper 0 means the paper
+// did not run the configuration.
+func fspdp(ours, paper float64) string {
+	if paper == 0 {
+		return fmt.Sprintf("%5.1f(   -)", ours)
+	}
+	return fmt.Sprintf("%5.1f(%4.1f)", ours, paper)
+}
+
+// PrintTableC renders the Appendix C table for one application: the
+// measured program parameters (W, H, S, total work), the paper's H and
+// S where the configuration matches, and the cost-model predictions and
+// speed-ups on the three paper machines with the paper's reported
+// speed-ups in parentheses.
+func PrintTableC(w io.Writer, app string, rows []Row) {
+	factor := CalibrationFactor(rows)
+	fmt.Fprintf(w, "\n=== %s: per-configuration data (sim-measured H/S; work calibrated at %.3g s/unit; predictions via Figure 2.1 (g,L)) ===\n", app, factor)
+	fmt.Fprintf(w, "%6s %3s %9s %9s %5s %9s | %9s %5s %8s | %-11s %-11s %-11s\n",
+		"size", "NP", "W(s)", "H", "S", "TWk(s)", "paperH", "pprS", "pprW", "SGI  sp(ppr)", "Cenju sp(ppr)", "PC   sp(ppr)")
+	for _, r := range rows {
+		base := baselineFor(rows, r)
+		paper, hasPaper := PaperRowFor(app, r.Size, r.NP)
+		ph, ps, pw := "-", "-", "-"
+		var sgiP, cenP, pcP float64
+		if hasPaper {
+			ph, ps, pw = fmt.Sprint(paper.H), fmt.Sprint(paper.S), fmt.Sprintf("%.2f", paper.W)
+			sgiP, cenP, pcP = paper.SGISpdp, paper.CenjuSpd, paper.PCSpdp
+		}
+		pc := "     -     "
+		if cost.PC.Supports(r.NP) {
+			pc = fspdp(r.SpeedupCal(cost.PC, base, factor), pcP)
+		}
+		fmt.Fprintf(w, "%6d %3d %9.3f %9d %5d %9.3f | %9s %5s %8s | %s %s %s\n",
+			r.Size, r.NP, r.CalW(factor).Seconds(), r.H, r.S, r.CalTotalWork(factor).Seconds(),
+			ph, ps, pw,
+			fspdp(r.SpeedupCal(cost.SGI, base, factor), sgiP),
+			fspdp(r.SpeedupCal(cost.Cenju, base, factor), cenP),
+			pc)
+	}
+}
+
+// PrintFig31 renders the Figure 3.1 speed-up summary: the largest size
+// per application at the largest machine configuration (16 processors;
+// 8 on the PC LAN).
+func PrintFig31(w io.Writer, rowsByApp map[string][]Row) {
+	fmt.Fprintf(w, "\n=== Figure 3.1: speed-up summary, largest size ===\n")
+	fmt.Fprintf(w, "%-6s %7s | %-12s %-12s %-12s\n", "app", "size", "SGI@16(ppr)", "Cenju@16(ppr)", "PC@8(ppr)")
+	for _, app := range Apps() {
+		rows := rowsByApp[app]
+		if len(rows) == 0 {
+			continue
+		}
+		maxSize := rows[len(rows)-1].Size
+		var r16, r8, base Row
+		var have16, have8 bool
+		for _, r := range rows {
+			if r.Size != maxSize {
+				continue
+			}
+			switch {
+			case r.NP == 1:
+				base = r
+			case r.NP == 16:
+				r16, have16 = r, true
+			case r.NP == 8:
+				r8, have8 = r, true
+			}
+		}
+		if !have8 {
+			r8, have8 = r16, have16 // mm runs 1,4,9,16
+		}
+		var sgiP, cenP, pcP float64
+		if paper, ok := PaperRowFor(app, maxSize, 16); ok {
+			sgiP, cenP = paper.SGISpdp, paper.CenjuSpd
+		}
+		if paper, ok := PaperRowFor(app, maxSize, 8); ok {
+			pcP = paper.PCSpdp
+		}
+		factor := CalibrationFactor(rows)
+		line := fmt.Sprintf("%-6s %7d | ", app, maxSize)
+		if have16 {
+			line += fspdp(r16.SpeedupCal(cost.SGI, base, factor), sgiP) + "  " + fspdp(r16.SpeedupCal(cost.Cenju, base, factor), cenP) + "  "
+		} else {
+			line += "      -            -      "
+		}
+		if have8 && cost.PC.Supports(r8.NP) {
+			line += fspdp(r8.SpeedupCal(cost.PC, base, factor), pcP)
+		} else {
+			line += "     -"
+		}
+		fmt.Fprintln(w, line)
+	}
+}
+
+// PrintFig32 renders the Figure 3.2 model summary: predicted time, W,
+// H, S and total work on the 16-processor SGI profile for the largest
+// size of each application, with the paper's values alongside.
+func PrintFig32(w io.Writer, rowsByApp map[string][]Row) {
+	fmt.Fprintf(w, "\n=== Figure 3.2: algorithmic and model summary (16-proc SGI profile, largest size) ===\n")
+	fmt.Fprintf(w, "%-6s %7s %9s %9s %9s %5s %9s %9s | %9s %5s %8s %8s\n",
+		"app", "size", "pred(s)", "W(s)", "H", "S", "TWk16(s)", "TWk1(s)", "paperH", "pprS", "pprW", "pprTWk")
+	for _, app := range Apps() {
+		rows := rowsByApp[app]
+		var r16 Row
+		found := false
+		maxSize := 0
+		for _, r := range rows {
+			if r.Size > maxSize {
+				maxSize = r.Size
+			}
+		}
+		for _, r := range rows {
+			if r.Size == maxSize && r.NP == 16 {
+				r16, found = r, true
+			}
+		}
+		if !found {
+			continue
+		}
+		paper, hasPaper := PaperRowFor(app, maxSize, 16)
+		ph, ps, pw, pt := "-", "-", "-", "-"
+		if hasPaper {
+			ph, ps = fmt.Sprint(paper.H), fmt.Sprint(paper.S)
+			pw, pt = fmt.Sprintf("%.2f", paper.W), fmt.Sprintf("%.2f", paper.TWk)
+		}
+		factor := CalibrationFactor(rows)
+		var base Row
+		for _, r := range rows {
+			if r.Size == maxSize && r.NP == 1 {
+				base = r
+			}
+		}
+		fmt.Fprintf(w, "%-6s %7d %9.3f %9.3f %9d %5d %9.3f %9.3f | %9s %5s %8s %8s\n",
+			app, maxSize, r16.PredictCal(cost.SGI, factor).Seconds(), r16.CalW(factor).Seconds(), r16.H, r16.S,
+			r16.CalTotalWork(factor).Seconds(), base.CalTotalWork(factor).Seconds(), ph, ps, pw, pt)
+	}
+}
+
+// PrintFig11 renders the Figure 1.1 series for the ocean application at
+// one size: predicted total time and predicted communication time
+// (including synchronization) per machine and processor count — the
+// curves whose "breakpoints" the paper highlights (little gain from 2→4
+// PCs, severe degradation at 8 PCs on size 130).
+func PrintFig11(w io.Writer, rows []Row, size int) {
+	fmt.Fprintf(w, "\n=== Figure 1.1: ocean size %d — predicted and predicted-communication times ===\n", size)
+	fmt.Fprintf(w, "%3s | %10s %10s | %10s %10s | %10s %10s\n",
+		"NP", "SGI pred", "SGI comm", "Cenju pred", "Cenju comm", "PC pred", "PC comm")
+	factor := CalibrationFactor(rows)
+	for _, r := range rows {
+		if r.Size != size {
+			continue
+		}
+		pcPred, pcComm := "       -  ", "       -  "
+		if cost.PC.Supports(r.NP) {
+			pcPred = fsec(r.PredictCal(cost.PC, factor)) + "  "
+			pcComm = fsec(r.PredictComm(cost.PC)) + "  "
+		}
+		fmt.Fprintf(w, "%3d | %s %s | %s %s | %s %s\n",
+			r.NP,
+			fsec(r.PredictCal(cost.SGI, factor)), fsec(r.PredictComm(cost.SGI)),
+			fsec(r.PredictCal(cost.Cenju, factor)), fsec(r.PredictComm(cost.Cenju)),
+			pcPred, pcComm)
+	}
+}
+
+// PrintFig21 renders the Figure 2.1 analogue: the host-measured (g, L)
+// per transport and processor count next to the paper's table.
+func PrintFig21(w io.Writer, measured map[string][]MeasuredParams) {
+	fmt.Fprintf(w, "\n=== Figure 2.1: BSP machine parameters (µs per 16-byte packet; µs per superstep) ===\n")
+	fmt.Fprintf(w, "paper: %-6s", "NP")
+	for _, m := range cost.PaperMachines() {
+		fmt.Fprintf(w, " | %5s g      L", m.Name)
+	}
+	fmt.Fprintln(w)
+	for _, np := range []int{1, 2, 4, 8, 16} {
+		fmt.Fprintf(w, "       %-6d", np)
+		for _, m := range cost.PaperMachines() {
+			if !m.Supports(np) {
+				fmt.Fprintf(w, " |      -      -")
+				continue
+			}
+			pr := m.Params(np)
+			fmt.Fprintf(w, " | %6.2f %6.0f", pr.G, pr.L)
+		}
+		fmt.Fprintln(w)
+	}
+	for name, list := range measured {
+		fmt.Fprintf(w, "host %s (single-CPU host: all processes share one core; see EXPERIMENTS.md):\n", name)
+		for _, mp := range list {
+			fmt.Fprintf(w, "       %-6d | %8.3f %10.1f\n", mp.P, mp.Params.G, mp.Params.L)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package nbody
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/wire"
+)
+
+// ORB is an orthogonal recursive bisection of space into p = 2^k
+// domains: "we use the ORB partitioning scheme to partition the bodies
+// among the processors" (§3.2). Each internal node splits the current
+// region at the weighted median along its longest axis; leaf i (in
+// left-to-right order) is processor i's domain.
+type ORB struct {
+	levels int
+	splits []orbSplit // heap order: node n has children 2n+1, 2n+2
+}
+
+type orbSplit struct {
+	axis  int
+	coord float64
+}
+
+// Levels returns log2(p).
+func (o *ORB) Levels() int { return o.levels }
+
+// P returns the number of domains.
+func (o *ORB) P() int { return 1 << o.levels }
+
+// BuildORB computes an ORB over the given sample positions for p = 2^k
+// domains within the universe box. Splits are at the median sample, so
+// domains are balanced with respect to the sample.
+func BuildORB(samples []Vec3, p int, universe Box) (*ORB, error) {
+	levels := 0
+	for 1<<levels < p {
+		levels++
+	}
+	if 1<<levels != p {
+		return nil, fmt.Errorf("nbody: ORB requires a power-of-two process count, got %d", p)
+	}
+	o := &ORB{levels: levels, splits: make([]orbSplit, (1<<levels)-1)}
+	pts := append([]Vec3(nil), samples...)
+	var build func(node int, pts []Vec3, box Box, level int)
+	build = func(node int, pts []Vec3, box Box, level int) {
+		if level == levels {
+			return
+		}
+		axis := longestAxis(box)
+		sort.Slice(pts, func(i, j int) bool { return pts[i][axis] < pts[j][axis] })
+		var coord float64
+		if len(pts) == 0 {
+			coord = (box.Lo[axis] + box.Hi[axis]) / 2
+		} else {
+			coord = pts[len(pts)/2][axis]
+		}
+		// Degenerate samples (all on one side) still need a genuine
+		// split inside the box.
+		coord = math.Max(box.Lo[axis], math.Min(coord, box.Hi[axis]))
+		o.splits[node] = orbSplit{axis: axis, coord: coord}
+		mid := sort.Search(len(pts), func(i int) bool { return pts[i][axis] >= coord })
+		loBox, hiBox := box, box
+		loBox.Hi[axis] = coord
+		hiBox.Lo[axis] = coord
+		build(2*node+1, pts[:mid], loBox, level+1)
+		build(2*node+2, pts[mid:], hiBox, level+1)
+	}
+	build(0, pts, universe, 0)
+	return o, nil
+}
+
+func longestAxis(b Box) int {
+	axis := 0
+	best := b.Hi[0] - b.Lo[0]
+	for k := 1; k < 3; k++ {
+		if d := b.Hi[k] - b.Lo[k]; d > best {
+			best, axis = d, k
+		}
+	}
+	return axis
+}
+
+// OwnerOf returns the domain index containing pos.
+func (o *ORB) OwnerOf(pos Vec3) int {
+	node, id := 0, 0
+	for level := 0; level < o.levels; level++ {
+		s := o.splits[node]
+		if pos[s.axis] < s.coord {
+			node = 2*node + 1
+			id = id << 1
+		} else {
+			node = 2*node + 2
+			id = id<<1 | 1
+		}
+	}
+	return id
+}
+
+// Domain returns domain i's box within the universe.
+func (o *ORB) Domain(i int, universe Box) Box {
+	box := universe
+	node := 0
+	for level := 0; level < o.levels; level++ {
+		s := o.splits[node]
+		if i&(1<<(o.levels-1-level)) == 0 {
+			box.Hi[s.axis] = s.coord
+			node = 2*node + 1
+		} else {
+			box.Lo[s.axis] = s.coord
+			node = 2*node + 2
+		}
+	}
+	return box
+}
+
+// Encode serializes the ORB for broadcast.
+func (o *ORB) Encode() []byte {
+	w := wire.NewWriter(8 + 16*len(o.splits))
+	w.Int(o.levels)
+	for _, s := range o.splits {
+		w.Uint32(uint32(s.axis))
+		w.Uint32(0)
+		w.Float64(s.coord)
+	}
+	return w.Bytes()
+}
+
+// DecodeORB parses an encoded ORB.
+func DecodeORB(b []byte) *ORB {
+	r := wire.NewReader(b)
+	levels := r.Int()
+	o := &ORB{levels: levels, splits: make([]orbSplit, (1<<levels)-1)}
+	for i := range o.splits {
+		axis := int(r.Uint32())
+		r.Uint32()
+		o.splits[i] = orbSplit{axis: axis, coord: r.Float64()}
+	}
+	return o
+}

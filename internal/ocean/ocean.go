@@ -1,0 +1,203 @@
+package ocean
+
+import (
+	"math"
+
+	"repro/internal/core"
+)
+
+// Config holds the simulation parameters.
+type Config struct {
+	// Size is the paper's grid size n+2 (66, 130, 258, 514): interior
+	// n must be a power of two.
+	Size int
+	// Steps is the number of timesteps. 0 means 2.
+	Steps int
+	// DT is the timestep. 0 means 0.05.
+	DT float64
+	// Wind is the wind-stress curl amplitude. 0 means 1.
+	Wind float64
+	// Friction is the bottom-friction coefficient. 0 means 0.02.
+	Friction float64
+	// Tol is the solver's relative residual tolerance. 0 means 5e-3.
+	Tol float64
+}
+
+func (c Config) steps() int {
+	if c.Steps == 0 {
+		return 2
+	}
+	return c.Steps
+}
+
+func (c Config) dt() float64 {
+	if c.DT == 0 {
+		return 0.05
+	}
+	return c.DT
+}
+
+func (c Config) wind() float64 {
+	if c.Wind == 0 {
+		return 1
+	}
+	return c.Wind
+}
+
+func (c Config) friction() float64 {
+	if c.Friction == 0 {
+		return 0.02
+	}
+	return c.Friction
+}
+
+func (c Config) tol() float64 {
+	if c.Tol == 0 {
+		return 5e-3
+	}
+	return c.Tol
+}
+
+// Fields is the assembled result: the stream function on the full
+// (m+2)×(m+2) grid, row-major.
+type Fields struct {
+	M   int
+	Psi []float64
+}
+
+// At returns ψ(r, c).
+func (f *Fields) At(r, c int) float64 { return f.Psi[r*(f.M+2)+c] }
+
+// oceanSim is one process's simulation state.
+type oceanSim struct {
+	mc        machine
+	sol       *solver
+	psi, vort *slab
+	cfg       Config
+	m         int
+	// Cycles records the V-cycle count of each solve.
+	Cycles []int
+}
+
+func newOceanSim(mc machine, cfg Config, p, q int) (*oceanSim, error) {
+	m, err := checkGrid(cfg.Size)
+	if err != nil {
+		return nil, err
+	}
+	s := &oceanSim{mc: mc, cfg: cfg, m: m}
+	s.sol = newSolver(mc, m, p, q)
+	s.sol.tol = cfg.tol()
+	lo, hi := rowRange(m, p, q)
+	s.psi = newSlab(m, lo, hi)
+	s.vort = newSlab(m, lo, hi)
+	if bm, ok := mc.(*bspMachine); ok {
+		bm.register(s.fidPsi(), s.psi)
+		bm.register(s.fidVort(), s.vort)
+	}
+	return s, nil
+}
+
+func (s *oceanSim) fidPsi() int  { return 3 * len(s.sol.levels) }
+func (s *oceanSim) fidVort() int { return 3*len(s.sol.levels) + 1 }
+
+// step advances the simulation one timestep:
+//
+//	vort = ∇²ψ                                  (ghost exchange for ψ)
+//	rhs  = vort + dt·(wind − J(ψ, vort) − μ·vort)  (exchange for vort)
+//	solve ∇²ψ' = rhs by multigrid, warm-started from ψ
+func (s *oceanSim) step() {
+	m := s.m
+	h := 1 / float64(m+1)
+	h2 := h * h
+	s.mc.exchange([]exch{{s.fidPsi(), s.psi, -1}})
+	for r := s.psi.lo; r < s.psi.hi; r++ {
+		up, me, dn := s.psi.row(r-1), s.psi.row(r), s.psi.row(r+1)
+		vr := s.vort.row(r)
+		for c := 1; c <= m; c++ {
+			vr[c] = (up[c] + dn[c] + me[c-1] + me[c+1] - 4*me[c]) / h2
+		}
+	}
+	s.mc.work((s.psi.hi - s.psi.lo) * m)
+	s.mc.exchange([]exch{{s.fidVort(), s.vort, -1}})
+	lv0 := s.sol.levels[0]
+	dt, a, mu := s.cfg.dt(), s.cfg.wind(), s.cfg.friction()
+	for r := s.psi.lo; r < s.psi.hi; r++ {
+		pUp, pMe, pDn := s.psi.row(r-1), s.psi.row(r), s.psi.row(r+1)
+		vUp, vMe, vDn := s.vort.row(r-1), s.vort.row(r), s.vort.row(r+1)
+		fr := lv0.f.row(r)
+		ur := lv0.u.row(r)
+		y := float64(r) * h
+		for c := 1; c <= m; c++ {
+			// Arakawa-style central-difference Jacobian J(ψ, ζ).
+			px := (pMe[c+1] - pMe[c-1]) / (2 * h)
+			py := (pDn[c] - pUp[c]) / (2 * h)
+			vx := (vMe[c+1] - vMe[c-1]) / (2 * h)
+			vy := (vDn[c] - vUp[c]) / (2 * h)
+			jac := px*vy - py*vx
+			x := float64(c) * h
+			wind := a * sinPi(x) * sinPi(y)
+			fr[c] = vMe[c] + dt*(wind-jac-mu*vMe[c])
+			ur[c] = pMe[c] // warm start from the current stream function
+		}
+	}
+	s.mc.work((s.psi.hi - s.psi.lo) * m * 2) // Jacobian + forcing pass
+	s.Cycles = append(s.Cycles, s.sol.Solve())
+	for r := s.psi.lo; r < s.psi.hi; r++ {
+		copy(s.psi.row(r), lv0.u.row(r))
+	}
+}
+
+func (s *oceanSim) run() {
+	for i := 0; i < s.cfg.steps(); i++ {
+		s.step()
+	}
+}
+
+// Sequential runs the simulation on one processor (no BSP machinery) and
+// returns the final stream function and the V-cycle count per step.
+func Sequential(cfg Config) (*Fields, []int, error) {
+	sim, err := newOceanSim(seqMachine{}, cfg, 1, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	sim.run()
+	return assemble([]*oceanSim{sim}), sim.Cycles, nil
+}
+
+// Parallel runs the BSP simulation and returns the assembled stream
+// function, which is bit-identical to Sequential's at every process
+// count, plus the run statistics.
+func Parallel(ccfg core.Config, cfg Config) (*Fields, *core.Stats, error) {
+	if _, err := checkGrid(cfg.Size); err != nil {
+		return nil, nil, err
+	}
+	sims := make([]*oceanSim, ccfg.P)
+	st, err := core.Run(ccfg, func(c *core.Proc) {
+		sim, err := newOceanSim(newBSPMachine(c), cfg, c.P(), c.ID())
+		if err != nil {
+			panic(err)
+		}
+		sims[c.ID()] = sim
+		sim.run()
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return assemble(sims), st, nil
+}
+
+// assemble stitches the owned rows of every process into a full grid.
+func assemble(sims []*oceanSim) *Fields {
+	m := sims[0].m
+	f := &Fields{M: m, Psi: make([]float64, (m+2)*(m+2))}
+	for _, s := range sims {
+		for r := s.psi.lo; r < s.psi.hi; r++ {
+			copy(f.Psi[r*(m+2):(r+1)*(m+2)], s.psi.row(r))
+		}
+	}
+	return f
+}
+
+// sinPi(x) = sin(πx), kept as a helper so the forcing reads clearly at
+// the call site.
+func sinPi(x float64) float64 { return math.Sin(math.Pi * x) }

@@ -1,0 +1,383 @@
+package ocean
+
+import (
+	"math"
+
+	"repro/internal/collect"
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// machine abstracts the two BSP operations the solver needs, so the
+// identical numerical code runs sequentially (no-op communication: the
+// single slab holds every row) and in parallel (ghost-row exchange
+// supersteps and a max all-reduce).
+type machine interface {
+	// exchange performs one superstep in which the ghost rows of every
+	// listed field are refreshed from their owners.
+	exchange(items []exch)
+	// exchangeToFine performs one superstep in which every owned coarse
+	// row R is sent to the owners of fine rows 2R-1 and 2R (fine
+	// interior is 2×coarse). This is the prolongation dependency, which
+	// the neighbor ghost exchange cannot satisfy when some processes
+	// own no rows of the coarse level.
+	exchangeToFine(fid int, coarse *slab)
+	// maxAll returns the global maximum of x (one superstep).
+	maxAll(x float64) float64
+	// work reports n abstract work units (grid-cell updates) for the
+	// current superstep.
+	work(n int)
+}
+
+// exch names one field taking part in a ghost exchange. color selects
+// which columns of the ghost rows travel: -1 means all; otherwise only
+// the columns a red-black half-sweep of that color will actually read —
+// the traffic optimization the SPLASH-derived code relies on (ghost h
+// per sweep is half a row).
+type exch struct {
+	fid   int
+	s     *slab
+	color int
+}
+
+// seqMachine runs the solver on a single process: slabs span all rows,
+// so ghosts coincide with the physical boundary and exchanges are no-ops.
+type seqMachine struct{}
+
+func (seqMachine) exchange([]exch)           {}
+func (seqMachine) exchangeToFine(int, *slab) {}
+func (seqMachine) maxAll(x float64) float64  { return x }
+func (seqMachine) work(int)                  {}
+
+// bspMachine binds the solver to a BSP process.
+type bspMachine struct {
+	c       *core.Proc
+	p       int
+	fieldOf map[int]*slab
+	out     []*wire.Writer
+}
+
+func newBSPMachine(c *core.Proc) *bspMachine {
+	m := &bspMachine{c: c, p: c.P(), fieldOf: make(map[int]*slab), out: make([]*wire.Writer, c.P())}
+	for i := range m.out {
+		m.out[i] = wire.NewWriter(0)
+	}
+	return m
+}
+
+func (m *bspMachine) register(fid int, s *slab) { m.fieldOf[fid] = s }
+
+// exchange implements machine: each process sends its first owned row to
+// the owner above and its last owned row to the owner below, as 16-byte
+// (row|fid, col, value) records, then absorbs the records addressed to
+// its ghost rows.
+func (m *bspMachine) exchange(items []exch) {
+	for _, it := range items {
+		s := it.s
+		if s.lo >= s.hi {
+			continue // this process owns no rows at this level
+		}
+		if s.lo > 1 {
+			m.sendRowColor(it.fid, s, s.lo, ownerOfRow(s.m, m.p, s.lo-1), it.color)
+		}
+		if s.hi-1 < s.m {
+			m.sendRowColor(it.fid, s, s.hi-1, ownerOfRow(s.m, m.p, s.hi), it.color)
+		}
+	}
+	for q := 0; q < m.p; q++ {
+		if m.out[q].Len() > 0 {
+			m.c.Send(q, m.out[q].Bytes())
+			m.out[q].Reset()
+		}
+	}
+	m.c.Sync()
+	for {
+		msg, ok := m.c.Recv()
+		if !ok {
+			return
+		}
+		r := wire.NewReader(msg)
+		for r.Remaining() >= 16 {
+			tag := r.Uint32()
+			col := int(r.Uint32())
+			v := r.Float64()
+			row := int(tag & 0xFFFFF)
+			fid := int(tag >> 20)
+			s := m.fieldOf[fid]
+			if s != nil && s.holds(row) && !s.owns(row) {
+				s.row(row)[col] = v
+			}
+		}
+	}
+}
+
+func (m *bspMachine) sendRow(fid int, s *slab, row, dst int) {
+	m.sendRowColor(fid, s, row, dst, -1)
+}
+
+// sendRowColor ships one ghost row; with color >= 0 only the columns a
+// half-sweep of that color reads from row's neighbors travel: the
+// updated cells of the neighbor rows r = row±1 have parity
+// (r+color)%2 in (r+c), i.e. columns c ≡ row+color+1 (mod 2).
+func (m *bspMachine) sendRowColor(fid int, s *slab, row, dst, color int) {
+	if dst == m.c.ID() {
+		return
+	}
+	w := m.out[dst]
+	vals := s.row(row)
+	tag := uint32(row) | uint32(fid)<<20
+	c0, step := 1, 1
+	if color >= 0 {
+		// Receiver updates rows r = row∓1 at columns c with
+		// c ≡ 1+(r+color) (mod 2); with r = row±1 that is
+		// c ≡ row+color (mod 2).
+		step = 2
+		c0 = 1 + (row+color+1)%2
+	}
+	for c := c0; c <= s.m; c += step {
+		w.Uint32(tag)
+		w.Uint32(uint32(c))
+		w.Float64(vals[c])
+	}
+}
+
+// exchangeToFine implements machine: coarse row R goes to the owners of
+// fine rows 2R-3 .. 2R+2, the processes whose bilinear prolongation
+// stencils read R.
+func (m *bspMachine) exchangeToFine(fid int, coarse *slab) {
+	fineM := 2 * coarse.m
+	for r := coarse.lo; r < coarse.hi; r++ {
+		sent := map[int]bool{m.c.ID(): true}
+		for fr := 2*r - 3; fr <= 2*r+2; fr++ {
+			if fr < 1 || fr > fineM {
+				continue
+			}
+			q := ownerOfRow(fineM, m.p, fr)
+			if !sent[q] {
+				sent[q] = true
+				m.sendRow(fid, coarse, r, q)
+			}
+		}
+	}
+	for q := 0; q < m.p; q++ {
+		if m.out[q].Len() > 0 {
+			m.c.Send(q, m.out[q].Bytes())
+			m.out[q].Reset()
+		}
+	}
+	m.c.Sync()
+	for {
+		msg, ok := m.c.Recv()
+		if !ok {
+			return
+		}
+		r := wire.NewReader(msg)
+		for r.Remaining() >= 16 {
+			tag := r.Uint32()
+			col := int(r.Uint32())
+			v := r.Float64()
+			row := int(tag & 0xFFFFF)
+			fidGot := int(tag >> 20)
+			s := m.fieldOf[fidGot]
+			if s != nil && s.holds(row) && !s.owns(row) {
+				s.row(row)[col] = v
+			}
+		}
+	}
+}
+
+func (m *bspMachine) maxAll(x float64) float64 {
+	return collect.AllReduce(m.c, x, collect.MaxFloat)
+}
+
+func (m *bspMachine) work(n int) { m.c.AddWork(n) }
+
+// level is one multigrid level: solution u, right-hand side f, residual r.
+type level struct {
+	m       int
+	h2      float64 // grid spacing squared
+	u, f, r *slab
+}
+
+// fids for a level's three fields.
+func fidU(l int) int { return 3 * l }
+func fidF(l int) int { return 3*l + 1 }
+func fidR(l int) int { return 3*l + 2 }
+
+// solver carries the multigrid hierarchy for one process.
+type solver struct {
+	mc     machine
+	levels []*level
+	// preSmooth/postSmooth are red-black Gauss-Seidel iteration counts.
+	preSmooth, postSmooth, coarseSweeps int
+	tol                                 float64
+	maxCycles                           int
+}
+
+// newSolver builds the hierarchy for interior size m split across p
+// processes, with this process at rank q. Coarsening always stops at a
+// 4×4 interior regardless of p, so the superstep structure — and hence S
+// and the computed fields — is identical at every process count;
+// processes simply own no rows of levels coarser than p (that idling is
+// exactly the coarse-grid latency cost the paper observes on the
+// high-latency Cenju).
+func newSolver(mc machine, m, p, q int) *solver {
+	s := &solver{mc: mc, preSmooth: 2, postSmooth: 1, coarseSweeps: 6, tol: 5e-3, maxCycles: 25}
+	const minM = 4
+	for lm, l := m, 0; lm >= minM; lm, l = lm/2, l+1 {
+		lo, hi := rowRange(lm, p, q)
+		lv := &level{m: lm, h2: 1 / float64((lm+1)*(lm+1)),
+			u: newSlab(lm, lo, hi), f: newSlab(lm, lo, hi), r: newSlab(lm, lo, hi)}
+		s.levels = append(s.levels, lv)
+		if bm, ok := mc.(*bspMachine); ok {
+			bm.register(fidU(l), lv.u)
+			bm.register(fidF(l), lv.f)
+			bm.register(fidR(l), lv.r)
+		}
+		if lm/2 < minM {
+			break
+		}
+	}
+	return s
+}
+
+// smoothColor performs one half-sweep of red-black Gauss-Seidel on level
+// l, preceded by a u-ghost exchange (one superstep).
+func (s *solver) smoothColor(l, color int) {
+	lv := s.levels[l]
+	s.mc.exchange([]exch{{fidU(l), lv.u, color}})
+	for r := lv.u.lo; r < lv.u.hi; r++ {
+		up, me, dn := lv.u.row(r-1), lv.u.row(r), lv.u.row(r+1)
+		fr := lv.f.row(r)
+		c0 := 1 + (r+color)%2
+		for c := c0; c <= lv.m; c += 2 {
+			me[c] = 0.25 * (up[c] + dn[c] + me[c-1] + me[c+1] - lv.h2*fr[c])
+		}
+	}
+	s.mc.work((lv.u.hi - lv.u.lo) * lv.m / 2)
+}
+
+func (s *solver) smooth(l, iters int) {
+	for i := 0; i < iters; i++ {
+		s.smoothColor(l, 0)
+		s.smoothColor(l, 1)
+	}
+}
+
+// computeResidual fills r = f - A·u on level l (one exchange superstep
+// for u).
+func (s *solver) computeResidual(l int) {
+	lv := s.levels[l]
+	s.mc.exchange([]exch{{fidU(l), lv.u, -1}})
+	inv := 1 / lv.h2
+	for r := lv.u.lo; r < lv.u.hi; r++ {
+		up, me, dn := lv.u.row(r-1), lv.u.row(r), lv.u.row(r+1)
+		fr, rr := lv.f.row(r), lv.r.row(r)
+		for c := 1; c <= lv.m; c++ {
+			rr[c] = fr[c] - (up[c]+dn[c]+me[c-1]+me[c+1]-4*me[c])*inv
+		}
+	}
+	s.mc.work((lv.u.hi - lv.u.lo) * lv.m)
+}
+
+// restrictTo transfers the fine residual on level l to the rhs of level
+// l+1 by full weighting over 2×2 blocks (one exchange superstep for r).
+func (s *solver) restrictTo(l int) {
+	fine, coarse := s.levels[l], s.levels[l+1]
+	s.mc.exchange([]exch{{fidR(l), fine.r, -1}})
+	coarse.u.zero()
+	for R := coarse.f.lo; R < coarse.f.hi; R++ {
+		r0, r1 := fine.r.row(2*R-1), fine.r.row(2*R)
+		fr := coarse.f.row(R)
+		for C := 1; C <= coarse.m; C++ {
+			fr[C] = 0.25 * (r0[2*C-1] + r0[2*C] + r1[2*C-1] + r1[2*C])
+		}
+	}
+	s.mc.work((coarse.f.hi - coarse.f.lo) * coarse.m)
+}
+
+// prolongFrom adds the coarse correction on level l+1 into level l's
+// solution by bilinear interpolation on the cell-centered hierarchy
+// (weights 9/16, 3/16, 3/16, 1/16), preceded by one coarse-to-fine
+// exchange superstep. Coarse boundary rows/columns are zero, realizing
+// the homogeneous Dirichlet condition of the correction.
+func (s *solver) prolongFrom(l int) {
+	fine, coarse := s.levels[l], s.levels[l+1]
+	s.mc.exchangeToFine(fidU(l+1), coarse.u)
+	for r := fine.u.lo; r < fine.u.hi; r++ {
+		R := (r + 1) / 2
+		// The vertical neighbor is the coarse row on the same side of
+		// R's center as the fine row: below for odd r, above for even.
+		Rn := R + 1
+		if r%2 == 1 {
+			Rn = R - 1
+		}
+		cu, cn := coarse.u.row(R), coarse.u.row(Rn)
+		fu := fine.u.row(r)
+		for c := 1; c <= fine.m; c++ {
+			C := (c + 1) / 2
+			Cn := C + 1
+			if c%2 == 1 {
+				Cn = C - 1
+			}
+			fu[c] += 0.5625*cu[C] + 0.1875*(cn[C]+cu[Cn]) + 0.0625*cn[Cn]
+		}
+	}
+	s.mc.work((fine.u.hi - fine.u.lo) * fine.m)
+}
+
+// vcycle runs one V-cycle from level l.
+func (s *solver) vcycle(l int) {
+	if l == len(s.levels)-1 {
+		s.smooth(l, s.coarseSweeps)
+		return
+	}
+	s.smooth(l, s.preSmooth)
+	s.computeResidual(l)
+	s.restrictTo(l)
+	s.vcycle(l + 1)
+	s.prolongFrom(l)
+	s.smooth(l, s.postSmooth)
+}
+
+// residualNorm returns the global max-norm of the fine-level residual
+// (two supersteps: exchange + all-reduce).
+func (s *solver) residualNorm() float64 {
+	s.computeResidual(0)
+	lv := s.levels[0]
+	local := 0.0
+	for r := lv.r.lo; r < lv.r.hi; r++ {
+		rr := lv.r.row(r)
+		for c := 1; c <= lv.m; c++ {
+			local = math.Max(local, math.Abs(rr[c]))
+		}
+	}
+	s.mc.work((lv.r.hi - lv.r.lo) * lv.m)
+	return s.mc.maxAll(local)
+}
+
+// Solve runs V-cycles until the residual max-norm falls below
+// tol·max(|f|∞, 1) or maxCycles is reached; it returns the cycle count.
+// The rhs must already be loaded into level 0's f and an initial guess
+// into level 0's u.
+func (s *solver) Solve() int {
+	lv := s.levels[0]
+	fmax := 0.0
+	for r := lv.f.lo; r < lv.f.hi; r++ {
+		fr := lv.f.row(r)
+		for c := 1; c <= lv.m; c++ {
+			fmax = math.Max(fmax, math.Abs(fr[c]))
+		}
+	}
+	fmax = s.mc.maxAll(fmax)
+	target := s.tol * math.Max(fmax, 1e-300)
+	cycles := 0
+	for cycles < s.maxCycles {
+		if s.residualNorm() <= target {
+			break
+		}
+		s.vcycle(0)
+		cycles++
+	}
+	return cycles
+}

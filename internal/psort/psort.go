@@ -1,0 +1,151 @@
+// Package psort implements BSP parallel sorting by regular sampling
+// (PSRS) — the kind of "fairly simple subroutine (i.e., broadcast or
+// sorting)" for which §4 of the paper says the BSP cost model's
+// curve-fitting works best. It is an extension experiment (DESIGN.md E1)
+// with a fully predictable cost shape:
+//
+//	superstep 1: local sort, regular samples to process 0   (h = p²)
+//	superstep 2: splitter broadcast                          (h = p·(p−1))
+//	superstep 3: all-to-all redistribution                   (h ≈ n/p per process)
+//
+// so S = 3 and H ≈ n/(2p) packet units for the data exchange.
+package psort
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// Run sorts this process's share and returns its slice of the global
+// order (process i's slice precedes process i+1's).
+func Run(c *core.Proc, local []float64) []float64 {
+	p := c.P()
+	data := append([]float64(nil), local...)
+	sort.Float64s(data)
+	c.AddWork(nLogN(len(data)))
+	if p == 1 {
+		// Keep the three-superstep structure for cost comparability.
+		c.Sync()
+		c.Sync()
+		c.Sync()
+		return data
+	}
+	// Superstep 1: p regular samples to process 0.
+	w := wire.NewWriter(8 * p)
+	for k := 0; k < p; k++ {
+		idx := k * len(data) / p
+		if len(data) == 0 {
+			w.Float64(0)
+		} else {
+			w.Float64(data[idx])
+		}
+	}
+	c.Send(0, w.Bytes())
+	c.Sync()
+	// Superstep 2: process 0 selects and broadcasts p-1 splitters.
+	if c.ID() == 0 {
+		var samples []float64
+		for {
+			msg, ok := c.Recv()
+			if !ok {
+				break
+			}
+			r := wire.NewReader(msg)
+			for r.Remaining() >= 8 {
+				samples = append(samples, r.Float64())
+			}
+		}
+		sort.Float64s(samples)
+		w.Reset()
+		for k := 1; k < p; k++ {
+			w.Float64(samples[k*len(samples)/p])
+		}
+		for q := 0; q < p; q++ {
+			c.Send(q, w.Bytes())
+		}
+	}
+	c.Sync()
+	msg, ok := c.Recv()
+	if !ok {
+		panic("psort: missing splitter broadcast")
+	}
+	r := wire.NewReader(msg)
+	splitters := make([]float64, 0, p-1)
+	for r.Remaining() >= 8 {
+		splitters = append(splitters, r.Float64())
+	}
+	// Superstep 3: route each element to its bucket.
+	outs := make([]*wire.Writer, p)
+	for i := range outs {
+		outs[i] = wire.NewWriter(0)
+	}
+	for _, v := range data {
+		q := sort.SearchFloat64s(splitters, v)
+		outs[q].Float64(v)
+	}
+	c.AddWork(len(data))
+	for q := 0; q < p; q++ {
+		if outs[q].Len() > 0 {
+			c.Send(q, outs[q].Bytes())
+		}
+	}
+	c.Sync()
+	var mine []float64
+	for {
+		msg, ok := c.Recv()
+		if !ok {
+			break
+		}
+		rr := wire.NewReader(msg)
+		for rr.Remaining() >= 8 {
+			mine = append(mine, rr.Float64())
+		}
+	}
+	sort.Float64s(mine)
+	c.AddWork(nLogN(len(mine)))
+	return mine
+}
+
+// nLogN is the comparison-count work unit of a local sort.
+func nLogN(n int) int {
+	lg := 0
+	for v := n; v > 1; v >>= 1 {
+		lg++
+	}
+	return n * max(lg, 1)
+}
+
+// Parallel splits data evenly, sorts it on the configured BSP machine,
+// and returns the concatenated global order plus run statistics.
+func Parallel(cfg core.Config, data []float64) ([]float64, *core.Stats, error) {
+	chunks := make([][]float64, cfg.P)
+	n := len(data)
+	for q := 0; q < cfg.P; q++ {
+		chunks[q] = data[q*n/cfg.P : (q+1)*n/cfg.P]
+	}
+	results := make([][]float64, cfg.P)
+	st, err := core.Run(cfg, func(c *core.Proc) {
+		results[c.ID()] = Run(c, chunks[c.ID()])
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]float64, 0, n)
+	for _, part := range results {
+		out = append(out, part...)
+	}
+	return out, st, nil
+}
+
+// RandomData returns n deterministic pseudo-random values.
+func RandomData(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64()
+	}
+	return out
+}

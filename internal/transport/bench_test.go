@@ -1,0 +1,84 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// benchSupersteps drives p endpoints through b.N empty supersteps and
+// reports the per-superstep latency (the transport's L).
+func benchSupersteps(b *testing.B, tr Transport, p int) {
+	b.Helper()
+	eps, err := tr.Open(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ep := eps[i]
+			ep.Begin()
+			for n := 0; n < b.N; n++ {
+				if _, err := ep.Sync(); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+			ep.Close()
+		}()
+	}
+	wg.Wait()
+}
+
+func BenchmarkEmptySuperstep(b *testing.B) {
+	for _, tr := range allTransports() {
+		for _, p := range []int{2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/p=%d", label(tr), p), func(b *testing.B) {
+				benchSupersteps(b, tr, p)
+			})
+		}
+	}
+}
+
+// BenchmarkSendThroughput measures packet throughput in a total
+// exchange (the transport's g).
+func BenchmarkSendThroughput(b *testing.B) {
+	const p, batch = 4, 256
+	msg := make([]byte, 16)
+	for _, tr := range allTransports() {
+		b.Run(label(tr), func(b *testing.B) {
+			eps, err := tr.Open(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for i := 0; i < p; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					ep := eps[i]
+					ep.Begin()
+					for n := 0; n < b.N; n++ {
+						for dst := 0; dst < p; dst++ {
+							for k := 0; k < batch; k++ {
+								ep.Send(dst, msg)
+							}
+						}
+						if _, err := ep.Sync(); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+					ep.Close()
+				}()
+			}
+			wg.Wait()
+			b.SetBytes(int64(p * batch * 16))
+		})
+	}
+}

@@ -1,0 +1,66 @@
+package transport
+
+// PairSchedule is the "precomputed p-1 stage total-exchange pattern"
+// (paper, Appendix B.3) used by the TCP transport: in each stage the
+// processes pair off and exchange their mutual traffic; the Ethernet
+// switch (here, the loopback interface) carries the p/2 conversations of
+// a stage in parallel.
+//
+// The schedule is built with the circle method: with p even there are
+// p-1 stages; with p odd a bye is added, giving p stages in which one
+// process idles per stage (partner -1).
+type PairSchedule struct {
+	p       int
+	stages  int
+	partner [][]int // partner[stage][id], -1 = bye
+}
+
+// NewPairSchedule builds the schedule for p processes.
+func NewPairSchedule(p int) *PairSchedule {
+	n := p
+	if n%2 == 1 {
+		n++ // dummy participant = bye
+	}
+	stages := n - 1
+	s := &PairSchedule{p: p, stages: stages, partner: make([][]int, stages)}
+	if p == 1 {
+		s.stages = 0
+		s.partner = nil
+		return s
+	}
+	// Circle method: participant n-1 is fixed; the others rotate.
+	ring := make([]int, n-1)
+	for i := range ring {
+		ring[i] = i
+	}
+	for st := 0; st < stages; st++ {
+		row := make([]int, p)
+		pairUp := func(a, b int) {
+			if a < p && b < p {
+				row[a], row[b] = b, a
+			} else if a < p {
+				row[a] = -1
+			} else if b < p {
+				row[b] = -1
+			}
+		}
+		pairUp(n-1, ring[0])
+		for k := 1; k < n/2; k++ {
+			pairUp(ring[k], ring[n-1-k])
+		}
+		s.partner[st] = row
+		// Rotate the ring right by one.
+		last := ring[len(ring)-1]
+		copy(ring[1:], ring[:len(ring)-1])
+		ring[0] = last
+	}
+	return s
+}
+
+// Stages returns the number of exchange stages per superstep.
+func (s *PairSchedule) Stages() int { return s.stages }
+
+// Partner returns id's partner in the given stage, or -1 if id idles.
+func (s *PairSchedule) Partner(stage, id int) int {
+	return s.partner[stage][id]
+}

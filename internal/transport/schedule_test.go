@@ -1,0 +1,49 @@
+package transport
+
+import "testing"
+
+func TestPairScheduleCoversAllPairs(t *testing.T) {
+	for p := 1; p <= 17; p++ {
+		s := NewPairSchedule(p)
+		wantStages := p - 1
+		if p%2 == 1 && p > 1 {
+			wantStages = p
+		}
+		if p == 1 {
+			wantStages = 0
+		}
+		if s.Stages() != wantStages {
+			t.Errorf("p=%d: Stages() = %d, want %d", p, s.Stages(), wantStages)
+		}
+		met := make(map[[2]int]int)
+		for st := 0; st < s.Stages(); st++ {
+			seen := make([]bool, p)
+			for i := 0; i < p; i++ {
+				j := s.Partner(st, i)
+				if j == -1 {
+					continue
+				}
+				if j < 0 || j >= p || j == i {
+					t.Fatalf("p=%d stage %d: Partner(%d) = %d out of range", p, st, i, j)
+				}
+				if s.Partner(st, j) != i {
+					t.Fatalf("p=%d stage %d: pairing not symmetric: %d->%d but %d->%d", p, st, i, j, j, s.Partner(st, j))
+				}
+				if i < j {
+					if seen[i] || seen[j] {
+						t.Fatalf("p=%d stage %d: process paired twice", p, st)
+					}
+					seen[i], seen[j] = true, true
+					met[[2]int{i, j}]++
+				}
+			}
+		}
+		for i := 0; i < p; i++ {
+			for j := i + 1; j < p; j++ {
+				if met[[2]int{i, j}] != 1 {
+					t.Errorf("p=%d: pair (%d,%d) met %d times, want exactly 1", p, i, j, met[[2]int{i, j}])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package transport
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ShmTransport is the shared-memory implementation of the library
+// (paper, Appendix B.1): every process owns two large input buffers used
+// in alternating supersteps, writers deposit messages into the reader's
+// buffer for the current parity, and supersteps are separated by an
+// explicit spin barrier ("processor 0 spins on variables 1 through p-1,
+// while processors 1 through p-1 spin on variable 0").
+//
+// Locking selects how writers coordinate on a shared input buffer:
+//
+//   - "none" (default): each (writer, reader, parity) triple has a
+//     dedicated pre-allocated block, so writers never contend. This is
+//     the limit of the paper's optimization of "pre-allocating p memory
+//     blocks (one for each writer) at the start of each input buffer".
+//   - "chunk": writers share the reader's buffer under a lock but
+//     allocate space for ChunkPkts messages per acquisition, the paper's
+//     1000-packet amortization.
+//   - "packet": one lock acquisition per message, the naive baseline the
+//     paper's chunking is designed to beat (ablation A1).
+type ShmTransport struct {
+	// Locking is "none", "chunk" or "packet". Empty means "none".
+	Locking string
+}
+
+// ChunkPkts is the number of messages a writer reserves per lock
+// acquisition in "chunk" mode, following the paper's 1000-packet chunks.
+const ChunkPkts = 1000
+
+// Name implements Transport.
+func (ShmTransport) Name() string { return "shm" }
+
+// Open implements Transport.
+func (t ShmTransport) Open(p int) ([]Endpoint, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("shm: p must be >= 1, got %d", p)
+	}
+	mode := t.Locking
+	if mode == "" {
+		mode = "none"
+	}
+	switch mode {
+	case "none", "chunk", "packet":
+	default:
+		return nil, fmt.Errorf("shm: unknown locking mode %q", t.Locking)
+	}
+	st := &shmState{p: p, mode: mode}
+	st.arrive = make([]atomic.Uint64, p*pad)
+	st.done = make([]atomic.Bool, p*pad)
+	for q := 0; q < 2; q++ {
+		st.bufs[q] = make([]shmBuffer, p)
+		for i := range st.bufs[q] {
+			st.bufs[q][i].blocks = make([][][]byte, p)
+		}
+	}
+	eps := make([]Endpoint, p)
+	for i := 0; i < p; i++ {
+		eps[i] = &shmEndpoint{st: st, id: i}
+	}
+	return eps, nil
+}
+
+// pad spaces per-process atomics across cache lines.
+const pad = 8
+
+// shmBuffer is one process's input buffer for one superstep parity.
+type shmBuffer struct {
+	mu sync.Mutex
+	// blocks[w] is writer w's dedicated block ("none" mode) or, for
+	// w == 0 only, unused; in the locked modes all writers append to
+	// shared under mu.
+	blocks [][][]byte
+	// shared holds messages deposited under mu in the locked modes.
+	shared [][]byte
+}
+
+type shmState struct {
+	p    int
+	mode string
+
+	bufs [2][]shmBuffer
+
+	// Barrier state (paper-style central barrier, abort-aware).
+	arrive  []atomic.Uint64
+	release atomic.Uint64
+	done    []atomic.Bool
+	aborted atomic.Bool
+}
+
+type shmEndpoint struct {
+	st    *shmState
+	id    int
+	round uint64 // completed supersteps
+
+	// chunk-mode reservation: remaining capacity per destination.
+	reserved []int
+
+	closed bool
+}
+
+func (e *shmEndpoint) ID() int { return e.id }
+func (e *shmEndpoint) P() int  { return e.st.p }
+func (e *shmEndpoint) Begin()  {}
+func (e *shmEndpoint) Abort()  { e.st.aborted.Store(true) }
+
+// Close implements Endpoint.
+func (e *shmEndpoint) Close() error {
+	if e.closed {
+		return fmt.Errorf("shm: endpoint %d closed twice", e.id)
+	}
+	e.closed = true
+	e.st.done[e.id*pad].Store(true)
+	return nil
+}
+
+// Send implements Endpoint.
+func (e *shmEndpoint) Send(dst int, msg []byte) {
+	st := e.st
+	buf := &st.bufs[e.round%2][dst]
+	switch st.mode {
+	case "none":
+		buf.blocks[e.id] = append(buf.blocks[e.id], msg)
+	case "packet":
+		buf.mu.Lock()
+		buf.shared = append(buf.shared, msg)
+		buf.mu.Unlock()
+	case "chunk":
+		if e.reserved == nil {
+			e.reserved = make([]int, st.p)
+		}
+		if e.reserved[dst] == 0 {
+			// Reserve space for ChunkPkts messages in one lock
+			// acquisition, then write lock-free into our block.
+			buf.mu.Lock()
+			if cap(buf.blocks[e.id])-len(buf.blocks[e.id]) < ChunkPkts {
+				grown := make([][]byte, len(buf.blocks[e.id]), len(buf.blocks[e.id])+ChunkPkts)
+				copy(grown, buf.blocks[e.id])
+				buf.blocks[e.id] = grown
+			}
+			buf.mu.Unlock()
+			e.reserved[dst] = ChunkPkts
+		}
+		buf.blocks[e.id] = append(buf.blocks[e.id], msg)
+		e.reserved[dst]--
+	}
+}
+
+// Sync implements Endpoint.
+func (e *shmEndpoint) Sync() ([][]byte, error) {
+	st := e.st
+	parity := e.round % 2
+	e.round++
+	if e.reserved != nil {
+		clear(e.reserved)
+	}
+	if err := e.barrier(); err != nil {
+		return nil, err
+	}
+	// All writers for the superstep that just ended have passed the
+	// barrier; drain our input buffer for its parity. The buffer will
+	// not be written again until after the *next* barrier, so resetting
+	// it here is race-free.
+	buf := &st.bufs[parity][e.id]
+	var total int
+	for w := range buf.blocks {
+		total += len(buf.blocks[w])
+	}
+	total += len(buf.shared)
+	inbox := make([][]byte, 0, total)
+	for w := range buf.blocks {
+		inbox = append(inbox, buf.blocks[w]...)
+		buf.blocks[w] = buf.blocks[w][:0]
+	}
+	inbox = append(inbox, buf.shared...)
+	buf.shared = buf.shared[:0]
+	return inbox, nil
+}
+
+// barrier is the paper's central spin barrier, extended with abort and
+// peer-exit detection so failures surface as errors instead of hangs.
+func (e *shmEndpoint) barrier() error {
+	st := e.st
+	if st.p == 1 {
+		return nil
+	}
+	round := e.round // already incremented; first barrier has round 1
+	st.arrive[e.id*pad].Store(round)
+	if e.id == 0 {
+		for i := 1; i < st.p; i++ {
+			for st.arrive[i*pad].Load() < round {
+				if st.aborted.Load() {
+					return ErrAborted
+				}
+				if st.done[i*pad].Load() && st.arrive[i*pad].Load() < round {
+					if st.aborted.Load() {
+						// A crashed peer sets aborted before done;
+						// report the abort, not a mismatch.
+						return ErrAborted
+					}
+					return fmt.Errorf("shm: process %d exited after %d supersteps while process 0 is synchronizing superstep %d", i, st.arrive[i*pad].Load(), round)
+				}
+				runtime.Gosched()
+			}
+		}
+		st.release.Store(round)
+		return nil
+	}
+	for st.release.Load() < round {
+		if st.aborted.Load() {
+			return ErrAborted
+		}
+		if st.done[0].Load() && st.release.Load() < round {
+			if st.aborted.Load() {
+				return ErrAborted
+			}
+			return fmt.Errorf("shm: process 0 exited while process %d is synchronizing superstep %d", e.id, round)
+		}
+		runtime.Gosched()
+	}
+	return nil
+}

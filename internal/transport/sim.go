@@ -1,0 +1,169 @@
+package transport
+
+import "fmt"
+
+// SimTransport is the deterministic single-processor simulation of a BSP
+// machine. The paper measured work depth and total work by "simulating
+// the parallel computation on a single processor using an IPC
+// shared-memory implementation of our library" (§3); SimTransport plays
+// that role here.
+//
+// Exactly one process runs at a time. A token circulates through the
+// processes in rank order; a process acquires the token in Begin, runs
+// one superstep's local computation, and releases the token in Sync.
+// When every live process has reached the superstep boundary the queued
+// messages are delivered and a new round starts at the lowest live rank.
+// Message delivery order is therefore fully deterministic: by sender
+// rank, then by send order. Because the token holder runs exclusively,
+// wall-clock time spent between Sync calls is an accurate measurement of
+// that process's local computation, even on a single-CPU host.
+//
+// Unlike the concurrent transports, Sim tolerates processes that finish
+// early: the remaining processes keep synchronizing among themselves.
+type SimTransport struct{}
+
+// Name implements Transport.
+func (SimTransport) Name() string { return "sim" }
+
+// Open implements Transport.
+func (SimTransport) Open(p int) ([]Endpoint, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("sim: p must be >= 1, got %d", p)
+	}
+	st := &simState{
+		p:          p,
+		turn:       make([]chan struct{}, p),
+		pending:    make([][][]byte, p),
+		inboxReady: make([][][]byte, p),
+		active:     make([]bool, p),
+		arrived:    make([]bool, p),
+		numActive:  p,
+	}
+	for i := range st.turn {
+		st.turn[i] = make(chan struct{}, 1)
+		st.active[i] = true
+	}
+	st.turn[0] <- struct{}{} // prime: rank 0 runs first
+	eps := make([]Endpoint, p)
+	for i := 0; i < p; i++ {
+		eps[i] = &simEndpoint{st: st, id: i}
+	}
+	return eps, nil
+}
+
+// simState is mutated only by the process currently holding the token;
+// the channel handoff provides the happens-before edges, so no locks are
+// needed.
+type simState struct {
+	p          int
+	turn       []chan struct{}
+	pending    [][][]byte // pending[dst]: messages queued for next superstep
+	inboxReady [][][]byte // delivery slots filled when a round completes
+	active     []bool
+	arrived    []bool
+	numActive  int
+	numArrived int
+	aborted    bool
+}
+
+type simEndpoint struct {
+	st     *simState
+	id     int
+	out    []simMsg
+	closed bool
+}
+
+type simMsg struct {
+	dst int
+	msg []byte
+}
+
+func (e *simEndpoint) ID() int { return e.id }
+func (e *simEndpoint) P() int  { return e.st.p }
+
+// Begin blocks until this process is granted the token for the first
+// time.
+func (e *simEndpoint) Begin() { <-e.st.turn[e.id] }
+
+// Abort implements Endpoint. The caller holds the token (it is invoked
+// from the failing process's goroutine after its function panicked), so
+// plain stores are safe; the subsequent Close hands the token on and the
+// peers observe the flag.
+func (e *simEndpoint) Abort() { e.st.aborted = true }
+
+// Send implements Endpoint.
+func (e *simEndpoint) Send(dst int, msg []byte) {
+	e.out = append(e.out, simMsg{dst, msg})
+}
+
+// Sync implements Endpoint.
+func (e *simEndpoint) Sync() ([][]byte, error) {
+	st := e.st
+	if st.aborted {
+		return nil, ErrAborted
+	}
+	for _, m := range e.out {
+		st.pending[m.dst] = append(st.pending[m.dst], m.msg)
+	}
+	e.out = e.out[:0]
+	st.arrived[e.id] = true
+	st.numArrived++
+	st.advance(e.id)
+	<-st.turn[e.id]
+	if st.aborted {
+		return nil, ErrAborted
+	}
+	inbox := st.inboxReady[e.id]
+	st.inboxReady[e.id] = nil
+	return inbox, nil
+}
+
+// Close implements Endpoint: the process leaves the machine; remaining
+// processes continue.
+func (e *simEndpoint) Close() error {
+	if e.closed {
+		return fmt.Errorf("sim: endpoint %d closed twice", e.id)
+	}
+	e.closed = true
+	st := e.st
+	st.active[e.id] = false
+	st.numActive--
+	if st.numActive > 0 {
+		st.advance(e.id)
+	}
+	return nil
+}
+
+// advance hands the token to the next runnable process, completing the
+// superstep round first if every live process has arrived. Called only
+// by the token holder.
+func (st *simState) advance(from int) {
+	if st.numArrived == st.numActive {
+		// Round complete: deliver all queued messages and restart the
+		// round at the lowest live rank.
+		for i := 0; i < st.p; i++ {
+			if st.arrived[i] {
+				st.inboxReady[i] = st.pending[i]
+				st.pending[i] = nil
+				st.arrived[i] = false
+			}
+		}
+		st.numArrived = 0
+		for i := 0; i < st.p; i++ {
+			if st.active[i] {
+				st.turn[i] <- struct{}{}
+				return
+			}
+		}
+		return
+	}
+	// Round still in progress: token goes to the next live process that
+	// has not yet reached the boundary.
+	for k := 1; k <= st.p; k++ {
+		i := (from + k) % st.p
+		if st.active[i] && !st.arrived[i] {
+			st.turn[i] <- struct{}{}
+			return
+		}
+	}
+}

@@ -1,0 +1,289 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// TCPTransport is the TCP implementation of the library (paper, Appendix
+// B.3): per-pair connections, communication only at superstep boundaries,
+// and a precomputed (p-1)-stage total-exchange pairing schedule. "The
+// blocking TCP protocol that we employ requires receivers to actively
+// empty the pipe whenever another process sends a large amount of data,
+// so deadlock could occur if we are not careful in scheduling the
+// communication."
+//
+// The original ran on eight Pentium PCs behind a 100-Mbit Ethernet
+// switch; here every process is a goroutine and the pairs exchange over
+// real kernel TCP sockets on the loopback interface (DESIGN.md §2).
+// Within a stage the lower-ranked process of a pair streams its batch
+// first while the higher-ranked process drains it, then the roles swap —
+// so neither side ever depends on kernel socket buffering.
+type TCPTransport struct{}
+
+// Name implements Transport.
+func (TCPTransport) Name() string { return "tcp" }
+
+// tcpFrameLimit guards against corrupt length prefixes.
+const tcpFrameLimit = 1 << 30
+
+// Open implements Transport.
+func (TCPTransport) Open(p int) ([]Endpoint, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("tcp: p must be >= 1, got %d", p)
+	}
+	st := &tcpState{p: p, sched: NewPairSchedule(p)}
+	eps := make([]Endpoint, p)
+	tes := make([]*tcpEndpoint, p)
+	for i := 0; i < p; i++ {
+		tes[i] = &tcpEndpoint{
+			st: st, id: i,
+			conns: make([]net.Conn, p),
+			rd:    make([]*bufio.Reader, p),
+			wr:    make([]*bufio.Writer, p),
+			out:   make([][][]byte, p),
+		}
+		eps[i] = tes[i]
+	}
+	if p == 1 {
+		return eps, nil
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("tcp: listen: %w", err)
+	}
+	defer ln.Close()
+	// Connect every pair i<j: the "j side" dials, the "i side" accepts.
+	// Dials and accepts are sequential, so they match up in order.
+	type acc struct {
+		c   net.Conn
+		err error
+	}
+	accCh := make(chan acc)
+	for i := 0; i < p; i++ {
+		for j := i + 1; j < p; j++ {
+			go func() {
+				c, err := ln.Accept()
+				accCh <- acc{c, err}
+			}()
+			cj, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				st.closeAll(tes)
+				return nil, fmt.Errorf("tcp: dial for pair (%d,%d): %w", i, j, err)
+			}
+			a := <-accCh
+			if a.err != nil {
+				cj.Close()
+				st.closeAll(tes)
+				return nil, fmt.Errorf("tcp: accept for pair (%d,%d): %w", i, j, a.err)
+			}
+			tes[i].setConn(j, a.c)
+			tes[j].setConn(i, cj)
+		}
+	}
+	return eps, nil
+}
+
+type tcpState struct {
+	p         int
+	sched     *PairSchedule
+	aborted   atomic.Bool
+	abortOnce sync.Once
+	closedN   atomic.Int64
+	eps       []*tcpEndpoint // set lazily for abort fan-out
+	epsMu     sync.Mutex
+}
+
+func (st *tcpState) closeAll(tes []*tcpEndpoint) {
+	for _, e := range tes {
+		for _, c := range e.conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}
+}
+
+type tcpEndpoint struct {
+	st     *tcpState
+	id     int
+	conns  []net.Conn
+	rd     []*bufio.Reader
+	wr     []*bufio.Writer
+	out    [][][]byte
+	round  uint32
+	closed bool
+	hdr    [8]byte
+}
+
+func (e *tcpEndpoint) setConn(peer int, c net.Conn) {
+	e.conns[peer] = c
+	e.rd[peer] = bufio.NewReaderSize(c, 64<<10)
+	e.wr[peer] = bufio.NewWriterSize(c, 64<<10)
+	e.st.epsMu.Lock()
+	found := false
+	for _, x := range e.st.eps {
+		if x == e {
+			found = true
+			break
+		}
+	}
+	if !found {
+		e.st.eps = append(e.st.eps, e)
+	}
+	e.st.epsMu.Unlock()
+}
+
+func (e *tcpEndpoint) ID() int { return e.id }
+func (e *tcpEndpoint) P() int  { return e.st.p }
+func (e *tcpEndpoint) Begin()  {}
+
+// Abort implements Endpoint: closing every connection unblocks peers
+// stuck in blocking reads or writes.
+func (e *tcpEndpoint) Abort() {
+	st := e.st
+	st.aborted.Store(true)
+	st.abortOnce.Do(func() {
+		st.epsMu.Lock()
+		defer st.epsMu.Unlock()
+		for _, ep := range st.eps {
+			for _, c := range ep.conns {
+				if c != nil {
+					c.Close()
+				}
+			}
+		}
+	})
+}
+
+// Close implements Endpoint. Our write directions are shut down so that
+// a peer still expecting traffic observes EOF (a superstep-count
+// mismatch) instead of hanging; the last process to close tears down
+// every socket.
+func (e *tcpEndpoint) Close() error {
+	if e.closed {
+		return fmt.Errorf("tcp: endpoint %d closed twice", e.id)
+	}
+	e.closed = true
+	for peer, c := range e.conns {
+		if c == nil {
+			continue
+		}
+		if w := e.wr[peer]; w != nil {
+			w.Flush()
+		}
+		if tc, ok := c.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+	}
+	if int(e.st.closedN.Add(1)) == e.st.p {
+		e.st.epsMu.Lock()
+		defer e.st.epsMu.Unlock()
+		for _, ep := range e.st.eps {
+			for _, c := range ep.conns {
+				if c != nil {
+					c.Close()
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Send implements Endpoint.
+func (e *tcpEndpoint) Send(dst int, msg []byte) {
+	e.out[dst] = append(e.out[dst], msg)
+}
+
+// Sync implements Endpoint: one staged total exchange.
+func (e *tcpEndpoint) Sync() ([][]byte, error) {
+	st := e.st
+	e.round++
+	inbox := e.out[e.id]
+	e.out[e.id] = nil
+	for stage := 0; stage < st.sched.Stages(); stage++ {
+		peer := st.sched.Partner(stage, e.id)
+		if peer < 0 {
+			continue
+		}
+		var err error
+		if e.id < peer {
+			err = e.writeBatch(peer)
+			if err == nil {
+				inbox, err = e.readBatch(peer, inbox)
+			}
+		} else {
+			inbox, err = e.readBatch(peer, inbox)
+			if err == nil {
+				err = e.writeBatch(peer)
+			}
+		}
+		if err != nil {
+			if st.aborted.Load() {
+				return nil, ErrAborted
+			}
+			return nil, fmt.Errorf("tcp: process %d exchanging with %d in superstep %d: %w", e.id, peer, e.round, err)
+		}
+	}
+	return inbox, nil
+}
+
+// writeBatch frames this superstep's traffic for peer:
+// [round][count] then per message [len][bytes].
+func (e *tcpEndpoint) writeBatch(peer int) error {
+	w := e.wr[peer]
+	binary.LittleEndian.PutUint32(e.hdr[0:4], e.round)
+	binary.LittleEndian.PutUint32(e.hdr[4:8], uint32(len(e.out[peer])))
+	if _, err := w.Write(e.hdr[:8]); err != nil {
+		return err
+	}
+	for _, msg := range e.out[peer] {
+		binary.LittleEndian.PutUint32(e.hdr[0:4], uint32(len(msg)))
+		if _, err := w.Write(e.hdr[0:4]); err != nil {
+			return err
+		}
+		if _, err := w.Write(msg); err != nil {
+			return err
+		}
+	}
+	e.out[peer] = nil
+	return w.Flush()
+}
+
+func (e *tcpEndpoint) readBatch(peer int, inbox [][]byte) ([][]byte, error) {
+	r := e.rd[peer]
+	if _, err := io.ReadFull(r, e.hdr[:8]); err != nil {
+		if err == io.EOF {
+			return inbox, fmt.Errorf("peer exited (superstep counts diverged): %w", err)
+		}
+		return inbox, err
+	}
+	round := binary.LittleEndian.Uint32(e.hdr[0:4])
+	if round != e.round {
+		return inbox, fmt.Errorf("superstep mismatch: peer at %d, local at %d", round, e.round)
+	}
+	count := binary.LittleEndian.Uint32(e.hdr[4:8])
+	if count > tcpFrameLimit {
+		return inbox, fmt.Errorf("corrupt batch header: count %d", count)
+	}
+	for k := uint32(0); k < count; k++ {
+		if _, err := io.ReadFull(r, e.hdr[0:4]); err != nil {
+			return inbox, err
+		}
+		n := binary.LittleEndian.Uint32(e.hdr[0:4])
+		if n > tcpFrameLimit {
+			return inbox, fmt.Errorf("corrupt frame length %d", n)
+		}
+		msg := make([]byte, n)
+		if _, err := io.ReadFull(r, msg); err != nil {
+			return inbox, err
+		}
+		inbox = append(inbox, msg)
+	}
+	return inbox, nil
+}

@@ -1,0 +1,89 @@
+// Package transport provides the communication substrates that back the
+// Green BSP library.
+//
+// The paper describes three implementations of the library (Appendix B):
+// a shared-memory version (SGI Challenge), an MPI version (NEC Cenju) and
+// a TCP version (PC LAN). This package reproduces all three structures —
+// Shm, Xchg and TCP — plus Sim, a deterministic single-processor
+// round-robin scheduler that plays the role of the paper's "IPC
+// shared-memory single-processor simulation" used to measure work depths.
+//
+// A Transport opens p Endpoints, one per BSP process. During a superstep
+// a process queues outgoing messages with Send; Sync ends the superstep,
+// performs the global exchange and synchronization, and returns the
+// messages that were sent to this process during the superstep just
+// ended. This is exactly the BSP delivery contract: "a packet sent in one
+// superstep is delivered to the destination processor at the beginning of
+// the next superstep".
+package transport
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrAborted is returned by Sync when a peer process aborted (panicked)
+// and the superstep can never complete.
+var ErrAborted = errors.New("transport: run aborted by peer failure")
+
+// Endpoint is one BSP process's connection to its peers. Endpoints are
+// not safe for concurrent use; each belongs to exactly one goroutine.
+type Endpoint interface {
+	// ID returns this process's rank in [0, P).
+	ID() int
+	// P returns the number of processes.
+	P() int
+	// Begin blocks until this process may start executing. All
+	// transports except Sim return immediately; Sim admits processes
+	// one at a time.
+	Begin()
+	// Send queues msg for delivery to process dst at the start of the
+	// next superstep. The transport takes ownership of msg. Sending to
+	// self is allowed.
+	Send(dst int, msg []byte)
+	// Sync ends the current superstep: it delivers queued messages,
+	// synchronizes with all peers, and returns the messages addressed
+	// to this process during the superstep that just ended. The
+	// returned slices are owned by the caller.
+	Sync() ([][]byte, error)
+	// Abort marks the run as failed and unblocks peers stuck in Sync.
+	// It is called when the process function panics.
+	Abort()
+	// Close releases this endpoint's resources. Close must be called
+	// exactly once, after the process function returns. A process that
+	// finishes early keeps participating in barriers until all peers
+	// close; Close for such transports detaches the process.
+	Close() error
+}
+
+// Transport creates connected endpoint groups.
+type Transport interface {
+	// Name identifies the transport ("shm", "xchg", "tcp", "sim").
+	Name() string
+	// Open creates p connected endpoints. Endpoint i must be used by
+	// exactly one goroutine.
+	Open(p int) ([]Endpoint, error)
+}
+
+// New returns a transport by name. Supported names are "shm" (shared
+// memory, paper B.1), "xchg" (buffered pairwise exchange in the style of
+// the MPI version, paper B.2), "tcp" (real TCP loopback sockets with the
+// staged total-exchange schedule, paper B.3) and "sim" (deterministic
+// single-processor simulation).
+func New(name string) (Transport, error) {
+	switch name {
+	case "shm":
+		return ShmTransport{}, nil
+	case "xchg":
+		return XchgTransport{}, nil
+	case "tcp":
+		return TCPTransport{}, nil
+	case "sim":
+		return SimTransport{}, nil
+	default:
+		return nil, fmt.Errorf("transport: unknown transport %q", name)
+	}
+}
+
+// Names lists the available transports.
+func Names() []string { return []string{"shm", "xchg", "tcp", "sim"} }

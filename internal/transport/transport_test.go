@@ -1,0 +1,459 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// allTransports returns one instance of every transport, including the
+// shm locking variants.
+func allTransports() []Transport {
+	return []Transport{
+		ShmTransport{},
+		ShmTransport{Locking: "chunk"},
+		ShmTransport{Locking: "packet"},
+		XchgTransport{},
+		TCPTransport{},
+		SimTransport{},
+	}
+}
+
+func label(tr Transport) string {
+	if shm, ok := tr.(ShmTransport); ok && shm.Locking != "" {
+		return "shm-" + shm.Locking
+	}
+	return tr.Name()
+}
+
+// runProcs drives one goroutine per endpoint and waits for completion.
+func runProcs(t *testing.T, tr Transport, p int, fn func(ep Endpoint)) {
+	t.Helper()
+	eps, err := tr.Open(p)
+	if err != nil {
+		t.Fatalf("%s: Open(%d): %v", label(tr), p, err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ep := eps[i]
+			ep.Begin()
+			fn(ep)
+			if err := ep.Close(); err != nil {
+				t.Errorf("%s: Close(%d): %v", label(tr), i, err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func msgFor(src, dst, step, k int) []byte {
+	return []byte(fmt.Sprintf("m:%d->%d@%d#%d", src, dst, step, k))
+}
+
+// TestTotalExchange checks the core BSP delivery contract on every
+// transport: over several supersteps, every process sends a distinct
+// message to every process (including itself) and must receive exactly
+// the messages addressed to it in the superstep that just ended.
+func TestTotalExchange(t *testing.T) {
+	for _, tr := range allTransports() {
+		t.Run(label(tr), func(t *testing.T) {
+			for _, p := range []int{1, 2, 3, 4, 5, 8} {
+				const steps = 4
+				runProcs(t, tr, p, func(ep Endpoint) {
+					id := ep.ID()
+					for s := 0; s < steps; s++ {
+						for dst := 0; dst < p; dst++ {
+							ep.Send(dst, msgFor(id, dst, s, 0))
+						}
+						inbox, err := ep.Sync()
+						if err != nil {
+							t.Errorf("p=%d proc %d step %d: Sync: %v", p, id, s, err)
+							return
+						}
+						if len(inbox) != p {
+							t.Errorf("p=%d proc %d step %d: got %d messages, want %d", p, id, s, len(inbox), p)
+							return
+						}
+						got := make([]string, len(inbox))
+						for i, m := range inbox {
+							got[i] = string(m)
+						}
+						sort.Strings(got)
+						want := make([]string, p)
+						for src := 0; src < p; src++ {
+							want[src] = string(msgFor(src, id, s, 0))
+						}
+						sort.Strings(want)
+						for i := range want {
+							if got[i] != want[i] {
+								t.Errorf("p=%d proc %d step %d: inbox[%d] = %q, want %q", p, id, s, i, got[i], want[i])
+							}
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestNoEarlyDelivery verifies that a message sent in superstep s is not
+// visible before the Sync ending superstep s, and not duplicated after.
+func TestNoEarlyDelivery(t *testing.T) {
+	for _, tr := range allTransports() {
+		t.Run(label(tr), func(t *testing.T) {
+			const p = 4
+			runProcs(t, tr, p, func(ep Endpoint) {
+				id := ep.ID()
+				// Superstep 0: only process 0 sends.
+				if id == 0 {
+					for dst := 0; dst < p; dst++ {
+						ep.Send(dst, []byte{byte(dst)})
+					}
+				}
+				inbox, err := ep.Sync()
+				if err != nil {
+					t.Errorf("proc %d: %v", id, err)
+					return
+				}
+				if len(inbox) != 1 || inbox[0][0] != byte(id) {
+					t.Errorf("proc %d: superstep 0 inbox = %v, want [[%d]]", id, inbox, id)
+				}
+				// Superstep 1: nobody sends; inboxes must be empty.
+				inbox, err = ep.Sync()
+				if err != nil {
+					t.Errorf("proc %d: %v", id, err)
+					return
+				}
+				if len(inbox) != 0 {
+					t.Errorf("proc %d: superstep 1 inbox = %v, want empty", id, inbox)
+				}
+			})
+		})
+	}
+}
+
+// TestSkewedVolumes exercises highly unbalanced h-relations: process 0
+// broadcasts many messages while the others send single replies.
+func TestSkewedVolumes(t *testing.T) {
+	for _, tr := range allTransports() {
+		t.Run(label(tr), func(t *testing.T) {
+			const p, n = 4, 300
+			runProcs(t, tr, p, func(ep Endpoint) {
+				id := ep.ID()
+				if id == 0 {
+					for dst := 1; dst < p; dst++ {
+						for k := 0; k < n; k++ {
+							ep.Send(dst, msgFor(0, dst, 0, k))
+						}
+					}
+				} else {
+					ep.Send(0, msgFor(id, 0, 0, 0))
+				}
+				inbox, err := ep.Sync()
+				if err != nil {
+					t.Errorf("proc %d: %v", id, err)
+					return
+				}
+				want := n
+				if id == 0 {
+					want = p - 1
+				}
+				if len(inbox) != want {
+					t.Errorf("proc %d: got %d messages, want %d", id, len(inbox), want)
+				}
+			})
+		})
+	}
+}
+
+// TestLargeMessages checks variable-length payload integrity (the TCP
+// framing path in particular).
+func TestLargeMessages(t *testing.T) {
+	for _, tr := range allTransports() {
+		t.Run(label(tr), func(t *testing.T) {
+			const p = 3
+			sizes := []int{0, 1, 15, 16, 17, 4096, 1 << 17}
+			runProcs(t, tr, p, func(ep Endpoint) {
+				id := ep.ID()
+				rng := rand.New(rand.NewSource(int64(id)))
+				payloads := make([][]byte, len(sizes))
+				for i, n := range sizes {
+					payloads[i] = make([]byte, n)
+					rng.Read(payloads[i])
+					ep.Send((id+1)%p, payloads[i])
+				}
+				inbox, err := ep.Sync()
+				if err != nil {
+					t.Errorf("proc %d: %v", id, err)
+					return
+				}
+				src := (id + p - 1) % p
+				srcRng := rand.New(rand.NewSource(int64(src)))
+				want := make(map[string]int)
+				for _, n := range sizes {
+					b := make([]byte, n)
+					srcRng.Read(b)
+					want[string(b)]++
+				}
+				if len(inbox) != len(sizes) {
+					t.Errorf("proc %d: got %d messages, want %d", id, len(inbox), len(sizes))
+					return
+				}
+				for _, m := range inbox {
+					if want[string(m)] == 0 {
+						t.Errorf("proc %d: unexpected payload of %d bytes", id, len(m))
+					} else {
+						want[string(m)]--
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestSendBufferOwnership confirms that the transport owns the slice
+// passed to Send: mutating a *different* buffer afterwards must not
+// corrupt delivery. (The core library copies; transports may alias.)
+func TestSendBufferOwnership(t *testing.T) {
+	for _, tr := range allTransports() {
+		t.Run(label(tr), func(t *testing.T) {
+			runProcs(t, tr, 2, func(ep Endpoint) {
+				id := ep.ID()
+				msg := []byte{byte(id), 42}
+				ep.Send(1-id, msg)
+				inbox, err := ep.Sync()
+				if err != nil {
+					t.Errorf("proc %d: %v", id, err)
+					return
+				}
+				if len(inbox) != 1 || !bytes.Equal(inbox[0], []byte{byte(1 - id), 42}) {
+					t.Errorf("proc %d: inbox = %v", id, inbox)
+				}
+			})
+		})
+	}
+}
+
+// TestSimDeterministicOrder verifies the documented delivery order of the
+// sim transport: by sender rank, then send order.
+func TestSimDeterministicOrder(t *testing.T) {
+	const p = 4
+	runProcs(t, SimTransport{}, p, func(ep Endpoint) {
+		id := ep.ID()
+		for k := 0; k < 3; k++ {
+			ep.Send(0, []byte{byte(id), byte(k)})
+		}
+		inbox, err := ep.Sync()
+		if err != nil {
+			t.Errorf("proc %d: %v", id, err)
+			return
+		}
+		if id != 0 {
+			return
+		}
+		if len(inbox) != 3*p {
+			t.Errorf("proc 0: got %d messages, want %d", len(inbox), 3*p)
+			return
+		}
+		for i, m := range inbox {
+			wantSrc, wantK := byte(i/3), byte(i%3)
+			if m[0] != wantSrc || m[1] != wantK {
+				t.Errorf("proc 0: inbox[%d] = (src %d, k %d), want (%d, %d)", i, m[0], m[1], wantSrc, wantK)
+			}
+		}
+	})
+}
+
+// TestSimEarlyExit: sim tolerates processes leaving early; the rest keep
+// synchronizing.
+func TestSimEarlyExit(t *testing.T) {
+	const p = 4
+	runProcs(t, SimTransport{}, p, func(ep Endpoint) {
+		id := ep.ID()
+		steps := 1 + id // proc 0 exits after 1 superstep, proc 3 after 4
+		for s := 0; s < steps; s++ {
+			if _, err := ep.Sync(); err != nil {
+				t.Errorf("proc %d step %d: %v", id, s, err)
+				return
+			}
+		}
+	})
+}
+
+// TestPeerExitDetected: the concurrent transports must report diverging
+// superstep counts as errors rather than deadlocking.
+func TestPeerExitDetected(t *testing.T) {
+	for _, tr := range []Transport{ShmTransport{}, XchgTransport{}, TCPTransport{}} {
+		t.Run(label(tr), func(t *testing.T) {
+			var mu sync.Mutex
+			var errs []error
+			runProcs(t, tr, 2, func(ep Endpoint) {
+				steps := 1 + ep.ID() // proc 1 tries one more superstep
+				for s := 0; s < steps; s++ {
+					if _, err := ep.Sync(); err != nil {
+						mu.Lock()
+						errs = append(errs, err)
+						mu.Unlock()
+						return
+					}
+				}
+			})
+			if len(errs) != 1 {
+				t.Fatalf("want exactly one peer-exit error, got %v", errs)
+			}
+			if !strings.Contains(errs[0].Error(), "exited") {
+				t.Errorf("error should mention peer exit, got %v", errs[0])
+			}
+		})
+	}
+}
+
+// TestAbortUnblocksPeers: Abort must release processes stuck in Sync.
+func TestAbortUnblocksPeers(t *testing.T) {
+	for _, tr := range allTransports() {
+		t.Run(label(tr), func(t *testing.T) {
+			var mu sync.Mutex
+			sawErr := 0
+			runProcs(t, tr, 3, func(ep Endpoint) {
+				if ep.ID() == 0 {
+					// Simulate a crash: abort without ever syncing.
+					ep.Abort()
+					return
+				}
+				if _, err := ep.Sync(); err != nil {
+					mu.Lock()
+					sawErr++
+					mu.Unlock()
+				}
+			})
+			if sawErr != 2 {
+				t.Errorf("want 2 processes to observe the abort, got %d", sawErr)
+			}
+		})
+	}
+}
+
+// TestOpenRejectsBadP covers the argument validation of every transport.
+func TestOpenRejectsBadP(t *testing.T) {
+	for _, tr := range allTransports() {
+		if _, err := tr.Open(0); err == nil {
+			t.Errorf("%s: Open(0) should fail", label(tr))
+		}
+	}
+	if _, err := (ShmTransport{Locking: "bogus"}).Open(2); err == nil {
+		t.Error("shm: bogus locking mode should fail")
+	}
+}
+
+// TestNewByName covers the registry.
+func TestNewByName(t *testing.T) {
+	for _, name := range Names() {
+		tr, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if tr.Name() != name {
+			t.Errorf("New(%q).Name() = %q", name, tr.Name())
+		}
+	}
+	if _, err := New("bogus"); err == nil {
+		t.Error("New(bogus) should fail")
+	}
+}
+
+// TestQuickRandomTraffic is a property test: for random (p, superstep,
+// traffic-matrix) instances, every transport delivers exactly the sent
+// multiset of messages to each process each superstep.
+func TestQuickRandomTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test skipped in -short mode")
+	}
+	type instance struct {
+		P     uint8
+		Steps uint8
+		Seed  int64
+	}
+	for _, tr := range allTransports() {
+		f := func(in instance) bool {
+			p := int(in.P)%5 + 1
+			steps := int(in.Steps)%3 + 1
+			rng := rand.New(rand.NewSource(in.Seed))
+			// counts[s][src][dst]
+			counts := make([][][]int, steps)
+			for s := range counts {
+				counts[s] = make([][]int, p)
+				for i := range counts[s] {
+					counts[s][i] = make([]int, p)
+					for j := range counts[s][i] {
+						counts[s][i][j] = rng.Intn(4)
+					}
+				}
+			}
+			ok := true
+			var mu sync.Mutex
+			runProcs(t, tr, p, func(ep Endpoint) {
+				id := ep.ID()
+				for s := 0; s < steps; s++ {
+					for dst := 0; dst < p; dst++ {
+						for k := 0; k < counts[s][id][dst]; k++ {
+							var b [12]byte
+							binary.LittleEndian.PutUint32(b[0:], uint32(id))
+							binary.LittleEndian.PutUint32(b[4:], uint32(s))
+							binary.LittleEndian.PutUint32(b[8:], uint32(k))
+							ep.Send(dst, b[:])
+						}
+					}
+					inbox, err := ep.Sync()
+					if err != nil {
+						mu.Lock()
+						ok = false
+						mu.Unlock()
+						return
+					}
+					want := 0
+					for src := 0; src < p; src++ {
+						want += counts[s][src][id]
+					}
+					if len(inbox) != want {
+						mu.Lock()
+						ok = false
+						mu.Unlock()
+						return
+					}
+					seen := make(map[[3]uint32]bool)
+					for _, m := range inbox {
+						key := [3]uint32{
+							binary.LittleEndian.Uint32(m[0:]),
+							binary.LittleEndian.Uint32(m[4:]),
+							binary.LittleEndian.Uint32(m[8:]),
+						}
+						if key[1] != uint32(s) || seen[key] {
+							mu.Lock()
+							ok = false
+							mu.Unlock()
+							return
+						}
+						seen[key] = true
+					}
+				}
+			})
+			return ok
+		}
+		cfg := &quick.Config{MaxCount: 12}
+		if tr.Name() == "tcp" {
+			cfg.MaxCount = 4 // socket setup dominates; keep it quick
+		}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Errorf("%s: %v", label(tr), err)
+		}
+	}
+}

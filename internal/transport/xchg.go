@@ -1,0 +1,150 @@
+package transport
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// XchgTransport mirrors the MPI implementation of the library (paper,
+// Appendix B.2): "each process uses a distinct input and output buffer to
+// communicate with each of the other processes... When a process reaches
+// a superstep boundary, it posts an Irecv for each input buffer and an
+// Isend for each output buffer, and then waits until all 2p incoming and
+// outgoing transmissions are completed."
+//
+// Here each ordered pair of processes has a dedicated buffered channel
+// carrying one batch (the per-superstep output buffer) per superstep. The
+// buffering plays the role of the nonblocking Isend; waiting for the p-1
+// inbound batches plays the role of the Waitall, and — exactly as in the
+// paper — the complete exchange doubles as the barrier: no separate
+// synchronization exists.
+type XchgTransport struct{}
+
+// Name implements Transport.
+func (XchgTransport) Name() string { return "xchg" }
+
+// Open implements Transport.
+func (XchgTransport) Open(p int) ([]Endpoint, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("xchg: p must be >= 1, got %d", p)
+	}
+	st := &xchgState{
+		p:       p,
+		abortCh: make(chan struct{}),
+		doneCh:  make([]chan struct{}, p),
+	}
+	st.ch = make([][]chan [][]byte, p)
+	for i := 0; i < p; i++ {
+		st.doneCh[i] = make(chan struct{})
+		st.ch[i] = make([]chan [][]byte, p)
+		for j := 0; j < p; j++ {
+			if i != j {
+				// Capacity 1 = one in-flight superstep batch per
+				// ordered pair (the Isend buffer).
+				st.ch[i][j] = make(chan [][]byte, 1)
+			}
+		}
+	}
+	eps := make([]Endpoint, p)
+	for i := 0; i < p; i++ {
+		eps[i] = &xchgEndpoint{st: st, id: i, out: make([][][]byte, p)}
+	}
+	return eps, nil
+}
+
+type xchgState struct {
+	p       int
+	ch      [][]chan [][]byte // ch[src][dst]
+	abortCh chan struct{}
+	aborted atomic.Bool
+	doneCh  []chan struct{}
+	done    []atomic.Bool
+}
+
+type xchgEndpoint struct {
+	st     *xchgState
+	id     int
+	out    [][][]byte // per-destination output buffers for this superstep
+	closed bool
+}
+
+func (e *xchgEndpoint) ID() int { return e.id }
+func (e *xchgEndpoint) P() int  { return e.st.p }
+func (e *xchgEndpoint) Begin()  {}
+
+// Abort implements Endpoint.
+func (e *xchgEndpoint) Abort() {
+	if e.st.aborted.CompareAndSwap(false, true) {
+		close(e.st.abortCh)
+	}
+}
+
+// Close implements Endpoint.
+func (e *xchgEndpoint) Close() error {
+	if e.closed {
+		return fmt.Errorf("xchg: endpoint %d closed twice", e.id)
+	}
+	e.closed = true
+	close(e.st.doneCh[e.id])
+	return nil
+}
+
+// Send implements Endpoint.
+func (e *xchgEndpoint) Send(dst int, msg []byte) {
+	e.out[dst] = append(e.out[dst], msg)
+}
+
+// Sync implements Endpoint.
+func (e *xchgEndpoint) Sync() ([][]byte, error) {
+	st := e.st
+	// "Isend" every output buffer, including empty ones: the exchange is
+	// the barrier, so every pair must communicate every superstep.
+	for dst := 0; dst < st.p; dst++ {
+		if dst == e.id {
+			continue
+		}
+		select {
+		case st.ch[e.id][dst] <- e.out[dst]:
+		case <-st.abortCh:
+			return nil, ErrAborted
+		case <-st.doneCh[dst]:
+			if st.aborted.Load() {
+				// A crashed peer closes both channels; report the
+				// abort, not a superstep mismatch.
+				return nil, ErrAborted
+			}
+			// The peer exited; its inbound slot will never drain.
+			return nil, fmt.Errorf("xchg: process %d exited while process %d is synchronizing", dst, e.id)
+		}
+		e.out[dst] = nil
+	}
+	// "Irecv + Waitall": collect one batch from every peer.
+	var inbox [][]byte
+	inbox = append(inbox, e.out[e.id]...)
+	e.out[e.id] = nil
+	for src := 0; src < st.p; src++ {
+		if src == e.id {
+			continue
+		}
+		select {
+		case batch := <-st.ch[src][e.id]:
+			inbox = append(inbox, batch...)
+		case <-st.abortCh:
+			return nil, ErrAborted
+		case <-st.doneCh[src]:
+			// The peer may have sent its batch just before exiting;
+			// drain it if present, otherwise the superstep counts
+			// genuinely diverged.
+			select {
+			case batch := <-st.ch[src][e.id]:
+				inbox = append(inbox, batch...)
+			default:
+				if st.aborted.Load() {
+					return nil, ErrAborted
+				}
+				return nil, fmt.Errorf("xchg: process %d exited while process %d expected a superstep batch", src, e.id)
+			}
+		}
+	}
+	return inbox, nil
+}

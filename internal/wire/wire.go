@@ -1,0 +1,104 @@
+// Package wire provides compact little-endian encoding helpers for
+// building and parsing BSP messages.
+//
+// The Green BSP library transmits raw bytes; "the data in the packet can
+// be in any format, and it is up to the programmer to provide sufficient
+// labeling information" (paper, Appendix A). Every application in this
+// repository uses wire.Writer to build such labeled messages and
+// wire.Reader to parse them.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Writer accumulates a message. The zero value is ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a Writer with capacity for n bytes.
+func NewWriter(n int) *Writer { return &Writer{buf: make([]byte, 0, n)} }
+
+// Bytes returns the encoded message. The slice is owned by the Writer
+// until Reset is called.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Reset discards the contents but keeps the allocation.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// Uint32 appends v.
+func (w *Writer) Uint32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+
+// Uint64 appends v.
+func (w *Writer) Uint64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+
+// Int appends v as a 64-bit two's-complement value.
+func (w *Writer) Int(v int) { w.Uint64(uint64(v)) }
+
+// Int32 appends v as a 32-bit two's-complement value.
+func (w *Writer) Int32(v int32) { w.Uint32(uint32(v)) }
+
+// Float64 appends the IEEE-754 bits of v.
+func (w *Writer) Float64(v float64) { w.Uint64(math.Float64bits(v)) }
+
+// Raw appends b verbatim.
+func (w *Writer) Raw(b []byte) { w.buf = append(w.buf, b...) }
+
+// Reader parses a message produced by Writer. Out-of-bounds reads panic;
+// a BSP process that receives a malformed message cannot continue
+// meaningfully, and the panic is surfaced as a run error by core.Run.
+type Reader struct {
+	buf []byte
+	off int
+}
+
+// NewReader returns a Reader over b.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Remaining reports how many unread bytes are left.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// Uint32 consumes and returns the next 4 bytes.
+func (r *Reader) Uint32() uint32 {
+	r.need(4)
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+// Uint64 consumes and returns the next 8 bytes.
+func (r *Reader) Uint64() uint64 {
+	r.need(8)
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+// Int consumes a 64-bit value written by Writer.Int.
+func (r *Reader) Int() int { return int(int64(r.Uint64())) }
+
+// Int32 consumes a 32-bit value written by Writer.Int32.
+func (r *Reader) Int32() int32 { return int32(r.Uint32()) }
+
+// Float64 consumes a value written by Writer.Float64.
+func (r *Reader) Float64() float64 { return math.Float64frombits(r.Uint64()) }
+
+// Raw consumes and returns the next n bytes without copying.
+func (r *Reader) Raw(n int) []byte {
+	r.need(n)
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *Reader) need(n int) {
+	if r.off+n > len(r.buf) {
+		panic(fmt.Sprintf("wire: short message: need %d bytes at offset %d of %d", n, r.off, len(r.buf)))
+	}
+}

@@ -1,0 +1,115 @@
+package wire
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	w := NewWriter(64)
+	w.Uint32(7)
+	w.Uint64(1 << 40)
+	w.Int(-12345)
+	w.Int32(-7)
+	w.Float64(3.5)
+	w.Raw([]byte{1, 2, 3})
+	r := NewReader(w.Bytes())
+	if got := r.Uint32(); got != 7 {
+		t.Errorf("Uint32 = %d, want 7", got)
+	}
+	if got := r.Uint64(); got != 1<<40 {
+		t.Errorf("Uint64 = %d, want 2^40", got)
+	}
+	if got := r.Int(); got != -12345 {
+		t.Errorf("Int = %d, want -12345", got)
+	}
+	if got := r.Int32(); got != -7 {
+		t.Errorf("Int32 = %d, want -7", got)
+	}
+	if got := r.Float64(); got != 3.5 {
+		t.Errorf("Float64 = %g, want 3.5", got)
+	}
+	raw := r.Raw(3)
+	if len(raw) != 3 || raw[0] != 1 || raw[2] != 3 {
+		t.Errorf("Raw = %v, want [1 2 3]", raw)
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", r.Remaining())
+	}
+}
+
+func TestQuickIntRoundTrip(t *testing.T) {
+	f := func(vals []int64) bool {
+		w := NewWriter(len(vals) * 8)
+		for _, v := range vals {
+			w.Int(int(v))
+		}
+		r := NewReader(w.Bytes())
+		for _, v := range vals {
+			if r.Int() != int(v) {
+				return false
+			}
+		}
+		return r.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFloatRoundTrip(t *testing.T) {
+	f := func(vals []float64) bool {
+		w := &Writer{}
+		for _, v := range vals {
+			w.Float64(v)
+		}
+		r := NewReader(w.Bytes())
+		for _, v := range vals {
+			got := r.Float64()
+			if got != v && !(math.IsNaN(got) && math.IsNaN(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShortReadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("reading past the end should panic")
+		}
+	}()
+	r := NewReader([]byte{1, 2})
+	r.Uint32()
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter(8)
+	w.Uint64(9)
+	if w.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", w.Len())
+	}
+	w.Reset()
+	if w.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", w.Len())
+	}
+	w.Uint32(3)
+	if got := NewReader(w.Bytes()).Uint32(); got != 3 {
+		t.Fatalf("after reset Uint32 = %d, want 3", got)
+	}
+}
+
+func TestRawNoCopyAliases(t *testing.T) {
+	b := []byte{1, 2, 3, 4}
+	r := NewReader(b)
+	got := r.Raw(4)
+	b[0] = 9
+	if got[0] != 9 {
+		t.Fatal("Raw should alias the underlying buffer, not copy")
+	}
+}

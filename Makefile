@@ -1,0 +1,38 @@
+# Verify tiers for the Green BSP reproduction.
+#
+#   make verify       tier-1: build + full test suite (ROADMAP.md)
+#   make verify-race  tier-2: go vet + full test suite under -race
+#   make conformance  cross-transport contract suite under -race
+#                     (shortened fault plans; stays well under 60s)
+#   make fuzz         brief wire encode/decode fuzz pass
+#   make bench        transport latency/throughput microbenchmarks
+
+GO ?= go
+
+.PHONY: build test vet race verify verify-race conformance fuzz bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+verify: build test
+
+verify-race: vet race
+
+conformance:
+	$(GO) test -race -timeout 60s ./internal/transport/ -run Conformance -v
+
+fuzz:
+	$(GO) test ./internal/wire/ -fuzz FuzzRoundTrip -fuzztime 10s
+	$(GO) test ./internal/wire/ -fuzz FuzzReaderShortMessage -fuzztime 5s
+
+bench:
+	$(GO) test ./internal/transport/ -run xxx -bench . -benchtime 100x

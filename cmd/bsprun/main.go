@@ -5,6 +5,16 @@
 // Usage:
 //
 //	bsprun -app nbody -size 1000 -p 8 -transport shm
+//
+// Any transport (including "chaos:<base>" from the registry) can run
+// under seeded fault injection with -chaos, which wraps the transport
+// in a transport.ChaosTransport; -sync-timeout bounds each superstep so
+// an injected stall surfaces as a clean timeout error instead of a
+// hang:
+//
+//	bsprun -app mm -size 128 -p 4 -transport tcp \
+//	    -chaos "seed=42,delay=0.1,maxdelay=2ms,connerr=0.05" \
+//	    -sync-timeout 10s
 package main
 
 import (
@@ -13,6 +23,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/harness"
 	"repro/internal/transport"
@@ -22,7 +33,9 @@ func main() {
 	app := flag.String("app", "nbody", "application: ocean|nbody|mst|sp|msp|mm|psort")
 	size := flag.Int("size", 1000, "input size (paper conventions per app)")
 	p := flag.Int("p", 4, "number of BSP processes")
-	trName := flag.String("transport", "shm", "transport: shm|xchg|tcp|sim")
+	trName := flag.String("transport", "shm", "transport: shm|xchg|tcp|sim|chaos:<base>")
+	chaosSpec := flag.String("chaos", "", "fault-injection plan, e.g. \"seed=42,delay=0.1,maxdelay=2ms,stall=0.05,stallfor=20ms,connerr=0.05,abort=1@3\"; empty disables")
+	syncTimeout := flag.Duration("sync-timeout", 0, "abort the run if no process completes a superstep for this long (0 disables)")
 	flag.Parse()
 
 	tr, err := transport.New(*trName)
@@ -30,9 +43,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bsprun:", err)
 		os.Exit(2)
 	}
+	if *chaosSpec != "" {
+		plan, err := transport.ParseFaultPlan(*chaosSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bsprun:", err)
+			os.Exit(2)
+		}
+		tr = transport.ChaosTransport{Base: tr, Plan: plan}
+		fmt.Printf("fault injection on (%s): %+v\n", tr.Name(), plan)
+	}
 	// Live run on the requested transport for wall time and correctness.
 	t0 := time.Now()
-	st, err := harness.RunOn(*app, *size, *p, tr)
+	st, err := harness.RunOnConfig(*app, *size, core.Config{P: *p, Transport: tr, SyncTimeout: *syncTimeout})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bsprun:", err)
 		os.Exit(1)

@@ -30,11 +30,19 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/transport"
 )
+
+// ErrTimeout is wrapped by the error Run returns when Config.SyncTimeout
+// elapses with no process completing a superstep: a peer is stalled or
+// the barrier is wedged. The error text names the stuck rank(s) and each
+// rank's progress.
+var ErrTimeout = errors.New("bsp: superstep timed out")
 
 // PktSize is the fixed packet size used throughout the paper: "All
 // results in this paper were obtained with a fixed packet size of 16
@@ -52,6 +60,16 @@ type Config struct {
 	// Transport selects the library implementation; nil means the
 	// shared-memory transport (the paper's B.1).
 	Transport transport.Transport
+	// SyncTimeout, when positive, bounds how long the machine may go
+	// without any process completing a barrier phase. If it elapses, a
+	// watchdog aborts the run and Run returns an error wrapping
+	// ErrTimeout that names the stuck rank(s) and each rank's
+	// superstep progress, instead of hanging forever on a stalled
+	// peer. It must exceed the longest legitimate superstep (compute
+	// plus exchange). The watchdog unblocks the concurrent transports
+	// (shm, xchg, tcp) via Abort; on sim a process stalled in its own
+	// code must still return before Run can.
+	SyncTimeout time.Duration
 }
 
 // Proc is one BSP process's handle to the library. A Proc is confined to
@@ -69,6 +87,12 @@ type Proc struct {
 	sentPkts int
 	units    int
 	segStart time.Time
+
+	// phase counts barrier phases for the watchdog: +1 entering the
+	// transport Sync (waiting), +1 on its successful return
+	// (computing again). Even = computing superstep phase/2+1, odd =
+	// waiting in barrier (phase+1)/2. Nil when no SyncTimeout is set.
+	phase *atomic.Int64
 }
 
 // stepRecord captures one process's contribution to one superstep.
@@ -166,9 +190,15 @@ func (c *Proc) AddWork(n int) { c.units += n }
 // alternating-buffer implementations.
 func (c *Proc) Sync() {
 	work := time.Since(c.segStart)
+	if c.phase != nil {
+		c.phase.Add(1)
+	}
 	inbox, err := c.ep.Sync()
 	if err != nil {
 		panic(syncFailure{err})
+	}
+	if c.phase != nil {
+		c.phase.Add(1)
 	}
 	recv := 0
 	for _, m := range inbox {
@@ -212,11 +242,29 @@ func Run(cfg Config, fn func(*Proc)) (*Stats, error) {
 	}
 	procs := make([]*Proc, cfg.P)
 	errs := make([]error, cfg.P)
+	phases := make([]atomic.Int64, cfg.P)
+	finished := make([]atomic.Bool, cfg.P)
+
+	// Superstep watchdog: if no process completes a barrier phase for
+	// SyncTimeout, abort the machine so the stalled barrier unwinds as
+	// errors instead of hanging, and record an ErrTimeout naming the
+	// laggard(s).
+	var timeoutErr error
+	var watchStop, watchDone chan struct{}
+	if cfg.SyncTimeout > 0 {
+		watchStop, watchDone = make(chan struct{}), make(chan struct{})
+		go func() {
+			defer close(watchDone)
+			timeoutErr = watchProgress(eps, phases, finished, cfg.SyncTimeout, watchStop)
+		}()
+	}
+
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.P; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer finished[i].Store(true)
 			ep := eps[i]
 			defer ep.Close()
 			defer func() {
@@ -231,30 +279,143 @@ func Run(cfg Config, fn func(*Proc)) (*Stats, error) {
 			}()
 			ep.Begin()
 			c := &Proc{id: i, p: cfg.P, ep: ep, segStart: time.Now()}
+			if cfg.SyncTimeout > 0 {
+				c.phase = &phases[i]
+			}
 			procs[i] = c
 			fn(c)
 			c.finish()
 		}()
 	}
 	wg.Wait()
-	// Prefer reporting a genuine program panic over the secondary
-	// ErrAborted failures it induces in the peers.
-	var firstErr error
+	if watchDone != nil {
+		close(watchStop)
+		<-watchDone
+	}
+	// Error selection: a process's own failure (program panic or
+	// transport infrastructure error) outranks the watchdog timeout,
+	// which outranks the secondary ErrAborted failures either induces
+	// in the peers — an infrastructure error must never be shadowed by
+	// the aborts it causes.
+	var procErr, abortErr error
 	for _, e := range errs {
-		if e != nil && firstErr == nil {
-			firstErr = e
+		switch {
+		case e == nil:
+		case isAbort(e):
+			if abortErr == nil {
+				abortErr = e
+			}
+		case procErr == nil:
+			procErr = e
 		}
 	}
-	for _, e := range errs {
-		if e != nil && !isAbort(e) {
-			firstErr = e
-			break
-		}
-	}
-	if firstErr != nil {
-		return nil, firstErr
+	switch {
+	case procErr != nil:
+		return nil, procErr
+	case timeoutErr != nil:
+		return nil, timeoutErr
+	case abortErr != nil:
+		return nil, abortErr
 	}
 	return mergeStats(cfg.P, procs)
 }
 
 func isAbort(err error) bool { return errors.Is(err, transport.ErrAborted) }
+
+// watchProgress polls the per-rank barrier-phase counters until the run
+// ends (stop closes or every rank finishes) or no counter has moved for
+// d, in which case it aborts every endpoint and returns the ErrTimeout
+// describing who is stuck where. Aborting from outside the process
+// goroutines is safe on every transport (their abort flags are atomic);
+// it unblocks the concurrent transports' barriers so wg.Wait can finish.
+func watchProgress(eps []transport.Endpoint, phases []atomic.Int64, finished []atomic.Bool, d time.Duration, stop <-chan struct{}) error {
+	tick := d / 8
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	snapshot := func() ([]int64, bool) {
+		s := make([]int64, len(phases))
+		allDone := true
+		for i := range phases {
+			s[i] = phases[i].Load() << 1
+			if finished[i].Load() {
+				s[i]++
+			} else {
+				allDone = false
+			}
+		}
+		return s, allDone
+	}
+	equal := func(a, b []int64) bool {
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	last, _ := snapshot()
+	lastChange := time.Now()
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return nil
+		case <-ticker.C:
+		}
+		cur, allDone := snapshot()
+		if allDone {
+			return nil
+		}
+		if !equal(cur, last) {
+			last, lastChange = cur, time.Now()
+			continue
+		}
+		if time.Since(lastChange) < d {
+			continue
+		}
+		err := timeoutError(phases, finished, d)
+		for _, ep := range eps {
+			ep.Abort()
+		}
+		return err
+	}
+}
+
+// timeoutError builds the ErrTimeout report: the stuck rank(s) are the
+// unfinished ranks with the least barrier progress (a rank still
+// computing while its peers wait in the next barrier, or the whole
+// machine if all are wedged together), and every rank's position is
+// listed.
+func timeoutError(phases []atomic.Int64, finished []atomic.Bool, d time.Duration) error {
+	minPhase := int64(-1)
+	for i := range phases {
+		if finished[i].Load() {
+			continue
+		}
+		if ph := phases[i].Load(); minPhase < 0 || ph < minPhase {
+			minPhase = ph
+		}
+	}
+	var stuck []int
+	state := make([]string, len(phases))
+	for i := range phases {
+		ph := phases[i].Load()
+		done := finished[i].Load()
+		step := ph/2 + 1
+		switch {
+		case done:
+			state[i] = fmt.Sprintf("rank %d finished after %d supersteps", i, ph/2)
+		case ph%2 == 1:
+			state[i] = fmt.Sprintf("rank %d waiting in barrier %d", i, step)
+		default:
+			state[i] = fmt.Sprintf("rank %d computing superstep %d", i, step)
+		}
+		if !done && ph == minPhase {
+			stuck = append(stuck, i)
+		}
+	}
+	return fmt.Errorf("%w: no barrier progress for %v; stuck rank(s) %v; %s",
+		ErrTimeout, d, stuck, strings.Join(state, ", "))
+}

@@ -107,6 +107,60 @@ func TestPending(t *testing.T) {
 	})
 }
 
+// TestPendingMixedStreams pins Pending's accounting over a mixed
+// SendPkt/Send superstep: Pending counts *messages* (not packet units),
+// ticks down one per Recv regardless of message length, and GetPkt and
+// Recv draw from the same queue — draining fixed-size packets with
+// GetPkt where possible and everything with Recv.
+func TestPendingMixedStreams(t *testing.T) {
+	mustRun(t, 2, transport.SimTransport{}, func(c *Proc) {
+		peer := 1 - c.ID()
+		var pkt Pkt
+		pkt[0] = 0x5A
+		c.SendPkt(peer, &pkt)          // 1 message, 1 packet unit
+		c.Send(peer, make([]byte, 40)) // 1 message, 3 packet units
+		c.SendPkt(peer, &pkt)          // 1 message, 1 packet unit
+		c.Send(peer, []byte("x"))      // 1 message, 1 packet unit
+		c.Sync()
+		if got := c.Pending(); got != 4 {
+			t.Errorf("proc %d: Pending after mixed sends = %d, want 4 messages", c.ID(), got)
+		}
+		// Sim delivers in send order: pkt, 40B, pkt, 1B.
+		if got, ok := c.GetPkt(); !ok || got[0] != 0x5A {
+			t.Errorf("proc %d: first GetPkt = %v ok=%v", c.ID(), got, ok)
+		}
+		if got := c.Pending(); got != 3 {
+			t.Errorf("proc %d: Pending after GetPkt = %d, want 3", c.ID(), got)
+		}
+		if msg, ok := c.Recv(); !ok || len(msg) != 40 {
+			t.Errorf("proc %d: Recv of 40-byte message failed: %d bytes ok=%v", c.ID(), len(msg), ok)
+		}
+		if got := c.Pending(); got != 2 {
+			t.Errorf("proc %d: Pending after long Recv = %d, want 2 (messages, not packet units)", c.ID(), got)
+		}
+		if got, ok := c.GetPkt(); !ok || got[0] != 0x5A {
+			t.Errorf("proc %d: second GetPkt = %v ok=%v", c.ID(), got, ok)
+		}
+		if msg, ok := c.Recv(); !ok || string(msg) != "x" {
+			t.Errorf("proc %d: final Recv = %q ok=%v", c.ID(), msg, ok)
+		}
+		if got := c.Pending(); got != 0 {
+			t.Errorf("proc %d: Pending after draining = %d, want 0", c.ID(), got)
+		}
+		c.Sync()
+	})
+	// The h-relation still counts packet units: 1+3+1+1 = 6 per rank.
+	st := mustRun(t, 2, transport.SimTransport{}, func(c *Proc) {
+		var pkt Pkt
+		c.SendPkt(1-c.ID(), &pkt)
+		c.Send(1-c.ID(), make([]byte, 40))
+		c.Sync()
+	})
+	if st.Steps[0].MaxH != 4 {
+		t.Errorf("mixed-stream MaxH = %d, want 4 packet units", st.Steps[0].MaxH)
+	}
+}
+
 func TestUnreceivedMessagesDiscardedAtSync(t *testing.T) {
 	mustRun(t, 2, transport.ShmTransport{}, func(c *Proc) {
 		var pkt Pkt

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// stallPlan injects a long post-barrier stall on rank 1 in superstep 2:
+// rank 1 goes quiet while its peers wait in barrier 3, which is what
+// Config.SyncTimeout must convert into ErrTimeout naming rank 1.
+func stallPlan(stall time.Duration) transport.FaultPlan {
+	return transport.FaultPlan{
+		Seed:      5,
+		StallRate: 1,
+		Stall:     stall,
+		Ranks:     []int{1},
+		FromStep:  2,
+		ToStep:    2,
+	}
+}
+
+// TestSyncTimeoutNamesStuckRank: a chaos stall beyond SyncTimeout must
+// surface as ErrTimeout identifying the stalled rank with per-rank
+// progress, not as a hang or a bare ErrAborted — and the aborted run
+// must tear down cleanly, leaking no goroutines (and so no sockets:
+// every TCP endpoint closes its connections on the way out).
+func TestSyncTimeoutNamesStuckRank(t *testing.T) {
+	for _, base := range []transport.Transport{transport.ShmTransport{}, transport.TCPTransport{}} {
+		t.Run("chaos-"+base.Name(), func(t *testing.T) {
+			// Warm up shared runtime machinery (netpoller etc.) so the
+			// goroutine baseline below is stable.
+			if _, err := Run(Config{P: 2, Transport: base}, func(c *Proc) { c.Sync() }); err != nil {
+				t.Fatalf("warm-up run: %v", err)
+			}
+			before := runtime.NumGoroutine()
+
+			tr := transport.ChaosTransport{Base: base, Plan: stallPlan(600 * time.Millisecond)}
+			_, err := Run(Config{P: 3, Transport: tr, SyncTimeout: 120 * time.Millisecond}, func(c *Proc) {
+				for s := 0; s < 4; s++ {
+					c.Sync()
+				}
+			})
+			if !errors.Is(err, ErrTimeout) {
+				t.Fatalf("want ErrTimeout, got %v", err)
+			}
+			if !strings.Contains(err.Error(), "stuck rank(s) [1]") {
+				t.Errorf("timeout should name rank 1 as stuck, got: %v", err)
+			}
+			// The stalled rank is one barrier phase behind its peers
+			// (they are waiting in barrier 3, it never left barrier 2).
+			if !strings.Contains(err.Error(), "rank 1 waiting in barrier 2") ||
+				!strings.Contains(err.Error(), "rank 0 waiting in barrier 3") {
+				t.Errorf("timeout should report per-rank progress, got: %v", err)
+			}
+
+			// All process goroutines and the watchdog must be gone once
+			// Run returns; poll briefly for runtime bookkeeping to settle.
+			deadline := time.Now().Add(2 * time.Second)
+			for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+				time.Sleep(10 * time.Millisecond)
+			}
+			if n := runtime.NumGoroutine(); n > before {
+				buf := make([]byte, 1<<20)
+				t.Errorf("goroutine leak after timeout: %d before, %d after\n%s",
+					before, n, buf[:runtime.Stack(buf, true)])
+			}
+		})
+	}
+}
+
+// TestSyncTimeoutNotTrippedByHealthyRun: a generous timeout must never
+// fire on a run that keeps making progress.
+func TestSyncTimeoutNotTrippedByHealthyRun(t *testing.T) {
+	st, err := Run(Config{P: 4, Transport: transport.ShmTransport{}, SyncTimeout: 5 * time.Second}, func(c *Proc) {
+		for s := 0; s < 3; s++ {
+			c.Send((c.ID()+1)%4, []byte{byte(s)})
+			c.Sync()
+		}
+	})
+	if err != nil {
+		t.Fatalf("healthy run with SyncTimeout: %v", err)
+	}
+	if st.S() != 3 {
+		t.Errorf("S = %d, want 3", st.S())
+	}
+}
+
+// infraTransport makes rank 0's first Sync fail with a plain
+// infrastructure error (as a transport timeout would) after aborting the
+// machine; every other rank observes the secondary ErrAborted.
+type infraTransport struct {
+	transport.Transport
+	err error
+}
+
+func (t infraTransport) Open(p int) ([]transport.Endpoint, error) {
+	eps, err := t.Transport.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	for i, ep := range eps {
+		eps[i] = &infraEndpoint{Endpoint: ep, err: t.err}
+	}
+	return eps, nil
+}
+
+type infraEndpoint struct {
+	transport.Endpoint
+	err error
+}
+
+func (e *infraEndpoint) Sync() ([][]byte, error) {
+	if e.ID() == 0 {
+		e.Abort()
+		return nil, e.err
+	}
+	return e.Endpoint.Sync()
+}
+
+// TestInfraErrorNotShadowedByAborts is the regression test for the Run
+// error-selection fix: the rank whose transport failed with a real
+// infrastructure error aborts its peers, and Run must report the
+// infrastructure error — never one of the ErrAborted failures it
+// induced, regardless of rank order.
+func TestInfraErrorNotShadowedByAborts(t *testing.T) {
+	infraErr := fmt.Errorf("tcp: i/o timeout exchanging with peer")
+	_, err := Run(Config{P: 3, Transport: infraTransport{transport.ShmTransport{}, infraErr}}, func(c *Proc) {
+		c.Sync()
+	})
+	if err == nil || !strings.Contains(err.Error(), "i/o timeout") {
+		t.Fatalf("want the infrastructure error surfaced, got %v", err)
+	}
+	if errors.Is(err, transport.ErrAborted) {
+		t.Fatalf("infrastructure error shadowed by secondary abort: %v", err)
+	}
+}
+
+// TestTimeoutErrorNotShadowedByAborts: when the watchdog fires, every
+// process dies with a secondary ErrAborted; Run must still return the
+// ErrTimeout, which lives outside the per-process error slots.
+func TestTimeoutErrorNotShadowedByAborts(t *testing.T) {
+	tr := transport.ChaosTransport{Base: transport.ShmTransport{}, Plan: stallPlan(400 * time.Millisecond)}
+	_, err := Run(Config{P: 2, Transport: tr, SyncTimeout: 100 * time.Millisecond}, func(c *Proc) {
+		for s := 0; s < 4; s++ {
+			c.Sync()
+		}
+	})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	if errors.Is(err, transport.ErrAborted) {
+		t.Fatalf("timeout shadowed by secondary abort: %v", err)
+	}
+}

@@ -204,8 +204,7 @@ func prepare(app string, size int) (*workload, error) {
 
 // runOnce executes one configuration on the given transport and returns
 // its statistics.
-func runOnce(app string, size, p int, wl *workload, tr transport.Transport) (*core.Stats, error) {
-	cfg := core.Config{P: p, Transport: tr}
+func runOnce(app string, size int, wl *workload, cfg core.Config) (*core.Stats, error) {
 	switch app {
 	case "ocean":
 		_, st, err := ocean.Parallel(cfg, ocean.Config{Size: size, Steps: 1})
@@ -236,11 +235,17 @@ func runOnce(app string, size, p int, wl *workload, tr transport.Transport) (*co
 // returns its statistics (used by cmd/bsprun for live runs; Collect
 // uses the sim transport for work measurement).
 func RunOn(app string, size, p int, tr transport.Transport) (*core.Stats, error) {
+	return RunOnConfig(app, size, core.Config{P: p, Transport: tr})
+}
+
+// RunOnConfig is RunOn with full control over the BSP machine config,
+// e.g. to set a SyncTimeout for runs on a fault-injecting transport.
+func RunOnConfig(app string, size int, cfg core.Config) (*core.Stats, error) {
 	wl, err := prepare(app, size)
 	if err != nil {
 		return nil, err
 	}
-	return runOnce(app, size, p, wl, tr)
+	return runOnce(app, size, wl, cfg)
 }
 
 // Collect measures one application across sizes × processor counts on
@@ -259,7 +264,7 @@ func Collect(app string, sizes, procs []int) ([]Row, error) {
 			if app == "nbody" && p&(p-1) != 0 {
 				continue // ORB needs a power of two
 			}
-			st, err := runOnce(app, size, p, wl, transport.SimTransport{})
+			st, err := runOnce(app, size, wl, core.Config{P: p, Transport: transport.SimTransport{}})
 			if err != nil {
 				return nil, fmt.Errorf("%s size=%d p=%d: %w", app, size, p, err)
 			}

@@ -1,19 +1,24 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
 )
 
 // benchSupersteps drives p endpoints through b.N empty supersteps and
-// reports the per-superstep latency (the transport's L).
+// reports the per-superstep latency (the transport's L). Errors —
+// including Close failures — are collected per goroutine and reported
+// only after wg.Wait: testing.B forbids Error/Fatal from goroutines
+// that may outlive the benchmark function.
 func benchSupersteps(b *testing.B, tr Transport, p int) {
 	b.Helper()
 	eps, err := tr.Open(p)
 	if err != nil {
 		b.Fatal(err)
 	}
+	errs := make([]error, p)
 	var wg sync.WaitGroup
 	b.ResetTimer()
 	for i := 0; i < p; i++ {
@@ -24,14 +29,20 @@ func benchSupersteps(b *testing.B, tr Transport, p int) {
 			ep.Begin()
 			for n := 0; n < b.N; n++ {
 				if _, err := ep.Sync(); err != nil {
-					b.Error(err)
+					errs[i] = errors.Join(err, ep.Close())
 					return
 				}
 			}
-			ep.Close()
+			errs[i] = ep.Close()
 		}()
 	}
 	wg.Wait()
+	b.StopTimer()
+	for i, err := range errs {
+		if err != nil {
+			b.Fatalf("proc %d: %v", i, err)
+		}
+	}
 }
 
 func BenchmarkEmptySuperstep(b *testing.B) {
@@ -45,7 +56,8 @@ func BenchmarkEmptySuperstep(b *testing.B) {
 }
 
 // BenchmarkSendThroughput measures packet throughput in a total
-// exchange (the transport's g).
+// exchange (the transport's g). Error handling mirrors benchSupersteps:
+// collect per goroutine, report after the barrier.
 func BenchmarkSendThroughput(b *testing.B) {
 	const p, batch = 4, 256
 	msg := make([]byte, 16)
@@ -55,6 +67,7 @@ func BenchmarkSendThroughput(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			errs := make([]error, p)
 			var wg sync.WaitGroup
 			b.ResetTimer()
 			for i := 0; i < p; i++ {
@@ -70,14 +83,20 @@ func BenchmarkSendThroughput(b *testing.B) {
 							}
 						}
 						if _, err := ep.Sync(); err != nil {
-							b.Error(err)
+							errs[i] = errors.Join(err, ep.Close())
 							return
 						}
 					}
-					ep.Close()
+					errs[i] = ep.Close()
 				}()
 			}
 			wg.Wait()
+			b.StopTimer()
+			for i, err := range errs {
+				if err != nil {
+					b.Fatalf("proc %d: %v", i, err)
+				}
+			}
 			b.SetBytes(int64(p * batch * 16))
 		})
 	}

@@ -1,0 +1,284 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ErrTransient marks an injected (or environmental) fault that a
+// transport is allowed to absorb by retrying. The TCP transport retries
+// reads, writes and connects whose errors match errors.Is(err,
+// ErrTransient) or are net.Error timeouts; every other error is treated
+// as fatal for the superstep.
+var ErrTransient = fmt.Errorf("transport: transient fault")
+
+// FaultPlan describes the deterministic fault schedule of a
+// ChaosTransport. The zero value injects nothing.
+//
+// All fault decisions are drawn from rand streams seeded with
+// Seed⊕rank (endpoint faults) or Seed⊕(rank,peer) (connection faults),
+// so a plan replays the same decision sequence on every run with the
+// same seed: fault k of rank r is identical across runs, independent of
+// goroutine scheduling. Only the wall-clock interleaving with other
+// ranks varies.
+type FaultPlan struct {
+	// Seed roots every per-rank and per-connection random stream.
+	Seed int64
+
+	// DelayRate is the per-Send probability of sleeping before the
+	// message is queued (a slow link); the delay is uniform in
+	// (0, MaxDelay].
+	DelayRate float64
+	MaxDelay  time.Duration
+
+	// StallRate is the per-Sync probability that the endpoint sleeps
+	// for Stall before returning from Sync — the slow-peer fault:
+	// the rank is late reaching its next barrier while every other
+	// rank waits. A Stall longer than core's Config.SyncTimeout turns
+	// into a clean ErrTimeout naming the stalled rank.
+	StallRate float64
+	Stall     time.Duration
+
+	// ConnErrRate is the per-Read/Write-call probability that a TCP
+	// connection returns a transient error instead of performing I/O.
+	// Only effective when the wrapped transport is TCPTransport; the
+	// TCP retry/backoff path must absorb these.
+	ConnErrRate float64
+
+	// AbortRank/AbortStep force rank AbortRank to abort the machine in
+	// superstep AbortStep (1-based). AbortStep == 0 disables.
+	AbortRank int
+	AbortStep int
+
+	// Ranks restricts delay/stall faults to the listed ranks; nil
+	// means every rank.
+	Ranks []int
+
+	// FromStep/ToStep bound the supersteps (1-based, inclusive) in
+	// which delay/stall faults fire; 0 means unbounded on that side.
+	FromStep int
+	ToStep   int
+}
+
+// DefaultFaultPlan returns a mild always-on plan used by
+// transport.New("chaos:<base>"): occasional sub-millisecond delays and
+// stalls plus sparse transient connection faults on the TCP path.
+func DefaultFaultPlan() FaultPlan {
+	return FaultPlan{
+		Seed:        1,
+		DelayRate:   0.05,
+		MaxDelay:    time.Millisecond,
+		StallRate:   0.02,
+		Stall:       2 * time.Millisecond,
+		ConnErrRate: 0.05,
+	}
+}
+
+// targets reports whether delay/stall faults may fire for rank.
+func (pl FaultPlan) targets(rank int) bool {
+	if len(pl.Ranks) == 0 {
+		return true
+	}
+	for _, r := range pl.Ranks {
+		if r == rank {
+			return true
+		}
+	}
+	return false
+}
+
+// inWindow reports whether delay/stall faults may fire in the 1-based
+// superstep step.
+func (pl FaultPlan) inWindow(step int) bool {
+	if pl.FromStep > 0 && step < pl.FromStep {
+		return false
+	}
+	if pl.ToStep > 0 && step > pl.ToStep {
+		return false
+	}
+	return true
+}
+
+// ParseFaultPlan parses a comma-separated key=value fault-plan spec,
+// e.g. "seed=42,delay=0.1,maxdelay=2ms,stall=0.05,stallfor=20ms,
+// connerr=0.02,abort=1@3,ranks=0+2,steps=2-5". Unknown keys are
+// errors. An empty spec returns DefaultFaultPlan.
+func ParseFaultPlan(spec string) (FaultPlan, error) {
+	pl := DefaultFaultPlan()
+	if strings.TrimSpace(spec) == "" {
+		return pl, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return pl, fmt.Errorf("chaos: malformed plan entry %q (want key=value)", kv)
+		}
+		var err error
+		switch k {
+		case "seed":
+			pl.Seed, err = strconv.ParseInt(v, 10, 64)
+		case "delay":
+			pl.DelayRate, err = strconv.ParseFloat(v, 64)
+		case "maxdelay":
+			pl.MaxDelay, err = time.ParseDuration(v)
+		case "stall":
+			pl.StallRate, err = strconv.ParseFloat(v, 64)
+		case "stallfor":
+			pl.Stall, err = time.ParseDuration(v)
+		case "connerr":
+			pl.ConnErrRate, err = strconv.ParseFloat(v, 64)
+		case "abort":
+			r, s, ok := strings.Cut(v, "@")
+			if !ok {
+				return pl, fmt.Errorf("chaos: abort wants rank@step, got %q", v)
+			}
+			if pl.AbortRank, err = strconv.Atoi(r); err == nil {
+				pl.AbortStep, err = strconv.Atoi(s)
+			}
+		case "ranks":
+			pl.Ranks = nil
+			for _, r := range strings.Split(v, "+") {
+				n, e := strconv.Atoi(r)
+				if e != nil {
+					return pl, fmt.Errorf("chaos: bad rank %q in %q", r, kv)
+				}
+				pl.Ranks = append(pl.Ranks, n)
+			}
+		case "steps":
+			a, b, ok := strings.Cut(v, "-")
+			if !ok {
+				return pl, fmt.Errorf("chaos: steps wants from-to, got %q", v)
+			}
+			if pl.FromStep, err = strconv.Atoi(a); err == nil {
+				pl.ToStep, err = strconv.Atoi(b)
+			}
+		default:
+			return pl, fmt.Errorf("chaos: unknown plan key %q", k)
+		}
+		if err != nil {
+			return pl, fmt.Errorf("chaos: bad value in %q: %w", kv, err)
+		}
+	}
+	return pl, nil
+}
+
+// ChaosTransport decorates any Transport with seeded, deterministic
+// fault injection driven by a FaultPlan: per-message delivery delays,
+// Sync stalls (slow peers), transient connection errors on the TCP
+// path, and forced mid-superstep aborts. It exists so the delivery
+// contract and the timeout/abort machinery can be exercised under
+// adverse schedules that the clean transports never produce.
+//
+// Faults are reproducible by seed (see FaultPlan); the decorator never
+// drops, duplicates, corrupts or reorders messages beyond what the
+// wrapped transport's contract already allows, so every conformance
+// property that holds for the base transport must hold chaos-wrapped.
+type ChaosTransport struct {
+	Base Transport
+	Plan FaultPlan
+}
+
+// Name implements Transport.
+func (t ChaosTransport) Name() string { return "chaos:" + t.Base.Name() }
+
+// Open implements Transport.
+func (t ChaosTransport) Open(p int) ([]Endpoint, error) {
+	base := t.Base
+	if tt, ok := base.(TCPTransport); ok && t.Plan.ConnErrRate > 0 {
+		plan := t.Plan
+		tt.wrapConn = func(local, peer int, c net.Conn) net.Conn {
+			seed := plan.Seed ^ int64(local*1_000_003+peer+1)
+			return &chaosConn{Conn: c, rng: rand.New(rand.NewSource(seed)), rate: plan.ConnErrRate}
+		}
+		base = tt
+	}
+	eps, err := base.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	wrapped := make([]Endpoint, p)
+	for i, ep := range eps {
+		wrapped[i] = &chaosEndpoint{
+			Endpoint: ep,
+			plan:     t.Plan,
+			rng:      rand.New(rand.NewSource(t.Plan.Seed ^ int64(i+1)*2654435761)),
+		}
+	}
+	return wrapped, nil
+}
+
+// chaosEndpoint injects the endpoint-level faults. It is confined to
+// its owner goroutine like every Endpoint, so the rng needs no lock and
+// the decision stream depends only on the seed and the call sequence.
+type chaosEndpoint struct {
+	Endpoint
+	plan FaultPlan
+	rng  *rand.Rand
+	step int // 1-based superstep currently executing
+}
+
+// Send implements Endpoint, possibly sleeping first (slow link).
+func (e *chaosEndpoint) Send(dst int, msg []byte) {
+	pl := &e.plan
+	if pl.DelayRate > 0 && pl.targets(e.ID()) && pl.inWindow(e.step+1) {
+		if e.rng.Float64() < pl.DelayRate {
+			d := time.Duration(e.rng.Int63n(int64(pl.MaxDelay) + 1))
+			time.Sleep(d)
+		}
+	}
+	e.Endpoint.Send(dst, msg)
+}
+
+// Sync implements Endpoint. A forced abort fires before the barrier
+// (the rank "crashes" mid-superstep); a stall fires after the barrier
+// completes, delaying this rank's next superstep while its peers wait
+// at the following barrier — which is how a slow peer looks from the
+// outside, and what core's Config.SyncTimeout must convert into a
+// clean ErrTimeout naming this rank.
+func (e *chaosEndpoint) Sync() ([][]byte, error) {
+	e.step++
+	pl := &e.plan
+	if pl.AbortStep > 0 && e.step == pl.AbortStep && e.ID() == pl.AbortRank {
+		e.Endpoint.Abort()
+		return nil, fmt.Errorf("chaos: injected abort of rank %d in superstep %d", e.ID(), e.step)
+	}
+	inbox, err := e.Endpoint.Sync()
+	if err != nil {
+		return inbox, err
+	}
+	if pl.StallRate > 0 && pl.targets(e.ID()) && pl.inWindow(e.step) {
+		if e.rng.Float64() < pl.StallRate {
+			time.Sleep(pl.Stall)
+		}
+	}
+	return inbox, nil
+}
+
+// chaosConn injects transient faults into a TCP connection: with
+// probability rate a Read/Write call fails with an ErrTransient-wrapped
+// error before touching the socket (so no bytes are lost and the
+// caller's retry is safe). Each conn belongs to one endpoint goroutine;
+// the rng is unshared.
+type chaosConn struct {
+	net.Conn
+	rng  *rand.Rand
+	rate float64
+}
+
+func (c *chaosConn) Read(p []byte) (int, error) {
+	if c.rng.Float64() < c.rate {
+		return 0, fmt.Errorf("chaos: injected read fault: %w", ErrTransient)
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *chaosConn) Write(p []byte) (int, error) {
+	if c.rng.Float64() < c.rate {
+		return 0, fmt.Errorf("chaos: injected write fault: %w", ErrTransient)
+	}
+	return c.Conn.Write(p)
+}

@@ -1,0 +1,352 @@
+package transport
+
+// The conformance suite pins the delivery contract every transport must
+// honor — "a packet sent in superstep i is available after the barrier
+// that ends superstep i" — plus the failure-mode contract (peer exit,
+// abort propagation) and the memory contract (returned slices are the
+// caller's). It runs one shared table against all four base transports
+// AND chaos-wrapped variants, whose injected delays, stalls and
+// transient TCP faults must never change any observable outcome.
+//
+// The contract allows arbitrary delivery order, so every check below
+// compares multisets, never sequences; sim's deterministic order is a
+// valid refinement asserted separately in transport_test.go.
+//
+// Fault plans are kept short (sub-millisecond delays/stalls) so the
+// whole suite stays fast under -race; see Makefile `conformance`.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+type conformanceCase struct {
+	name string
+	tr   Transport
+	// earlyExitErr: the transport reports diverging superstep counts
+	// as errors (sim instead lets survivors keep synchronizing).
+	earlyExitErr bool
+}
+
+// conformanceFaultPlan is the shortened plan used for chaos-wrapped
+// conformance runs: frequent but tiny faults.
+func conformanceFaultPlan() FaultPlan {
+	return FaultPlan{
+		Seed:      7,
+		DelayRate: 0.1,
+		MaxDelay:  200 * time.Microsecond,
+		StallRate: 0.05,
+		Stall:     time.Millisecond,
+	}
+}
+
+func conformanceCases() []conformanceCase {
+	tcpPlan := conformanceFaultPlan()
+	tcpPlan.ConnErrRate = 0.05
+	return []conformanceCase{
+		{"shm", ShmTransport{}, true},
+		{"xchg", XchgTransport{}, true},
+		{"tcp", TCPTransport{}, true},
+		{"sim", SimTransport{}, false},
+		{"chaos-shm", ChaosTransport{Base: ShmTransport{}, Plan: conformanceFaultPlan()}, true},
+		{"chaos-tcp", ChaosTransport{Base: TCPTransport{}, Plan: tcpPlan}, true},
+	}
+}
+
+// TestConformanceDeliveryAfterBarrier is the core contract: in every
+// superstep each rank sends rank+1 tagged messages to every rank
+// (including itself — self-send must work), and after the Sync that
+// ends the superstep each inbox holds exactly that superstep's multiset
+// — nothing early, nothing late, nothing lost or duplicated, any order.
+func TestConformanceDeliveryAfterBarrier(t *testing.T) {
+	for _, tc := range conformanceCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, p := range []int{1, 2, 4} {
+				const steps = 3
+				runProcs(t, tc.tr, p, func(ep Endpoint) {
+					id := ep.ID()
+					for s := 0; s < steps; s++ {
+						for dst := 0; dst < p; dst++ {
+							for k := 0; k <= id; k++ {
+								ep.Send(dst, msgFor(id, dst, s, k))
+							}
+						}
+						inbox, err := ep.Sync()
+						if err != nil {
+							t.Errorf("p=%d rank %d step %d: Sync: %v", p, id, s, err)
+							return
+						}
+						want := make(map[string]int)
+						total := 0
+						for src := 0; src < p; src++ {
+							for k := 0; k <= src; k++ {
+								want[string(msgFor(src, id, s, k))]++
+								total++
+							}
+						}
+						if len(inbox) != total {
+							t.Errorf("p=%d rank %d step %d: %d messages, want %d", p, id, s, len(inbox), total)
+							return
+						}
+						for _, m := range inbox {
+							if want[string(m)] == 0 {
+								t.Errorf("p=%d rank %d step %d: unexpected message %q", p, id, s, m)
+							} else {
+								want[string(m)]--
+							}
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestConformanceSelfSend isolates the self-delivery path: only
+// messages to self, which must round-trip through the barrier like any
+// other traffic.
+func TestConformanceSelfSend(t *testing.T) {
+	for _, tc := range conformanceCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			runProcs(t, tc.tr, 3, func(ep Endpoint) {
+				id := ep.ID()
+				ep.Send(id, []byte{byte(id), 0xAB})
+				inbox, err := ep.Sync()
+				if err != nil {
+					t.Errorf("rank %d: %v", id, err)
+					return
+				}
+				if len(inbox) != 1 || !bytes.Equal(inbox[0], []byte{byte(id), 0xAB}) {
+					t.Errorf("rank %d: self-send inbox = %v", id, inbox)
+				}
+			})
+		})
+	}
+}
+
+// TestConformanceEmptySuperstep: supersteps with no traffic still
+// synchronize and deliver empty inboxes.
+func TestConformanceEmptySuperstep(t *testing.T) {
+	for _, tc := range conformanceCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			runProcs(t, tc.tr, 4, func(ep Endpoint) {
+				for s := 0; s < 3; s++ {
+					inbox, err := ep.Sync()
+					if err != nil {
+						t.Errorf("rank %d step %d: %v", ep.ID(), s, err)
+						return
+					}
+					if len(inbox) != 0 {
+						t.Errorf("rank %d step %d: inbox = %v, want empty", ep.ID(), s, inbox)
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestConformanceEarlyFinish pins the early-exit behavior: rank 0 stops
+// after one superstep while the others attempt three. Sim lets the
+// survivors keep synchronizing; the concurrent transports must report
+// the divergence as an error on some survivor — never deadlock, never
+// deliver garbage.
+func TestConformanceEarlyFinish(t *testing.T) {
+	for _, tc := range conformanceCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			var mu sync.Mutex
+			var errs []error
+			runProcs(t, tc.tr, 3, func(ep Endpoint) {
+				steps := 3
+				if ep.ID() == 0 {
+					steps = 1
+				}
+				for s := 0; s < steps; s++ {
+					if _, err := ep.Sync(); err != nil {
+						mu.Lock()
+						errs = append(errs, err)
+						mu.Unlock()
+						return
+					}
+				}
+			})
+			if !tc.earlyExitErr {
+				if len(errs) != 0 {
+					t.Fatalf("sim must tolerate early finishers, got %v", errs)
+				}
+				return
+			}
+			if len(errs) == 0 {
+				t.Fatal("no survivor reported the diverging superstep counts")
+			}
+			for _, err := range errs {
+				if !strings.Contains(err.Error(), "exited") {
+					t.Errorf("error should name the peer exit, got %v", err)
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceAbortPropagation: an abort must unblock and fail every
+// peer's Sync with ErrAborted.
+func TestConformanceAbortPropagation(t *testing.T) {
+	for _, tc := range conformanceCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			var mu sync.Mutex
+			aborts := 0
+			runProcs(t, tc.tr, 3, func(ep Endpoint) {
+				if ep.ID() == 0 {
+					ep.Abort()
+					return
+				}
+				if _, err := ep.Sync(); errors.Is(err, ErrAborted) {
+					mu.Lock()
+					aborts++
+					mu.Unlock()
+				} else {
+					t.Errorf("rank %d: Sync after abort = %v, want ErrAborted", ep.ID(), err)
+				}
+			})
+			if aborts != 2 {
+				t.Errorf("%d ranks observed ErrAborted, want 2", aborts)
+			}
+		})
+	}
+}
+
+// TestConformanceChaosAbortPlan drives the FaultPlan's forced
+// mid-superstep abort: the targeted rank's Sync fails with the injected
+// error and both peers observe ErrAborted.
+func TestConformanceChaosAbortPlan(t *testing.T) {
+	for _, base := range []Transport{ShmTransport{}, TCPTransport{}} {
+		t.Run("chaos-"+base.Name(), func(t *testing.T) {
+			plan := FaultPlan{Seed: 3, AbortRank: 1, AbortStep: 2}
+			tr := ChaosTransport{Base: base, Plan: plan}
+			var mu sync.Mutex
+			injected, aborted := 0, 0
+			runProcs(t, tr, 3, func(ep Endpoint) {
+				for s := 0; s < 3; s++ {
+					if _, err := ep.Sync(); err != nil {
+						mu.Lock()
+						if strings.Contains(err.Error(), "injected abort") {
+							injected++
+						} else if errors.Is(err, ErrAborted) {
+							aborted++
+						} else {
+							t.Errorf("rank %d: unexpected error %v", ep.ID(), err)
+						}
+						mu.Unlock()
+						return
+					}
+				}
+			})
+			if injected != 1 || aborted != 2 {
+				t.Errorf("injected=%d aborted=%d, want 1 and 2", injected, aborted)
+			}
+		})
+	}
+}
+
+// TestConformanceSliceOwnership: the slices Sync returns belong to the
+// caller. Scribbling over one superstep's inbox (contents and
+// container) must not corrupt the next superstep's delivery.
+func TestConformanceSliceOwnership(t *testing.T) {
+	for _, tc := range conformanceCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			const p = 2
+			runProcs(t, tc.tr, p, func(ep Endpoint) {
+				id := ep.ID()
+				for s := 0; s < 3; s++ {
+					ep.Send(1-id, msgFor(id, 1-id, s, 0))
+					inbox, err := ep.Sync()
+					if err != nil {
+						t.Errorf("rank %d step %d: %v", id, s, err)
+						return
+					}
+					want := msgFor(1-id, id, s, 0)
+					if len(inbox) != 1 || !bytes.Equal(inbox[0], want) {
+						t.Errorf("rank %d step %d: inbox = %q, want [%q]", id, s, inbox, want)
+						return
+					}
+					// The caller owns the result: deface it.
+					for i := range inbox[0] {
+						inbox[0][i] = 0xDD
+					}
+					inbox[0] = nil
+					inbox = append(inbox[:0], nil, nil, nil)
+					_ = inbox
+				}
+			})
+		})
+	}
+}
+
+// TestConformanceChaosTransientTCP cranks the injected connection fault
+// rate far above the conformance plan's and checks the TCP retry +
+// backoff path absorbs every fault: the exchange still delivers
+// exactly the contract multiset.
+func TestConformanceChaosTransientTCP(t *testing.T) {
+	plan := FaultPlan{Seed: 11, ConnErrRate: 0.3}
+	tr := ChaosTransport{Base: TCPTransport{}, Plan: plan}
+	const p, steps = 3, 4
+	runProcs(t, tr, p, func(ep Endpoint) {
+		id := ep.ID()
+		for s := 0; s < steps; s++ {
+			for dst := 0; dst < p; dst++ {
+				ep.Send(dst, msgFor(id, dst, s, 0))
+			}
+			inbox, err := ep.Sync()
+			if err != nil {
+				t.Errorf("rank %d step %d: Sync under 30%% transient faults: %v", id, s, err)
+				return
+			}
+			if len(inbox) != p {
+				t.Errorf("rank %d step %d: %d messages, want %d", id, s, len(inbox), p)
+			}
+		}
+	})
+}
+
+// TestConformanceChaosNameAndRegistry covers the decorator's
+// plumbing: Name composition, the chaos: registry prefix, and plan
+// parsing round-trips.
+func TestConformanceChaosNameAndRegistry(t *testing.T) {
+	tr, err := New("chaos:tcp")
+	if err != nil {
+		t.Fatalf("New(chaos:tcp): %v", err)
+	}
+	if tr.Name() != "chaos:tcp" {
+		t.Errorf("Name() = %q, want chaos:tcp", tr.Name())
+	}
+	if _, err := New("chaos:bogus"); err == nil {
+		t.Error("New(chaos:bogus) should fail")
+	}
+	pl, err := ParseFaultPlan("seed=42,delay=0.5,maxdelay=3ms,stall=0.25,stallfor=7ms,connerr=0.1,abort=2@4,ranks=0+2,steps=2-5")
+	if err != nil {
+		t.Fatalf("ParseFaultPlan: %v", err)
+	}
+	want := FaultPlan{
+		Seed: 42, DelayRate: 0.5, MaxDelay: 3 * time.Millisecond,
+		StallRate: 0.25, Stall: 7 * time.Millisecond, ConnErrRate: 0.1,
+		AbortRank: 2, AbortStep: 4, Ranks: []int{0, 2}, FromStep: 2, ToStep: 5,
+	}
+	if fmt.Sprint(pl) != fmt.Sprint(want) {
+		t.Errorf("ParseFaultPlan = %+v, want %+v", pl, want)
+	}
+	if !pl.targets(0) || pl.targets(1) || !pl.targets(2) {
+		t.Errorf("targets: ranks filter broken: %+v", pl.Ranks)
+	}
+	if pl.inWindow(1) || !pl.inWindow(2) || !pl.inWindow(5) || pl.inWindow(6) {
+		t.Error("inWindow: step filter broken")
+	}
+	for _, bad := range []string{"delay", "wat=1", "abort=1", "ranks=x", "steps=3", "delay=zz"} {
+		if _, err := ParseFaultPlan(bad); err == nil {
+			t.Errorf("ParseFaultPlan(%q) should fail", bad)
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package transport
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // SimTransport is the deterministic single-processor simulation of a BSP
 // machine. The paper measured work depth and total work by "simulating
@@ -63,7 +66,11 @@ type simState struct {
 	arrived    []bool
 	numActive  int
 	numArrived int
-	aborted    bool
+	// aborted is atomic (not token-guarded like the rest of the state)
+	// because core's superstep watchdog may set it from outside the
+	// token ring; a stalled token holder then observes it at its next
+	// Sync.
+	aborted atomic.Bool
 }
 
 type simEndpoint struct {
@@ -85,11 +92,10 @@ func (e *simEndpoint) P() int  { return e.st.p }
 // time.
 func (e *simEndpoint) Begin() { <-e.st.turn[e.id] }
 
-// Abort implements Endpoint. The caller holds the token (it is invoked
-// from the failing process's goroutine after its function panicked), so
-// plain stores are safe; the subsequent Close hands the token on and the
-// peers observe the flag.
-func (e *simEndpoint) Abort() { e.st.aborted = true }
+// Abort implements Endpoint. Usually invoked from the failing process's
+// goroutine (which holds the token); the atomic store also admits calls
+// from core's watchdog goroutine.
+func (e *simEndpoint) Abort() { e.st.aborted.Store(true) }
 
 // Send implements Endpoint.
 func (e *simEndpoint) Send(dst int, msg []byte) {
@@ -99,7 +105,7 @@ func (e *simEndpoint) Send(dst int, msg []byte) {
 // Sync implements Endpoint.
 func (e *simEndpoint) Sync() ([][]byte, error) {
 	st := e.st
-	if st.aborted {
+	if st.aborted.Load() {
 		return nil, ErrAborted
 	}
 	for _, m := range e.out {
@@ -110,7 +116,7 @@ func (e *simEndpoint) Sync() ([][]byte, error) {
 	st.numArrived++
 	st.advance(e.id)
 	<-st.turn[e.id]
-	if st.aborted {
+	if st.aborted.Load() {
 		return nil, ErrAborted
 	}
 	inbox := st.inboxReady[e.id]

@@ -3,11 +3,13 @@ package transport
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // TCPTransport is the TCP implementation of the library (paper, Appendix
@@ -24,7 +26,31 @@ import (
 // Within a stage the lower-ranked process of a pair streams its batch
 // first while the higher-ranked process drains it, then the roles swap —
 // so neither side ever depends on kernel socket buffering.
-type TCPTransport struct{}
+//
+// The transport is hardened against transient failure: every connect,
+// read and write carries a per-stage deadline, and operations that fail
+// with a retryable error (a net.Error timeout or an injected
+// ErrTransient fault, see ChaosTransport) are retried a bounded number
+// of times with exponential backoff before the superstep is failed. A
+// peer that stays silent past the deadline therefore surfaces as an
+// error naming the pair and superstep instead of a hang.
+type TCPTransport struct {
+	// StageTimeout bounds each individual connect, read and write; a
+	// peer silent for longer fails the operation with a timeout error
+	// (after retries). 0 means tcpDefaultStageTimeout. This is a
+	// per-operation liveness bound, not a superstep budget — use
+	// core Config.SyncTimeout to bound whole supersteps.
+	StageTimeout time.Duration
+	// MaxRetries is how many times a transiently-failed operation is
+	// retried (with backoff doubling from tcpRetryBackoff). 0 means
+	// tcpDefaultRetries; negative disables retry.
+	MaxRetries int
+
+	// wrapConn, when set (by ChaosTransport), decorates each
+	// connection for fault injection before the buffered framing is
+	// layered on top.
+	wrapConn func(local, peer int, c net.Conn) net.Conn
+}
 
 // Name implements Transport.
 func (TCPTransport) Name() string { return "tcp" }
@@ -32,12 +58,55 @@ func (TCPTransport) Name() string { return "tcp" }
 // tcpFrameLimit guards against corrupt length prefixes.
 const tcpFrameLimit = 1 << 30
 
+// Defaults for the hardening knobs: the stage deadline is generous (it
+// only has to beat "forever"), the retry budget small (transient faults
+// are rare or the link is genuinely down).
+const (
+	tcpDefaultStageTimeout = 2 * time.Minute
+	tcpDefaultRetries      = 3
+	tcpRetryBackoff        = 500 * time.Microsecond
+)
+
+func (t TCPTransport) stageTimeout() time.Duration {
+	if t.StageTimeout > 0 {
+		return t.StageTimeout
+	}
+	return tcpDefaultStageTimeout
+}
+
+func (t TCPTransport) maxRetries() int {
+	if t.MaxRetries > 0 {
+		return t.MaxRetries
+	}
+	if t.MaxRetries < 0 {
+		return 0
+	}
+	return tcpDefaultRetries
+}
+
+// isTransientNetErr reports whether an I/O error may be retried:
+// injected transient faults and deadline-style timeouts qualify;
+// closed connections, EOFs and framing errors do not.
+func isTransientNetErr(err error) bool {
+	if errors.Is(err, ErrTransient) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
 // Open implements Transport.
-func (TCPTransport) Open(p int) ([]Endpoint, error) {
+func (t TCPTransport) Open(p int) ([]Endpoint, error) {
 	if p < 1 {
 		return nil, fmt.Errorf("tcp: p must be >= 1, got %d", p)
 	}
-	st := &tcpState{p: p, sched: NewPairSchedule(p)}
+	st := &tcpState{
+		p:        p,
+		sched:    NewPairSchedule(p),
+		timeout:  t.stageTimeout(),
+		retries:  t.maxRetries(),
+		wrapConn: t.wrapConn,
+	}
 	eps := make([]Endpoint, p)
 	tes := make([]*tcpEndpoint, p)
 	for i := 0; i < p; i++ {
@@ -59,19 +128,22 @@ func (TCPTransport) Open(p int) ([]Endpoint, error) {
 	}
 	defer ln.Close()
 	// Connect every pair i<j: the "j side" dials, the "i side" accepts.
-	// Dials and accepts are sequential, so they match up in order.
+	// Dials and accepts are sequential, so they match up in order. The
+	// channel is buffered so an accept goroutine can never block
+	// forever if the dial side bails out first (the deferred ln.Close
+	// fails its Accept).
 	type acc struct {
 		c   net.Conn
 		err error
 	}
-	accCh := make(chan acc)
+	accCh := make(chan acc, 1)
 	for i := 0; i < p; i++ {
 		for j := i + 1; j < p; j++ {
 			go func() {
 				c, err := ln.Accept()
 				accCh <- acc{c, err}
 			}()
-			cj, err := net.Dial("tcp", ln.Addr().String())
+			cj, err := st.dial(ln.Addr().String())
 			if err != nil {
 				st.closeAll(tes)
 				return nil, fmt.Errorf("tcp: dial for pair (%d,%d): %w", i, j, err)
@@ -92,11 +164,64 @@ func (TCPTransport) Open(p int) ([]Endpoint, error) {
 type tcpState struct {
 	p         int
 	sched     *PairSchedule
+	timeout   time.Duration
+	retries   int
+	wrapConn  func(local, peer int, c net.Conn) net.Conn
 	aborted   atomic.Bool
 	abortOnce sync.Once
 	closedN   atomic.Int64
 	eps       []*tcpEndpoint // set lazily for abort fan-out
 	epsMu     sync.Mutex
+}
+
+// dial connects with the per-stage deadline and bounded retry +
+// exponential backoff on transient failures.
+func (st *tcpState) dial(addr string) (net.Conn, error) {
+	var lastErr error
+	for attempt := 0; attempt <= st.retries; attempt++ {
+		c, err := net.DialTimeout("tcp", addr, st.timeout)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+		if !isTransientNetErr(err) || attempt == st.retries {
+			break
+		}
+		time.Sleep(tcpRetryBackoff << attempt)
+	}
+	return nil, lastErr
+}
+
+// stageConn wraps a (possibly chaos-decorated) connection with the
+// per-operation deadline + bounded-retry policy. Retries fire only when
+// no bytes were transferred, so a retried call never splits or repeats
+// stream data; a partial transfer with an error is surfaced as-is.
+type stageConn struct {
+	net.Conn
+	timeout time.Duration
+	retries int
+}
+
+func (c *stageConn) Read(p []byte) (n int, err error) {
+	for attempt := 0; ; attempt++ {
+		c.Conn.SetReadDeadline(time.Now().Add(c.timeout))
+		n, err = c.Conn.Read(p)
+		if err == nil || n > 0 || attempt >= c.retries || !isTransientNetErr(err) {
+			return n, err
+		}
+		time.Sleep(tcpRetryBackoff << attempt)
+	}
+}
+
+func (c *stageConn) Write(p []byte) (n int, err error) {
+	for attempt := 0; ; attempt++ {
+		c.Conn.SetWriteDeadline(time.Now().Add(c.timeout))
+		n, err = c.Conn.Write(p)
+		if err == nil || n > 0 || attempt >= c.retries || !isTransientNetErr(err) {
+			return n, err
+		}
+		time.Sleep(tcpRetryBackoff << attempt)
+	}
 }
 
 func (st *tcpState) closeAll(tes []*tcpEndpoint) {
@@ -121,10 +246,19 @@ type tcpEndpoint struct {
 	hdr    [8]byte
 }
 
+// setConn installs the connection to peer. The raw conn is kept for
+// Close/CloseWrite/Abort; the framing readers and writers run over the
+// retry-and-deadline stageConn (optionally over a fault-injecting
+// wrapper), so every read and write of a stage inherits the policy.
 func (e *tcpEndpoint) setConn(peer int, c net.Conn) {
 	e.conns[peer] = c
-	e.rd[peer] = bufio.NewReaderSize(c, 64<<10)
-	e.wr[peer] = bufio.NewWriterSize(c, 64<<10)
+	inner := c
+	if e.st.wrapConn != nil {
+		inner = e.st.wrapConn(e.id, peer, inner)
+	}
+	sc := &stageConn{Conn: inner, timeout: e.st.timeout, retries: e.st.retries}
+	e.rd[peer] = bufio.NewReaderSize(sc, 64<<10)
+	e.wr[peer] = bufio.NewWriterSize(sc, 64<<10)
 	e.st.epsMu.Lock()
 	found := false
 	for _, x := range e.st.eps {

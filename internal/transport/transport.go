@@ -15,11 +15,17 @@
 // ended. This is exactly the BSP delivery contract: "a packet sent in one
 // superstep is delivered to the destination processor at the beginning of
 // the next superstep".
+//
+// ChaosTransport decorates any of the above with seeded, deterministic
+// fault injection (delays, stalls, transient TCP faults, forced aborts;
+// see FaultPlan), and a shared conformance suite checks the delivery
+// contract on every transport, clean and chaos-wrapped alike.
 package transport
 
 import (
 	"errors"
 	"fmt"
+	"strings"
 )
 
 // ErrAborted is returned by Sync when a peer process aborted (panicked)
@@ -69,8 +75,18 @@ type Transport interface {
 // memory, paper B.1), "xchg" (buffered pairwise exchange in the style of
 // the MPI version, paper B.2), "tcp" (real TCP loopback sockets with the
 // staged total-exchange schedule, paper B.3) and "sim" (deterministic
-// single-processor simulation).
+// single-processor simulation). A "chaos:" prefix ("chaos:tcp",
+// "chaos:shm", ...) wraps the named base transport in a ChaosTransport
+// with DefaultFaultPlan; use ChaosTransport directly for a custom
+// FaultPlan.
 func New(name string) (Transport, error) {
+	if base, ok := strings.CutPrefix(name, "chaos:"); ok {
+		tr, err := New(base)
+		if err != nil {
+			return nil, err
+		}
+		return ChaosTransport{Base: tr, Plan: DefaultFaultPlan()}, nil
+	}
 	switch name {
 	case "shm":
 		return ShmTransport{}, nil

@@ -1,0 +1,158 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzRoundTrip interprets the fuzz input as a script of typed writes,
+// encodes them with Writer, and checks Reader returns every value
+// bit-exactly with nothing left over. Seed corpus lives in
+// testdata/fuzz/FuzzRoundTrip; run `go test -fuzz=FuzzRoundTrip
+// ./internal/wire/` to explore further.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	f.Add([]byte{4, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xF8, 0x7F}) // float64 NaN bits
+	f.Add(bytes.Repeat([]byte{3, 0x80}, 40))                               // many negative int32s
+	f.Add([]byte{5, 200, 0xAA, 0xBB, 1, 0xDE, 0xAD, 0xBE, 0xEF, 0xCA, 0xFE, 0xBA, 0xBE})
+
+	f.Fuzz(func(t *testing.T, script []byte) {
+		type op struct {
+			kind byte
+			u64  uint64
+			raw  []byte
+		}
+		var ops []op
+		w := &Writer{}
+		take := func(n int) ([]byte, bool) {
+			if len(script) < n {
+				return nil, false
+			}
+			b := script[:n]
+			script = script[n:]
+			return b, true
+		}
+		for len(script) > 0 {
+			kind := script[0] % 6
+			script = script[1:]
+			switch kind {
+			case 0: // uint32
+				b, ok := take(4)
+				if !ok {
+					b = append(b, make([]byte, 4-len(b))...)
+				}
+				v := uint64(uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24)
+				w.Uint32(uint32(v))
+				ops = append(ops, op{kind: 0, u64: v})
+			case 1: // uint64
+				b, _ := take(8)
+				var v uint64
+				for i, x := range b {
+					v |= uint64(x) << (8 * i)
+				}
+				w.Uint64(v)
+				ops = append(ops, op{kind: 1, u64: v})
+			case 2: // int
+				b, _ := take(8)
+				var v uint64
+				for i, x := range b {
+					v |= uint64(x) << (8 * i)
+				}
+				w.Int(int(int64(v)))
+				ops = append(ops, op{kind: 2, u64: v})
+			case 3: // int32
+				b, ok := take(4)
+				if !ok {
+					b = append(b, make([]byte, 4-len(b))...)
+				}
+				v := uint64(uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24)
+				w.Int32(int32(uint32(v)))
+				ops = append(ops, op{kind: 3, u64: v})
+			case 4: // float64 (compared by bits: NaN payloads must survive)
+				b, _ := take(8)
+				var v uint64
+				for i, x := range b {
+					v |= uint64(x) << (8 * i)
+				}
+				w.Float64(math.Float64frombits(v))
+				ops = append(ops, op{kind: 4, u64: v})
+			case 5: // raw bytes, length from the script
+				nb, ok := take(1)
+				n := 0
+				if ok {
+					n = int(nb[0]) % 32
+				}
+				b, _ := take(n)
+				w.Raw(b)
+				ops = append(ops, op{kind: 5, raw: b})
+			}
+		}
+		if w.Len() != len(w.Bytes()) {
+			t.Fatalf("Len %d != len(Bytes) %d", w.Len(), len(w.Bytes()))
+		}
+		r := NewReader(w.Bytes())
+		for i, o := range ops {
+			switch o.kind {
+			case 0:
+				if got := r.Uint32(); uint64(got) != o.u64 {
+					t.Fatalf("op %d: Uint32 = %d, want %d", i, got, o.u64)
+				}
+			case 1:
+				if got := r.Uint64(); got != o.u64 {
+					t.Fatalf("op %d: Uint64 = %d, want %d", i, got, o.u64)
+				}
+			case 2:
+				if got := r.Int(); got != int(int64(o.u64)) {
+					t.Fatalf("op %d: Int = %d, want %d", i, got, int(int64(o.u64)))
+				}
+			case 3:
+				if got := r.Int32(); got != int32(uint32(o.u64)) {
+					t.Fatalf("op %d: Int32 = %d, want %d", i, got, int32(uint32(o.u64)))
+				}
+			case 4:
+				if got := math.Float64bits(r.Float64()); got != o.u64 {
+					t.Fatalf("op %d: Float64 bits = %#x, want %#x", i, got, o.u64)
+				}
+			case 5:
+				if got := r.Raw(len(o.raw)); !bytes.Equal(got, o.raw) {
+					t.Fatalf("op %d: Raw = %v, want %v", i, got, o.raw)
+				}
+			}
+		}
+		if r.Remaining() != 0 {
+			t.Fatalf("%d bytes left after reading every value back", r.Remaining())
+		}
+	})
+}
+
+// FuzzReaderShortMessage feeds arbitrary bytes to Reader and checks the
+// out-of-bounds contract: reads past the end always panic (via need),
+// never return garbage silently, and in-bounds reads never panic.
+func FuzzReaderShortMessage(f *testing.F) {
+	f.Add([]byte{}, byte(0))
+	f.Add([]byte{1, 2, 3}, byte(0))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, byte(1))
+	f.Fuzz(func(t *testing.T, buf []byte, kind byte) {
+		r := NewReader(buf)
+		need := 4
+		if kind%2 == 1 {
+			need = 8
+		}
+		defer func() {
+			r := recover()
+			if len(buf) < need && r == nil {
+				t.Fatalf("reading %d bytes from %d succeeded", need, len(buf))
+			}
+			if len(buf) >= need && r != nil {
+				t.Fatalf("in-bounds read panicked: %v", r)
+			}
+		}()
+		if kind%2 == 1 {
+			r.Uint64()
+		} else {
+			r.Uint32()
+		}
+	})
+}

@@ -1,7 +1,12 @@
 # Verify tiers for the Green BSP reproduction.
 #
-#   make verify       tier-1: build + full test suite (ROADMAP.md)
+#   make verify       tier-1: build + go vet + full test suite + the
+#                     cross-transport conformance suite under -race
 #   make verify-race  tier-2: go vet + full test suite under -race
+#   make verify-alloc allocation gate: the batched exchange engine must
+#                     keep an 8-process all-to-all superstep allocation-
+#                     free (see internal/core/alloc_test.go and
+#                     BENCH_exchange.json)
 #   make conformance  cross-transport contract suite under -race
 #                     (shortened fault plans; stays well under 60s)
 #   make fuzz         brief wire encode/decode fuzz pass
@@ -9,7 +14,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify verify-race conformance fuzz bench
+.PHONY: build test vet race verify verify-race verify-alloc conformance fuzz bench bench-alloc
 
 build:
 	$(GO) build ./...
@@ -23,16 +28,23 @@ vet:
 race:
 	$(GO) test -race ./...
 
-verify: build test
+verify: build vet test conformance
 
 verify-race: vet race
 
+verify-alloc:
+	$(GO) test -count=1 ./internal/core/ -run TestExchangeAllocGate -v
+
 conformance:
-	$(GO) test -race -timeout 60s ./internal/transport/ -run Conformance -v
+	$(GO) test -race -timeout 120s ./internal/transport/ -run 'Conformance|PerPairBatchHandoff' -v
 
 fuzz:
 	$(GO) test ./internal/wire/ -fuzz FuzzRoundTrip -fuzztime 10s
 	$(GO) test ./internal/wire/ -fuzz FuzzReaderShortMessage -fuzztime 5s
+	$(GO) test ./internal/wire/ -fuzz FuzzFrameBatch -fuzztime 5s
 
 bench:
 	$(GO) test ./internal/transport/ -run xxx -bench . -benchtime 100x
+
+bench-alloc:
+	$(GO) test ./internal/core/ -run xxx -bench BenchmarkExchangeAllocs -benchmem

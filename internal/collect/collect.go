@@ -21,6 +21,14 @@ import (
 	"repro/internal/wire"
 )
 
+// clone copies a received view out of the transport's receive buffer.
+// Recv views are only valid until the caller's next Sync (see
+// core.Proc.Recv); collectives return durable data, so anything handed
+// back to the caller is copied first.
+func clone(b []byte) []byte {
+	return append([]byte(nil), b...)
+}
+
 // Broadcast distributes data from root to all processes and returns it.
 // Cost: h = (p-1)·|data| at the root, s = 1.
 func Broadcast(c *core.Proc, root int, data []byte) []byte {
@@ -39,7 +47,7 @@ func Broadcast(c *core.Proc, root int, data []byte) []byte {
 	if !ok {
 		panic("collect: Broadcast received nothing")
 	}
-	return msg
+	return clone(msg)
 }
 
 // BroadcastTwoPhase distributes data from root in two supersteps:
@@ -89,7 +97,9 @@ func BroadcastTwoPhase(c *core.Proc, root int, data []byte) []byte {
 		r := wire.NewReader(msg)
 		size = r.Int()
 		myLo = r.Int()
-		myPiece = r.Raw(r.Remaining())
+		// myPiece is reused after the phase-2 Sync, past the view's
+		// validity window, so it must be copied out here.
+		myPiece = clone(r.Raw(r.Remaining()))
 	}
 	w := wire.NewWriter(16 + len(myPiece))
 	w.Int(myLo)
@@ -220,7 +230,7 @@ func Gather(c *core.Proc, root int, data []byte) [][]byte {
 		}
 		r := wire.NewReader(msg)
 		src := r.Int()
-		out[src] = r.Raw(r.Remaining())
+		out[src] = clone(r.Raw(r.Remaining()))
 	}
 }
 
@@ -246,7 +256,7 @@ func Scatter(c *core.Proc, root int, pieces [][]byte) []byte {
 	if !ok {
 		panic("collect: Scatter received nothing")
 	}
-	return msg
+	return clone(msg)
 }
 
 // AllToAll delivers out[i] to process i and returns the received pieces
@@ -271,7 +281,7 @@ func AllToAll(c *core.Proc, out [][]byte) [][]byte {
 		}
 		r := wire.NewReader(msg)
 		src := r.Int()
-		in[src] = r.Raw(r.Remaining())
+		in[src] = clone(r.Raw(r.Remaining()))
 	}
 }
 

@@ -1,0 +1,121 @@
+package core
+
+// Allocation accounting for the batched exchange engine. The paper's
+// implementations never move packets one at a time: per-(src,dst)
+// buffers are exchanged whole (Appendix B). These benchmarks pin the
+// allocation cost of the hot path — the 8-process shm all-to-all
+// pattern — and the gate test enforces the batched engine's advantage
+// over the seed's one-allocation-per-message path.
+//
+// Measured history (allocs per superstep, whole machine, p=8, 32
+// fixed-size packets per ordered pair = 2048 messages per superstep):
+//
+//	seed (per-message slices):   see BENCH_exchange.json "before"
+//	batched (pooled buffers):    see BENCH_exchange.json "after"
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+const (
+	allocP        = 8  // processes in the all-to-all pattern
+	allocPerPair  = 32 // messages per ordered (src,dst) pair per superstep
+	allocGateMax  = 200
+	allocSeedRef  = 2073 // measured seed-path allocs/superstep (see BENCH_exchange.json)
+	allocGateRuns = 10
+)
+
+// exchangeSuperstep performs one all-to-all superstep: 16-byte packets
+// to every destination (self included), then Sync and a full drain.
+func exchangeSuperstep(c *Proc, pkt *Pkt) {
+	for dst := 0; dst < allocP; dst++ {
+		for k := 0; k < allocPerPair; k++ {
+			c.SendPkt(dst, pkt)
+		}
+	}
+	c.Sync()
+	for {
+		if _, ok := c.GetPkt(); !ok {
+			break
+		}
+	}
+}
+
+// BenchmarkExchangeAllocs reports allocs/op = allocations per superstep
+// across the whole 8-process machine (every process sends 32 packets to
+// every process, then drains). Compare against BENCH_exchange.json.
+func BenchmarkExchangeAllocs(b *testing.B) {
+	b.ReportAllocs()
+	_, err := Run(Config{P: allocP, Transport: transport.ShmTransport{}}, func(c *Proc) {
+		var pkt Pkt
+		pkt[0] = byte(c.ID())
+		for n := 0; n < b.N; n++ {
+			exchangeSuperstep(c, &pkt)
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// TestExchangeAllocGate is the allocation regression gate: the steady-
+// state all-to-all superstep on shm must stay at least 10x below the
+// seed path's one-allocation-per-message cost. The machine runs in
+// background goroutines; testing.AllocsPerRun triggers one lock-step
+// superstep per run and counts the whole machine's allocations.
+func TestExchangeAllocGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc gate skipped in -short mode")
+	}
+	const warmup = 4 // pre-grow buffers and stats before measuring
+	// AllocsPerRun invokes the function once to warm up, then
+	// allocGateRuns more times.
+	totalSteps := warmup + 1 + allocGateRuns
+
+	start := make(chan struct{})
+	stepDone := make(chan struct{}, allocP)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	errCh := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		_, err := Run(Config{P: allocP, Transport: transport.ShmTransport{}}, func(c *Proc) {
+			var pkt Pkt
+			pkt[0] = byte(c.ID())
+			for s := 0; s < totalSteps; s++ {
+				<-start
+				exchangeSuperstep(c, &pkt)
+				stepDone <- struct{}{}
+			}
+		})
+		errCh <- err
+	}()
+
+	oneSuperstep := func() {
+		for i := 0; i < allocP; i++ {
+			start <- struct{}{}
+		}
+		for i := 0; i < allocP; i++ {
+			<-stepDone
+		}
+	}
+	for s := 0; s < warmup; s++ {
+		oneSuperstep()
+	}
+	avg := testing.AllocsPerRun(allocGateRuns, oneSuperstep)
+	wg.Wait()
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("allocs per all-to-all superstep (p=%d, %d msgs/pair): %.1f", allocP, allocPerPair, avg)
+	if avg > allocGateMax {
+		t.Errorf("alloc gate: %.1f allocs/superstep, want <= %d (seed path was ~%d; batched engine must hold a >=10x reduction)",
+			avg, allocGateMax, allocSeedRef)
+	}
+	if avg*10 > allocSeedRef {
+		t.Errorf("alloc gate: %.1f allocs/superstep is not >=10x below the seed's ~%d", avg, allocSeedRef)
+	}
+}

@@ -80,8 +80,7 @@ type Proc struct {
 	p  int
 	ep transport.Endpoint
 
-	inbox    [][]byte
-	inboxPos int
+	inbox *transport.Inbox
 
 	steps    []stepRecord
 	sentPkts int
@@ -120,58 +119,57 @@ func pktUnits(n int) int {
 }
 
 // SendPkt sends a fixed-size packet to process dst. The packet is
-// delivered at the beginning of the next superstep.
+// delivered at the beginning of the next superstep. The packet bytes
+// are combined (copied) into the transport's per-destination batch, so
+// the caller may reuse pkt immediately; no per-packet allocation
+// occurs.
 func (c *Proc) SendPkt(dst int, pkt *Pkt) {
-	msg := make([]byte, PktSize)
-	copy(msg, pkt[:])
-	c.ep.Send(dst, msg)
+	c.ep.Send(dst, pkt[:])
 	c.sentPkts++
 }
 
 // GetPkt returns a packet that was sent to this process in the previous
 // superstep. Packets are returned in arbitrary order; ok is false when
-// no packets remain. GetPkt panics if the next pending message was not
-// sent with SendPkt (mixing SendPkt/Send streams within one superstep
-// requires draining with Recv, which accepts both).
+// no packets remain. The packet is copied out of the transport buffer,
+// so it stays valid indefinitely. GetPkt panics if the next pending
+// message was not sent with SendPkt (mixing SendPkt/Send streams within
+// one superstep requires draining with Recv, which accepts both).
 func (c *Proc) GetPkt() (pkt Pkt, ok bool) {
-	if c.inboxPos >= len(c.inbox) {
+	msg, ok := c.inbox.Next()
+	if !ok {
 		return Pkt{}, false
 	}
-	msg := c.inbox[c.inboxPos]
 	if len(msg) != PktSize {
 		panic(fmt.Sprintf("bsp: GetPkt on a %d-byte message; use Recv for variable-length messages", len(msg)))
 	}
-	c.inboxPos++
 	copy(pkt[:], msg)
 	return pkt, true
 }
 
 // Send sends an arbitrary-length message to process dst (the paper's
-// variable-length extension). The message is copied; the caller may
-// reuse b immediately. For cost accounting the message counts as
+// variable-length extension). The message is combined (copied) into the
+// transport's per-destination batch; the caller may reuse b
+// immediately. For cost accounting the message counts as
 // ceil(len(b)/PktSize) packets (minimum one).
 func (c *Proc) Send(dst int, b []byte) {
-	msg := make([]byte, len(b))
-	copy(msg, b)
-	c.ep.Send(dst, msg)
+	c.ep.Send(dst, b)
 	c.sentPkts += pktUnits(len(b))
 }
 
 // Recv returns the next message delivered to this process in the
 // previous superstep, or ok == false when none remain. The returned
-// slice is owned by the caller.
+// slice is a zero-copy view into the transport's receive buffer: it is
+// valid until this process's next Sync (which recycles the buffers) and
+// must not be appended to. Callers that retain a message across a Sync
+// must copy it first.
 func (c *Proc) Recv() ([]byte, bool) {
-	if c.inboxPos >= len(c.inbox) {
-		return nil, false
-	}
-	msg := c.inbox[c.inboxPos]
-	c.inboxPos++
-	return msg, true
+	return c.inbox.Next()
 }
 
 // Pending returns the number of unreceived messages from the previous
-// superstep (the paper's auxiliary unreceived-packet query).
-func (c *Proc) Pending() int { return len(c.inbox) - c.inboxPos }
+// superstep (the paper's auxiliary unreceived-packet query). Both
+// fixed-size packets and variable-length messages count as one each.
+func (c *Proc) Pending() int { return c.inbox.Pending() }
 
 // AddWork reports n abstract units of local computation for the current
 // superstep (cell updates, interactions, relaxations, flops — each
@@ -201,14 +199,11 @@ func (c *Proc) Sync() {
 		c.phase.Add(1)
 	}
 	recv := 0
-	for _, m := range inbox {
-		recv += pktUnits(len(m))
-	}
+	inbox.EachFrameLen(func(n int) { recv += pktUnits(n) })
 	c.steps = append(c.steps, stepRecord{work: work, units: c.units, sent: c.sentPkts, recv: recv})
 	c.sentPkts = 0
 	c.units = 0
 	c.inbox = inbox
-	c.inboxPos = 0
 	c.segStart = time.Now()
 }
 

@@ -147,6 +147,44 @@ func TestPendingMixedStreams(t *testing.T) {
 		if got := c.Pending(); got != 0 {
 			t.Errorf("proc %d: Pending after draining = %d, want 0", c.ID(), got)
 		}
+
+		// Superstep 2: a different mix (Send first, then SendPkt bursts),
+		// left only partially drained. Pending must count the remaining
+		// messages, not the remaining packet units or batch buffers (the
+		// batched engine delivers all 5 messages in ONE buffer).
+		c.Send(peer, make([]byte, 100)) // 1 message, 7 packet units
+		for k := 0; k < 4; k++ {
+			c.SendPkt(peer, &pkt) // 4 messages, 1 packet unit each
+		}
+		c.Sync()
+		if got := c.Pending(); got != 5 {
+			t.Errorf("proc %d: superstep 2 Pending = %d, want 5 messages", c.ID(), got)
+		}
+		if msg, ok := c.Recv(); !ok || len(msg) != 100 {
+			t.Errorf("proc %d: Recv of 100-byte message failed: %d bytes ok=%v", c.ID(), len(msg), ok)
+		}
+		if got := c.Pending(); got != 4 {
+			t.Errorf("proc %d: superstep 2 Pending after one Recv = %d, want 4", c.ID(), got)
+		}
+
+		// Superstep 3: the undrained packets from superstep 2 are
+		// discarded at Sync; Pending must reflect only the new
+		// superstep's traffic.
+		c.SendPkt(peer, &pkt)
+		c.Send(peer, []byte("tail"))
+		c.Sync()
+		if got := c.Pending(); got != 2 {
+			t.Errorf("proc %d: superstep 3 Pending = %d, want 2 (stale messages not discarded?)", c.ID(), got)
+		}
+		if got, ok := c.GetPkt(); !ok || got[0] != 0x5A {
+			t.Errorf("proc %d: superstep 3 GetPkt = %v ok=%v", c.ID(), got, ok)
+		}
+		if msg, ok := c.Recv(); !ok || string(msg) != "tail" {
+			t.Errorf("proc %d: superstep 3 Recv = %q ok=%v", c.ID(), msg, ok)
+		}
+		if got := c.Pending(); got != 0 {
+			t.Errorf("proc %d: superstep 3 Pending after draining = %d, want 0", c.ID(), got)
+		}
 		c.Sync()
 	})
 	// The h-relation still counts packet units: 1+3+1+1 = 6 per rank.

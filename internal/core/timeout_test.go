@@ -115,7 +115,7 @@ type infraEndpoint struct {
 	err error
 }
 
-func (e *infraEndpoint) Sync() ([][]byte, error) {
+func (e *infraEndpoint) Sync() (*transport.Inbox, error) {
 	if e.ID() == 0 {
 		e.Abort()
 		return nil, e.err

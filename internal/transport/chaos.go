@@ -239,7 +239,7 @@ func (e *chaosEndpoint) Send(dst int, msg []byte) {
 // at the following barrier — which is how a slow peer looks from the
 // outside, and what core's Config.SyncTimeout must convert into a
 // clean ErrTimeout naming this rank.
-func (e *chaosEndpoint) Sync() ([][]byte, error) {
+func (e *chaosEndpoint) Sync() (*Inbox, error) {
 	e.step++
 	pl := &e.plan
 	if pl.AbortStep > 0 && e.step == pl.AbortStep && e.ID() == pl.AbortRank {
@@ -256,6 +256,15 @@ func (e *chaosEndpoint) Sync() ([][]byte, error) {
 		}
 	}
 	return inbox, nil
+}
+
+// handedBatches forwards the per-pair batching observability counter of
+// the wrapped endpoint (chaos never changes how traffic is batched).
+func (e *chaosEndpoint) handedBatches() int {
+	if h, ok := e.Endpoint.(interface{ handedBatches() int }); ok {
+		return h.handedBatches()
+	}
+	return 0
 }
 
 // chaosConn injects transient faults into a TCP connection: with

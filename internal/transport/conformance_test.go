@@ -3,10 +3,12 @@ package transport
 // The conformance suite pins the delivery contract every transport must
 // honor — "a packet sent in superstep i is available after the barrier
 // that ends superstep i" — plus the failure-mode contract (peer exit,
-// abort propagation) and the memory contract (returned slices are the
-// caller's). It runs one shared table against all four base transports
-// AND chaos-wrapped variants, whose injected delays, stalls and
-// transient TCP faults must never change any observable outcome.
+// abort propagation) and the memory contract (frame views are
+// non-aliasing, mutable within their window, and valid until the
+// receiver's next Sync recycles the batch buffers). It runs one shared
+// table against all four base transports AND chaos-wrapped variants,
+// whose injected delays, stalls and transient TCP faults must never
+// change any observable outcome.
 //
 // The contract allows arbitrary delivery order, so every check below
 // compares multisets, never sequences; sim's deterministic order is a
@@ -54,7 +56,9 @@ func conformanceCases() []conformanceCase {
 		{"tcp", TCPTransport{}, true},
 		{"sim", SimTransport{}, false},
 		{"chaos-shm", ChaosTransport{Base: ShmTransport{}, Plan: conformanceFaultPlan()}, true},
+		{"chaos-xchg", ChaosTransport{Base: XchgTransport{}, Plan: conformanceFaultPlan()}, true},
 		{"chaos-tcp", ChaosTransport{Base: TCPTransport{}, Plan: tcpPlan}, true},
+		{"chaos-sim", ChaosTransport{Base: SimTransport{}, Plan: conformanceFaultPlan()}, false},
 	}
 }
 
@@ -76,11 +80,12 @@ func TestConformanceDeliveryAfterBarrier(t *testing.T) {
 								ep.Send(dst, msgFor(id, dst, s, k))
 							}
 						}
-						inbox, err := ep.Sync()
+						in, err := ep.Sync()
 						if err != nil {
 							t.Errorf("p=%d rank %d step %d: Sync: %v", p, id, s, err)
 							return
 						}
+						inbox := drain(in)
 						want := make(map[string]int)
 						total := 0
 						for src := 0; src < p; src++ {
@@ -116,11 +121,12 @@ func TestConformanceSelfSend(t *testing.T) {
 			runProcs(t, tc.tr, 3, func(ep Endpoint) {
 				id := ep.ID()
 				ep.Send(id, []byte{byte(id), 0xAB})
-				inbox, err := ep.Sync()
+				in, err := ep.Sync()
 				if err != nil {
 					t.Errorf("rank %d: %v", id, err)
 					return
 				}
+				inbox := drain(in)
 				if len(inbox) != 1 || !bytes.Equal(inbox[0], []byte{byte(id), 0xAB}) {
 					t.Errorf("rank %d: self-send inbox = %v", id, inbox)
 				}
@@ -136,13 +142,13 @@ func TestConformanceEmptySuperstep(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			runProcs(t, tc.tr, 4, func(ep Endpoint) {
 				for s := 0; s < 3; s++ {
-					inbox, err := ep.Sync()
+					in, err := ep.Sync()
 					if err != nil {
 						t.Errorf("rank %d step %d: %v", ep.ID(), s, err)
 						return
 					}
-					if len(inbox) != 0 {
-						t.Errorf("rank %d step %d: inbox = %v, want empty", ep.ID(), s, inbox)
+					if in.Pending() != 0 {
+						t.Errorf("rank %d step %d: %d pending messages, want none", ep.ID(), s, in.Pending())
 					}
 				}
 			})
@@ -252,9 +258,10 @@ func TestConformanceChaosAbortPlan(t *testing.T) {
 	}
 }
 
-// TestConformanceSliceOwnership: the slices Sync returns belong to the
-// caller. Scribbling over one superstep's inbox (contents and
-// container) must not corrupt the next superstep's delivery.
+// TestConformanceSliceOwnership: within its validity window a frame
+// view may be mutated freely — frames never overlap, so defacing one
+// superstep's views must not corrupt the same superstep's other frames
+// or the next superstep's delivery.
 func TestConformanceSliceOwnership(t *testing.T) {
 	for _, tc := range conformanceCases() {
 		t.Run(tc.name, func(t *testing.T) {
@@ -263,23 +270,116 @@ func TestConformanceSliceOwnership(t *testing.T) {
 				id := ep.ID()
 				for s := 0; s < 3; s++ {
 					ep.Send(1-id, msgFor(id, 1-id, s, 0))
-					inbox, err := ep.Sync()
+					ep.Send(1-id, msgFor(id, 1-id, s, 1))
+					in, err := ep.Sync()
 					if err != nil {
 						t.Errorf("rank %d step %d: %v", id, s, err)
 						return
 					}
-					want := msgFor(1-id, id, s, 0)
-					if len(inbox) != 1 || !bytes.Equal(inbox[0], want) {
-						t.Errorf("rank %d step %d: inbox = %q, want [%q]", id, s, inbox, want)
+					first, ok := in.Next()
+					if want := msgFor(1-id, id, s, 0); !ok || !bytes.Equal(first, want) {
+						t.Errorf("rank %d step %d: first view = %q, want %q", id, s, first, want)
 						return
 					}
-					// The caller owns the result: deface it.
-					for i := range inbox[0] {
-						inbox[0][i] = 0xDD
+					// Deface the consumed view; the sibling frame in the
+					// same batch must be untouched.
+					for i := range first {
+						first[i] = 0xDD
 					}
-					inbox[0] = nil
-					inbox = append(inbox[:0], nil, nil, nil)
-					_ = inbox
+					second, ok := in.Next()
+					if want := msgFor(1-id, id, s, 1); !ok || !bytes.Equal(second, want) {
+						t.Errorf("rank %d step %d: second view after mutation = %q, want %q", id, s, second, want)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestConformanceSliceAliasing: the frame views of one superstep never
+// alias each other. Every rank fills each of its views with a distinct
+// pattern, then re-reads all of them: each view must still hold its own
+// pattern, proving no two views share bytes (and that view mutation
+// cannot corrupt the framing walked by the iterator).
+func TestConformanceSliceAliasing(t *testing.T) {
+	for _, tc := range conformanceCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			const p, burst = 3, 5
+			runProcs(t, tc.tr, p, func(ep Endpoint) {
+				id := ep.ID()
+				for dst := 0; dst < p; dst++ {
+					for k := 0; k < burst; k++ {
+						ep.Send(dst, msgFor(id, dst, 0, k))
+					}
+				}
+				in, err := ep.Sync()
+				if err != nil {
+					t.Errorf("rank %d: %v", id, err)
+					return
+				}
+				views := drain(in)
+				if len(views) != p*burst {
+					t.Errorf("rank %d: %d views, want %d", id, len(views), p*burst)
+					return
+				}
+				for i, v := range views {
+					for j := range v {
+						v[j] = byte(i)
+					}
+				}
+				for i, v := range views {
+					for j, b := range v {
+						if b != byte(i) {
+							t.Errorf("rank %d: view %d byte %d = %d after filling views with their indices: views alias", id, i, j, b)
+							return
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestConformanceBufferReuseAfterSync pins the release contract: views
+// from superstep s stay intact until the receiver's NEXT Sync — even
+// while superstep s+1's heavy traffic is in flight, which forces the
+// pool (and shm's parity blocks) to hand out fresh or recycled buffers.
+// A transport that recycles a buffer before its owner's next Sync will
+// corrupt the stashed views here.
+func TestConformanceBufferReuseAfterSync(t *testing.T) {
+	for _, tc := range conformanceCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			const p, burst, steps = 3, 40, 4
+			runProcs(t, tc.tr, p, func(ep Endpoint) {
+				id := ep.ID()
+				var stash [][]byte // views from the previous Sync
+				var want [][]byte  // their expected contents (copies)
+				for s := 0; s < steps; s++ {
+					for dst := 0; dst < p; dst++ {
+						for k := 0; k < burst; k++ {
+							ep.Send(dst, msgFor(id, dst, s, k))
+						}
+					}
+					// Before entering Sync (which invalidates them),
+					// verify the previous superstep's views survived the
+					// current superstep's sends.
+					for i, v := range stash {
+						if !bytes.Equal(v, want[i]) {
+							t.Errorf("rank %d step %d: view %d decayed to %q, want %q (buffer recycled too early)", id, s, i, v, want[i])
+							return
+						}
+					}
+					in, err := ep.Sync()
+					if err != nil {
+						t.Errorf("rank %d step %d: %v", id, s, err)
+						return
+					}
+					stash = drain(in)
+					want = want[:0]
+					for _, v := range stash {
+						want = append(want, append([]byte(nil), v...))
+					}
 				}
 			})
 		})
@@ -300,13 +400,13 @@ func TestConformanceChaosTransientTCP(t *testing.T) {
 			for dst := 0; dst < p; dst++ {
 				ep.Send(dst, msgFor(id, dst, s, 0))
 			}
-			inbox, err := ep.Sync()
+			in, err := ep.Sync()
 			if err != nil {
 				t.Errorf("rank %d step %d: Sync under 30%% transient faults: %v", id, s, err)
 				return
 			}
-			if len(inbox) != p {
-				t.Errorf("rank %d step %d: %d messages, want %d", id, s, len(inbox), p)
+			if in.Pending() != p {
+				t.Errorf("rank %d step %d: %d messages, want %d", id, s, in.Pending(), p)
 			}
 		}
 	})

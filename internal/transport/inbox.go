@@ -1,0 +1,147 @@
+package transport
+
+import (
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// Inbox holds one superstep's delivery to one process: at most one
+// contiguous framed batch per source (shm's chunked mode may contribute
+// several chunks per source; each chunk is itself a contiguous batch).
+//
+// Frame views returned by Next alias the received buffers. They are
+// valid until the next Sync or Close call on the endpoint that returned
+// the Inbox; that call recycles the underlying buffers into the shared
+// pool (or, on shm, re-opens the parity buffer to writers). A view may
+// be mutated freely within its window — frames never overlap, so
+// scribbling on one view cannot corrupt another frame or the framing
+// itself — but must not be retained past it; callers that need durable
+// data copy it out before their next Sync.
+type Inbox struct {
+	batches [][]byte
+	frames  int
+
+	// Iteration state: cur indexes batches, it walks the current batch,
+	// left counts undelivered frames.
+	cur  int
+	it   wire.FrameIter
+	left int
+}
+
+// reset validates the batches (one FrameCount pass each), arms the
+// iterator and returns the total frame count. Endpoints call it from
+// Sync; a framing error here is a transport-integrity failure.
+func (in *Inbox) reset(batches [][]byte) error {
+	in.batches = batches
+	in.frames = 0
+	for _, b := range batches {
+		n, err := wire.FrameCount(b)
+		if err != nil {
+			return err
+		}
+		in.frames += n
+	}
+	in.cur = 0
+	in.it.Reset(nil)
+	if len(batches) > 0 {
+		in.it.Reset(batches[0])
+	}
+	in.left = in.frames
+	return nil
+}
+
+// Next returns a zero-copy view of the next undelivered frame, in
+// arbitrary order across sources, or ok == false when none remain.
+func (in *Inbox) Next() ([]byte, bool) {
+	if in == nil {
+		return nil, false
+	}
+	for {
+		if view, ok := in.it.Next(); ok {
+			in.left--
+			return view, true
+		}
+		in.cur++
+		if in.cur >= len(in.batches) {
+			return nil, false
+		}
+		in.it.Reset(in.batches[in.cur])
+	}
+}
+
+// Pending returns the number of undelivered frames — messages, not
+// packet units or buffers (the batched engine's Pending accounting).
+func (in *Inbox) Pending() int {
+	if in == nil {
+		return 0
+	}
+	return in.left
+}
+
+// Frames returns the total number of frames delivered, regardless of
+// how many have been consumed.
+func (in *Inbox) Frames() int {
+	if in == nil {
+		return 0
+	}
+	return in.frames
+}
+
+// EachFrameLen calls fn with every frame's payload length without
+// consuming the iterator; cost accounting walks headers only.
+func (in *Inbox) EachFrameLen(fn func(n int)) {
+	if in == nil {
+		return
+	}
+	var it wire.FrameIter
+	for _, b := range in.batches {
+		it.Reset(b)
+		for {
+			view, ok := it.Next()
+			if !ok {
+				break
+			}
+			fn(len(view))
+		}
+	}
+}
+
+// batchCap is the initial capacity of pooled batch buffers: large
+// enough that small supersteps never regrow, small enough to keep
+// pooled memory bounded.
+const batchCap = 4096
+
+// batchPool recycles per-pair batch buffers across supersteps and
+// endpoints. Ownership flows send-side endpoint -> peer's inbox ->
+// pool (at the peer's next Sync); the release contract in Endpoint.Sync
+// guarantees no buffer re-enters the pool while a view into it is
+// still valid.
+var batchPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, batchCap)
+		return &b
+	},
+}
+
+// getBatch returns an empty pooled buffer.
+func getBatch() []byte {
+	return (*batchPool.Get().(*[]byte))[:0]
+}
+
+// putBatch recycles a buffer obtained from getBatch (or grown from
+// one). Callers must not touch b afterwards.
+func putBatch(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	batchPool.Put(&b)
+}
+
+// putBatches recycles every buffer of bs and clears the entries.
+func putBatches(bs [][]byte) {
+	for i, b := range bs {
+		putBatch(b)
+		bs[i] = nil
+	}
+}

@@ -1,6 +1,9 @@
 package transport
 
-import "testing"
+import (
+	"testing"
+	"testing/quick"
+)
 
 func TestPairScheduleCoversAllPairs(t *testing.T) {
 	for p := 1; p <= 17; p++ {
@@ -45,5 +48,111 @@ func TestPairScheduleCoversAllPairs(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// checkSchedule verifies every invariant of the total-exchange schedule
+// for one p: stage count, symmetry, no self-pairing, no double-pairing
+// within a stage, every unordered pair meeting exactly once, and — for
+// odd p — exactly one bye per stage with every process idling exactly
+// once across the whole schedule (so no rank is starved or double-
+// served by the bye rotation).
+func checkSchedule(t *testing.T, p int) bool {
+	t.Helper()
+	s := NewPairSchedule(p)
+	wantStages := p - 1
+	if p%2 == 1 {
+		wantStages = p
+	}
+	if p == 1 {
+		wantStages = 0
+	}
+	if s.Stages() != wantStages {
+		t.Errorf("p=%d: Stages() = %d, want %d", p, s.Stages(), wantStages)
+		return false
+	}
+	met := make(map[[2]int]int)
+	byes := make([]int, p)
+	for st := 0; st < s.Stages(); st++ {
+		stageByes := 0
+		paired := make([]bool, p)
+		for i := 0; i < p; i++ {
+			j := s.Partner(st, i)
+			if j == -1 {
+				stageByes++
+				byes[i]++
+				continue
+			}
+			if j < 0 || j >= p || j == i {
+				t.Errorf("p=%d stage %d: Partner(%d) = %d (self-pairing or out of range)", p, st, i, j)
+				return false
+			}
+			if s.Partner(st, j) != i {
+				t.Errorf("p=%d stage %d: asymmetric pairing %d->%d, %d->%d", p, st, i, j, j, s.Partner(st, j))
+				return false
+			}
+			if paired[i] {
+				t.Errorf("p=%d stage %d: process %d paired twice in one stage", p, st, i)
+				return false
+			}
+			paired[i] = true
+			if i < j {
+				met[[2]int{i, j}]++
+			}
+		}
+		if want := p % 2; stageByes != want {
+			t.Errorf("p=%d stage %d: %d byes, want %d", p, st, stageByes, want)
+			return false
+		}
+	}
+	for i := 0; i < p; i++ {
+		for j := i + 1; j < p; j++ {
+			if met[[2]int{i, j}] != 1 {
+				t.Errorf("p=%d: pair (%d,%d) met %d times, want exactly 1", p, i, j, met[[2]int{i, j}])
+				return false
+			}
+		}
+	}
+	if p%2 == 1 && p > 1 {
+		for i, b := range byes {
+			if b != 1 {
+				t.Errorf("p=%d: process %d idles %d stages, want exactly 1", p, i, b)
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestPairScheduleOddP property-checks the schedule for every odd p up
+// to 101: odd p is the case the circle method handles with a rotating
+// bye, which a naive round-robin gets wrong.
+func TestPairScheduleOddP(t *testing.T) {
+	for p := 1; p <= 101; p += 2 {
+		if !checkSchedule(t, p) {
+			t.Fatalf("odd p=%d: schedule invariants violated", p)
+		}
+	}
+}
+
+// TestPairSchedulePrimeP property-checks the schedule at prime p, where
+// modular pairing tricks (i+j ≡ st mod p) degenerate and only a correct
+// circle construction covers all pairs.
+func TestPairSchedulePrimeP(t *testing.T) {
+	for _, p := range []int{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97} {
+		if !checkSchedule(t, p) {
+			t.Fatalf("prime p=%d: schedule invariants violated", p)
+		}
+	}
+}
+
+// TestPairScheduleQuick drives checkSchedule over random p, including
+// even composites, as a catch-all property test.
+func TestPairScheduleQuick(t *testing.T) {
+	f := func(n uint8) bool {
+		return checkSchedule(t, int(n)%128+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
 	}
 }

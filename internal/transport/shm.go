@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/wire"
 )
 
 // ShmTransport is the shared-memory implementation of the library
@@ -14,25 +16,43 @@ import (
 // explicit spin barrier ("processor 0 spins on variables 1 through p-1,
 // while processors 1 through p-1 spin on variable 0").
 //
-// Locking selects how writers coordinate on a shared input buffer:
+// Messages are combined, never stored one slice at a time: a writer
+// appends length-prefixed frames into contiguous byte blocks, and the
+// reader's Inbox returns zero-copy views into those blocks. Locking
+// selects how writers coordinate on a shared input buffer:
 //
 //   - "none" (default): each (writer, reader, parity) triple has a
-//     dedicated pre-allocated block, so writers never contend. This is
-//     the limit of the paper's optimization of "pre-allocating p memory
-//     blocks (one for each writer) at the start of each input buffer".
-//   - "chunk": writers share the reader's buffer under a lock but
-//     allocate space for ChunkPkts messages per acquisition, the paper's
-//     1000-packet amortization.
-//   - "packet": one lock acquisition per message, the naive baseline the
-//     paper's chunking is designed to beat (ablation A1).
+//     dedicated persistent block, so writers never contend and steady
+//     state allocates nothing. This is the limit of the paper's
+//     optimization of "pre-allocating p memory blocks (one for each
+//     writer) at the start of each input buffer".
+//   - "chunk": writers fill private pooled chunks of ChunkBytes and
+//     splice each sealed chunk into the reader's buffer under one lock
+//     acquisition — the paper's 1000-packet amortization.
+//   - "packet": one lock acquisition per message appended to a single
+//     shared block, the naive baseline the paper's chunking is designed
+//     to beat (ablation A1).
 type ShmTransport struct {
 	// Locking is "none", "chunk" or "packet". Empty means "none".
 	Locking string
 }
 
-// ChunkPkts is the number of messages a writer reserves per lock
-// acquisition in "chunk" mode, following the paper's 1000-packet chunks.
+// ChunkPkts is the number of fixed-size packets a writer's private chunk
+// holds in "chunk" mode, following the paper's 1000-packet chunks.
 const ChunkPkts = 1000
+
+// ChunkBytes is the chunk capacity in bytes: ChunkPkts 16-byte packets
+// plus their 4-byte frame prefixes. A chunk is spliced into the
+// reader's buffer (one lock acquisition) when full, and flushed at
+// Sync.
+const ChunkBytes = ChunkPkts * 20
+
+// Locking modes, resolved once at Open so Send dispatches on an int.
+const (
+	shmModeNone = iota
+	shmModeChunk
+	shmModePacket
+)
 
 // Name implements Transport.
 func (ShmTransport) Name() string { return "shm" }
@@ -42,12 +62,13 @@ func (t ShmTransport) Open(p int) ([]Endpoint, error) {
 	if p < 1 {
 		return nil, fmt.Errorf("shm: p must be >= 1, got %d", p)
 	}
-	mode := t.Locking
-	if mode == "" {
-		mode = "none"
-	}
-	switch mode {
-	case "none", "chunk", "packet":
+	mode := shmModeNone
+	switch t.Locking {
+	case "", "none":
+	case "chunk":
+		mode = shmModeChunk
+	case "packet":
+		mode = shmModePacket
 	default:
 		return nil, fmt.Errorf("shm: unknown locking mode %q", t.Locking)
 	}
@@ -57,7 +78,7 @@ func (t ShmTransport) Open(p int) ([]Endpoint, error) {
 	for q := 0; q < 2; q++ {
 		st.bufs[q] = make([]shmBuffer, p)
 		for i := range st.bufs[q] {
-			st.bufs[q][i].blocks = make([][][]byte, p)
+			st.bufs[q][i].blocks = make([][]byte, p)
 		}
 	}
 	eps := make([]Endpoint, p)
@@ -73,17 +94,21 @@ const pad = 8
 // shmBuffer is one process's input buffer for one superstep parity.
 type shmBuffer struct {
 	mu sync.Mutex
-	// blocks[w] is writer w's dedicated block ("none" mode) or, for
-	// w == 0 only, unused; in the locked modes all writers append to
-	// shared under mu.
-	blocks [][][]byte
-	// shared holds messages deposited under mu in the locked modes.
-	shared [][]byte
+	// blocks[w] is writer w's dedicated framed block ("none" mode):
+	// persistent, truncated by the reader at drain and refilled by the
+	// writer two barriers later.
+	blocks [][]byte
+	// shared is the single framed block appended under mu in "packet"
+	// mode.
+	shared []byte
+	// chunks are the sealed pooled chunks spliced under mu in "chunk"
+	// mode; the reader recycles them after the views expire.
+	chunks [][]byte
 }
 
 type shmState struct {
 	p    int
-	mode string
+	mode int
 
 	bufs [2][]shmBuffer
 
@@ -99,8 +124,13 @@ type shmEndpoint struct {
 	id    int
 	round uint64 // completed supersteps
 
-	// chunk-mode reservation: remaining capacity per destination.
-	reserved []int
+	// chunk mode: the open private chunk per destination, pooled.
+	chunk [][]byte
+
+	inbox   Inbox
+	scratch [][]byte // batch views handed to inbox, reused
+	recycle [][]byte // pooled chunks to return at the next Sync/Close
+	handed  int      // contiguous buffers handed to peers (observability)
 
 	closed bool
 }
@@ -110,77 +140,133 @@ func (e *shmEndpoint) P() int  { return e.st.p }
 func (e *shmEndpoint) Begin()  {}
 func (e *shmEndpoint) Abort()  { e.st.aborted.Store(true) }
 
+// handedBatches reports how many contiguous buffers this endpoint has
+// handed to other processes (per-pair batching observability).
+func (e *shmEndpoint) handedBatches() int { return e.handed }
+
 // Close implements Endpoint.
 func (e *shmEndpoint) Close() error {
 	if e.closed {
 		return fmt.Errorf("shm: endpoint %d closed twice", e.id)
 	}
 	e.closed = true
+	putBatches(e.recycle)
+	e.recycle = e.recycle[:0]
+	for i, c := range e.chunk {
+		if c != nil {
+			putBatch(c)
+			e.chunk[i] = nil
+		}
+	}
 	e.st.done[e.id*pad].Store(true)
 	return nil
 }
 
-// Send implements Endpoint.
+// Send implements Endpoint: the message is combined into a contiguous
+// block for dst (copy-in; the caller keeps msg).
 func (e *shmEndpoint) Send(dst int, msg []byte) {
 	st := e.st
 	buf := &st.bufs[e.round%2][dst]
 	switch st.mode {
-	case "none":
-		buf.blocks[e.id] = append(buf.blocks[e.id], msg)
-	case "packet":
+	case shmModeNone:
+		buf.blocks[e.id] = wire.AppendFrame(buf.blocks[e.id], msg)
+	case shmModePacket:
 		buf.mu.Lock()
-		buf.shared = append(buf.shared, msg)
+		buf.shared = wire.AppendFrame(buf.shared, msg)
 		buf.mu.Unlock()
-	case "chunk":
-		if e.reserved == nil {
-			e.reserved = make([]int, st.p)
+		if dst != e.id {
+			e.handed++ // one lock-held append per message: the baseline
 		}
-		if e.reserved[dst] == 0 {
-			// Reserve space for ChunkPkts messages in one lock
-			// acquisition, then write lock-free into our block.
-			buf.mu.Lock()
-			if cap(buf.blocks[e.id])-len(buf.blocks[e.id]) < ChunkPkts {
-				grown := make([][]byte, len(buf.blocks[e.id]), len(buf.blocks[e.id])+ChunkPkts)
-				copy(grown, buf.blocks[e.id])
-				buf.blocks[e.id] = grown
-			}
-			buf.mu.Unlock()
-			e.reserved[dst] = ChunkPkts
+	case shmModeChunk:
+		if e.chunk == nil {
+			e.chunk = make([][]byte, st.p)
 		}
-		buf.blocks[e.id] = append(buf.blocks[e.id], msg)
-		e.reserved[dst]--
+		c := e.chunk[dst]
+		if c == nil {
+			c = getBatch()
+		}
+		c = wire.AppendFrame(c, msg)
+		if len(c) >= ChunkBytes {
+			e.seal(buf, dst, c)
+			c = nil
+		}
+		e.chunk[dst] = c
+	}
+}
+
+// seal splices a full (or flushed) chunk into dst's input buffer under
+// one lock acquisition — the amortization of the paper's 1000-packet
+// chunks.
+func (e *shmEndpoint) seal(buf *shmBuffer, dst int, c []byte) {
+	buf.mu.Lock()
+	buf.chunks = append(buf.chunks, c)
+	buf.mu.Unlock()
+	if dst != e.id {
+		e.handed++
 	}
 }
 
 // Sync implements Endpoint.
-func (e *shmEndpoint) Sync() ([][]byte, error) {
+func (e *shmEndpoint) Sync() (*Inbox, error) {
 	st := e.st
 	parity := e.round % 2
-	e.round++
-	if e.reserved != nil {
-		clear(e.reserved)
+	// Entering Sync invalidates the previous superstep's Inbox:
+	// recycle the pooled chunks it aliased.
+	putBatches(e.recycle)
+	e.recycle = e.recycle[:0]
+	// Flush partial chunks so the superstep's remaining traffic reaches
+	// the readers before the barrier.
+	if st.mode == shmModeChunk && e.chunk != nil {
+		for dst, c := range e.chunk {
+			if c != nil {
+				e.seal(&st.bufs[parity][dst], dst, c)
+				e.chunk[dst] = nil
+			}
+		}
 	}
+	if st.mode == shmModeNone {
+		// Count the per-pair blocks this writer actually filled.
+		for dst := 0; dst < st.p; dst++ {
+			if dst != e.id && len(st.bufs[parity][dst].blocks[e.id]) > 0 {
+				e.handed++
+			}
+		}
+	}
+	e.round++
 	if err := e.barrier(); err != nil {
 		return nil, err
 	}
 	// All writers for the superstep that just ended have passed the
 	// barrier; drain our input buffer for its parity. The buffer will
-	// not be written again until after the *next* barrier, so resetting
-	// it here is race-free.
+	// not be written again until after the *next* barrier, so
+	// truncating it here is race-free, and the data stays intact for
+	// the views' validity window (until our next Sync).
 	buf := &st.bufs[parity][e.id]
-	var total int
-	for w := range buf.blocks {
-		total += len(buf.blocks[w])
+	e.scratch = e.scratch[:0]
+	switch st.mode {
+	case shmModeNone:
+		for w := range buf.blocks {
+			if len(buf.blocks[w]) > 0 {
+				e.scratch = append(e.scratch, buf.blocks[w])
+				buf.blocks[w] = buf.blocks[w][:0]
+			}
+		}
+	case shmModePacket:
+		if len(buf.shared) > 0 {
+			e.scratch = append(e.scratch, buf.shared)
+			buf.shared = buf.shared[:0]
+		}
+	case shmModeChunk:
+		for _, c := range buf.chunks {
+			e.scratch = append(e.scratch, c)
+			e.recycle = append(e.recycle, c)
+		}
+		buf.chunks = buf.chunks[:0]
 	}
-	total += len(buf.shared)
-	inbox := make([][]byte, 0, total)
-	for w := range buf.blocks {
-		inbox = append(inbox, buf.blocks[w]...)
-		buf.blocks[w] = buf.blocks[w][:0]
+	if err := e.inbox.reset(e.scratch); err != nil {
+		return nil, fmt.Errorf("shm: process %d: %w", e.id, err)
 	}
-	inbox = append(inbox, buf.shared...)
-	buf.shared = buf.shared[:0]
-	return inbox, nil
+	return &e.inbox, nil
 }
 
 // barrier is the paper's central spin barrier, extended with abort and

@@ -3,6 +3,8 @@ package transport
 import (
 	"fmt"
 	"sync/atomic"
+
+	"repro/internal/wire"
 )
 
 // SimTransport is the deterministic single-processor simulation of a BSP
@@ -15,11 +17,13 @@ import (
 // processes in rank order; a process acquires the token in Begin, runs
 // one superstep's local computation, and releases the token in Sync.
 // When every live process has reached the superstep boundary the queued
-// messages are delivered and a new round starts at the lowest live rank.
-// Message delivery order is therefore fully deterministic: by sender
-// rank, then by send order. Because the token holder runs exclusively,
-// wall-clock time spent between Sync calls is an accurate measurement of
-// that process's local computation, even on a single-CPU host.
+// per-(src,dst) batches are delivered and a new round starts at the
+// lowest live rank. Message delivery order is therefore fully
+// deterministic: by sender rank, then by send order (each pair's batch
+// is one contiguous framed buffer, sliced into views at delivery).
+// Because the token holder runs exclusively, wall-clock time spent
+// between Sync calls is an accurate measurement of that process's local
+// computation, even on a single-CPU host.
 //
 // Unlike the concurrent transports, Sim tolerates processes that finish
 // early: the remaining processes keep synchronizing among themselves.
@@ -34,22 +38,24 @@ func (SimTransport) Open(p int) ([]Endpoint, error) {
 		return nil, fmt.Errorf("sim: p must be >= 1, got %d", p)
 	}
 	st := &simState{
-		p:          p,
-		turn:       make([]chan struct{}, p),
-		pending:    make([][][]byte, p),
-		inboxReady: make([][][]byte, p),
-		active:     make([]bool, p),
-		arrived:    make([]bool, p),
-		numActive:  p,
+		p:         p,
+		turn:      make([]chan struct{}, p),
+		pending:   make([][][]byte, p),
+		ready:     make([][][]byte, p),
+		active:    make([]bool, p),
+		arrived:   make([]bool, p),
+		numActive: p,
 	}
 	for i := range st.turn {
 		st.turn[i] = make(chan struct{}, 1)
+		st.pending[i] = make([][]byte, p)
+		st.ready[i] = make([][]byte, p)
 		st.active[i] = true
 	}
 	st.turn[0] <- struct{}{} // prime: rank 0 runs first
 	eps := make([]Endpoint, p)
 	for i := 0; i < p; i++ {
-		eps[i] = &simEndpoint{st: st, id: i}
+		eps[i] = &simEndpoint{st: st, id: i, out: make([][]byte, p)}
 	}
 	return eps, nil
 }
@@ -58,10 +64,13 @@ func (SimTransport) Open(p int) ([]Endpoint, error) {
 // the channel handoff provides the happens-before edges, so no locks are
 // needed.
 type simState struct {
-	p          int
-	turn       []chan struct{}
-	pending    [][][]byte // pending[dst]: messages queued for next superstep
-	inboxReady [][][]byte // delivery slots filled when a round completes
+	p    int
+	turn []chan struct{}
+	// pending[dst][src] is the contiguous batch queued by src for dst in
+	// the current superstep; ready[dst][src] holds the batches delivered
+	// when a round completes.
+	pending    [][][]byte
+	ready      [][][]byte
 	active     []bool
 	arrived    []bool
 	numActive  int
@@ -74,15 +83,14 @@ type simState struct {
 }
 
 type simEndpoint struct {
-	st     *simState
-	id     int
-	out    []simMsg
-	closed bool
-}
-
-type simMsg struct {
-	dst int
-	msg []byte
+	st      *simState
+	id      int
+	out     [][]byte // per-destination contiguous framed batches
+	inbox   Inbox
+	batches [][]byte // batch views handed to inbox, reused
+	recycle [][]byte // pooled buffers to return at the next Sync/Close
+	handed  int      // nonempty batches handed to peers (observability)
+	closed  bool
 }
 
 func (e *simEndpoint) ID() int { return e.id }
@@ -97,21 +105,41 @@ func (e *simEndpoint) Begin() { <-e.st.turn[e.id] }
 // from core's watchdog goroutine.
 func (e *simEndpoint) Abort() { e.st.aborted.Store(true) }
 
-// Send implements Endpoint.
+// handedBatches reports how many nonempty contiguous buffers this
+// endpoint has handed to other processes.
+func (e *simEndpoint) handedBatches() int { return e.handed }
+
+// Send implements Endpoint: msg is combined into the contiguous batch
+// for dst (copy-in; the caller keeps msg).
 func (e *simEndpoint) Send(dst int, msg []byte) {
-	e.out = append(e.out, simMsg{dst, msg})
+	b := e.out[dst]
+	if b == nil {
+		b = getBatch()
+	}
+	e.out[dst] = wire.AppendFrame(b, msg)
 }
 
 // Sync implements Endpoint.
-func (e *simEndpoint) Sync() ([][]byte, error) {
+func (e *simEndpoint) Sync() (*Inbox, error) {
 	st := e.st
 	if st.aborted.Load() {
 		return nil, ErrAborted
 	}
-	for _, m := range e.out {
-		st.pending[m.dst] = append(st.pending[m.dst], m.msg)
+	// Entering Sync invalidates the previous Inbox: recycle its buffers.
+	putBatches(e.recycle)
+	e.recycle = e.recycle[:0]
+	// Queue this superstep's per-pair batches for delivery.
+	for dst, b := range e.out {
+		if len(b) > 0 {
+			st.pending[dst][e.id] = b
+			if dst != e.id {
+				e.handed++
+			}
+		} else if b != nil {
+			putBatch(b)
+		}
+		e.out[dst] = nil
 	}
-	e.out = e.out[:0]
 	st.arrived[e.id] = true
 	st.numArrived++
 	st.advance(e.id)
@@ -119,9 +147,19 @@ func (e *simEndpoint) Sync() ([][]byte, error) {
 	if st.aborted.Load() {
 		return nil, ErrAborted
 	}
-	inbox := st.inboxReady[e.id]
-	st.inboxReady[e.id] = nil
-	return inbox, nil
+	// Slice the delivered batches into the inbox, in sender-rank order.
+	e.batches = e.batches[:0]
+	for src := 0; src < st.p; src++ {
+		if b := st.ready[e.id][src]; b != nil {
+			e.batches = append(e.batches, b)
+			e.recycle = append(e.recycle, b)
+			st.ready[e.id][src] = nil
+		}
+	}
+	if err := e.inbox.reset(e.batches); err != nil {
+		return nil, fmt.Errorf("sim: process %d: %w", e.id, err)
+	}
+	return &e.inbox, nil
 }
 
 // Close implements Endpoint: the process leaves the machine; remaining
@@ -132,6 +170,19 @@ func (e *simEndpoint) Close() error {
 	}
 	e.closed = true
 	st := e.st
+	putBatches(e.recycle)
+	e.recycle = e.recycle[:0]
+	// Undelivered batches addressed to this process are discarded.
+	for src := 0; src < st.p; src++ {
+		if b := st.ready[e.id][src]; b != nil {
+			putBatch(b)
+			st.ready[e.id][src] = nil
+		}
+		if b := st.pending[e.id][src]; b != nil {
+			putBatch(b)
+			st.pending[e.id][src] = nil
+		}
+	}
 	st.active[e.id] = false
 	st.numActive--
 	if st.numActive > 0 {
@@ -145,12 +196,14 @@ func (e *simEndpoint) Close() error {
 // by the token holder.
 func (st *simState) advance(from int) {
 	if st.numArrived == st.numActive {
-		// Round complete: deliver all queued messages and restart the
+		// Round complete: deliver all queued batches and restart the
 		// round at the lowest live rank.
 		for i := 0; i < st.p; i++ {
 			if st.arrived[i] {
-				st.inboxReady[i] = st.pending[i]
-				st.pending[i] = nil
+				for s := 0; s < st.p; s++ {
+					st.ready[i][s] = st.pending[i][s]
+					st.pending[i][s] = nil
+				}
 				st.arrived[i] = false
 			}
 		}

@@ -10,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/wire"
 )
 
 // TCPTransport is the TCP implementation of the library (paper, Appendix
@@ -115,7 +117,7 @@ func (t TCPTransport) Open(p int) ([]Endpoint, error) {
 			conns: make([]net.Conn, p),
 			rd:    make([]*bufio.Reader, p),
 			wr:    make([]*bufio.Writer, p),
-			out:   make([][][]byte, p),
+			out:   make([][]byte, p),
 		}
 		eps[i] = tes[i]
 	}
@@ -235,15 +237,19 @@ func (st *tcpState) closeAll(tes []*tcpEndpoint) {
 }
 
 type tcpEndpoint struct {
-	st     *tcpState
-	id     int
-	conns  []net.Conn
-	rd     []*bufio.Reader
-	wr     []*bufio.Writer
-	out    [][][]byte
-	round  uint32
-	closed bool
-	hdr    [8]byte
+	st      *tcpState
+	id      int
+	conns   []net.Conn
+	rd      []*bufio.Reader
+	wr      []*bufio.Writer
+	out     [][]byte // per-destination contiguous framed batches
+	inbox   Inbox
+	batches [][]byte // batch views handed to inbox, reused
+	recycle [][]byte // pooled buffers to return at the next Sync/Close
+	handed  int      // nonempty batches handed to peers (observability)
+	round   uint32
+	closed  bool
+	hdr     [8]byte
 }
 
 // setConn installs the connection to peer. The raw conn is kept for
@@ -304,6 +310,8 @@ func (e *tcpEndpoint) Close() error {
 		return fmt.Errorf("tcp: endpoint %d closed twice", e.id)
 	}
 	e.closed = true
+	putBatches(e.recycle)
+	e.recycle = e.recycle[:0]
 	for peer, c := range e.conns {
 		if c == nil {
 			continue
@@ -329,16 +337,34 @@ func (e *tcpEndpoint) Close() error {
 	return nil
 }
 
-// Send implements Endpoint.
+// Send implements Endpoint: msg is combined into the contiguous batch
+// for dst (copy-in; the caller keeps msg).
 func (e *tcpEndpoint) Send(dst int, msg []byte) {
-	e.out[dst] = append(e.out[dst], msg)
+	b := e.out[dst]
+	if b == nil {
+		b = getBatch()
+	}
+	e.out[dst] = wire.AppendFrame(b, msg)
 }
 
-// Sync implements Endpoint: one staged total exchange.
-func (e *tcpEndpoint) Sync() ([][]byte, error) {
+// handedBatches reports how many nonempty contiguous buffers this
+// endpoint has handed to other processes.
+func (e *tcpEndpoint) handedBatches() int { return e.handed }
+
+// Sync implements Endpoint: one staged total exchange, shipping one
+// framed buffer per (src,dst) pair per stage.
+func (e *tcpEndpoint) Sync() (*Inbox, error) {
 	st := e.st
 	e.round++
-	inbox := e.out[e.id]
+	// Entering Sync invalidates the previous Inbox: recycle its buffers.
+	putBatches(e.recycle)
+	e.recycle = e.recycle[:0]
+	e.batches = e.batches[:0]
+	// Self-delivery: our own batch joins the inbox directly.
+	if len(e.out[e.id]) > 0 {
+		e.batches = append(e.batches, e.out[e.id])
+		e.recycle = append(e.recycle, e.out[e.id])
+	}
 	e.out[e.id] = nil
 	for stage := 0; stage < st.sched.Stages(); stage++ {
 		peer := st.sched.Partner(stage, e.id)
@@ -349,10 +375,10 @@ func (e *tcpEndpoint) Sync() ([][]byte, error) {
 		if e.id < peer {
 			err = e.writeBatch(peer)
 			if err == nil {
-				inbox, err = e.readBatch(peer, inbox)
+				err = e.readBatch(peer)
 			}
 		} else {
-			inbox, err = e.readBatch(peer, inbox)
+			err = e.readBatch(peer)
 			if err == nil {
 				err = e.writeBatch(peer)
 			}
@@ -364,60 +390,74 @@ func (e *tcpEndpoint) Sync() ([][]byte, error) {
 			return nil, fmt.Errorf("tcp: process %d exchanging with %d in superstep %d: %w", e.id, peer, e.round, err)
 		}
 	}
-	return inbox, nil
+	if err := e.inbox.reset(e.batches); err != nil {
+		return nil, fmt.Errorf("tcp: process %d: %w", e.id, err)
+	}
+	return &e.inbox, nil
 }
 
-// writeBatch frames this superstep's traffic for peer:
-// [round][count] then per message [len][bytes].
+// writeBatch ships this superstep's whole per-pair buffer to peer in
+// one framed write: [round][byte length] then the contiguous batch.
+// The batch buffer returns to the pool as soon as the write is flushed.
 func (e *tcpEndpoint) writeBatch(peer int) error {
 	w := e.wr[peer]
+	batch := e.out[peer]
 	binary.LittleEndian.PutUint32(e.hdr[0:4], e.round)
-	binary.LittleEndian.PutUint32(e.hdr[4:8], uint32(len(e.out[peer])))
+	binary.LittleEndian.PutUint32(e.hdr[4:8], uint32(len(batch)))
 	if _, err := w.Write(e.hdr[:8]); err != nil {
 		return err
 	}
-	for _, msg := range e.out[peer] {
-		binary.LittleEndian.PutUint32(e.hdr[0:4], uint32(len(msg)))
-		if _, err := w.Write(e.hdr[0:4]); err != nil {
-			return err
-		}
-		if _, err := w.Write(msg); err != nil {
-			return err
-		}
+	if _, err := w.Write(batch); err != nil {
+		return err
 	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if len(batch) > 0 {
+		e.handed++
+	}
+	putBatch(batch)
 	e.out[peer] = nil
-	return w.Flush()
+	return nil
 }
 
-func (e *tcpEndpoint) readBatch(peer int, inbox [][]byte) ([][]byte, error) {
+// readBatch receives peer's whole per-pair buffer into one pooled
+// contiguous buffer and validates its framing in a single pass.
+func (e *tcpEndpoint) readBatch(peer int) error {
 	r := e.rd[peer]
 	if _, err := io.ReadFull(r, e.hdr[:8]); err != nil {
 		if err == io.EOF {
-			return inbox, fmt.Errorf("peer exited (superstep counts diverged): %w", err)
+			return fmt.Errorf("peer exited (superstep counts diverged): %w", err)
 		}
-		return inbox, err
+		return err
 	}
 	round := binary.LittleEndian.Uint32(e.hdr[0:4])
 	if round != e.round {
-		return inbox, fmt.Errorf("superstep mismatch: peer at %d, local at %d", round, e.round)
+		return fmt.Errorf("superstep mismatch: peer at %d, local at %d", round, e.round)
 	}
-	count := binary.LittleEndian.Uint32(e.hdr[4:8])
-	if count > tcpFrameLimit {
-		return inbox, fmt.Errorf("corrupt batch header: count %d", count)
+	n := binary.LittleEndian.Uint32(e.hdr[4:8])
+	if n > tcpFrameLimit {
+		return fmt.Errorf("corrupt batch header: %d bytes", n)
 	}
-	for k := uint32(0); k < count; k++ {
-		if _, err := io.ReadFull(r, e.hdr[0:4]); err != nil {
-			return inbox, err
-		}
-		n := binary.LittleEndian.Uint32(e.hdr[0:4])
-		if n > tcpFrameLimit {
-			return inbox, fmt.Errorf("corrupt frame length %d", n)
-		}
-		msg := make([]byte, n)
-		if _, err := io.ReadFull(r, msg); err != nil {
-			return inbox, err
-		}
-		inbox = append(inbox, msg)
+	if n == 0 {
+		return nil
 	}
-	return inbox, nil
+	batch := getBatch()
+	if cap(batch) < int(n) {
+		putBatch(batch)
+		batch = make([]byte, n)
+	} else {
+		batch = batch[:n]
+	}
+	if _, err := io.ReadFull(r, batch); err != nil {
+		putBatch(batch)
+		return err
+	}
+	if _, err := wire.FrameCount(batch); err != nil {
+		putBatch(batch)
+		return fmt.Errorf("corrupt batch from peer: %w", err)
+	}
+	e.batches = append(e.batches, batch)
+	e.recycle = append(e.recycle, batch)
+	return nil
 }

@@ -9,12 +9,20 @@
 // shared-memory single-processor simulation" used to measure work depths.
 //
 // A Transport opens p Endpoints, one per BSP process. During a superstep
-// a process queues outgoing messages with Send; Sync ends the superstep,
-// performs the global exchange and synchronization, and returns the
-// messages that were sent to this process during the superstep just
-// ended. This is exactly the BSP delivery contract: "a packet sent in one
-// superstep is delivered to the destination processor at the beginning of
-// the next superstep".
+// a process combines outgoing messages with Send into one contiguous
+// framed batch per destination; Sync ends the superstep, exchanges at
+// most one such buffer per (src,dst) pair, synchronizes, and returns an
+// Inbox over the batches addressed to this process. This is exactly the
+// BSP delivery contract — "a packet sent in one superstep is delivered
+// to the destination processor at the beginning of the next superstep" —
+// implemented with the paper's message combining: per-pair buffers are
+// shipped whole (B.2, B.3) or deposited into coarse per-writer blocks
+// (B.1), never one packet at a time.
+//
+// Buffer ownership: Send copies msg into the batch, so the caller may
+// reuse msg immediately. Inbox frame views are valid until the caller's
+// next Sync or Close, which recycles the underlying buffers into a
+// shared sync.Pool; see Inbox.
 //
 // ChaosTransport decorates any of the above with seeded, deterministic
 // fault injection (delays, stalls, transient TCP faults, forced aborts;
@@ -43,15 +51,17 @@ type Endpoint interface {
 	// transports except Sim return immediately; Sim admits processes
 	// one at a time.
 	Begin()
-	// Send queues msg for delivery to process dst at the start of the
-	// next superstep. The transport takes ownership of msg. Sending to
-	// self is allowed.
+	// Send appends msg to the contiguous per-destination batch for the
+	// current superstep (message combining). msg is copied; the caller
+	// may reuse it immediately. Sending to self is allowed.
 	Send(dst int, msg []byte)
-	// Sync ends the current superstep: it delivers queued messages,
-	// synchronizes with all peers, and returns the messages addressed
-	// to this process during the superstep that just ended. The
-	// returned slices are owned by the caller.
-	Sync() ([][]byte, error)
+	// Sync ends the current superstep: it exchanges at most one
+	// contiguous buffer per (src,dst) pair, synchronizes with all
+	// peers, and returns the Inbox of messages addressed to this
+	// process during the superstep that just ended. Calling Sync (or
+	// Close) invalidates the previous Inbox and recycles its buffers;
+	// frame views obtained from it must not be used afterwards.
+	Sync() (*Inbox, error)
 	// Abort marks the run as failed and unblocks peers stuck in Sync.
 	// It is called when the process function panics.
 	Abort()

@@ -59,6 +59,20 @@ func msgFor(src, dst, step, k int) []byte {
 	return []byte(fmt.Sprintf("m:%d->%d@%d#%d", src, dst, step, k))
 }
 
+// drain collects every remaining frame view of an Inbox, preserving
+// iteration order. The views alias transport buffers and are valid only
+// until the endpoint's next Sync, so tests assert on them immediately.
+func drain(in *Inbox) [][]byte {
+	var msgs [][]byte
+	for {
+		m, ok := in.Next()
+		if !ok {
+			return msgs
+		}
+		msgs = append(msgs, m)
+	}
+}
+
 // TestTotalExchange checks the core BSP delivery contract on every
 // transport: over several supersteps, every process sends a distinct
 // message to every process (including itself) and must receive exactly
@@ -74,11 +88,12 @@ func TestTotalExchange(t *testing.T) {
 						for dst := 0; dst < p; dst++ {
 							ep.Send(dst, msgFor(id, dst, s, 0))
 						}
-						inbox, err := ep.Sync()
+						in, err := ep.Sync()
 						if err != nil {
 							t.Errorf("p=%d proc %d step %d: Sync: %v", p, id, s, err)
 							return
 						}
+						inbox := drain(in)
 						if len(inbox) != p {
 							t.Errorf("p=%d proc %d step %d: got %d messages, want %d", p, id, s, len(inbox), p)
 							return
@@ -119,22 +134,23 @@ func TestNoEarlyDelivery(t *testing.T) {
 						ep.Send(dst, []byte{byte(dst)})
 					}
 				}
-				inbox, err := ep.Sync()
+				in, err := ep.Sync()
 				if err != nil {
 					t.Errorf("proc %d: %v", id, err)
 					return
 				}
+				inbox := drain(in)
 				if len(inbox) != 1 || inbox[0][0] != byte(id) {
 					t.Errorf("proc %d: superstep 0 inbox = %v, want [[%d]]", id, inbox, id)
 				}
 				// Superstep 1: nobody sends; inboxes must be empty.
-				inbox, err = ep.Sync()
+				in, err = ep.Sync()
 				if err != nil {
 					t.Errorf("proc %d: %v", id, err)
 					return
 				}
-				if len(inbox) != 0 {
-					t.Errorf("proc %d: superstep 1 inbox = %v, want empty", id, inbox)
+				if in.Pending() != 0 {
+					t.Errorf("proc %d: superstep 1 has %d pending messages, want none", id, in.Pending())
 				}
 			})
 		})
@@ -158,7 +174,7 @@ func TestSkewedVolumes(t *testing.T) {
 				} else {
 					ep.Send(0, msgFor(id, 0, 0, 0))
 				}
-				inbox, err := ep.Sync()
+				in, err := ep.Sync()
 				if err != nil {
 					t.Errorf("proc %d: %v", id, err)
 					return
@@ -167,8 +183,8 @@ func TestSkewedVolumes(t *testing.T) {
 				if id == 0 {
 					want = p - 1
 				}
-				if len(inbox) != want {
-					t.Errorf("proc %d: got %d messages, want %d", id, len(inbox), want)
+				if in.Pending() != want {
+					t.Errorf("proc %d: got %d messages, want %d", id, in.Pending(), want)
 				}
 			})
 		})
@@ -191,11 +207,12 @@ func TestLargeMessages(t *testing.T) {
 					rng.Read(payloads[i])
 					ep.Send((id+1)%p, payloads[i])
 				}
-				inbox, err := ep.Sync()
+				in, err := ep.Sync()
 				if err != nil {
 					t.Errorf("proc %d: %v", id, err)
 					return
 				}
+				inbox := drain(in)
 				src := (id + p - 1) % p
 				srcRng := rand.New(rand.NewSource(int64(src)))
 				want := make(map[string]int)
@@ -220,9 +237,10 @@ func TestLargeMessages(t *testing.T) {
 	}
 }
 
-// TestSendBufferOwnership confirms that the transport owns the slice
-// passed to Send: mutating a *different* buffer afterwards must not
-// corrupt delivery. (The core library copies; transports may alias.)
+// TestSendBufferOwnership pins the copy-in contract: Send combines the
+// message into the transport's batch by copy, so the caller may scribble
+// over (or reuse) its buffer immediately after Send without corrupting
+// delivery.
 func TestSendBufferOwnership(t *testing.T) {
 	for _, tr := range allTransports() {
 		t.Run(label(tr), func(t *testing.T) {
@@ -230,12 +248,17 @@ func TestSendBufferOwnership(t *testing.T) {
 				id := ep.ID()
 				msg := []byte{byte(id), 42}
 				ep.Send(1-id, msg)
-				inbox, err := ep.Sync()
+				msg[0], msg[1] = 0xEE, 0xEE // caller keeps msg: deface it
+				ep.Send(1-id, msg)          // and reuse it for a second message
+				in, err := ep.Sync()
 				if err != nil {
 					t.Errorf("proc %d: %v", id, err)
 					return
 				}
-				if len(inbox) != 1 || !bytes.Equal(inbox[0], []byte{byte(1 - id), 42}) {
+				inbox := drain(in)
+				if len(inbox) != 2 ||
+					!bytes.Equal(inbox[0], []byte{byte(1 - id), 42}) ||
+					!bytes.Equal(inbox[1], []byte{0xEE, 0xEE}) {
 					t.Errorf("proc %d: inbox = %v", id, inbox)
 				}
 			})
@@ -252,7 +275,7 @@ func TestSimDeterministicOrder(t *testing.T) {
 		for k := 0; k < 3; k++ {
 			ep.Send(0, []byte{byte(id), byte(k)})
 		}
-		inbox, err := ep.Sync()
+		in, err := ep.Sync()
 		if err != nil {
 			t.Errorf("proc %d: %v", id, err)
 			return
@@ -260,6 +283,7 @@ func TestSimDeterministicOrder(t *testing.T) {
 		if id != 0 {
 			return
 		}
+		inbox := drain(in)
 		if len(inbox) != 3*p {
 			t.Errorf("proc 0: got %d messages, want %d", len(inbox), 3*p)
 			return
@@ -370,6 +394,60 @@ func TestNewByName(t *testing.T) {
 	}
 }
 
+// TestPerPairBatchHandoff proves the central claim of the batched
+// exchange engine: however many messages a process sends to a peer in
+// one superstep, it hands the peer at most ONE contiguous buffer for the
+// pair. Every batching transport (and its chaos wrapper, which must not
+// change how traffic is batched) therefore hands exactly steps*(p-1)
+// nonempty buffers when every rank sends every other rank a burst of
+// messages each superstep. shm's "packet" mode is deliberately excluded:
+// it is the per-message baseline the batching exists to beat.
+func TestPerPairBatchHandoff(t *testing.T) {
+	const p, steps, burst = 4, 3, 20
+	transports := []Transport{
+		ShmTransport{},
+		ShmTransport{Locking: "chunk"},
+		XchgTransport{},
+		TCPTransport{},
+		SimTransport{},
+		ChaosTransport{Base: XchgTransport{}, Plan: conformanceFaultPlan()},
+		ChaosTransport{Base: SimTransport{}, Plan: conformanceFaultPlan()},
+	}
+	for _, tr := range transports {
+		t.Run(label(tr), func(t *testing.T) {
+			handed := make([]int, p)
+			runProcs(t, tr, p, func(ep Endpoint) {
+				id := ep.ID()
+				for s := 0; s < steps; s++ {
+					for dst := 0; dst < p; dst++ {
+						if dst == id {
+							continue
+						}
+						for k := 0; k < burst; k++ {
+							ep.Send(dst, msgFor(id, dst, s, k))
+						}
+					}
+					in, err := ep.Sync()
+					if err != nil {
+						t.Errorf("proc %d step %d: %v", id, s, err)
+						return
+					}
+					if got := in.Frames(); got != (p-1)*burst {
+						t.Errorf("proc %d step %d: %d frames, want %d", id, s, got, (p-1)*burst)
+					}
+				}
+				handed[id] = ep.(interface{ handedBatches() int }).handedBatches()
+			})
+			for id, h := range handed {
+				if h != steps*(p-1) {
+					t.Errorf("proc %d handed %d nonempty buffers over %d supersteps, want %d (one per pair per superstep)",
+						id, h, steps, steps*(p-1))
+				}
+			}
+		})
+	}
+}
+
 // TestQuickRandomTraffic is a property test: for random (p, superstep,
 // traffic-matrix) instances, every transport delivers exactly the sent
 // multiset of messages to each process each superstep.
@@ -412,13 +490,14 @@ func TestQuickRandomTraffic(t *testing.T) {
 							ep.Send(dst, b[:])
 						}
 					}
-					inbox, err := ep.Sync()
+					in, err := ep.Sync()
 					if err != nil {
 						mu.Lock()
 						ok = false
 						mu.Unlock()
 						return
 					}
+					inbox := drain(in)
 					want := 0
 					for src := 0; src < p; src++ {
 						want += counts[s][src][id]

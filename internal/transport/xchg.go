@@ -3,6 +3,8 @@ package transport
 import (
 	"fmt"
 	"sync/atomic"
+
+	"repro/internal/wire"
 )
 
 // XchgTransport mirrors the MPI implementation of the library (paper,
@@ -12,12 +14,14 @@ import (
 // Isend for each output buffer, and then waits until all 2p incoming and
 // outgoing transmissions are completed."
 //
-// Here each ordered pair of processes has a dedicated buffered channel
-// carrying one batch (the per-superstep output buffer) per superstep. The
-// buffering plays the role of the nonblocking Isend; waiting for the p-1
-// inbound batches plays the role of the Waitall, and — exactly as in the
-// paper — the complete exchange doubles as the barrier: no separate
-// synchronization exists.
+// Each ordered pair of processes has a dedicated buffered channel
+// carrying exactly one contiguous framed batch (the per-superstep output
+// buffer, shipped whole) per superstep. The buffering plays the role of
+// the nonblocking Isend; waiting for the p-1 inbound batches plays the
+// role of the Waitall, and — exactly as in the paper — the complete
+// exchange doubles as the barrier: no separate synchronization exists.
+// Batch buffers are pooled: a receiver recycles the buffers behind its
+// previous Inbox when it next calls Sync.
 type XchgTransport struct{}
 
 // Name implements Transport.
@@ -33,44 +37,51 @@ func (XchgTransport) Open(p int) ([]Endpoint, error) {
 		abortCh: make(chan struct{}),
 		doneCh:  make([]chan struct{}, p),
 	}
-	st.ch = make([][]chan [][]byte, p)
+	st.ch = make([][]chan []byte, p)
 	for i := 0; i < p; i++ {
 		st.doneCh[i] = make(chan struct{})
-		st.ch[i] = make([]chan [][]byte, p)
+		st.ch[i] = make([]chan []byte, p)
 		for j := 0; j < p; j++ {
 			if i != j {
 				// Capacity 1 = one in-flight superstep batch per
 				// ordered pair (the Isend buffer).
-				st.ch[i][j] = make(chan [][]byte, 1)
+				st.ch[i][j] = make(chan []byte, 1)
 			}
 		}
 	}
 	eps := make([]Endpoint, p)
 	for i := 0; i < p; i++ {
-		eps[i] = &xchgEndpoint{st: st, id: i, out: make([][][]byte, p)}
+		eps[i] = &xchgEndpoint{st: st, id: i, out: make([][]byte, p)}
 	}
 	return eps, nil
 }
 
 type xchgState struct {
 	p       int
-	ch      [][]chan [][]byte // ch[src][dst]
+	ch      [][]chan []byte // ch[src][dst] carries one framed batch per superstep
 	abortCh chan struct{}
 	aborted atomic.Bool
 	doneCh  []chan struct{}
-	done    []atomic.Bool
 }
 
 type xchgEndpoint struct {
 	st     *xchgState
 	id     int
-	out    [][][]byte // per-destination output buffers for this superstep
+	out    [][]byte // per-destination contiguous output batches
+	inbox  Inbox
+	batches [][]byte // batch views handed to inbox, reused
+	recycle [][]byte // pooled buffers to return at the next Sync/Close
+	handed  int      // nonempty batches handed to peers (observability)
 	closed bool
 }
 
 func (e *xchgEndpoint) ID() int { return e.id }
 func (e *xchgEndpoint) P() int  { return e.st.p }
 func (e *xchgEndpoint) Begin()  {}
+
+// handedBatches reports how many nonempty contiguous buffers this
+// endpoint has handed to other processes.
+func (e *xchgEndpoint) handedBatches() int { return e.handed }
 
 // Abort implements Endpoint.
 func (e *xchgEndpoint) Abort() {
@@ -85,26 +96,42 @@ func (e *xchgEndpoint) Close() error {
 		return fmt.Errorf("xchg: endpoint %d closed twice", e.id)
 	}
 	e.closed = true
+	putBatches(e.recycle)
+	e.recycle = e.recycle[:0]
 	close(e.st.doneCh[e.id])
 	return nil
 }
 
-// Send implements Endpoint.
+// Send implements Endpoint: msg is combined into the contiguous batch
+// for dst (copy-in; the caller keeps msg).
 func (e *xchgEndpoint) Send(dst int, msg []byte) {
-	e.out[dst] = append(e.out[dst], msg)
+	b := e.out[dst]
+	if b == nil {
+		b = getBatch()
+	}
+	e.out[dst] = wire.AppendFrame(b, msg)
 }
 
-// Sync implements Endpoint.
-func (e *xchgEndpoint) Sync() ([][]byte, error) {
+// Sync implements Endpoint: the total exchange ships one batch per
+// (src,dst) pair and doubles as the barrier.
+func (e *xchgEndpoint) Sync() (*Inbox, error) {
 	st := e.st
-	// "Isend" every output buffer, including empty ones: the exchange is
-	// the barrier, so every pair must communicate every superstep.
+	// Entering Sync invalidates the previous Inbox: recycle its buffers.
+	putBatches(e.recycle)
+	e.recycle = e.recycle[:0]
+	e.batches = e.batches[:0]
+	// "Isend" every output batch, including empty (nil) ones: the
+	// exchange is the barrier, so every pair must communicate every
+	// superstep.
 	for dst := 0; dst < st.p; dst++ {
 		if dst == e.id {
 			continue
 		}
 		select {
 		case st.ch[e.id][dst] <- e.out[dst]:
+			if len(e.out[dst]) > 0 {
+				e.handed++
+			}
 		case <-st.abortCh:
 			return nil, ErrAborted
 		case <-st.doneCh[dst]:
@@ -118,17 +145,20 @@ func (e *xchgEndpoint) Sync() ([][]byte, error) {
 		}
 		e.out[dst] = nil
 	}
-	// "Irecv + Waitall": collect one batch from every peer.
-	var inbox [][]byte
-	inbox = append(inbox, e.out[e.id]...)
+	// Self-delivery: our own batch joins the inbox directly.
+	if len(e.out[e.id]) > 0 {
+		e.batches = append(e.batches, e.out[e.id])
+		e.recycle = append(e.recycle, e.out[e.id])
+	}
 	e.out[e.id] = nil
+	// "Irecv + Waitall": collect one batch from every peer.
 	for src := 0; src < st.p; src++ {
 		if src == e.id {
 			continue
 		}
 		select {
 		case batch := <-st.ch[src][e.id]:
-			inbox = append(inbox, batch...)
+			e.accept(batch)
 		case <-st.abortCh:
 			return nil, ErrAborted
 		case <-st.doneCh[src]:
@@ -137,7 +167,7 @@ func (e *xchgEndpoint) Sync() ([][]byte, error) {
 			// genuinely diverged.
 			select {
 			case batch := <-st.ch[src][e.id]:
-				inbox = append(inbox, batch...)
+				e.accept(batch)
 			default:
 				if st.aborted.Load() {
 					return nil, ErrAborted
@@ -146,5 +176,19 @@ func (e *xchgEndpoint) Sync() ([][]byte, error) {
 			}
 		}
 	}
-	return inbox, nil
+	if err := e.inbox.reset(e.batches); err != nil {
+		return nil, fmt.Errorf("xchg: process %d: %w", e.id, err)
+	}
+	return &e.inbox, nil
+}
+
+// accept takes ownership of an inbound batch: nonempty batches feed the
+// inbox and are recycled when the views expire.
+func (e *xchgEndpoint) accept(batch []byte) {
+	if len(batch) == 0 {
+		putBatch(batch)
+		return
+	}
+	e.batches = append(e.batches, batch)
+	e.recycle = append(e.recycle, batch)
 }

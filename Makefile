@@ -8,8 +8,9 @@
 #                     free (see internal/core/alloc_test.go and
 #                     BENCH_exchange.json)
 #   make conformance  cross-transport contract suite under -race
-#                     (shortened fault plans; stays well under 60s)
-#   make fuzz         brief wire encode/decode fuzz pass
+#                     (shortened fault plans; stays well under 60s),
+#                     plus the checkpoint/recovery conformance suite
+#   make fuzz         brief wire encode/decode + snapshot codec fuzz pass
 #   make bench        transport latency/throughput microbenchmarks
 
 GO ?= go
@@ -37,11 +38,13 @@ verify-alloc:
 
 conformance:
 	$(GO) test -race -timeout 120s ./internal/transport/ -run 'Conformance|PerPairBatchHandoff' -v
+	$(GO) test -race -timeout 120s ./internal/ckpt/ -run 'Recovery|Crash|Recoverable' -v
 
 fuzz:
 	$(GO) test ./internal/wire/ -fuzz FuzzRoundTrip -fuzztime 10s
 	$(GO) test ./internal/wire/ -fuzz FuzzReaderShortMessage -fuzztime 5s
 	$(GO) test ./internal/wire/ -fuzz FuzzFrameBatch -fuzztime 5s
+	$(GO) test ./internal/ckpt/ -fuzz FuzzSnapshotRecord -fuzztime 10s
 
 bench:
 	$(GO) test ./internal/transport/ -run xxx -bench . -benchtime 100x

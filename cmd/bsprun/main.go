@@ -15,9 +15,22 @@
 //	bsprun -app mm -size 128 -p 4 -transport tcp \
 //	    -chaos "seed=42,delay=0.1,maxdelay=2ms,connerr=0.05" \
 //	    -sync-timeout 10s
+//
+// With -checkpoint-dir the run snapshots its state at superstep
+// boundaries and recovers from crash faults, aborts and timeouts (apps
+// with checkpoint hooks: ocean, psort); -resume continues from the
+// latest complete snapshot of an earlier invocation:
+//
+//	bsprun -app psort -size 16000 -p 4 -transport tcp \
+//	    -chaos crash=1:3 -checkpoint-dir /tmp/ckpt -checkpoint-every 2 -resume
+//
+// Exit codes classify failures for CI: 1 = run or usage error, 2 =
+// superstep timeout (the per-rank progress detail is printed), 3 =
+// abort or injected crash.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -29,42 +42,59 @@ import (
 	"repro/internal/transport"
 )
 
+const (
+	exitErr     = 1
+	exitTimeout = 2
+	exitAbort   = 3
+)
+
 func main() {
 	app := flag.String("app", "nbody", "application: ocean|nbody|mst|sp|msp|mm|psort")
 	size := flag.Int("size", 1000, "input size (paper conventions per app)")
 	p := flag.Int("p", 4, "number of BSP processes")
 	trName := flag.String("transport", "shm", "transport: shm|xchg|tcp|sim|chaos:<base>")
-	chaosSpec := flag.String("chaos", "", "fault-injection plan, e.g. \"seed=42,delay=0.1,maxdelay=2ms,stall=0.05,stallfor=20ms,connerr=0.05,abort=1@3\"; empty disables")
+	chaosSpec := flag.String("chaos", "", "fault-injection plan, e.g. \"seed=42,delay=0.1,maxdelay=2ms,stall=0.05,stallfor=20ms,connerr=0.05,abort=1@3,crash=1:3\"; empty disables")
 	syncTimeout := flag.Duration("sync-timeout", 0, "abort the run if no process completes a superstep for this long (0 disables)")
+	ckptDir := flag.String("checkpoint-dir", "", "snapshot directory; arms superstep checkpointing and crash recovery (apps with hooks: ocean, psort)")
+	ckptEvery := flag.Int("checkpoint-every", 1, "snapshot every Nth eligible superstep boundary")
+	resume := flag.Bool("resume", false, "continue from the latest complete snapshot in -checkpoint-dir")
 	flag.Parse()
 
 	tr, err := transport.New(*trName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bsprun:", err)
-		os.Exit(2)
+		fail(err)
 	}
 	if *chaosSpec != "" {
 		plan, err := transport.ParseFaultPlan(*chaosSpec)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "bsprun:", err)
-			os.Exit(2)
+			fail(err)
 		}
-		tr = transport.ChaosTransport{Base: tr, Plan: plan}
-		fmt.Printf("fault injection on (%s): %+v\n", tr.Name(), plan)
+		// NewChaosTransport: an armed crash fires once, so a recovered
+		// re-execution of the same run proceeds fault-free.
+		ct := transport.NewChaosTransport(tr, plan)
+		tr = ct
+		fmt.Printf("fault injection on (%s): %s\n", ct.Name(), plan)
+	}
+	cfg := core.Config{P: *p, Transport: tr, SyncTimeout: *syncTimeout}
+	if *ckptDir != "" {
+		cfg.Checkpoint = &core.CheckpointConfig{Dir: *ckptDir, Every: *ckptEvery, Resume: *resume}
 	}
 	// Live run on the requested transport for wall time and correctness.
 	t0 := time.Now()
-	st, err := harness.RunOnConfig(*app, *size, core.Config{P: *p, Transport: tr, SyncTimeout: *syncTimeout})
+	var st *core.Stats
+	if cfg.Checkpoint != nil {
+		st, err = harness.RunRecoverableOnConfig(*app, *size, cfg)
+	} else {
+		st, err = harness.RunOnConfig(*app, *size, cfg)
+	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bsprun:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	wall := time.Since(t0)
 	// Deterministic work measurement on the sim transport for the model.
 	rows, err := harness.Collect(*app, []int{*size}, []int{1, *p})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bsprun:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	var base, run harness.Row
 	for _, r := range rows {
@@ -76,6 +106,14 @@ func main() {
 		}
 	}
 	fmt.Printf("%s size=%d p=%d on %s: wall %v, %s\n", *app, *size, *p, *trName, wall, st)
+	if ck := st.Ckpt; ck != nil {
+		fmt.Printf("  checkpoints: %d snapshot(s), %d complete cut(s), %d bytes in %v\n",
+			ck.Snapshots, ck.Cuts, ck.Bytes, ck.Time)
+		if ck.Attempts > 1 || ck.ResumeStep > 0 {
+			fmt.Printf("  recovery: %d attempt(s), final attempt resumed at superstep %d\n",
+				ck.Attempts, ck.ResumeStep)
+		}
+	}
 	fmt.Printf("  sim measurement: W = %v   H = %d   S = %d   total work = %v\n",
 		run.W, run.H, run.S, run.TotalWork)
 	if st.LoadImbalance() > 0 {
@@ -90,4 +128,25 @@ func main() {
 		fmt.Printf("  %-5s: predicted %v (comm %v), model speed-up %.1f\n",
 			m.Name, run.Predict(m), run.PredictComm(m), run.Speedup(m, base))
 	}
+}
+
+// fail prints err and exits with a code CI can classify: timeouts
+// (with the watchdog's per-rank progress report) exit 2, aborts and
+// injected crashes exit 3, everything else 1.
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "bsprun:", err)
+	var te *core.TimeoutError
+	switch {
+	case errors.As(err, &te):
+		fmt.Fprintln(os.Stderr, "per-rank progress at timeout:")
+		fmt.Fprintln(os.Stderr, te.Detail())
+		os.Exit(exitTimeout)
+	case errors.Is(err, core.ErrTimeout):
+		os.Exit(exitTimeout)
+	case errors.Is(err, transport.ErrAborted),
+		errors.Is(err, transport.ErrInjectedAbort),
+		errors.Is(err, transport.ErrCrashed):
+		os.Exit(exitAbort)
+	}
+	os.Exit(exitErr)
 }

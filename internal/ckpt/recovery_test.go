@@ -1,0 +1,299 @@
+// End-to-end recovery conformance: on every transport, a run that is
+// hard-crashed mid-machine by the chaos crash fault and recovered
+// through core.RunRecoverable must produce output bit-identical to a
+// fault-free run — the whole point of barrier-granular checkpointing.
+// This lives in package ckpt_test (external) so it can drive core, the
+// transports and the checkpoint-hooked applications together without an
+// import cycle.
+package ckpt_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ocean"
+	"repro/internal/psort"
+	"repro/internal/transport"
+)
+
+const recoveryP = 4
+
+func baseTransports() map[string]transport.Transport {
+	return map[string]transport.Transport{
+		"shm":  transport.ShmTransport{},
+		"xchg": transport.XchgTransport{},
+		"tcp":  transport.TCPTransport{},
+		"sim":  transport.SimTransport{},
+	}
+}
+
+// crashPlan kills rank 1 in superstep 3 — for psort at p=4 that is the
+// data-routing superstep, after two complete snapshot cuts exist.
+func crashPlan() transport.FaultPlan {
+	return transport.FaultPlan{Seed: 1, CrashRank: 1, CrashStep: 3}
+}
+
+func ckptConfig(t *testing.T, tr transport.Transport) core.Config {
+	t.Helper()
+	return core.Config{
+		P:         recoveryP,
+		Transport: tr,
+		Checkpoint: &core.CheckpointConfig{
+			Dir:     t.TempDir(),
+			Every:   1,
+			Backoff: time.Millisecond,
+		},
+	}
+}
+
+// TestRecoveryConformance: crashed-and-recovered psort equals fault-free
+// psort, bit for bit, on all four transports.
+func TestRecoveryConformance(t *testing.T) {
+	data := psort.RandomData(4000, 1996)
+	want, _, err := psort.Parallel(core.Config{P: recoveryP, Transport: transport.SimTransport{}}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, base := range baseTransports() {
+		t.Run(name, func(t *testing.T) {
+			cfg := ckptConfig(t, transport.NewChaosTransport(base, crashPlan()))
+			got, st, err := psort.ParallelRecoverable(cfg, data)
+			if err != nil {
+				t.Fatalf("recoverable run failed: %v", err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("recovered output has %d elements, want %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("recovered output differs at %d: %v != %v", i, got[i], want[i])
+				}
+			}
+			ck := st.Ckpt
+			if ck == nil {
+				t.Fatal("Stats.Ckpt is nil with checkpointing armed")
+			}
+			if ck.Attempts < 2 {
+				t.Fatalf("Attempts = %d, want >= 2 (the crash must have fired)", ck.Attempts)
+			}
+			if ck.ResumeStep < 1 {
+				t.Fatalf("ResumeStep = %d, want >= 1 (recovery must resume from a snapshot, not scratch)", ck.ResumeStep)
+			}
+			if ck.Cuts < 2 || ck.Snapshots < ck.Cuts*recoveryP {
+				t.Fatalf("implausible capture stats: %+v", ck)
+			}
+		})
+	}
+}
+
+// TestRecoveryInjectedAbort: the cooperative abort fault is in the
+// recoverable class too. The abort step counter is endpoint-local, so
+// each resumed attempt re-fires it at a later machine superstep until
+// the remaining run is too short to reach it — progress through
+// checkpoints, not luck.
+func TestRecoveryInjectedAbort(t *testing.T) {
+	data := psort.RandomData(4000, 1996)
+	want, _, err := psort.Parallel(core.Config{P: recoveryP, Transport: transport.SimTransport{}}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := transport.FaultPlan{Seed: 1, AbortRank: 1, AbortStep: 2}
+	cfg := ckptConfig(t, transport.NewChaosTransport(transport.ShmTransport{}, plan))
+	got, st, err := psort.ParallelRecoverable(cfg, data)
+	if err != nil {
+		t.Fatalf("abort recovery failed: %v", err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("recovered output differs at %d", i)
+		}
+	}
+	if st.Ckpt.Attempts < 2 {
+		t.Fatalf("Attempts = %d, want >= 2", st.Ckpt.Attempts)
+	}
+}
+
+// TestRecoveryPersistentFault: a composite-literal ChaosTransport
+// re-fires the crash on every attempt; RunRecoverable must give up
+// after its bounded retries and return the original crash error — no
+// silent retry loop. The crash fires in superstep 1, before any
+// complete cut can form, so every retry restarts from scratch and dies
+// the same way.
+func TestRecoveryPersistentFault(t *testing.T) {
+	data := psort.RandomData(1000, 1996)
+	plan := transport.FaultPlan{Seed: 1, CrashRank: 1, CrashStep: 1}
+	tr := transport.ChaosTransport{Base: transport.ShmTransport{}, Plan: plan}
+	cfg := ckptConfig(t, tr)
+	cfg.Checkpoint.Retries = 2
+	start := time.Now()
+	_, _, err := psort.ParallelRecoverable(cfg, data)
+	if err == nil {
+		t.Fatal("persistent crash fault recovered — it must not")
+	}
+	if !errors.Is(err, transport.ErrCrashed) {
+		t.Fatalf("error does not wrap ErrCrashed: %v", err)
+	}
+	if want := plan.String(); !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not carry the fault plan %q", err, want)
+	}
+	if d := time.Since(start); d > 30*time.Second {
+		t.Fatalf("bounded retry took %v", d)
+	}
+}
+
+// TestCrashWithoutCheckpointing: with cfg.Checkpoint unset the first
+// crash is final — RunRecoverable must not retry, and the error must be
+// the original injected-crash error.
+func TestCrashWithoutCheckpointing(t *testing.T) {
+	data := psort.RandomData(1000, 1996)
+	cfg := core.Config{P: recoveryP, Transport: transport.NewChaosTransport(transport.ShmTransport{}, crashPlan())}
+	_, st, err := psort.ParallelRecoverable(cfg, data)
+	if err == nil {
+		t.Fatal("crash with checkpointing disabled succeeded")
+	}
+	if !errors.Is(err, transport.ErrCrashed) {
+		t.Fatalf("error does not wrap ErrCrashed: %v", err)
+	}
+	if !strings.Contains(err.Error(), "injected crash of rank 1 in superstep 3") {
+		t.Fatalf("error lost the crash detail: %v", err)
+	}
+	if st != nil {
+		t.Fatalf("failed run returned stats: %+v", st)
+	}
+}
+
+// TestRecoveryOcean: the crashed-and-recovered ocean stream function is
+// bit-identical to the sequential solution (which Parallel is already
+// pinned to elsewhere).
+func TestRecoveryOcean(t *testing.T) {
+	ocfg := ocean.Config{Size: 18, Steps: 2}
+	want, _, err := ocean.Sequential(ocfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 1 dies in superstep 6 — inside the first timestep's multigrid
+	// work, after the boundary snapshot at the top of the timestep.
+	plan := transport.FaultPlan{Seed: 1, CrashRank: 1, CrashStep: 6}
+	cfg := ckptConfig(t, transport.NewChaosTransport(transport.ShmTransport{}, plan))
+	got, st, err := ocean.ParallelRecoverable(cfg, ocfg)
+	if err != nil {
+		t.Fatalf("recoverable ocean run failed: %v", err)
+	}
+	if len(got.Psi) != len(want.Psi) {
+		t.Fatalf("grid size mismatch: %d vs %d", len(got.Psi), len(want.Psi))
+	}
+	for i := range got.Psi {
+		if got.Psi[i] != want.Psi[i] {
+			t.Fatalf("ψ differs at %d: %v != %v", i, got.Psi[i], want.Psi[i])
+		}
+	}
+	if st.Ckpt == nil || st.Ckpt.Attempts < 2 {
+		t.Fatalf("expected a recovered run, got %+v", st.Ckpt)
+	}
+}
+
+// TestRecoveryResume: the -resume path — an earlier invocation left
+// snapshots on disk (here: a clean checkpointed run whose newest cut we
+// then destroy, simulating a process killed mid-superstep before cut 3
+// completed); a second, separate invocation with Resume set picks up
+// from the latest complete cut and finishes correctly.
+func TestRecoveryResume(t *testing.T) {
+	data := psort.RandomData(4000, 1996)
+	want, _, err := psort.Parallel(core.Config{P: recoveryP, Transport: transport.SimTransport{}}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	// First invocation: clean run with checkpointing, leaving cuts for
+	// supersteps 1..3 and a manifest naming step 3.
+	cfg := core.Config{P: recoveryP, Transport: transport.ShmTransport{},
+		Checkpoint: &core.CheckpointConfig{Dir: dir, Every: 1}}
+	if _, _, err := psort.ParallelRecoverable(cfg, data); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the newest cut: the manifest still claims step 3, but its
+	// files are gone — exactly the state a crash between snapshot and
+	// completion leaves behind. Resume must fall back to step 2.
+	stale, err := filepath.Glob(filepath.Join(dir, "snap-000000000003-*.ckpt"))
+	if err != nil || len(stale) != recoveryP {
+		t.Fatalf("expected %d step-3 snapshot files, got %d (%v)", recoveryP, len(stale), err)
+	}
+	for _, f := range stale {
+		if err := os.Remove(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Second invocation: fault-free transport, Resume on, same dir.
+	cfg2 := core.Config{P: recoveryP, Transport: transport.ShmTransport{},
+		Checkpoint: &core.CheckpointConfig{Dir: dir, Every: 1, Resume: true}}
+	got, st, err := psort.ParallelRecoverable(cfg2, data)
+	if err != nil {
+		t.Fatalf("resumed invocation failed: %v", err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("resumed output differs at %d: %v != %v", i, got[i], want[i])
+		}
+	}
+	if st.Ckpt == nil || st.Ckpt.ResumeStep != 2 {
+		t.Fatalf("resumed invocation did not start from cut 2: %+v", st.Ckpt)
+	}
+}
+
+// TestRecoveryEveryTwo: a sparser cadence still recovers correctly — the
+// rollback just reaches further back.
+func TestRecoveryEveryTwo(t *testing.T) {
+	data := psort.RandomData(4000, 1996)
+	want, _, err := psort.Parallel(core.Config{P: recoveryP, Transport: transport.SimTransport{}}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ckptConfig(t, transport.NewChaosTransport(transport.XchgTransport{}, crashPlan()))
+	cfg.Checkpoint.Every = 2
+	got, st, err := psort.ParallelRecoverable(cfg, data)
+	if err != nil {
+		t.Fatalf("recoverable run failed: %v", err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("recovered output differs at %d", i)
+		}
+	}
+	if st.Ckpt.Attempts < 2 {
+		t.Fatalf("Attempts = %d, want >= 2", st.Ckpt.Attempts)
+	}
+}
+
+// TestRecoverableClean: with no faults, ParallelRecoverable matches
+// Parallel and reports a single attempt.
+func TestRecoverableClean(t *testing.T) {
+	data := psort.RandomData(4000, 1996)
+	want, _, err := psort.Parallel(core.Config{P: recoveryP, Transport: transport.ShmTransport{}}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ckptConfig(t, transport.ShmTransport{})
+	got, st, err := psort.ParallelRecoverable(cfg, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("output differs at %d", i)
+		}
+	}
+	if st.Ckpt == nil || st.Ckpt.Attempts != 1 || st.Ckpt.ResumeStep != 0 {
+		t.Fatalf("clean run stats: %+v", st.Ckpt)
+	}
+	if st.Ckpt.Cuts < 3 {
+		t.Fatalf("expected a cut per superstep, got %+v", st.Ckpt)
+	}
+}

@@ -70,6 +70,10 @@ type Config struct {
 	// (shm, xchg, tcp) via Abort; on sim a process stalled in its own
 	// code must still return before Run can.
 	SyncTimeout time.Duration
+	// Checkpoint, when non-nil with a Dir, arms superstep snapshot
+	// capture and recovery for RunRecoverable (plain Run ignores it:
+	// capture needs the Save hook only RunRecoverable accepts).
+	Checkpoint *CheckpointConfig
 }
 
 // Proc is one BSP process's handle to the library. A Proc is confined to
@@ -86,6 +90,15 @@ type Proc struct {
 	sentPkts int
 	units    int
 	segStart time.Time
+
+	// step counts completed supersteps (Sync returns) over the whole
+	// logical run: a process restored from a checkpoint starts at the
+	// snapshot's superstep, not at 0. lastCap is the step of the last
+	// captured snapshot; ck, when non-nil, persists snapshots at
+	// boundaries the Save hook accepts.
+	step    int
+	lastCap int
+	ck      *capturer
 
 	// phase counts barrier phases for the watchdog: +1 entering the
 	// transport Sync (waiting), +1 on its successful return
@@ -107,6 +120,13 @@ func (c *Proc) ID() int { return c.id }
 
 // P returns the number of BSP processes.
 func (c *Proc) P() int { return c.p }
+
+// Step returns the number of supersteps completed so far in the
+// logical run. A process restored from a checkpoint (RunRecoverable)
+// starts with Step equal to the snapshot's superstep; a fresh process
+// starts at 0 — which is how a recoverable program tells a scratch
+// start from a resume.
+func (c *Proc) Step() int { return c.step }
 
 // pktUnits converts a message length to packet units, the currency of
 // the h-relation in the cost model: one fixed-size packet per PktSize
@@ -204,6 +224,13 @@ func (c *Proc) Sync() {
 	c.sentPkts = 0
 	c.units = 0
 	c.inbox = inbox
+	c.step++
+	if c.ck != nil {
+		// The barrier just completed: every rank's superstep-t messages
+		// are delivered and nothing of superstep t+1 exists — a globally
+		// consistent cut, the only point where a snapshot is restartable.
+		c.ck.capture(c)
+	}
 	c.segStart = time.Now()
 }
 
@@ -224,6 +251,13 @@ type syncFailure struct{ err error }
 // same number of times); diverging superstep counts are reported as
 // errors by the concurrent transports.
 func Run(cfg Config, fn func(*Proc)) (*Stats, error) {
+	return runMachine(cfg, fn, Hooks{}, nil)
+}
+
+// runMachine is one machine execution: Run with optional checkpoint
+// capture (rs.cap) and snapshot restore (rs.resume). RunRecoverable
+// wraps it in the rollback/retry loop.
+func runMachine(cfg Config, fn func(*Proc), hooks Hooks, rs *runState) (*Stats, error) {
 	if cfg.P < 1 {
 		return nil, fmt.Errorf("bsp: config.P must be >= 1, got %d", cfg.P)
 	}
@@ -276,6 +310,27 @@ func Run(cfg Config, fn func(*Proc)) (*Stats, error) {
 			c := &Proc{id: i, p: cfg.P, ep: ep, segStart: time.Now()}
 			if cfg.SyncTimeout > 0 {
 				c.phase = &phases[i]
+			}
+			if rs != nil {
+				c.ck = rs.cap
+				if rs.resume != nil {
+					snap := rs.resume[i]
+					c.step, c.lastCap = snap.Step, snap.Step
+					var batches [][]byte
+					if len(snap.Batch) > 0 {
+						batches = [][]byte{snap.Batch}
+					}
+					inbox, err := transport.NewInbox(batches)
+					if err != nil {
+						panic(syncFailure{fmt.Errorf("restored inbox: %w", err)})
+					}
+					c.inbox = inbox
+					if hooks.Restore != nil {
+						if err := hooks.Restore(c, snap.Step, snap.User); err != nil {
+							panic(syncFailure{fmt.Errorf("restore hook: %w", err)})
+						}
+					}
+				}
 			}
 			procs[i] = c
 			fn(c)
@@ -378,7 +433,33 @@ func watchProgress(eps []transport.Endpoint, phases []atomic.Int64, finished []a
 	}
 }
 
-// timeoutError builds the ErrTimeout report: the stuck rank(s) are the
+// TimeoutError is the watchdog's report: it wraps ErrTimeout (so
+// errors.Is classification keeps working), names the stuck rank(s) in
+// its one-line Error, and carries every rank's barrier position for
+// callers — cmd/bsprun prints Detail so an operator sees exactly who
+// was where when the machine wedged.
+type TimeoutError struct {
+	// Wait is how long the machine made no barrier progress.
+	Wait time.Duration
+	// Stuck lists the unfinished rank(s) with the least barrier
+	// progress: a rank lagging its peers, or every rank if the whole
+	// machine wedged together.
+	Stuck []int
+	// Ranks has one human-readable progress line per rank.
+	Ranks []string
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("%v: no barrier progress for %v; stuck rank(s) %v; %s",
+		ErrTimeout, e.Wait, e.Stuck, strings.Join(e.Ranks, ", "))
+}
+
+func (e *TimeoutError) Unwrap() error { return ErrTimeout }
+
+// Detail returns the per-rank progress report, one line per rank.
+func (e *TimeoutError) Detail() string { return strings.Join(e.Ranks, "\n") }
+
+// timeoutError builds the TimeoutError: the stuck rank(s) are the
 // unfinished ranks with the least barrier progress (a rank still
 // computing while its peers wait in the next barrier, or the whole
 // machine if all are wedged together), and every rank's position is
@@ -393,24 +474,22 @@ func timeoutError(phases []atomic.Int64, finished []atomic.Bool, d time.Duration
 			minPhase = ph
 		}
 	}
-	var stuck []int
-	state := make([]string, len(phases))
+	te := &TimeoutError{Wait: d, Ranks: make([]string, len(phases))}
 	for i := range phases {
 		ph := phases[i].Load()
 		done := finished[i].Load()
 		step := ph/2 + 1
 		switch {
 		case done:
-			state[i] = fmt.Sprintf("rank %d finished after %d supersteps", i, ph/2)
+			te.Ranks[i] = fmt.Sprintf("rank %d finished after %d supersteps", i, ph/2)
 		case ph%2 == 1:
-			state[i] = fmt.Sprintf("rank %d waiting in barrier %d", i, step)
+			te.Ranks[i] = fmt.Sprintf("rank %d waiting in barrier %d", i, step)
 		default:
-			state[i] = fmt.Sprintf("rank %d computing superstep %d", i, step)
+			te.Ranks[i] = fmt.Sprintf("rank %d computing superstep %d", i, step)
 		}
 		if !done && ph == minPhase {
-			stuck = append(stuck, i)
+			te.Stuck = append(te.Stuck, i)
 		}
 	}
-	return fmt.Errorf("%w: no barrier progress for %v; stuck rank(s) %v; %s",
-		ErrTimeout, d, stuck, strings.Join(state, ", "))
+	return te
 }

@@ -34,6 +34,9 @@ type Stats struct {
 	// Steps has Syncs+1 entries: one per superstep plus the trailing
 	// computation segment after the final synchronization.
 	Steps []Step
+	// Ckpt summarizes checkpoint capture and recovery; nil unless the
+	// run came from RunRecoverable with checkpointing armed.
+	Ckpt *CkptStats
 }
 
 // S returns the number of supersteps (global synchronizations).

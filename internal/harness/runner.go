@@ -248,6 +248,26 @@ func RunOnConfig(app string, size int, cfg core.Config) (*core.Stats, error) {
 	return runOnce(app, size, wl, cfg)
 }
 
+// RunRecoverableOnConfig is RunOnConfig through core.RunRecoverable
+// with the application's checkpoint hooks, for the apps that define
+// them (ocean and psort): with cfg.Checkpoint armed the run snapshots
+// at superstep boundaries and survives recoverable faults.
+func RunRecoverableOnConfig(app string, size int, cfg core.Config) (*core.Stats, error) {
+	switch app {
+	case "ocean":
+		_, st, err := ocean.ParallelRecoverable(cfg, ocean.Config{Size: size, Steps: 1})
+		return st, err
+	case "psort":
+		wl, err := prepare(app, size)
+		if err != nil {
+			return nil, err
+		}
+		_, st, err := psort.ParallelRecoverable(cfg, wl.data)
+		return st, err
+	}
+	return nil, fmt.Errorf("harness: app %q has no checkpoint hooks (ocean and psort do)", app)
+}
+
 // Collect measures one application across sizes × processor counts on
 // the sim transport, including the sequential baseline per size.
 func Collect(app string, sizes, procs []int) ([]Row, error) {

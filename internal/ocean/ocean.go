@@ -77,6 +77,15 @@ type oceanSim struct {
 	m         int
 	// Cycles records the V-cycle count of each solve.
 	Cycles []int
+
+	// Checkpoint/restart state (see recover.go): start is the timestep
+	// the run (re)starts from; atBoundary is true only during the
+	// boundary barrier superstep at the top of each timestep, gating
+	// the Save hook; saveStep is the timestep a boundary snapshot
+	// resumes at.
+	start      int
+	atBoundary bool
+	saveStep   int
 }
 
 func newOceanSim(mc machine, cfg Config, p, q int) (*oceanSim, error) {

@@ -24,6 +24,10 @@ type machine interface {
 	exchangeToFine(fid int, coarse *slab)
 	// maxAll returns the global maximum of x (one superstep).
 	maxAll(x float64) float64
+	// barrier performs one empty superstep. The recoverable driver
+	// runs one at each timestep boundary: the machine state there is
+	// just (timestep, ψ), which is what the checkpoint hooks capture.
+	barrier()
 	// work reports n abstract work units (grid-cell updates) for the
 	// current superstep.
 	work(n int)
@@ -47,6 +51,7 @@ type seqMachine struct{}
 func (seqMachine) exchange([]exch)           {}
 func (seqMachine) exchangeToFine(int, *slab) {}
 func (seqMachine) maxAll(x float64) float64  { return x }
+func (seqMachine) barrier()                  {}
 func (seqMachine) work(int)                  {}
 
 // bspMachine binds the solver to a BSP process.
@@ -189,6 +194,8 @@ func (m *bspMachine) exchangeToFine(fid int, coarse *slab) {
 func (m *bspMachine) maxAll(x float64) float64 {
 	return collect.AllReduce(m.c, x, collect.MaxFloat)
 }
+
+func (m *bspMachine) barrier() { m.c.Sync() }
 
 func (m *bspMachine) work(n int) { m.c.AddWork(n) }
 

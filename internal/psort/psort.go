@@ -12,6 +12,7 @@
 package psort
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 
@@ -22,91 +23,158 @@ import (
 // Run sorts this process's share and returns its slice of the global
 // order (process i's slice precedes process i+1's).
 func Run(c *core.Proc, local []float64) []float64 {
+	return (&sortState{data: append([]float64(nil), local...)}).run(c)
+}
+
+// sortState is the whole per-rank state of the sample sort between any
+// two supersteps: which boundary the rank has crossed and its data.
+// Everything else a stage needs (samples, splitters, routed elements)
+// arrives in the inbox of the superstep that starts the stage, so a
+// (stage, data) pair plus the undelivered inbox — exactly what a
+// checkpoint captures — restarts the sort from any boundary.
+type sortState struct {
+	// stage is the number of superstep boundaries crossed: 0 = nothing
+	// sent yet; 1 = samples sent (rank 0's inbox holds them); 2 =
+	// splitters broadcast (every inbox holds them); 3 = data routed
+	// (every inbox holds this rank's final elements).
+	stage int
+	data  []float64
+}
+
+// run executes the sort from the state's current stage. The stage
+// counter is advanced *before* each Sync so that the Save hook — which
+// fires inside Sync, after the barrier — captures the post-boundary
+// position.
+func (s *sortState) run(c *core.Proc) []float64 {
 	p := c.P()
-	data := append([]float64(nil), local...)
-	sort.Float64s(data)
-	c.AddWork(nLogN(len(data)))
-	if p == 1 {
-		// Keep the three-superstep structure for cost comparability.
-		c.Sync()
-		c.Sync()
-		c.Sync()
-		return data
-	}
-	// Superstep 1: p regular samples to process 0.
-	w := wire.NewWriter(8 * p)
-	for k := 0; k < p; k++ {
-		idx := k * len(data) / p
-		if len(data) == 0 {
-			w.Float64(0)
-		} else {
-			w.Float64(data[idx])
+	switch s.stage {
+	case 0:
+		// Superstep 1: local sort, p regular samples to process 0.
+		sort.Float64s(s.data)
+		c.AddWork(nLogN(len(s.data)))
+		if p > 1 {
+			w := wire.NewWriter(8 * p)
+			for k := 0; k < p; k++ {
+				idx := k * len(s.data) / p
+				if len(s.data) == 0 {
+					w.Float64(0)
+				} else {
+					w.Float64(s.data[idx])
+				}
+			}
+			c.Send(0, w.Bytes())
 		}
-	}
-	c.Send(0, w.Bytes())
-	c.Sync()
-	// Superstep 2: process 0 selects and broadcasts p-1 splitters.
-	if c.ID() == 0 {
-		var samples []float64
+		s.stage = 1
+		c.Sync()
+		fallthrough
+	case 1:
+		// Superstep 2: process 0 selects and broadcasts p-1 splitters.
+		if p > 1 && c.ID() == 0 {
+			var samples []float64
+			for {
+				msg, ok := c.Recv()
+				if !ok {
+					break
+				}
+				r := wire.NewReader(msg)
+				for r.Remaining() >= 8 {
+					samples = append(samples, r.Float64())
+				}
+			}
+			sort.Float64s(samples)
+			w := wire.NewWriter(8 * (p - 1))
+			for k := 1; k < p; k++ {
+				w.Float64(samples[k*len(samples)/p])
+			}
+			for q := 0; q < p; q++ {
+				c.Send(q, w.Bytes())
+			}
+		}
+		s.stage = 2
+		c.Sync()
+		fallthrough
+	case 2:
+		// Superstep 3: route each element to its splitter bucket.
+		if p > 1 {
+			msg, ok := c.Recv()
+			if !ok {
+				panic("psort: missing splitter broadcast")
+			}
+			r := wire.NewReader(msg)
+			splitters := make([]float64, 0, p-1)
+			for r.Remaining() >= 8 {
+				splitters = append(splitters, r.Float64())
+			}
+			outs := make([]*wire.Writer, p)
+			for i := range outs {
+				outs[i] = wire.NewWriter(0)
+			}
+			for _, v := range s.data {
+				q := sort.SearchFloat64s(splitters, v)
+				outs[q].Float64(v)
+			}
+			c.AddWork(len(s.data))
+			for q := 0; q < p; q++ {
+				if outs[q].Len() > 0 {
+					c.Send(q, outs[q].Bytes())
+				}
+			}
+			// The routed elements now live in the exchange; they come
+			// back through the inbox, so the local copy is no longer
+			// part of the restartable state.
+			s.data = nil
+		}
+		s.stage = 3
+		c.Sync()
+		fallthrough
+	default:
+		if p == 1 {
+			return s.data
+		}
+		var mine []float64
 		for {
 			msg, ok := c.Recv()
 			if !ok {
 				break
 			}
-			r := wire.NewReader(msg)
-			for r.Remaining() >= 8 {
-				samples = append(samples, r.Float64())
+			rr := wire.NewReader(msg)
+			for rr.Remaining() >= 8 {
+				mine = append(mine, rr.Float64())
 			}
 		}
-		sort.Float64s(samples)
-		w.Reset()
-		for k := 1; k < p; k++ {
-			w.Float64(samples[k*len(samples)/p])
-		}
-		for q := 0; q < p; q++ {
-			c.Send(q, w.Bytes())
-		}
+		sort.Float64s(mine)
+		c.AddWork(nLogN(len(mine)))
+		return mine
 	}
-	c.Sync()
-	msg, ok := c.Recv()
-	if !ok {
-		panic("psort: missing splitter broadcast")
+}
+
+// encode serializes the state for the checkpoint Save hook.
+func (s *sortState) encode() []byte {
+	w := wire.NewWriter(16 + 8*len(s.data))
+	w.Int(s.stage)
+	w.Int(len(s.data))
+	for _, v := range s.data {
+		w.Float64(v)
 	}
-	r := wire.NewReader(msg)
-	splitters := make([]float64, 0, p-1)
-	for r.Remaining() >= 8 {
-		splitters = append(splitters, r.Float64())
+	return w.Bytes()
+}
+
+// decodeSortState is the Restore-side inverse of encode.
+func decodeSortState(b []byte) (*sortState, error) {
+	r := wire.NewReader(b)
+	if r.Remaining() < 16 {
+		return nil, fmt.Errorf("psort: snapshot state truncated: %d bytes", len(b))
 	}
-	// Superstep 3: route each element to its bucket.
-	outs := make([]*wire.Writer, p)
-	for i := range outs {
-		outs[i] = wire.NewWriter(0)
+	s := &sortState{stage: r.Int()}
+	n := r.Int()
+	if n < 0 || r.Remaining() != 8*n {
+		return nil, fmt.Errorf("psort: snapshot state inconsistent: %d values, %d bytes left", n, r.Remaining())
 	}
-	for _, v := range data {
-		q := sort.SearchFloat64s(splitters, v)
-		outs[q].Float64(v)
+	s.data = make([]float64, n)
+	for i := range s.data {
+		s.data[i] = r.Float64()
 	}
-	c.AddWork(len(data))
-	for q := 0; q < p; q++ {
-		if outs[q].Len() > 0 {
-			c.Send(q, outs[q].Bytes())
-		}
-	}
-	c.Sync()
-	var mine []float64
-	for {
-		msg, ok := c.Recv()
-		if !ok {
-			break
-		}
-		rr := wire.NewReader(msg)
-		for rr.Remaining() >= 8 {
-			mine = append(mine, rr.Float64())
-		}
-	}
-	sort.Float64s(mine)
-	c.AddWork(nLogN(len(mine)))
-	return mine
+	return s, nil
 }
 
 // nLogN is the comparison-count work unit of a local sort.
@@ -130,6 +198,53 @@ func Parallel(cfg core.Config, data []float64) ([]float64, *core.Stats, error) {
 	st, err := core.Run(cfg, func(c *core.Proc) {
 		results[c.ID()] = Run(c, chunks[c.ID()])
 	})
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]float64, 0, n)
+	for _, part := range results {
+		out = append(out, part...)
+	}
+	return out, st, nil
+}
+
+// ParallelRecoverable is Parallel running under core.RunRecoverable
+// with checkpoint hooks: each rank's Save serializes its (stage, data)
+// state, Restore rebuilds it, and the undelivered inbox (samples,
+// splitters or routed elements, depending on the boundary) rides in
+// the snapshot itself. With cfg.Checkpoint unset this is exactly
+// Parallel.
+func ParallelRecoverable(cfg core.Config, data []float64) ([]float64, *core.Stats, error) {
+	chunks := make([][]float64, cfg.P)
+	n := len(data)
+	for q := 0; q < cfg.P; q++ {
+		chunks[q] = data[q*n/cfg.P : (q+1)*n/cfg.P]
+	}
+	// states[q] is owned by rank q's goroutine: written by its Restore
+	// hook or at fn entry, read by its Save hook (inside its own Sync).
+	states := make([]*sortState, cfg.P)
+	results := make([][]float64, cfg.P)
+	hooks := core.Hooks{
+		Save: func(c *core.Proc) ([]byte, bool) {
+			return states[c.ID()].encode(), true
+		},
+		Restore: func(c *core.Proc, step int, state []byte) error {
+			s, err := decodeSortState(state)
+			if err != nil {
+				return err
+			}
+			states[c.ID()] = s
+			return nil
+		},
+	}
+	st, err := core.RunRecoverable(cfg, func(c *core.Proc) {
+		if c.Step() == 0 {
+			// Scratch start (first attempt, or a retry with no usable
+			// snapshot): fresh state from the input chunk.
+			states[c.ID()] = &sortState{data: append([]float64(nil), chunks[c.ID()]...)}
+		}
+		results[c.ID()] = states[c.ID()].run(c)
+	}, hooks)
 	if err != nil {
 		return nil, nil, err
 	}

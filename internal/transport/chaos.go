@@ -1,11 +1,13 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -15,6 +17,21 @@ import (
 // ErrTransient) or are net.Error timeouts; every other error is treated
 // as fatal for the superstep.
 var ErrTransient = fmt.Errorf("transport: transient fault")
+
+// ErrCrashed marks an injected hard crash: the faulted rank's endpoint
+// was killed mid-superstep (aborted and closed underneath the still-
+// running process), unlike the cooperative abort, which only fails the
+// rank's Sync and lets core unwind it. Recovery machinery
+// (core.RunRecoverable) treats a crash as retryable.
+var ErrCrashed = errors.New("transport: rank crashed (injected fault)")
+
+// ErrInjectedAbort marks the chaos abort fault on the faulted rank
+// itself. It is deliberately a distinct sentinel from ErrAborted: the
+// injected abort is the machine's primary failure, and wrapping
+// ErrAborted would demote it behind the secondary peer errors it
+// induces in core's error selection. Callers classifying failures
+// (exit codes, recovery) should treat it alongside ErrAborted.
+var ErrInjectedAbort = errors.New("transport: injected abort")
 
 // FaultPlan describes the deterministic fault schedule of a
 // ChaosTransport. The zero value injects nothing.
@@ -53,6 +70,17 @@ type FaultPlan struct {
 	// superstep AbortStep (1-based). AbortStep == 0 disables.
 	AbortRank int
 	AbortStep int
+
+	// CrashRank/CrashStep hard-kill rank CrashRank's endpoint in
+	// superstep CrashStep (1-based): the endpoint is aborted AND closed
+	// mid-superstep, before the barrier, and the rank's Sync fails with
+	// an error wrapping ErrCrashed. CrashStep == 0 disables. With a
+	// transport built by NewChaosTransport the crash fires once per
+	// transport value (so a recovered re-run proceeds fault-free); a
+	// ChaosTransport composite literal re-fires on every Open,
+	// modelling a persistent fault.
+	CrashRank int
+	CrashStep int
 
 	// Ranks restricts delay/stall faults to the listed ranks; nil
 	// means every rank.
@@ -139,6 +167,14 @@ func ParseFaultPlan(spec string) (FaultPlan, error) {
 			if pl.AbortRank, err = strconv.Atoi(r); err == nil {
 				pl.AbortStep, err = strconv.Atoi(s)
 			}
+		case "crash":
+			r, s, ok := strings.Cut(v, ":")
+			if !ok {
+				return pl, fmt.Errorf("chaos: crash wants rank:step, got %q", v)
+			}
+			if pl.CrashRank, err = strconv.Atoi(r); err == nil {
+				pl.CrashStep, err = strconv.Atoi(s)
+			}
 		case "ranks":
 			pl.Ranks = nil
 			for _, r := range strings.Split(v, "+") {
@@ -166,10 +202,47 @@ func ParseFaultPlan(spec string) (FaultPlan, error) {
 	return pl, nil
 }
 
+// String renders the plan as a ParseFaultPlan spec. The round trip
+// ParseFaultPlan(pl.String()) == pl holds for every plan ParseFaultPlan
+// can produce, so the rendered plan in a failure log is sufficient to
+// reproduce the faulted run. The scalar keys are always emitted —
+// ParseFaultPlan starts from DefaultFaultPlan, whose defaults are
+// nonzero, so omitting a zero field would not round-trip.
+func (pl FaultPlan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d", pl.Seed)
+	fmt.Fprintf(&b, ",delay=%s", strconv.FormatFloat(pl.DelayRate, 'g', -1, 64))
+	fmt.Fprintf(&b, ",maxdelay=%s", pl.MaxDelay)
+	fmt.Fprintf(&b, ",stall=%s", strconv.FormatFloat(pl.StallRate, 'g', -1, 64))
+	fmt.Fprintf(&b, ",stallfor=%s", pl.Stall)
+	fmt.Fprintf(&b, ",connerr=%s", strconv.FormatFloat(pl.ConnErrRate, 'g', -1, 64))
+	if pl.AbortStep != 0 || pl.AbortRank != 0 {
+		fmt.Fprintf(&b, ",abort=%d@%d", pl.AbortRank, pl.AbortStep)
+	}
+	if pl.CrashStep != 0 || pl.CrashRank != 0 {
+		fmt.Fprintf(&b, ",crash=%d:%d", pl.CrashRank, pl.CrashStep)
+	}
+	if len(pl.Ranks) > 0 {
+		b.WriteString(",ranks=")
+		for i, r := range pl.Ranks {
+			if i > 0 {
+				b.WriteByte('+')
+			}
+			b.WriteString(strconv.Itoa(r))
+		}
+	}
+	if pl.FromStep != 0 || pl.ToStep != 0 {
+		fmt.Fprintf(&b, ",steps=%d-%d", pl.FromStep, pl.ToStep)
+	}
+	return b.String()
+}
+
 // ChaosTransport decorates any Transport with seeded, deterministic
 // fault injection driven by a FaultPlan: per-message delivery delays,
 // Sync stalls (slow peers), transient connection errors on the TCP
-// path, and forced mid-superstep aborts. It exists so the delivery
+// path, forced mid-superstep aborts, and hard endpoint crashes
+// (CrashRank/CrashStep; see NewChaosTransport for the one-shot
+// semantics recovery relies on). It exists so the delivery
 // contract and the timeout/abort machinery can be exercised under
 // adverse schedules that the clean transports never produce.
 //
@@ -180,6 +253,39 @@ func ParseFaultPlan(spec string) (FaultPlan, error) {
 type ChaosTransport struct {
 	Base Transport
 	Plan FaultPlan
+
+	// shared, when non-nil (NewChaosTransport), carries crash state
+	// across Opens of the same transport value so an armed crash fires
+	// exactly once: the fault is a transient event in the machine's
+	// history, and a recovered re-run of the same transport proceeds
+	// fault-free. A composite-literal ChaosTransport (nil shared)
+	// re-fires the crash on every Open — a persistent fault.
+	shared *chaosShared
+}
+
+type chaosShared struct {
+	crashFired atomic.Bool
+}
+
+// NewChaosTransport returns a ChaosTransport whose armed crash fault
+// (Plan.CrashStep > 0) fires on the first Open only; subsequent Opens —
+// in particular the re-execution RunRecoverable performs after
+// restoring a checkpoint — run fault-free, like a machine that was
+// power-cycled after a transient hardware fault.
+func NewChaosTransport(base Transport, plan FaultPlan) ChaosTransport {
+	return ChaosTransport{Base: base, Plan: plan, shared: &chaosShared{}}
+}
+
+// crashArmed reports whether the crash fault should fire in this run,
+// consuming the one-shot state when present.
+func (t ChaosTransport) crashArmed() bool {
+	if t.Plan.CrashStep <= 0 {
+		return false
+	}
+	if t.shared == nil {
+		return true
+	}
+	return t.shared.crashFired.CompareAndSwap(false, true)
 }
 
 // Name implements Transport.
@@ -200,11 +306,13 @@ func (t ChaosTransport) Open(p int) ([]Endpoint, error) {
 	if err != nil {
 		return nil, err
 	}
+	crash := t.crashArmed()
 	wrapped := make([]Endpoint, p)
 	for i, ep := range eps {
 		wrapped[i] = &chaosEndpoint{
 			Endpoint: ep,
 			plan:     t.Plan,
+			crash:    crash && i == t.Plan.CrashRank,
 			rng:      rand.New(rand.NewSource(t.Plan.Seed ^ int64(i+1)*2654435761)),
 		}
 	}
@@ -216,9 +324,11 @@ func (t ChaosTransport) Open(p int) ([]Endpoint, error) {
 // the decision stream depends only on the seed and the call sequence.
 type chaosEndpoint struct {
 	Endpoint
-	plan FaultPlan
-	rng  *rand.Rand
-	step int // 1-based superstep currently executing
+	plan  FaultPlan
+	rng   *rand.Rand
+	step  int  // 1-based superstep currently executing
+	crash bool // this rank's endpoint is armed to crash at plan.CrashStep
+	dead  bool // the crash fired: the base endpoint is already closed
 }
 
 // Send implements Endpoint, possibly sleeping first (slow link).
@@ -242,9 +352,25 @@ func (e *chaosEndpoint) Send(dst int, msg []byte) {
 func (e *chaosEndpoint) Sync() (*Inbox, error) {
 	e.step++
 	pl := &e.plan
+	if e.crash && e.step == pl.CrashStep {
+		// Hard crash: the endpoint dies mid-superstep — aborted AND
+		// closed underneath the still-running process, so peers see the
+		// abort and (on tcp) this rank's sockets go away immediately.
+		// The cooperative abort below, by contrast, leaves the endpoint
+		// open for core's normal teardown.
+		e.dead = true
+		e.Endpoint.Abort()
+		e.Endpoint.Close()
+		return nil, fmt.Errorf("chaos: injected crash of rank %d in superstep %d [plan %s]: %w",
+			e.ID(), e.step, pl, ErrCrashed)
+	}
 	if pl.AbortStep > 0 && e.step == pl.AbortStep && e.ID() == pl.AbortRank {
 		e.Endpoint.Abort()
-		return nil, fmt.Errorf("chaos: injected abort of rank %d in superstep %d", e.ID(), e.step)
+		// Wraps ErrInjectedAbort, not ErrAborted: in core's error
+		// selection the injected abort is the primary failure and must
+		// outrank the secondary ErrAborted it induces in the peers.
+		return nil, fmt.Errorf("chaos: injected abort of rank %d in superstep %d [plan %s]: %w",
+			e.ID(), e.step, pl, ErrInjectedAbort)
 	}
 	inbox, err := e.Endpoint.Sync()
 	if err != nil {
@@ -256,6 +382,25 @@ func (e *chaosEndpoint) Sync() (*Inbox, error) {
 		}
 	}
 	return inbox, nil
+}
+
+// Abort implements Endpoint. A crashed endpoint is already aborted and
+// closed; aborting it again must be a no-op.
+func (e *chaosEndpoint) Abort() {
+	if e.dead {
+		return
+	}
+	e.Endpoint.Abort()
+}
+
+// Close implements Endpoint. The crash fault closes the base endpoint
+// mid-superstep; core's deferred Close afterwards must not close it a
+// second time.
+func (e *chaosEndpoint) Close() error {
+	if e.dead {
+		return nil
+	}
+	return e.Endpoint.Close()
 }
 
 // handedBatches forwards the per-pair batching observability counter of

@@ -29,6 +29,21 @@ type Inbox struct {
 	left int
 }
 
+// NewInbox builds an Inbox over caller-owned framed batches, outside
+// any endpoint. It exists for checkpoint restore (internal/ckpt): a
+// resumed process's first superstep starts with the inbox its snapshot
+// recorded, and those buffers belong to the caller, not to a
+// transport's pool — they are never recycled, so the usual
+// valid-until-next-Sync window applies only to the views, not to the
+// backing storage.
+func NewInbox(batches [][]byte) (*Inbox, error) {
+	in := &Inbox{}
+	if err := in.reset(batches); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
 // reset validates the batches (one FrameCount pass each), arms the
 // iterator and returns the total frame count. Endpoints call it from
 // Sync; a framing error here is a transport-integrity failure.
@@ -86,6 +101,27 @@ func (in *Inbox) Frames() int {
 		return 0
 	}
 	return in.frames
+}
+
+// EachFrame calls fn with a view of every frame, delivered or not,
+// without consuming the iterator. Checkpoint capture uses it to copy a
+// freshly delivered inbox into a snapshot; the views obey the same
+// validity window as Next's.
+func (in *Inbox) EachFrame(fn func(view []byte)) {
+	if in == nil {
+		return
+	}
+	var it wire.FrameIter
+	for _, b := range in.batches {
+		it.Reset(b)
+		for {
+			view, ok := it.Next()
+			if !ok {
+				break
+			}
+			fn(view)
+		}
+	}
 }
 
 // EachFrameLen calls fn with every frame's payload length without

@@ -95,7 +95,7 @@ func New(name string) (Transport, error) {
 		if err != nil {
 			return nil, err
 		}
-		return ChaosTransport{Base: tr, Plan: DefaultFaultPlan()}, nil
+		return NewChaosTransport(tr, DefaultFaultPlan()), nil
 	}
 	switch name {
 	case "shm":

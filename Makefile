@@ -10,12 +10,18 @@
 #   make conformance  cross-transport contract suite under -race
 #                     (shortened fault plans; stays well under 60s),
 #                     plus the checkpoint/recovery conformance suite
+#   make trace-smoke  end-to-end observability smoke: a chaos-crashed,
+#                     checkpointed bsprun must leave a Chrome trace with
+#                     a superstep span per rank per superstep plus the
+#                     crash and rollback markers (validated by
+#                     cmd/tracecheck)
 #   make fuzz         brief wire encode/decode + snapshot codec fuzz pass
 #   make bench        transport latency/throughput microbenchmarks
 
 GO ?= go
+TRACE_DIR ?= /tmp/bsp-trace-smoke
 
-.PHONY: build test vet race verify verify-race verify-alloc conformance fuzz bench bench-alloc
+.PHONY: build test vet race verify verify-race verify-alloc conformance trace-smoke fuzz bench bench-alloc
 
 build:
 	$(GO) build ./...
@@ -39,6 +45,16 @@ verify-alloc:
 conformance:
 	$(GO) test -race -timeout 120s ./internal/transport/ -run 'Conformance|PerPairBatchHandoff' -v
 	$(GO) test -race -timeout 120s ./internal/ckpt/ -run 'Recovery|Crash|Recoverable' -v
+	$(GO) test -race -timeout 120s ./internal/trace/ -run 'TestTrace' -v
+
+trace-smoke:
+	rm -rf $(TRACE_DIR) && mkdir -p $(TRACE_DIR)
+	$(GO) build -o $(TRACE_DIR)/bsprun ./cmd/bsprun
+	$(GO) build -o $(TRACE_DIR)/tracecheck ./cmd/tracecheck
+	$(TRACE_DIR)/bsprun -app psort -size 4000 -p 4 -transport tcp \
+		-chaos "seed=1,delay=0,stall=0,connerr=0,crash=1:3" \
+		-checkpoint-dir $(TRACE_DIR)/ckpt -trace $(TRACE_DIR)/trace.json -cost-report
+	$(TRACE_DIR)/tracecheck -ranks 4 -require-crash -require-rollback $(TRACE_DIR)/trace.json
 
 fuzz:
 	$(GO) test ./internal/wire/ -fuzz FuzzRoundTrip -fuzztime 10s

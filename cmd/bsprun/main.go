@@ -24,6 +24,21 @@
 //	bsprun -app psort -size 16000 -p 4 -transport tcp \
 //	    -chaos crash=1:3 -checkpoint-dir /tmp/ckpt -checkpoint-every 2 -resume
 //
+// Observability: -trace writes the run's per-superstep timeline as
+// Chrome trace-event JSON (open in Perfetto or chrome://tracing; one
+// track per rank, superstep spans over compute/sync slices, batch
+// handoffs, checkpoint saves/restores, chaos faults and rollbacks);
+// -metrics-addr serves live counters while the machine runs
+// (Prometheus text at /metrics, expvar JSON at /debug/vars);
+// -cost-report prints the per-superstep predicted-vs-recorded
+// residuals of Equation 1 for the machine named by -cost-machine:
+//
+//	bsprun -app ocean -size 34 -p 4 -transport shm \
+//	    -trace trace.json -metrics-addr localhost:8080 -cost-report
+//
+// The trace file is written even when the run fails, so a crashed or
+// wedged machine leaves its timeline behind for diagnosis.
+//
 // Exit codes classify failures for CI: 1 = run or usage error, 2 =
 // superstep timeout (the per-rank progress detail is printed), 3 =
 // abort or injected crash.
@@ -31,14 +46,18 @@ package main
 
 import (
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/harness"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -58,6 +77,10 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", "", "snapshot directory; arms superstep checkpointing and crash recovery (apps with hooks: ocean, psort)")
 	ckptEvery := flag.Int("checkpoint-every", 1, "snapshot every Nth eligible superstep boundary")
 	resume := flag.Bool("resume", false, "continue from the latest complete snapshot in -checkpoint-dir")
+	traceFile := flag.String("trace", "", "write the run's timeline as Chrome trace-event JSON to this file (open in Perfetto)")
+	metricsAddr := flag.String("metrics-addr", "", "serve live metrics over HTTP: Prometheus text at /metrics, expvar JSON at /debug/vars")
+	costReport := flag.Bool("cost-report", false, "print per-superstep predicted-vs-recorded cost-model residuals")
+	costMachine := flag.String("cost-machine", "SGI", "machine profile for -cost-report: SGI|Cenju|PC")
 	flag.Parse()
 
 	tr, err := transport.New(*trName)
@@ -79,6 +102,41 @@ func main() {
 	if *ckptDir != "" {
 		cfg.Checkpoint = &core.CheckpointConfig{Dir: *ckptDir, Every: *ckptEvery, Resume: *resume}
 	}
+	machine := cost.SGI
+	if *costReport {
+		if machine, err = cost.MachineByName(*costMachine); err != nil {
+			fail(err)
+		}
+	}
+	// Any observability consumer arms the recorder; otherwise cfg.Trace
+	// stays nil and every instrumentation site is a nil check.
+	var rec *trace.Recorder
+	if *traceFile != "" || *metricsAddr != "" || *costReport {
+		rec = trace.New(*p)
+		cfg.Trace = rec
+	}
+	writeTrace := func() {
+		if *traceFile == "" {
+			return
+		}
+		if werr := rec.WriteChromeFile(*traceFile); werr != nil {
+			fmt.Fprintln(os.Stderr, "bsprun: write trace:", werr)
+		} else {
+			fmt.Printf("trace written to %s (open in Perfetto or chrome://tracing)\n", *traceFile)
+		}
+	}
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fail(err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", rec.Metrics().Handler())
+		expvar.Publish("bsp", expvar.Func(func() any { return rec.Metrics().Snapshot() }))
+		mux.Handle("/debug/vars", expvar.Handler())
+		go http.Serve(ln, mux)
+		fmt.Printf("live metrics on http://%s/metrics (Prometheus text) and /debug/vars (expvar JSON)\n", ln.Addr())
+	}
 	// Live run on the requested transport for wall time and correctness.
 	t0 := time.Now()
 	var st *core.Stats
@@ -88,9 +146,13 @@ func main() {
 		st, err = harness.RunOnConfig(*app, *size, cfg)
 	}
 	if err != nil {
+		// A failed run still leaves its timeline behind: the trace shows
+		// where the machine died.
+		writeTrace()
 		fail(err)
 	}
 	wall := time.Since(t0)
+	writeTrace()
 	// Deterministic work measurement on the sim transport for the model.
 	rows, err := harness.Collect(*app, []int{*size}, []int{1, *p})
 	if err != nil {
@@ -113,6 +175,9 @@ func main() {
 			fmt.Printf("  recovery: %d attempt(s), final attempt resumed at superstep %d\n",
 				ck.Attempts, ck.ResumeStep)
 		}
+	}
+	if *costReport {
+		trace.WriteResidualReport(os.Stdout, rec, machine.Name, machine.Params(*p), 3)
 	}
 	fmt.Printf("  sim measurement: W = %v   H = %d   S = %d   total work = %v\n",
 		run.W, run.H, run.S, run.TotalWork)

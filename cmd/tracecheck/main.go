@@ -1,0 +1,117 @@
+// Command tracecheck validates a Chrome trace-event JSON file written
+// by bsprun -trace. It is the CI gate of the trace smoke job: the
+// file must parse, every rank track must carry at least one
+// "superstep N" span for every superstep the run executed (0 through
+// the largest superstep seen anywhere), and — for fault-injected runs
+// — the crash and rollback markers must be present when required.
+//
+// Usage:
+//
+//	tracecheck -ranks 4 [-require-crash] [-require-rollback] trace.json
+//
+// Exit status is nonzero on any violation, with one line per problem.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type traceEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Tid  int     `json:"tid"`
+}
+
+type traceDoc struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+func main() {
+	ranks := flag.Int("ranks", 0, "number of rank tracks the trace must cover (required)")
+	requireCrash := flag.Bool("require-crash", false, "fail unless a chaos crash marker is present")
+	requireRollback := flag.Bool("require-rollback", false, "fail unless a rollback marker is present")
+	flag.Parse()
+	if *ranks <= 0 || flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck -ranks N [-require-crash] [-require-rollback] <trace.json>")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatal("read: %v", err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		fatal("%s is not valid trace-event JSON: %v", path, err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		fatal("%s has no trace events", path)
+	}
+
+	// superstep spans per (tid, step); the largest step seen anywhere
+	// defines how many supersteps the run executed.
+	spans := map[int]map[int]int{}
+	maxStep := -1
+	crashes, rollbacks := 0, 0
+	for _, e := range doc.TraceEvents {
+		switch {
+		case e.Ph == "X" && strings.HasPrefix(e.Name, "superstep "):
+			var step int
+			if _, err := fmt.Sscanf(e.Name, "superstep %d", &step); err != nil {
+				continue
+			}
+			if spans[e.Tid] == nil {
+				spans[e.Tid] = map[int]int{}
+			}
+			spans[e.Tid][step]++
+			if step > maxStep {
+				maxStep = step
+			}
+			if e.Dur < 0 {
+				fatal("negative duration on %q (tid %d)", e.Name, e.Tid)
+			}
+		case e.Name == "chaos crash":
+			crashes++
+		case strings.HasPrefix(e.Name, "rollback to superstep"):
+			rollbacks++
+		}
+	}
+
+	bad := 0
+	problem := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
+		bad++
+	}
+	if maxStep < 0 {
+		problem("no superstep spans in %s", path)
+	}
+	for rank := 0; rank < *ranks; rank++ {
+		for step := 0; step <= maxStep; step++ {
+			if spans[rank][step] < 1 {
+				problem("rank %d has no superstep %d span", rank, step)
+			}
+		}
+	}
+	if *requireCrash && crashes == 0 {
+		problem("no chaos crash marker (required)")
+	}
+	if *requireRollback && rollbacks == 0 {
+		problem("no rollback marker (required)")
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("tracecheck: %s ok — %d events, %d ranks x %d supersteps, %d crash(es), %d rollback(s)\n",
+		path, len(doc.TraceEvents), *ranks, maxStep+1, crashes, rollbacks)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -91,6 +91,48 @@ func TestRecoveryConformance(t *testing.T) {
 	}
 }
 
+// TestRecoveryStatsSteps: the Stats of a recovered run describe the
+// final attempt only — a machine resumed from superstep k reports
+// Syncs = S-k and per-superstep records aligned with the tail of a
+// fault-free run. The deterministic fields (packets, work units,
+// h-relation sizes) must match the baseline's supersteps k..S exactly;
+// wall-clock work obviously differs and is not compared.
+func TestRecoveryStatsSteps(t *testing.T) {
+	data := psort.RandomData(4000, 1996)
+	for _, name := range []string{"shm", "tcp"} {
+		t.Run(name, func(t *testing.T) {
+			base := baseTransports()[name]
+			_, baseline, err := psort.Parallel(core.Config{P: recoveryP, Transport: base}, data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := ckptConfig(t, transport.NewChaosTransport(base, crashPlan()))
+			_, st, err := psort.ParallelRecoverable(cfg, data)
+			if err != nil {
+				t.Fatalf("recoverable run failed: %v", err)
+			}
+			resume := st.Ckpt.ResumeStep
+			if resume < 1 {
+				t.Fatalf("ResumeStep = %d, want >= 1", resume)
+			}
+			if st.Syncs != baseline.Syncs-resume {
+				t.Fatalf("final attempt ran %d syncs, want %d (baseline %d resumed at %d)",
+					st.Syncs, baseline.Syncs-resume, baseline.Syncs, resume)
+			}
+			if len(st.Steps) != st.Syncs+1 {
+				t.Fatalf("len(Steps) = %d, want Syncs+1 = %d", len(st.Steps), st.Syncs+1)
+			}
+			for i, got := range st.Steps {
+				want := baseline.Steps[resume+i]
+				if got.SumSent != want.SumSent || got.SumUnits != want.SumUnits || got.MaxH != want.MaxH {
+					t.Fatalf("recovered superstep %d (machine superstep %d): sent=%d units=%d maxh=%d, baseline sent=%d units=%d maxh=%d",
+						i, resume+i, got.SumSent, got.SumUnits, got.MaxH, want.SumSent, want.SumUnits, want.MaxH)
+				}
+			}
+		})
+	}
+}
+
 // TestRecoveryInjectedAbort: the cooperative abort fault is in the
 // recoverable class too. The abort step counter is endpoint-local, so
 // each resumed attempt re-fires it at a later machine superstep until

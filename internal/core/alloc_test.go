@@ -26,6 +26,11 @@ const (
 	allocGateMax  = 200
 	allocSeedRef  = 2073 // measured seed-path allocs/superstep (see BENCH_exchange.json)
 	allocGateRuns = 10
+	// allocTraceOffMax bounds the tracing-disabled path: the batched
+	// engine measured ~1 alloc/superstep before the recorder existed,
+	// and the nil-check disabled path must keep it there (small slack
+	// for runtime noise).
+	allocTraceOffMax = 4
 )
 
 // exchangeSuperstep performs one all-to-all superstep: 16-byte packets
@@ -61,15 +66,13 @@ func BenchmarkExchangeAllocs(b *testing.B) {
 	}
 }
 
-// TestExchangeAllocGate is the allocation regression gate: the steady-
-// state all-to-all superstep on shm must stay at least 10x below the
-// seed path's one-allocation-per-message cost. The machine runs in
-// background goroutines; testing.AllocsPerRun triggers one lock-step
-// superstep per run and counts the whole machine's allocations.
-func TestExchangeAllocGate(t *testing.T) {
-	if testing.Short() {
-		t.Skip("alloc gate skipped in -short mode")
-	}
+// measureExchangeAllocs runs the lock-step all-to-all machine on cfg
+// and returns the steady-state allocations per superstep across the
+// whole machine. The machine runs in background goroutines;
+// testing.AllocsPerRun triggers one lock-step superstep per run and
+// counts the whole machine's allocations.
+func measureExchangeAllocs(t *testing.T, cfg Config) float64 {
+	t.Helper()
 	const warmup = 4 // pre-grow buffers and stats before measuring
 	// AllocsPerRun invokes the function once to warm up, then
 	// allocGateRuns more times.
@@ -82,7 +85,7 @@ func TestExchangeAllocGate(t *testing.T) {
 	errCh := make(chan error, 1)
 	go func() {
 		defer wg.Done()
-		_, err := Run(Config{P: allocP, Transport: transport.ShmTransport{}}, func(c *Proc) {
+		_, err := Run(cfg, func(c *Proc) {
 			var pkt Pkt
 			pkt[0] = byte(c.ID())
 			for s := 0; s < totalSteps; s++ {
@@ -110,6 +113,20 @@ func TestExchangeAllocGate(t *testing.T) {
 	if err := <-errCh; err != nil {
 		t.Fatal(err)
 	}
+	return avg
+}
+
+// TestExchangeAllocGate is the allocation regression gate: the steady-
+// state all-to-all superstep on shm must stay at least 10x below the
+// seed path's one-allocation-per-message cost — and, since the trace
+// recorder landed, the tracing-DISABLED path (cfg.Trace == nil, every
+// instrumentation site a nil check) must not add a single allocation
+// above the batched engine's measured baseline.
+func TestExchangeAllocGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc gate skipped in -short mode")
+	}
+	avg := measureExchangeAllocs(t, Config{P: allocP, Transport: transport.ShmTransport{}})
 	t.Logf("allocs per all-to-all superstep (p=%d, %d msgs/pair): %.1f", allocP, allocPerPair, avg)
 	if avg > allocGateMax {
 		t.Errorf("alloc gate: %.1f allocs/superstep, want <= %d (seed path was ~%d; batched engine must hold a >=10x reduction)",
@@ -117,5 +134,12 @@ func TestExchangeAllocGate(t *testing.T) {
 	}
 	if avg*10 > allocSeedRef {
 		t.Errorf("alloc gate: %.1f allocs/superstep is not >=10x below the seed's ~%d", avg, allocSeedRef)
+	}
+	// The pre-instrumentation engine measured ~1 alloc/superstep (see
+	// BENCH_exchange.json "after"); with tracing disabled the recorder
+	// must be invisible here.
+	if avg > allocTraceOffMax {
+		t.Errorf("alloc gate: %.1f allocs/superstep with tracing disabled, want <= %d — the nil-check disabled path must add zero allocations over the batched baseline",
+			avg, allocTraceOffMax)
 	}
 }

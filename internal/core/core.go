@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -74,6 +75,15 @@ type Config struct {
 	// capture and recovery for RunRecoverable (plain Run ignores it:
 	// capture needs the Save hook only RunRecoverable accepts).
 	Checkpoint *CheckpointConfig
+	// Trace, when non-nil, records per-superstep observability events:
+	// each rank's compute and barrier spans, per-(src,dst) exchange
+	// batches (on transports that implement transport.TraceSetter),
+	// checkpoint save/restore spans, chaos faults and recovery
+	// rollbacks. The recorder persists across RunRecoverable attempts,
+	// so a recovered run's trace shows the crash, the rollback and the
+	// re-executed supersteps on one timeline. Nil disables tracing;
+	// the disabled path is a nil check only (see the alloc gate).
+	Trace *trace.Recorder
 }
 
 // Proc is one BSP process's handle to the library. A Proc is confined to
@@ -99,6 +109,11 @@ type Proc struct {
 	step    int
 	lastCap int
 	ck      *capturer
+
+	// tr is this rank's trace buffer; nil when tracing is disabled
+	// (every use is guarded by a nil check — the whole cost of the
+	// disabled path).
+	tr *trace.Buf
 
 	// phase counts barrier phases for the watchdog: +1 entering the
 	// transport Sync (waiting), +1 on its successful return
@@ -208,6 +223,10 @@ func (c *Proc) AddWork(n int) { c.units += n }
 // alternating-buffer implementations.
 func (c *Proc) Sync() {
 	work := time.Since(c.segStart)
+	var arrive int64
+	if c.tr != nil {
+		arrive = c.tr.Now()
+	}
 	if c.phase != nil {
 		c.phase.Add(1)
 	}
@@ -220,6 +239,14 @@ func (c *Proc) Sync() {
 	}
 	recv := 0
 	inbox.EachFrameLen(func(n int) { recv += pktUnits(n) })
+	if c.tr != nil {
+		// The compute span ends at barrier arrival; the sync span covers
+		// exchange plus barrier wait until release. Straggler attribution
+		// falls out of comparing arrive times across ranks.
+		release := c.tr.Now()
+		c.tr.Compute(c.step, arrive-int64(work), arrive, c.units)
+		c.tr.SyncSpan(c.step, arrive, release, c.sentPkts, recv)
+	}
 	c.steps = append(c.steps, stepRecord{work: work, units: c.units, sent: c.sentPkts, recv: recv})
 	c.sentPkts = 0
 	c.units = 0
@@ -236,7 +263,12 @@ func (c *Proc) Sync() {
 
 // finish records the trailing computation segment after the last Sync.
 func (c *Proc) finish() {
-	c.steps = append(c.steps, stepRecord{work: time.Since(c.segStart), units: c.units, sent: c.sentPkts})
+	work := time.Since(c.segStart)
+	if c.tr != nil {
+		now := c.tr.Now()
+		c.tr.Compute(c.step, now-int64(work), now, c.units)
+	}
+	c.steps = append(c.steps, stepRecord{work: work, units: c.units, sent: c.sentPkts})
 }
 
 // syncFailure wraps a transport error raised inside Sync so Run can tell
@@ -306,8 +338,24 @@ func runMachine(cfg Config, fn func(*Proc), hooks Hooks, rs *runState) (*Stats, 
 					ep.Abort()
 				}
 			}()
+			if cfg.Trace != nil {
+				// Endpoints that implement transport.TraceSetter feed the
+				// per-rank buffer with exchange and fault events; set it
+				// before Begin so no event precedes the buffer.
+				if ts, ok := ep.(transport.TraceSetter); ok {
+					ts.SetTrace(cfg.Trace.Rank(i))
+				}
+			}
 			ep.Begin()
 			c := &Proc{id: i, p: cfg.P, ep: ep, segStart: time.Now()}
+			if cfg.Trace != nil {
+				c.tr = cfg.Trace.Rank(i)
+				// A fresh attempt's endpoints count supersteps from zero
+				// again; reset the realignment base (the resume block
+				// below raises it when the attempt starts from a
+				// snapshot).
+				c.tr.SetStepBase(0)
+			}
 			if cfg.SyncTimeout > 0 {
 				c.phase = &phases[i]
 			}
@@ -315,7 +363,15 @@ func runMachine(cfg Config, fn func(*Proc), hooks Hooks, rs *runState) (*Stats, 
 				c.ck = rs.cap
 				if rs.resume != nil {
 					snap := rs.resume[i]
+					var restoreStart int64
+					if c.tr != nil {
+						restoreStart = c.tr.Now()
+					}
 					c.step, c.lastCap = snap.Step, snap.Step
+					// The resumed attempt's fresh endpoints count
+					// supersteps from zero; realign their Pair/Exchange/
+					// Fault events with the machine's superstep axis.
+					c.tr.SetStepBase(snap.Step)
 					var batches [][]byte
 					if len(snap.Batch) > 0 {
 						batches = [][]byte{snap.Batch}
@@ -329,6 +385,9 @@ func runMachine(cfg Config, fn func(*Proc), hooks Hooks, rs *runState) (*Stats, 
 						if err := hooks.Restore(c, snap.Step, snap.User); err != nil {
 							panic(syncFailure{fmt.Errorf("restore hook: %w", err)})
 						}
+					}
+					if c.tr != nil {
+						c.tr.CkptRestore(snap.Step, restoreStart, c.tr.Now())
 					}
 				}
 			}

@@ -257,6 +257,21 @@ func TestStatsSHW(t *testing.T) {
 	if !strings.Contains(st.String(), "S=3") {
 		t.Errorf("String() = %q", st.String())
 	}
+	if strings.Contains(st.String(), "ckpt[") {
+		t.Errorf("String() mentions checkpoints on a run without them: %q", st.String())
+	}
+}
+
+// TestStatsStringCkpt: a recovered run's one-line summary carries the
+// checkpoint/recovery numbers alongside (W, H, S).
+func TestStatsStringCkpt(t *testing.T) {
+	st := &Stats{P: 2, Syncs: 3, Steps: make([]Step, 4),
+		Ckpt: &CkptStats{Snapshots: 6, Cuts: 3, Bytes: 4096, Attempts: 2, ResumeStep: 2}}
+	for _, want := range []string{"S=3", "ckpt[", "snaps=6", "cuts=3", "bytes=4096", "attempts=2", "resume=2"} {
+		if !strings.Contains(st.String(), want) {
+			t.Errorf("String() = %q, missing %q", st.String(), want)
+		}
+	}
 }
 
 func TestPktUnits(t *testing.T) {

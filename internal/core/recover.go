@@ -151,6 +151,10 @@ func (k *capturer) capture(c *Proc) {
 	}
 	c.lastCap = c.step
 	start := time.Now()
+	var trStart int64
+	if c.tr != nil {
+		trStart = c.tr.Now()
+	}
 	// The undelivered inbox travels with the snapshot: re-encode the
 	// freshly delivered frames (none is consumed yet — capture runs
 	// inside Sync) as one contiguous wire batch.
@@ -158,6 +162,9 @@ func (k *capturer) capture(c *Proc) {
 	c.inbox.EachFrame(func(view []byte) { batch = wire.AppendFrame(batch, view) })
 	snap := &ckpt.Snapshot{Step: c.step, Rank: c.id, P: c.p, User: user, Batch: batch}
 	err := k.store.WriteRank(snap)
+	if c.tr != nil {
+		c.tr.CkptSave(c.step, trStart, c.tr.Now(), len(user)+len(batch))
+	}
 
 	k.mu.Lock()
 	defer k.mu.Unlock()
@@ -250,5 +257,12 @@ func RunRecoverable(cfg Config, fn func(*Proc), hooks Hooks) (*Stats, error) {
 		}
 		time.Sleep(ck.backoff() << (attempts - 1))
 		resume = load()
+		// Record the rollback on the machine track: the next attempt and
+		// the boundary it resumes from (0 = scratch).
+		resumeAt := 0
+		if resume != nil {
+			resumeAt = resume[0].Step
+		}
+		cfg.Trace.Rollback(attempts+1, resumeAt)
 	}
 }

@@ -100,10 +100,16 @@ func (s *Stats) TotalUnits() int {
 	return w
 }
 
-// String summarizes the run in the paper's (W, H, S) vocabulary.
+// String summarizes the run in the paper's (W, H, S) vocabulary, with
+// the checkpoint/recovery summary appended when the run recorded one.
 func (s *Stats) String() string {
-	return fmt.Sprintf("P=%d S=%d W=%v H=%d totalwork=%v pkts=%d",
+	out := fmt.Sprintf("P=%d S=%d W=%v H=%d totalwork=%v pkts=%d",
 		s.P, s.S(), s.W(), s.H(), s.TotalWork(), s.TotalPkts())
+	if ck := s.Ckpt; ck != nil {
+		out += fmt.Sprintf(" ckpt[snaps=%d cuts=%d bytes=%d attempts=%d resume=%d]",
+			ck.Snapshots, ck.Cuts, ck.Bytes, ck.Attempts, ck.ResumeStep)
+	}
+	return out
 }
 
 // mergeStats folds the per-process step records into machine-wide

@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Chrome trace-event exporter: renders a Recorder's merged timeline as
+// the JSON object format consumed by Perfetto and chrome://tracing.
+// One process (pid 0) represents the BSP machine; each rank is one
+// thread track (tid = rank), with a synthetic "superstep N" span
+// enclosing the compute and sync slices of every superstep, per-pair
+// batch handoffs and chaos faults as instant events, and a trailing
+// "machine" track (tid = P) carrying machine-level events (rollbacks).
+// A recovered run shows the crash, the rollback marker and the
+// re-executed supersteps in sequence on the same per-rank tracks.
+
+// chromeEvent is one entry of the traceEvents array. Field order (and
+// encoding/json's sorted map keys for Args) keeps the output
+// deterministic for the golden-file test.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant-event scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+func us(ns int64) float64 { return float64(ns) / 1e3 }
+
+func durPtr(startNs, endNs int64) *float64 {
+	d := us(endNs - startNs)
+	if d < 0 {
+		d = 0
+	}
+	return &d
+}
+
+// WriteChrome renders the recorded events as Chrome trace-event JSON.
+// Call it only when the machine is quiescent.
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	if r == nil {
+		return fmt.Errorf("trace: nil recorder")
+	}
+	p := r.P()
+	evs := make([]chromeEvent, 0, 64)
+	evs = append(evs, chromeEvent{Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
+		Args: map[string]any{"name": "bsp machine"}})
+	for i := 0; i < p; i++ {
+		evs = append(evs, chromeEvent{Name: "thread_name", Ph: "M", Pid: 0, Tid: i,
+			Args: map[string]any{"name": fmt.Sprintf("rank %d", i)}})
+		evs = append(evs, chromeEvent{Name: "thread_sort_index", Ph: "M", Pid: 0, Tid: i,
+			Args: map[string]any{"sort_index": i}})
+	}
+	evs = append(evs, chromeEvent{Name: "thread_name", Ph: "M", Pid: 0, Tid: p,
+		Args: map[string]any{"name": "machine"}})
+	evs = append(evs, chromeEvent{Name: "thread_sort_index", Ph: "M", Pid: 0, Tid: p,
+		Args: map[string]any{"sort_index": p}})
+
+	for i := 0; i < p; i++ {
+		evs = appendRankEvents(evs, r.bufs[i].events, i)
+	}
+	r.mu.Lock()
+	machine := append([]Event(nil), r.machine...)
+	r.mu.Unlock()
+	for _, e := range machine {
+		if e.Kind == KindRollback {
+			evs = append(evs, chromeEvent{
+				Name: fmt.Sprintf("rollback to superstep %d", e.B), Ph: "i",
+				Ts: us(e.Start), Pid: 0, Tid: p, S: "p",
+				Args: map[string]any{"attempt": e.A, "resume_step": e.B},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{DisplayTimeUnit: "ms", TraceEvents: evs})
+}
+
+// appendRankEvents converts one rank's event list (append order = time
+// order within the rank) to trace events. Each KindCompute is held
+// until the KindSync that ends the same superstep arrives, so the
+// umbrella "superstep N" span can cover both; a re-executed superstep
+// after a rollback forms its own later umbrella.
+func appendRankEvents(evs []chromeEvent, events []Event, tid int) []chromeEvent {
+	var pending Event
+	havePending := false
+	flushPending := func() {
+		if havePending {
+			evs = append(evs, computeSlice(pending, tid))
+			havePending = false
+		}
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case KindCompute:
+			flushPending()
+			pending, havePending = e, true
+		case KindSync:
+			if havePending && pending.Step == e.Step {
+				evs = append(evs, chromeEvent{
+					Name: fmt.Sprintf("superstep %d", e.Step), Ph: "X",
+					Ts: us(pending.Start), Dur: durPtr(pending.Start, e.End), Pid: 0, Tid: tid,
+					Args: map[string]any{"step": e.Step},
+				})
+				evs = append(evs, computeSlice(pending, tid))
+				havePending = false
+			}
+			evs = append(evs, chromeEvent{
+				Name: "sync (exchange+wait)", Ph: "X",
+				Ts: us(e.Start), Dur: durPtr(e.Start, e.End), Pid: 0, Tid: tid,
+				Args: map[string]any{"recv_pkts": e.B, "sent_pkts": e.A, "step": e.Step},
+			})
+		case KindExchange:
+			evs = append(evs, chromeEvent{
+				Name: "exchange", Ph: "X",
+				Ts: us(e.Start), Dur: durPtr(e.Start, e.End), Pid: 0, Tid: tid,
+				Args: map[string]any{"step": e.Step},
+			})
+		case KindPair:
+			evs = append(evs, chromeEvent{
+				Name: fmt.Sprintf("batch to %d", e.A), Ph: "i",
+				Ts: us(e.Start), Pid: 0, Tid: tid, S: "t",
+				Args: map[string]any{"bytes": e.B, "dst": e.A, "frames": e.C, "step": e.Step},
+			})
+		case KindCkptSave:
+			evs = append(evs, chromeEvent{
+				Name: "checkpoint save", Ph: "X",
+				Ts: us(e.Start), Dur: durPtr(e.Start, e.End), Pid: 0, Tid: tid,
+				Args: map[string]any{"bytes": e.B, "step": e.Step},
+			})
+		case KindCkptRestore:
+			evs = append(evs, chromeEvent{
+				Name: "restore", Ph: "X",
+				Ts: us(e.Start), Dur: durPtr(e.Start, e.End), Pid: 0, Tid: tid,
+				Args: map[string]any{"step": e.Step},
+			})
+		case KindFault:
+			evs = append(evs, chromeEvent{
+				Name: FaultCode(e.A).String(), Ph: "i",
+				Ts: us(e.Start), Pid: 0, Tid: tid, S: "t",
+				Args: map[string]any{"aux": e.B, "step": e.Step},
+			})
+		}
+	}
+	flushPending()
+	return evs
+}
+
+func computeSlice(e Event, tid int) chromeEvent {
+	return chromeEvent{
+		Name: "compute", Ph: "X",
+		Ts: us(e.Start), Dur: durPtr(e.Start, e.End), Pid: 0, Tid: tid,
+		Args: map[string]any{"step": e.Step, "units": e.A},
+	}
+}
+
+// WriteChromeFile writes the Chrome trace to path (0644, truncating).
+func (r *Recorder) WriteChromeFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+)
+
+// Metrics are the live counters of a running machine: per-rank
+// superstep/work/wait/packet totals, per-(src,dst) exchange volume,
+// and checkpoint/recovery/fault counters. All fields are atomics
+// updated at superstep granularity by the Buf methods, so a scraper
+// (the bsprun -metrics-addr endpoint) can read a consistent-enough
+// view while rank goroutines are still appending events.
+type Metrics struct {
+	p        int
+	steps    []atomic.Int64 // supersteps completed, per rank
+	workNs   []atomic.Int64 // local computation, per rank
+	waitNs   []atomic.Int64 // barrier+exchange time, per rank
+	sentPkts []atomic.Int64 // packets sent, per rank
+	recvPkts []atomic.Int64 // packets received, per rank
+
+	pairBytes  []atomic.Int64 // bytes shipped, [src*p+dst]
+	pairFrames []atomic.Int64 // frames shipped, [src*p+dst]
+
+	CkptSaves atomic.Int64 // per-rank snapshot records written
+	CkptBytes atomic.Int64 // snapshot bytes written
+	Restores  atomic.Int64 // ranks restored from a snapshot
+	Rollbacks atomic.Int64 // machine rollbacks (recovery re-executions)
+	Faults    atomic.Int64 // injected chaos faults observed
+}
+
+func newMetrics(p int) *Metrics {
+	return &Metrics{
+		p:          p,
+		steps:      make([]atomic.Int64, p),
+		workNs:     make([]atomic.Int64, p),
+		waitNs:     make([]atomic.Int64, p),
+		sentPkts:   make([]atomic.Int64, p),
+		recvPkts:   make([]atomic.Int64, p),
+		pairBytes:  make([]atomic.Int64, p*p),
+		pairFrames: make([]atomic.Int64, p*p),
+	}
+}
+
+// pairIndex returns the flat index of (src,dst), or -1 out of range.
+func (m *Metrics) pairIndex(src, dst int) int {
+	if src < 0 || src >= m.p || dst < 0 || dst >= m.p {
+		return -1
+	}
+	return src*m.p + dst
+}
+
+// RankSnapshot is one rank's counter values at a point in time.
+type RankSnapshot struct {
+	Steps    int64
+	WorkNs   int64
+	WaitNs   int64
+	SentPkts int64
+	RecvPkts int64
+}
+
+// Snapshot is a plain-data copy of every counter, fit for JSON
+// encoding (the expvar endpoint publishes it).
+type Snapshot struct {
+	P          int
+	Ranks      []RankSnapshot
+	PairBytes  map[string]int64 // "src->dst", nonzero pairs only
+	PairFrames map[string]int64
+	CkptSaves  int64
+	CkptBytes  int64
+	Restores   int64
+	Rollbacks  int64
+	Faults     int64
+}
+
+// Snapshot copies the counters. Safe concurrently with a running
+// machine; each counter is read atomically (the set is not a single
+// consistent cut, which is fine for monitoring).
+func (m *Metrics) Snapshot() Snapshot {
+	if m == nil {
+		return Snapshot{}
+	}
+	s := Snapshot{
+		P:          m.p,
+		Ranks:      make([]RankSnapshot, m.p),
+		PairBytes:  map[string]int64{},
+		PairFrames: map[string]int64{},
+		CkptSaves:  m.CkptSaves.Load(),
+		CkptBytes:  m.CkptBytes.Load(),
+		Restores:   m.Restores.Load(),
+		Rollbacks:  m.Rollbacks.Load(),
+		Faults:     m.Faults.Load(),
+	}
+	for i := 0; i < m.p; i++ {
+		s.Ranks[i] = RankSnapshot{
+			Steps:    m.steps[i].Load(),
+			WorkNs:   m.workNs[i].Load(),
+			WaitNs:   m.waitNs[i].Load(),
+			SentPkts: m.sentPkts[i].Load(),
+			RecvPkts: m.recvPkts[i].Load(),
+		}
+	}
+	for src := 0; src < m.p; src++ {
+		for dst := 0; dst < m.p; dst++ {
+			if b := m.pairBytes[src*m.p+dst].Load(); b > 0 {
+				key := fmt.Sprintf("%d->%d", src, dst)
+				s.PairBytes[key] = b
+				s.PairFrames[key] = m.pairFrames[src*m.p+dst].Load()
+			}
+		}
+	}
+	return s
+}
+
+// WritePrometheus renders the counters in the Prometheus text
+// exposition format (hand-rolled; the repo takes no dependencies).
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	if m == nil {
+		return
+	}
+	fmt.Fprintf(w, "# HELP bsp_supersteps_total Supersteps completed per rank.\n# TYPE bsp_supersteps_total counter\n")
+	for i := 0; i < m.p; i++ {
+		fmt.Fprintf(w, "bsp_supersteps_total{rank=\"%d\"} %d\n", i, m.steps[i].Load())
+	}
+	fmt.Fprintf(w, "# HELP bsp_work_seconds_total Local computation per rank.\n# TYPE bsp_work_seconds_total counter\n")
+	for i := 0; i < m.p; i++ {
+		fmt.Fprintf(w, "bsp_work_seconds_total{rank=\"%d\"} %g\n", i, float64(m.workNs[i].Load())/1e9)
+	}
+	fmt.Fprintf(w, "# HELP bsp_wait_seconds_total Barrier and exchange time per rank.\n# TYPE bsp_wait_seconds_total counter\n")
+	for i := 0; i < m.p; i++ {
+		fmt.Fprintf(w, "bsp_wait_seconds_total{rank=\"%d\"} %g\n", i, float64(m.waitNs[i].Load())/1e9)
+	}
+	fmt.Fprintf(w, "# HELP bsp_sent_packets_total Packet units sent per rank.\n# TYPE bsp_sent_packets_total counter\n")
+	for i := 0; i < m.p; i++ {
+		fmt.Fprintf(w, "bsp_sent_packets_total{rank=\"%d\"} %d\n", i, m.sentPkts[i].Load())
+	}
+	fmt.Fprintf(w, "# HELP bsp_recv_packets_total Packet units received per rank.\n# TYPE bsp_recv_packets_total counter\n")
+	for i := 0; i < m.p; i++ {
+		fmt.Fprintf(w, "bsp_recv_packets_total{rank=\"%d\"} %d\n", i, m.recvPkts[i].Load())
+	}
+	fmt.Fprintf(w, "# HELP bsp_pair_bytes_total Batch bytes shipped per (src,dst) pair.\n# TYPE bsp_pair_bytes_total counter\n")
+	for src := 0; src < m.p; src++ {
+		for dst := 0; dst < m.p; dst++ {
+			if b := m.pairBytes[src*m.p+dst].Load(); b > 0 {
+				fmt.Fprintf(w, "bsp_pair_bytes_total{src=\"%d\",dst=\"%d\"} %d\n", src, dst, b)
+			}
+		}
+	}
+	fmt.Fprintf(w, "# HELP bsp_pair_frames_total Frames shipped per (src,dst) pair.\n# TYPE bsp_pair_frames_total counter\n")
+	for src := 0; src < m.p; src++ {
+		for dst := 0; dst < m.p; dst++ {
+			if f := m.pairFrames[src*m.p+dst].Load(); f > 0 {
+				fmt.Fprintf(w, "bsp_pair_frames_total{src=\"%d\",dst=\"%d\"} %d\n", src, dst, f)
+			}
+		}
+	}
+	fmt.Fprintf(w, "# HELP bsp_checkpoint_snapshots_total Per-rank snapshot records written.\n# TYPE bsp_checkpoint_snapshots_total counter\nbsp_checkpoint_snapshots_total %d\n", m.CkptSaves.Load())
+	fmt.Fprintf(w, "# HELP bsp_checkpoint_bytes_total Snapshot bytes written.\n# TYPE bsp_checkpoint_bytes_total counter\nbsp_checkpoint_bytes_total %d\n", m.CkptBytes.Load())
+	fmt.Fprintf(w, "# HELP bsp_restores_total Ranks restored from a snapshot.\n# TYPE bsp_restores_total counter\nbsp_restores_total %d\n", m.Restores.Load())
+	fmt.Fprintf(w, "# HELP bsp_rollbacks_total Machine rollbacks (recovery re-executions).\n# TYPE bsp_rollbacks_total counter\nbsp_rollbacks_total %d\n", m.Rollbacks.Load())
+	fmt.Fprintf(w, "# HELP bsp_faults_total Injected chaos faults observed.\n# TYPE bsp_faults_total counter\nbsp_faults_total %d\n", m.Faults.Load())
+}
+
+// Handler returns an http.Handler serving the Prometheus text format
+// (mount at /metrics).
+func (m *Metrics) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		m.WritePrometheus(w)
+	})
+}

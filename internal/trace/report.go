@@ -1,0 +1,193 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/cost"
+)
+
+// Cost-model residual accounting: the paper's Equation 1 predicts a
+// superstep's time as w_i + g·h_i + L from its work depth and
+// h-relation size. The recorder captures both quantities *and* the
+// superstep's actual wall time, so the model can be checked step by
+// step instead of only in aggregate — the residual (actual minus
+// predicted) localizes exactly where the model diverges: barrier
+// straggling, exchange contention, checkpoint overhead, or a g/L that
+// no longer matches the hardware.
+
+// StepResidual is one superstep's predicted-vs-actual comparison.
+type StepResidual struct {
+	// Step is the 0-based superstep index.
+	Step int
+	// Work is w_i: the largest compute span of any rank (the final
+	// execution of the step, if recovery re-executed it).
+	Work time.Duration
+	// H is h_i: the largest packet count any rank sent or received.
+	H int
+	// Actual is the superstep's recorded wall time: from the earliest
+	// compute start to the latest barrier release across ranks.
+	Actual time.Duration
+	// Predicted is Equation 1 for the step: w_i + g·h_i + L.
+	Predicted time.Duration
+	// Residual is Actual - Predicted.
+	Residual time.Duration
+	// Straggler is the rank with the latest barrier arrival — the rank
+	// the rest of the machine waited for.
+	Straggler int
+}
+
+// Ratio returns Actual/Predicted (0 when Predicted is 0).
+func (s StepResidual) Ratio() float64 {
+	if s.Predicted == 0 {
+		return 0
+	}
+	return float64(s.Actual) / float64(s.Predicted)
+}
+
+// stepObs accumulates one rank's final execution of one superstep.
+type stepObs struct {
+	computeStart, computeEnd int64
+	syncStart, syncEnd       int64
+	sent, recv               int64
+	haveCompute, haveSync    bool
+}
+
+// Residuals joins the recorded per-superstep (w_i, h_i) and wall times
+// with the machine parameters pm and returns one row per completed
+// superstep, in step order. When recovery re-executed a superstep, the
+// final execution is used (matching core.Stats, which describe the
+// final attempt). Call only on a quiescent recorder.
+func Residuals(r *Recorder, pm cost.Params) []StepResidual {
+	if r == nil {
+		return nil
+	}
+	// last[rank][step] = that rank's final execution of the step.
+	type key struct{ rank, step int32 }
+	last := make(map[key]*stepObs)
+	maxStep := int32(-1)
+	for _, b := range r.bufs {
+		for _, e := range b.events {
+			k := key{e.Rank, e.Step}
+			switch e.Kind {
+			case KindCompute:
+				// A fresh compute span supersedes any earlier execution
+				// of the same step (rollback re-execution).
+				last[k] = &stepObs{computeStart: e.Start, computeEnd: e.End, haveCompute: true}
+			case KindSync:
+				o := last[k]
+				if o == nil {
+					o = &stepObs{}
+					last[k] = o
+				}
+				o.syncStart, o.syncEnd = e.Start, e.End
+				o.sent, o.recv = e.A, e.B
+				o.haveSync = true
+				if e.Step > maxStep {
+					maxStep = e.Step
+				}
+			}
+		}
+	}
+	if maxStep < 0 {
+		return nil
+	}
+	res := make([]StepResidual, 0, maxStep+1)
+	for s := int32(0); s <= maxStep; s++ {
+		row := StepResidual{Step: int(s), Straggler: -1}
+		var minStart, maxEnd, maxArrive int64
+		seen := false
+		for _, b := range r.bufs {
+			o := last[key{b.rank, s}]
+			if o == nil || !o.haveCompute || !o.haveSync {
+				continue
+			}
+			if w := time.Duration(o.computeEnd - o.computeStart); w > row.Work {
+				row.Work = w
+			}
+			if h := max(o.sent, o.recv); int(h) > row.H {
+				row.H = int(h)
+			}
+			if !seen || o.computeStart < minStart {
+				minStart = o.computeStart
+			}
+			if o.syncEnd > maxEnd {
+				maxEnd = o.syncEnd
+			}
+			if !seen || o.syncStart > maxArrive {
+				maxArrive = o.syncStart
+				row.Straggler = int(b.rank)
+			}
+			seen = true
+		}
+		if !seen {
+			continue
+		}
+		row.Actual = time.Duration(maxEnd - minStart)
+		row.Predicted = pm.Predict(row.Work, row.H, 1)
+		row.Residual = row.Actual - row.Predicted
+		res = append(res, row)
+	}
+	return res
+}
+
+// WriteResidualReport prints the per-superstep predicted-vs-actual
+// table for machine parameters pm (named name), flagging the
+// worst-diverging supersteps. flag is the number of worst residuals to
+// mark; 0 means 3.
+func WriteResidualReport(w io.Writer, r *Recorder, name string, pm cost.Params, flag int) {
+	rows := Residuals(r, pm)
+	if len(rows) == 0 {
+		fmt.Fprintln(w, "cost report: no completed supersteps recorded")
+		return
+	}
+	if flag <= 0 {
+		flag = 3
+	}
+	// The worst residuals by absolute divergence get a marker.
+	worst := make([]int, len(rows))
+	for i := range worst {
+		worst[i] = i
+	}
+	sort.Slice(worst, func(a, b int) bool {
+		ra, rb := rows[worst[a]].Residual, rows[worst[b]].Residual
+		return abs64(int64(ra)) > abs64(int64(rb))
+	})
+	flagged := map[int]bool{}
+	for i := 0; i < flag && i < len(worst); i++ {
+		flagged[worst[i]] = true
+	}
+	var sumW, sumActual, sumPred time.Duration
+	sumH := 0
+	fmt.Fprintf(w, "cost-model residuals (%s: g=%.3gus/pkt, L=%.4gus): T_i = w_i + g*h_i + L\n", name, pm.G, pm.L)
+	fmt.Fprintf(w, "  %-5s %12s %8s %12s %12s %12s %7s %9s\n",
+		"step", "w_i", "h_i", "predicted", "actual", "residual", "ratio", "straggler")
+	for i, row := range rows {
+		mark := ""
+		if flagged[i] {
+			mark = "  <- worst"
+		}
+		fmt.Fprintf(w, "  %-5d %12v %8d %12v %12v %+12v %7.2f %9d%s\n",
+			row.Step, row.Work.Round(time.Microsecond), row.H,
+			row.Predicted.Round(time.Microsecond), row.Actual.Round(time.Microsecond),
+			row.Residual.Round(time.Microsecond), row.Ratio(), row.Straggler, mark)
+		sumW += row.Work
+		sumH += row.H
+		sumActual += row.Actual
+		sumPred += row.Predicted
+	}
+	total := pm.Predict(sumW, sumH, len(rows))
+	fmt.Fprintf(w, "  total: W=%v H=%d S=%d predicted %v (per-step sum %v), actual %v\n",
+		sumW.Round(time.Microsecond), sumH, len(rows),
+		total.Round(time.Microsecond), sumPred.Round(time.Microsecond),
+		sumActual.Round(time.Microsecond))
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cost"
+)
+
+// TestResiduals: the per-superstep join of recorded (w_i, h_i) and wall
+// times with Equation 1, including straggler attribution and the
+// last-execution-wins rule for supersteps recovery re-executed.
+func TestResiduals(t *testing.T) {
+	r := New(2)
+	b0, b1 := r.Rank(0), r.Rank(1)
+	// Superstep 0: rank 1 computes longer and arrives last.
+	b0.Compute(0, 0, 1000, 10)
+	b0.SyncSpan(0, 1000, 1500, 4, 2)
+	b1.Compute(0, 0, 1200, 12)
+	b1.SyncSpan(0, 1200, 1500, 2, 4)
+	// Superstep 1, first execution (to be superseded by the re-run).
+	b0.Compute(1, 1500, 2600, 20)
+	b0.SyncSpan(1, 2600, 3000, 8, 8)
+	b1.Compute(1, 1500, 2000, 9)
+	b1.SyncSpan(1, 2000, 3000, 6, 6)
+	// Rollback; superstep 1 re-executes with different spans. The final
+	// execution must win, matching Stats' final-attempt semantics.
+	r.Rollback(2, 1)
+	b0.Compute(1, 5000, 5400, 20)
+	b0.SyncSpan(1, 5400, 5600, 8, 8)
+	b1.Compute(1, 5000, 5300, 9)
+	b1.SyncSpan(1, 5300, 5600, 6, 6)
+	// Trailing compute with no sync (the finish segment) must not
+	// produce a row.
+	b0.Compute(2, 5600, 5700, 1)
+
+	pm := cost.Params{G: 1, L: 1} // 1us per packet, 1us per superstep
+	rows := Residuals(r, pm)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2: %+v", len(rows), rows)
+	}
+
+	s0 := rows[0]
+	if s0.Step != 0 || s0.Work != 1200 || s0.H != 4 || s0.Actual != 1500 || s0.Straggler != 1 {
+		t.Fatalf("superstep 0 row wrong: %+v", s0)
+	}
+	// Predicted = w + g*h + L = 1.2us + 4us + 1us = 6.2us.
+	if want := pm.Predict(1200, 4, 1); s0.Predicted != want || s0.Residual != s0.Actual-want {
+		t.Fatalf("superstep 0 prediction wrong: %+v (want predicted %v)", s0, want)
+	}
+	if r := s0.Ratio(); r <= 0 || r >= 1 {
+		t.Fatalf("superstep 0 ratio = %v, want in (0,1) for an over-prediction", r)
+	}
+
+	s1 := rows[1]
+	// Work comes from the re-execution (400ns on rank 0), not the
+	// superseded first run (1100ns).
+	if s1.Step != 1 || s1.Work != 400 || s1.H != 8 || s1.Actual != 600 || s1.Straggler != 0 {
+		t.Fatalf("superstep 1 row wrong (last execution must win): %+v", s1)
+	}
+}
+
+func TestResidualsEmpty(t *testing.T) {
+	if rows := Residuals(New(2), cost.Params{G: 1, L: 1}); rows != nil {
+		t.Fatalf("empty recorder produced rows: %+v", rows)
+	}
+	if rows := Residuals(nil, cost.Params{G: 1, L: 1}); rows != nil {
+		t.Fatalf("nil recorder produced rows: %+v", rows)
+	}
+}
+
+// TestWriteResidualReport: the report renders one line per superstep,
+// marks the worst divergences and totals Equation 1 at the bottom.
+func TestWriteResidualReport(t *testing.T) {
+	r := New(2)
+	b0, b1 := r.Rank(0), r.Rank(1)
+	for s := 0; s < 4; s++ {
+		base := int64(s) * 10_000
+		end := base + 2_000
+		if s == 2 {
+			end = base + 60_000 // the step the model misses worst
+		}
+		b0.Compute(s, base, base+1_000, 10)
+		b0.SyncSpan(s, base+1_000, end, 2, 2)
+		b1.Compute(s, base, base+1_000, 10)
+		b1.SyncSpan(s, base+1_000, end, 2, 2)
+	}
+	var sb strings.Builder
+	WriteResidualReport(&sb, r, "SGI", cost.SGI.Params(2), 1)
+	out := sb.String()
+	for _, want := range []string{"cost-model residuals (SGI", "step", "straggler", "total: W="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "<- worst"); n != 1 {
+		t.Fatalf("want exactly 1 worst marker, got %d:\n%s", n, out)
+	}
+	// The marker must be on superstep 2's line.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "<- worst") && !strings.HasPrefix(strings.TrimSpace(line), "2 ") {
+			t.Fatalf("worst marker on the wrong line: %q", line)
+		}
+	}
+}
+
+func TestWriteResidualReportEmpty(t *testing.T) {
+	var sb strings.Builder
+	WriteResidualReport(&sb, New(2), "SGI", cost.SGI.Params(2), 0)
+	if !strings.Contains(sb.String(), "no completed supersteps") {
+		t.Fatalf("empty report: %q", sb.String())
+	}
+}

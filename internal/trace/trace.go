@@ -1,0 +1,379 @@
+// Package trace is the observability layer of the BSP library: a
+// low-overhead, race-safe recorder of per-superstep events that core
+// and the transports feed while a machine runs.
+//
+// The paper's methodology is built on per-superstep quantities — the
+// work depths w_i, the h-relation sizes h_i and the superstep count S
+// that Equation 1 turns into a predicted time T = W + g·H + L·S. The
+// recorder makes those quantities visible *inside* a run instead of
+// only as post-hoc aggregates: every rank records a compute span and a
+// barrier/exchange span per superstep (straggler attribution falls out
+// of comparing barrier-arrive times), the transports record one event
+// per (src,dst) batch handed over (bytes and frame counts), and the
+// checkpoint/recovery machinery records save and restore spans, fault
+// injections and rollbacks. BSP's barrier structure makes the
+// superstep the natural trace unit: the same per-superstep cost
+// decomposition that BSP lower-bound analyses treat as the first-class
+// object.
+//
+// Concurrency and overhead contract:
+//
+//   - Each rank appends to its own Buf from its own goroutine — no
+//     locks, no atomics on the event path. Machine-level events
+//     (rollbacks, which happen between attempts when no rank runs) go
+//     through the Recorder's mutex.
+//   - The disabled path is a nil check only: every Buf method is safe
+//     on a nil receiver and returns immediately, and core/transport
+//     call sites guard with a single pointer test. With tracing off the
+//     exchange hot path allocates exactly what it did before the
+//     recorder existed (enforced by core's TestExchangeAllocGate).
+//   - Live metrics (Metrics) are atomic counters updated at superstep
+//     granularity — O(p) updates per superstep, never per message — so
+//     an HTTP scraper can read them while the machine runs without
+//     racing the event buffers.
+//
+// Consumers: WriteChrome renders the merged timeline as Chrome
+// trace-event JSON (loadable in Perfetto or chrome://tracing, one
+// track per rank); Residuals joins the recorded (w_i, h_i) with
+// cost.Params to report predicted-vs-actual time per superstep.
+package trace
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Kind classifies a recorded event.
+type Kind uint8
+
+const (
+	// KindCompute is one rank's local-computation span of one
+	// superstep; A holds the abstract work units reported via AddWork.
+	KindCompute Kind = iota + 1
+	// KindSync is one rank's barrier span: Start is barrier-arrive
+	// (the rank finished computing and entered the transport Sync),
+	// End is barrier-release. A and B hold the packets sent and
+	// received in the superstep the span ends.
+	KindSync
+	// KindExchange is a transport-level data-movement span nested
+	// inside a KindSync span (the TCP transport's staged total
+	// exchange).
+	KindExchange
+	// KindPair is one (src,dst) batch handoff: Rank is the sender, A
+	// the destination rank, B the batch bytes, C the frame count.
+	KindPair
+	// KindCkptSave is a checkpoint capture span at a superstep
+	// boundary; B holds the snapshot bytes written.
+	KindCkptSave
+	// KindCkptRestore is a restore-hook span on a resumed rank; Step
+	// is the boundary the snapshot was captured at.
+	KindCkptRestore
+	// KindFault is an injected chaos fault (instant); A holds the
+	// FaultCode, B a fault-specific auxiliary (duration in ns for
+	// delays and stalls).
+	KindFault
+	// KindRollback is a machine-level recovery event: the run rolled
+	// every rank back and re-executes. A holds the attempt number that
+	// is about to start, B the superstep the machine resumes from.
+	KindRollback
+)
+
+// String names the kind as it appears in exported traces.
+func (k Kind) String() string {
+	switch k {
+	case KindCompute:
+		return "compute"
+	case KindSync:
+		return "sync"
+	case KindExchange:
+		return "exchange"
+	case KindPair:
+		return "pair"
+	case KindCkptSave:
+		return "checkpoint save"
+	case KindCkptRestore:
+		return "restore"
+	case KindFault:
+		return "fault"
+	case KindRollback:
+		return "rollback"
+	}
+	return "unknown"
+}
+
+// FaultCode identifies an injected fault in a KindFault event.
+type FaultCode int64
+
+const (
+	FaultDelay FaultCode = iota + 1
+	FaultStall
+	FaultAbort
+	FaultCrash
+)
+
+// String names the fault as it appears in exported traces.
+func (f FaultCode) String() string {
+	switch f {
+	case FaultDelay:
+		return "chaos delay"
+	case FaultStall:
+		return "chaos stall"
+	case FaultAbort:
+		return "chaos abort"
+	case FaultCrash:
+		return "chaos crash"
+	}
+	return "chaos fault"
+}
+
+// Event is one recorded observation. Times are nanoseconds since the
+// Recorder's epoch (monotonic; the epoch is New's call time). Instant
+// events have End == Start.
+type Event struct {
+	Kind       Kind
+	Rank       int32 // recording rank; MachineRank for machine-level events
+	Step       int32 // 0-based superstep index the event belongs to
+	Start, End int64 // ns since the recorder epoch
+	A, B, C    int64 // kind-specific payload, see the Kind constants
+}
+
+// Dur returns the span length in nanoseconds.
+func (e Event) Dur() int64 { return e.End - e.Start }
+
+// MachineRank is the pseudo-rank of machine-level events (rollbacks):
+// they belong to the run, not to any one process.
+const MachineRank = -1
+
+// Buf is one rank's append-only event buffer. A Buf is confined to the
+// goroutine of the rank that owns it (exactly like a transport
+// Endpoint); across recovery attempts the successive incarnations of a
+// rank run strictly one after another, so single-writer appends remain
+// safe. All methods are nil-receiver safe and do nothing when the Buf
+// is nil — the disabled path of every instrumentation site.
+type Buf struct {
+	rank  int32
+	epoch time.Time
+	m     *Metrics
+	// base is added to the step of transport-originated events (Pair,
+	// Exchange, Fault): endpoints count supersteps locally from zero,
+	// so after a recovery rollback the fresh endpoints of the resumed
+	// attempt restart at round 0 while the machine is really at the
+	// resume step. Core sets the base to the resume step when it
+	// restores a rank (SetStepBase), keeping every event on the global
+	// superstep axis. Core-originated events (Compute, SyncSpan,
+	// CkptSave, CkptRestore) already carry global steps and bypass it.
+	base   int32
+	events []Event
+}
+
+// Rank returns the rank this buffer records for.
+func (b *Buf) Rank() int { return int(b.rank) }
+
+// SetStepBase aligns transport-originated events with the machine's
+// superstep axis: step is added to the endpoint-local step of every
+// subsequent Pair, Exchange and Fault event. Core calls it with the
+// resume step when restoring a rank from a snapshot, because a resumed
+// attempt's fresh endpoints restart their superstep counters at zero.
+func (b *Buf) SetStepBase(step int) {
+	if b == nil {
+		return
+	}
+	b.base = int32(step)
+}
+
+// Now returns nanoseconds since the recorder epoch. It returns 0 on a
+// nil Buf; callers on the disabled path must not reach it anyway.
+func (b *Buf) Now() int64 {
+	if b == nil {
+		return 0
+	}
+	return int64(time.Since(b.epoch))
+}
+
+// Compute records one superstep's local-computation span.
+func (b *Buf) Compute(step int, start, end int64, units int) {
+	if b == nil {
+		return
+	}
+	b.events = append(b.events, Event{Kind: KindCompute, Rank: b.rank, Step: int32(step), Start: start, End: end, A: int64(units)})
+	if b.m != nil {
+		b.m.workNs[b.rank].Add(end - start)
+	}
+}
+
+// SyncSpan records one superstep's barrier span (arrive..release) with
+// the packets sent and received in the superstep it ends.
+func (b *Buf) SyncSpan(step int, start, end int64, sentPkts, recvPkts int) {
+	if b == nil {
+		return
+	}
+	b.events = append(b.events, Event{Kind: KindSync, Rank: b.rank, Step: int32(step), Start: start, End: end, A: int64(sentPkts), B: int64(recvPkts)})
+	if b.m != nil {
+		b.m.waitNs[b.rank].Add(end - start)
+		b.m.steps[b.rank].Add(1)
+		b.m.sentPkts[b.rank].Add(int64(sentPkts))
+		b.m.recvPkts[b.rank].Add(int64(recvPkts))
+	}
+}
+
+// Exchange records a transport data-movement span nested in the
+// superstep's KindSync span. step is endpoint-local (SetStepBase).
+func (b *Buf) Exchange(step int, start, end int64) {
+	if b == nil {
+		return
+	}
+	b.events = append(b.events, Event{Kind: KindExchange, Rank: b.rank, Step: b.base + int32(step), Start: start, End: end})
+}
+
+// Pair records the handoff of one (src,dst) batch: bytes and frames
+// shipped from this rank to dst in the given superstep. step is
+// endpoint-local (SetStepBase).
+func (b *Buf) Pair(step, dst int, at int64, bytes, frames int) {
+	if b == nil {
+		return
+	}
+	b.events = append(b.events, Event{Kind: KindPair, Rank: b.rank, Step: b.base + int32(step), Start: at, End: at, A: int64(dst), B: int64(bytes), C: int64(frames)})
+	if b.m != nil {
+		if i := b.m.pairIndex(int(b.rank), dst); i >= 0 {
+			b.m.pairBytes[i].Add(int64(bytes))
+			b.m.pairFrames[i].Add(int64(frames))
+		}
+	}
+}
+
+// CkptSave records a checkpoint capture span at a superstep boundary.
+func (b *Buf) CkptSave(step int, start, end int64, bytes int) {
+	if b == nil {
+		return
+	}
+	b.events = append(b.events, Event{Kind: KindCkptSave, Rank: b.rank, Step: int32(step), Start: start, End: end, B: int64(bytes)})
+	if b.m != nil {
+		b.m.CkptSaves.Add(1)
+		b.m.CkptBytes.Add(int64(bytes))
+	}
+}
+
+// CkptRestore records a restore span on a rank resuming from the
+// snapshot captured at the given superstep boundary.
+func (b *Buf) CkptRestore(step int, start, end int64) {
+	if b == nil {
+		return
+	}
+	b.events = append(b.events, Event{Kind: KindCkptRestore, Rank: b.rank, Step: int32(step), Start: start, End: end})
+	if b.m != nil {
+		b.m.Restores.Add(1)
+	}
+}
+
+// Fault records an injected chaos fault as an instant event. step is
+// endpoint-local (SetStepBase).
+func (b *Buf) Fault(step int, code FaultCode, at int64, aux int64) {
+	if b == nil {
+		return
+	}
+	b.events = append(b.events, Event{Kind: KindFault, Rank: b.rank, Step: b.base + int32(step), Start: at, End: at, A: int64(code), B: aux})
+	if b.m != nil {
+		b.m.Faults.Add(1)
+	}
+}
+
+// Recorder owns the per-rank buffers and the machine-level event list
+// of one logical run (which may span several recovery attempts — the
+// buffers persist across attempts, so a recovered run's trace shows
+// the crash, the rollback and the re-executed supersteps on one
+// timeline).
+type Recorder struct {
+	epoch time.Time
+	bufs  []*Buf
+	m     *Metrics
+
+	mu      sync.Mutex
+	machine []Event
+}
+
+// New returns a Recorder for a p-rank machine. The epoch — time zero
+// of every recorded timestamp — is the call time.
+func New(p int) *Recorder {
+	r := &Recorder{epoch: time.Now(), m: newMetrics(p)}
+	r.bufs = make([]*Buf, p)
+	for i := range r.bufs {
+		r.bufs[i] = &Buf{rank: int32(i), epoch: r.epoch, m: r.m}
+	}
+	return r
+}
+
+// P returns the number of ranks the recorder was created for.
+func (r *Recorder) P() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.bufs)
+}
+
+// Rank returns rank i's buffer, or nil (the disabled path) when the
+// recorder is nil or i is out of range.
+func (r *Recorder) Rank(i int) *Buf {
+	if r == nil || i < 0 || i >= len(r.bufs) {
+		return nil
+	}
+	return r.bufs[i]
+}
+
+// Metrics returns the live atomic counters, safe to read concurrently
+// with a running machine. Nil-safe.
+func (r *Recorder) Metrics() *Metrics {
+	if r == nil {
+		return nil
+	}
+	return r.m
+}
+
+// Now returns nanoseconds since the recorder epoch.
+func (r *Recorder) Now() int64 {
+	if r == nil {
+		return 0
+	}
+	return int64(time.Since(r.epoch))
+}
+
+// Rollback records a machine-level recovery event: attempt is the
+// attempt number about to start, resumeStep the superstep boundary the
+// machine rolls back to (0 = scratch). Called between attempts, when
+// no rank goroutine is running; the mutex makes it safe regardless.
+func (r *Recorder) Rollback(attempt, resumeStep int) {
+	if r == nil {
+		return
+	}
+	now := r.Now()
+	r.mu.Lock()
+	r.machine = append(r.machine, Event{Kind: KindRollback, Rank: MachineRank, Step: int32(resumeStep), Start: now, End: now, A: int64(attempt), B: int64(resumeStep)})
+	r.mu.Unlock()
+	if r.m != nil {
+		r.m.Rollbacks.Add(1)
+	}
+}
+
+// Events returns a copy of every recorded event — all ranks plus the
+// machine-level list — sorted by start time (ties by rank, then by
+// recording order). Call it only when the machine is quiescent (after
+// Run/RunRecoverable returns); it is the input of the exporters.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	var all []Event
+	for _, b := range r.bufs {
+		all = append(all, b.events...)
+	}
+	r.mu.Lock()
+	all = append(all, r.machine...)
+	r.mu.Unlock()
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].Start != all[j].Start {
+			return all[i].Start < all[j].Start
+		}
+		return all[i].Rank < all[j].Rank
+	})
+	return all
+}

@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // ErrTransient marks an injected (or environmental) fault that a
@@ -329,6 +331,17 @@ type chaosEndpoint struct {
 	step  int  // 1-based superstep currently executing
 	crash bool // this rank's endpoint is armed to crash at plan.CrashStep
 	dead  bool // the crash fired: the base endpoint is already closed
+	buf   *trace.Buf
+}
+
+// SetTrace implements TraceSetter: the decorator records its injected
+// faults and forwards the buffer to the wrapped endpoint so the base
+// transport's own events (per-pair batches, exchange spans) still flow.
+func (e *chaosEndpoint) SetTrace(b *trace.Buf) {
+	e.buf = b
+	if ts, ok := e.Endpoint.(TraceSetter); ok {
+		ts.SetTrace(b)
+	}
 }
 
 // Send implements Endpoint, possibly sleeping first (slow link).
@@ -337,6 +350,9 @@ func (e *chaosEndpoint) Send(dst int, msg []byte) {
 	if pl.DelayRate > 0 && pl.targets(e.ID()) && pl.inWindow(e.step+1) {
 		if e.rng.Float64() < pl.DelayRate {
 			d := time.Duration(e.rng.Int63n(int64(pl.MaxDelay) + 1))
+			// Sends happen during superstep e.step (0-based: e.step
+			// supersteps have completed so far).
+			e.buf.Fault(e.step, trace.FaultDelay, e.buf.Now(), int64(d))
 			time.Sleep(d)
 		}
 	}
@@ -359,12 +375,16 @@ func (e *chaosEndpoint) Sync() (*Inbox, error) {
 		// The cooperative abort below, by contrast, leaves the endpoint
 		// open for core's normal teardown.
 		e.dead = true
+		// Sync faults belong to the superstep that just executed:
+		// 1-based e.step == 0-based e.step-1.
+		e.buf.Fault(e.step-1, trace.FaultCrash, e.buf.Now(), 0)
 		e.Endpoint.Abort()
 		e.Endpoint.Close()
 		return nil, fmt.Errorf("chaos: injected crash of rank %d in superstep %d [plan %s]: %w",
 			e.ID(), e.step, pl, ErrCrashed)
 	}
 	if pl.AbortStep > 0 && e.step == pl.AbortStep && e.ID() == pl.AbortRank {
+		e.buf.Fault(e.step-1, trace.FaultAbort, e.buf.Now(), 0)
 		e.Endpoint.Abort()
 		// Wraps ErrInjectedAbort, not ErrAborted: in core's error
 		// selection the injected abort is the primary failure and must
@@ -378,6 +398,7 @@ func (e *chaosEndpoint) Sync() (*Inbox, error) {
 	}
 	if pl.StallRate > 0 && pl.targets(e.ID()) && pl.inWindow(e.step) {
 		if e.rng.Float64() < pl.StallRate {
+			e.buf.Fault(e.step-1, trace.FaultStall, e.buf.Now(), int64(pl.Stall))
 			time.Sleep(pl.Stall)
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -131,9 +132,13 @@ type shmEndpoint struct {
 	scratch [][]byte // batch views handed to inbox, reused
 	recycle [][]byte // pooled chunks to return at the next Sync/Close
 	handed  int      // contiguous buffers handed to peers (observability)
+	buf     *trace.Buf
 
 	closed bool
 }
+
+// SetTrace implements TraceSetter.
+func (e *shmEndpoint) SetTrace(b *trace.Buf) { e.buf = b }
 
 func (e *shmEndpoint) ID() int { return e.id }
 func (e *shmEndpoint) P() int  { return e.st.p }
@@ -203,6 +208,10 @@ func (e *shmEndpoint) seal(buf *shmBuffer, dst int, c []byte) {
 	buf.mu.Unlock()
 	if dst != e.id {
 		e.handed++
+		if e.buf != nil {
+			frames, _ := wire.FrameCount(c) // locally produced, always valid
+			e.buf.Pair(int(e.round), dst, e.buf.Now(), len(c), frames)
+		}
 	}
 }
 
@@ -227,8 +236,12 @@ func (e *shmEndpoint) Sync() (*Inbox, error) {
 	if st.mode == shmModeNone {
 		// Count the per-pair blocks this writer actually filled.
 		for dst := 0; dst < st.p; dst++ {
-			if dst != e.id && len(st.bufs[parity][dst].blocks[e.id]) > 0 {
+			if b := st.bufs[parity][dst].blocks[e.id]; dst != e.id && len(b) > 0 {
 				e.handed++
+				if e.buf != nil {
+					frames, _ := wire.FrameCount(b) // locally produced, always valid
+					e.buf.Pair(int(e.round), dst, e.buf.Now(), len(b), frames)
+				}
 			}
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -90,8 +91,13 @@ type simEndpoint struct {
 	batches [][]byte // batch views handed to inbox, reused
 	recycle [][]byte // pooled buffers to return at the next Sync/Close
 	handed  int      // nonempty batches handed to peers (observability)
+	round   int      // completed supersteps (trace step index)
+	buf     *trace.Buf
 	closed  bool
 }
+
+// SetTrace implements TraceSetter.
+func (e *simEndpoint) SetTrace(b *trace.Buf) { e.buf = b }
 
 func (e *simEndpoint) ID() int { return e.id }
 func (e *simEndpoint) P() int  { return e.st.p }
@@ -134,6 +140,10 @@ func (e *simEndpoint) Sync() (*Inbox, error) {
 			st.pending[dst][e.id] = b
 			if dst != e.id {
 				e.handed++
+				if e.buf != nil {
+					frames, _ := wire.FrameCount(b) // locally produced, always valid
+					e.buf.Pair(e.round, dst, e.buf.Now(), len(b), frames)
+				}
 			}
 		} else if b != nil {
 			putBatch(b)
@@ -159,6 +169,7 @@ func (e *simEndpoint) Sync() (*Inbox, error) {
 	if err := e.inbox.reset(e.batches); err != nil {
 		return nil, fmt.Errorf("sim: process %d: %w", e.id, err)
 	}
+	e.round++
 	return &e.inbox, nil
 }
 

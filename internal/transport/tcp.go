@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -247,10 +248,14 @@ type tcpEndpoint struct {
 	batches [][]byte // batch views handed to inbox, reused
 	recycle [][]byte // pooled buffers to return at the next Sync/Close
 	handed  int      // nonempty batches handed to peers (observability)
+	buf     *trace.Buf
 	round   uint32
 	closed  bool
 	hdr     [8]byte
 }
+
+// SetTrace implements TraceSetter.
+func (e *tcpEndpoint) SetTrace(b *trace.Buf) { e.buf = b }
 
 // setConn installs the connection to peer. The raw conn is kept for
 // Close/CloseWrite/Abort; the framing readers and writers run over the
@@ -366,6 +371,10 @@ func (e *tcpEndpoint) Sync() (*Inbox, error) {
 		e.recycle = append(e.recycle, e.out[e.id])
 	}
 	e.out[e.id] = nil
+	var exStart int64
+	if e.buf != nil {
+		exStart = e.buf.Now()
+	}
 	for stage := 0; stage < st.sched.Stages(); stage++ {
 		peer := st.sched.Partner(stage, e.id)
 		if peer < 0 {
@@ -389,6 +398,12 @@ func (e *tcpEndpoint) Sync() (*Inbox, error) {
 			}
 			return nil, fmt.Errorf("tcp: process %d exchanging with %d in superstep %d: %w", e.id, peer, e.round, err)
 		}
+	}
+	if e.buf != nil {
+		// The staged total exchange is the data-movement slice of this
+		// superstep's sync span (what remains of the span is barrier
+		// skew absorbed by the stage reads).
+		e.buf.Exchange(int(e.round)-1, exStart, e.buf.Now())
 	}
 	if err := e.inbox.reset(e.batches); err != nil {
 		return nil, fmt.Errorf("tcp: process %d: %w", e.id, err)
@@ -415,6 +430,10 @@ func (e *tcpEndpoint) writeBatch(peer int) error {
 	}
 	if len(batch) > 0 {
 		e.handed++
+		if e.buf != nil {
+			frames, _ := wire.FrameCount(batch) // locally produced, always valid
+			e.buf.Pair(int(e.round)-1, peer, e.buf.Now(), len(batch), frames)
+		}
 	}
 	putBatch(batch)
 	e.out[peer] = nil

@@ -34,6 +34,8 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+
+	"repro/internal/trace"
 )
 
 // ErrAborted is returned by Sync when a peer process aborted (panicked)
@@ -70,6 +72,18 @@ type Endpoint interface {
 	// finishes early keeps participating in barriers until all peers
 	// close; Close for such transports detaches the process.
 	Close() error
+}
+
+// TraceSetter is implemented by endpoints that can emit per-rank
+// observability events: one trace.Pair event per (src,dst) batch
+// handed over (bytes + frame count), transport-level exchange spans,
+// and injected chaos faults. core installs the buffer after Open when
+// tracing is armed; SetTrace must be called from the rank's own
+// goroutine before the endpoint's first Send or Sync. A nil buffer
+// (or never calling SetTrace) keeps the endpoint on its untraced path,
+// which costs a nil check only.
+type TraceSetter interface {
+	SetTrace(*trace.Buf)
 }
 
 // Transport creates connected endpoint groups.

@@ -10,6 +10,8 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/trace"
 )
 
 // allTransports returns one instance of every transport, including the
@@ -400,10 +402,14 @@ func TestNewByName(t *testing.T) {
 // pair. Every batching transport (and its chaos wrapper, which must not
 // change how traffic is batched) therefore hands exactly steps*(p-1)
 // nonempty buffers when every rank sends every other rank a burst of
-// messages each superstep. shm's "packet" mode is deliberately excluded:
-// it is the per-message baseline the batching exists to beat.
+// messages each superstep — and, with tracing installed, records
+// exactly one Pair event per handoff carrying the batch's frame count.
+// shm's "packet" mode is deliberately excluded: it is the per-message
+// baseline the batching exists to beat.
 func TestPerPairBatchHandoff(t *testing.T) {
 	const p, steps, burst = 4, 3, 20
+	tcpPlan := conformanceFaultPlan()
+	tcpPlan.ConnErrRate = 0.05
 	transports := []Transport{
 		ShmTransport{},
 		ShmTransport{Locking: "chunk"},
@@ -412,12 +418,19 @@ func TestPerPairBatchHandoff(t *testing.T) {
 		SimTransport{},
 		ChaosTransport{Base: XchgTransport{}, Plan: conformanceFaultPlan()},
 		ChaosTransport{Base: SimTransport{}, Plan: conformanceFaultPlan()},
+		ChaosTransport{Base: TCPTransport{}, Plan: tcpPlan},
 	}
 	for _, tr := range transports {
 		t.Run(label(tr), func(t *testing.T) {
+			rec := trace.New(p)
 			handed := make([]int, p)
 			runProcs(t, tr, p, func(ep Endpoint) {
 				id := ep.ID()
+				if ts, ok := ep.(TraceSetter); ok {
+					ts.SetTrace(rec.Rank(id))
+				} else {
+					t.Errorf("%s endpoint does not implement TraceSetter", label(tr))
+				}
 				for s := 0; s < steps; s++ {
 					for dst := 0; dst < p; dst++ {
 						if dst == id {
@@ -442,6 +455,28 @@ func TestPerPairBatchHandoff(t *testing.T) {
 				if h != steps*(p-1) {
 					t.Errorf("proc %d handed %d nonempty buffers over %d supersteps, want %d (one per pair per superstep)",
 						id, h, steps, steps*(p-1))
+				}
+			}
+			// The trace agrees with the handoff counters: one Pair event
+			// per handed batch, frame counts summing to the traffic sent.
+			pairs := make([]int, p)
+			frames := make([]int, p)
+			for _, e := range rec.Events() {
+				if e.Kind != trace.KindPair {
+					continue
+				}
+				pairs[e.Rank]++
+				frames[e.Rank] += int(e.C)
+				if e.B <= 0 || e.C <= 0 || e.A == int64(e.Rank) {
+					t.Errorf("malformed pair event: %+v", e)
+				}
+			}
+			for id := range pairs {
+				if pairs[id] != handed[id] {
+					t.Errorf("proc %d recorded %d pair events but handed %d batches", id, pairs[id], handed[id])
+				}
+				if frames[id] != steps*(p-1)*burst {
+					t.Errorf("proc %d pair events carry %d frames, want %d", id, frames[id], steps*(p-1)*burst)
 				}
 			}
 		})

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -65,15 +66,20 @@ type xchgState struct {
 }
 
 type xchgEndpoint struct {
-	st     *xchgState
-	id     int
-	out    [][]byte // per-destination contiguous output batches
-	inbox  Inbox
+	st      *xchgState
+	id      int
+	out     [][]byte // per-destination contiguous output batches
+	inbox   Inbox
 	batches [][]byte // batch views handed to inbox, reused
 	recycle [][]byte // pooled buffers to return at the next Sync/Close
 	handed  int      // nonempty batches handed to peers (observability)
-	closed bool
+	round   int      // completed supersteps (trace step index)
+	buf     *trace.Buf
+	closed  bool
 }
+
+// SetTrace implements TraceSetter.
+func (e *xchgEndpoint) SetTrace(b *trace.Buf) { e.buf = b }
 
 func (e *xchgEndpoint) ID() int { return e.id }
 func (e *xchgEndpoint) P() int  { return e.st.p }
@@ -127,6 +133,12 @@ func (e *xchgEndpoint) Sync() (*Inbox, error) {
 		if dst == e.id {
 			continue
 		}
+		// Record the handoff before ownership passes over the channel:
+		// once sent, the batch belongs to the receiver.
+		if b := e.out[dst]; e.buf != nil && len(b) > 0 {
+			frames, _ := wire.FrameCount(b) // locally produced, always valid
+			e.buf.Pair(e.round, dst, e.buf.Now(), len(b), frames)
+		}
 		select {
 		case st.ch[e.id][dst] <- e.out[dst]:
 			if len(e.out[dst]) > 0 {
@@ -179,6 +191,7 @@ func (e *xchgEndpoint) Sync() (*Inbox, error) {
 	if err := e.inbox.reset(e.batches); err != nil {
 		return nil, fmt.Errorf("xchg: process %d: %w", e.id, err)
 	}
+	e.round++
 	return &e.inbox, nil
 }
 

@@ -17,11 +17,26 @@
 #                     cmd/tracecheck)
 #   make fuzz         brief wire encode/decode + snapshot codec fuzz pass
 #   make bench        transport latency/throughput microbenchmarks
+#   make bench-gate   benchmark-regression gate: run the exchange and
+#                     checkpoint benchmarks BENCH_N times, gate the best
+#                     run against the checked-in BENCH_exchange.json /
+#                     BENCH_ckpt.json baselines (+BENCH_TOL ns/op band,
+#                     tight allocs/op band), append to BENCH_run.json
+#   make prof-smoke   end-to-end profiling smoke: a labeled bsprun CPU
+#                     capture must attribute >=90% of samples to the
+#                     bsp_rank/bsp_phase axes (validated by cmd/bspprof)
 
 GO ?= go
 TRACE_DIR ?= /tmp/bsp-trace-smoke
+PROF_DIR ?= /tmp/bsp-prof-smoke
+# ns/op is host-dependent (the checkpoint benchmark is disk-bound); the
+# band is wide on purpose — the gate catches order-of-magnitude
+# regressions and alloc creep, not scheduler noise.
+BENCH_N ?= 3
+BENCH_TOL ?= 2.0
+COMMIT := $(shell git rev-parse --short HEAD 2>/dev/null)
 
-.PHONY: build test vet race verify verify-race verify-alloc conformance trace-smoke fuzz bench bench-alloc
+.PHONY: build test vet race verify verify-race verify-alloc conformance trace-smoke fuzz bench bench-alloc bench-gate prof-smoke
 
 build:
 	$(GO) build ./...
@@ -55,6 +70,9 @@ trace-smoke:
 		-chaos "seed=1,delay=0,stall=0,connerr=0,crash=1:3" \
 		-checkpoint-dir $(TRACE_DIR)/ckpt -trace $(TRACE_DIR)/trace.json -cost-report
 	$(TRACE_DIR)/tracecheck -ranks 4 -require-crash -require-rollback $(TRACE_DIR)/trace.json
+	$(TRACE_DIR)/bsprun -app psort -size 4000 -p 4 -transport shm \
+		-trace $(TRACE_DIR)/clean.json
+	$(TRACE_DIR)/tracecheck -ranks 4 -check-pairs $(TRACE_DIR)/clean.json
 
 fuzz:
 	$(GO) test ./internal/wire/ -fuzz FuzzRoundTrip -fuzztime 10s
@@ -67,3 +85,16 @@ bench:
 
 bench-alloc:
 	$(GO) test ./internal/core/ -run xxx -bench BenchmarkExchangeAllocs -benchmem
+
+bench-gate:
+	$(GO) run ./cmd/benchgate -count $(BENCH_N) -tolerance $(BENCH_TOL) \
+		-commit "$(COMMIT)" -date "$(shell date -u +%Y-%m-%dT%H:%M:%SZ)" \
+		-out BENCH_run.json
+
+prof-smoke:
+	rm -rf $(PROF_DIR) && mkdir -p $(PROF_DIR)
+	$(GO) build -o $(PROF_DIR)/bsprun ./cmd/bsprun
+	$(GO) build -o $(PROF_DIR)/bspprof ./cmd/bspprof
+	$(PROF_DIR)/bsprun -app nbody -size 2000 -p 4 \
+		-cpuprofile $(PROF_DIR)/cpu.pprof -prof-report
+	$(PROF_DIR)/bspprof -min-coverage 0.9 $(PROF_DIR)/cpu.pprof

@@ -1,0 +1,114 @@
+// Command benchgate is the benchmark-regression gate behind
+// `make bench-gate`: it runs the alloc/exchange/checkpoint benchmarks
+// -count times, reduces each to its best run, compares the results
+// against the checked-in BENCH_exchange.json / BENCH_ckpt.json
+// baselines with a tolerance band, appends the run to the
+// BENCH_run.json trajectory, and exits nonzero on any regression.
+//
+// Usage:
+//
+//	benchgate [-count 3] [-tolerance 0.5] [-alloc-slack 4] \
+//	          [-commit HASH] [-out BENCH_run.json] [-input saved.txt]
+//
+// ns/op is host-dependent, so the band is deliberately wide — the gate
+// catches order-of-magnitude regressions, not noise. allocs/op is
+// host-independent and gated tightly. With -input the benchmarks are
+// not executed; the given `go test -bench` output is gated instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+)
+
+func main() {
+	count := flag.Int("count", 3, "benchmark repetitions (best run is gated)")
+	tolerance := flag.Float64("tolerance", 0.5, "allowed ns/op excess over baseline as a fraction (0.5 = +50%)")
+	allocSlack := flag.Float64("alloc-slack", 4, "allowed allocs/op excess over baseline (absolute)")
+	commit := flag.String("commit", "", "commit hash recorded in the trajectory entry")
+	date := flag.String("date", "", "date recorded in the trajectory entry")
+	out := flag.String("out", "BENCH_run.json", "trajectory file to append this run to (empty disables)")
+	input := flag.String("input", "", "gate saved `go test -bench` output instead of running benchmarks")
+	exchangeBase := flag.String("baseline-exchange", "BENCH_exchange.json", "exchange baseline file")
+	ckptBase := flag.String("baseline-ckpt", "BENCH_ckpt.json", "checkpoint baseline file")
+	flag.Parse()
+
+	baselines, err := loadBaselines(*exchangeBase, *ckptBase)
+	if err != nil {
+		fatal(err)
+	}
+
+	var benchOut string
+	if *input != "" {
+		raw, err := os.ReadFile(*input)
+		if err != nil {
+			fatal(err)
+		}
+		benchOut = string(raw)
+	} else {
+		benchOut, err = runBenchmarks(*count)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	results, err := parseBenchOutput(strings.NewReader(benchOut))
+	if err != nil {
+		fatal(err)
+	}
+
+	problems := compare(baselines, results, *tolerance, *allocSlack)
+	entry := RunEntry{
+		Commit:     *commit,
+		Date:       *date,
+		Count:      *count,
+		Tolerance:  *tolerance,
+		AllocSlack: *allocSlack,
+		Pass:       len(problems) == 0,
+		Problems:   problems,
+	}
+	for _, b := range baselines {
+		if res, ok := results[b.Name]; ok {
+			entry.Results = append(entry.Results, res)
+		}
+	}
+	if *out != "" {
+		if err := appendTrajectory(*out, entry); err != nil {
+			fatal(err)
+		}
+	}
+
+	for _, r := range entry.Results {
+		fmt.Printf("benchgate: %-28s %12.0f ns/op %8.0f B/op %6.1f allocs/op  (best of %d)\n",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.Runs)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "benchgate: FAIL:", p)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: ok — %d benchmarks within +%.0f%% ns/op and +%.1f allocs/op of baseline\n",
+		len(entry.Results), 100**tolerance, *allocSlack)
+}
+
+// runBenchmarks executes the gated benchmark set and returns the raw
+// `go test` output (which is also echoed for the log).
+func runBenchmarks(count int) (string, error) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", "BenchmarkExchangeAllocs|BenchmarkCheckpointEvery1|BenchmarkCheckpointDisabled",
+		"-benchmem", "-count", fmt.Sprint(count), "./internal/core/")
+	raw, err := cmd.CombinedOutput()
+	os.Stdout.Write(raw)
+	if err != nil {
+		return "", fmt.Errorf("benchgate: go test -bench: %w", err)
+	}
+	return string(raw), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+// Command bspprof decomposes a CPU profile captured from a labeled BSP
+// run (bsprun -cpuprofile, or /debug/pprof/profile on a live
+// -metrics-addr server) into the cost model's vocabulary: CPU per
+// bsp_rank × bsp_phase × bsp_superstep bucket, with the unlabeled
+// remainder reported as an explicit "untracked" row.
+//
+// Usage:
+//
+//	bspprof [-min-coverage 0.9] cpu.pprof
+//
+// With -min-coverage the command exits nonzero when the labeled share
+// of the profile falls below the threshold — the CI gate that the BSP
+// axes are not losing CPU to unlabeled goroutines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/prof"
+)
+
+func main() {
+	minCov := flag.Float64("min-coverage", 0, "fail unless at least this fraction of CPU carries bsp_rank+bsp_phase labels (0 disables)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: bspprof [-min-coverage 0.9] <cpu.pprof>")
+		os.Exit(2)
+	}
+	p, err := prof.ParsePprofFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	a := prof.Attribute(p)
+	if err := prof.WriteWReport(os.Stdout, a, nil); err != nil {
+		fatal(err)
+	}
+	if a.Total == 0 {
+		fatal(fmt.Errorf("%s contains no CPU samples", flag.Arg(0)))
+	}
+	if *minCov > 0 && a.Coverage() < *minCov {
+		fatal(fmt.Errorf("label coverage %.1f%% below the %.1f%% gate", 100*a.Coverage(), 100**minCov))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bspprof:", err)
+	os.Exit(1)
+}

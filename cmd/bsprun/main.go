@@ -29,15 +29,29 @@
 // track per rank, superstep spans over compute/sync slices, batch
 // handoffs, checkpoint saves/restores, chaos faults and rollbacks);
 // -metrics-addr serves live counters while the machine runs
-// (Prometheus text at /metrics, expvar JSON at /debug/vars);
-// -cost-report prints the per-superstep predicted-vs-recorded
-// residuals of Equation 1 for the machine named by -cost-machine:
+// (Prometheus text at /metrics, expvar JSON at /debug/vars, live
+// profiles at /debug/pprof/); -cost-report prints the per-superstep
+// predicted-vs-recorded residuals of Equation 1 for the machine named
+// by -cost-machine:
 //
 //	bsprun -app ocean -size 34 -p 4 -transport shm \
 //	    -trace trace.json -metrics-addr localhost:8080 -cost-report
 //
 // The trace file is written even when the run fails, so a crashed or
 // wedged machine leaves its timeline behind for diagnosis.
+//
+// Profiling: whenever any profiling output or -metrics-addr is armed,
+// every rank goroutine carries pprof labels on the BSP axes (bsp_rank,
+// bsp_superstep bucket, bsp_phase compute|sync|exchange|ckpt, bsp_app)
+// and mirrors its supersteps into runtime/trace regions. -cpuprofile
+// and -memprofile write the standard pprof files, -runtime-trace the
+// `go tool trace` capture, and -prof-report parses the captured CPU
+// profile and prints the W-attribution table — CPU per
+// rank × phase × superstep bucket with an explicit "untracked" row —
+// reconciled against the trace recorder's compute spans:
+//
+//	bsprun -app psort -size 200000 -p 4 -transport shm \
+//	    -cpuprofile cpu.pprof -prof-report
 //
 // Exit codes classify failures for CI: 1 = run or usage error, 2 =
 // superstep timeout (the per-rank progress detail is printed), 3 =
@@ -46,17 +60,15 @@ package main
 
 import (
 	"errors"
-	"expvar"
 	"flag"
 	"fmt"
-	"net"
-	"net/http"
 	"os"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/harness"
+	"repro/internal/prof"
 	"repro/internal/trace"
 	"repro/internal/transport"
 )
@@ -78,9 +90,13 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 1, "snapshot every Nth eligible superstep boundary")
 	resume := flag.Bool("resume", false, "continue from the latest complete snapshot in -checkpoint-dir")
 	traceFile := flag.String("trace", "", "write the run's timeline as Chrome trace-event JSON to this file (open in Perfetto)")
-	metricsAddr := flag.String("metrics-addr", "", "serve live metrics over HTTP: Prometheus text at /metrics, expvar JSON at /debug/vars")
+	metricsAddr := flag.String("metrics-addr", "", "serve live metrics over HTTP: Prometheus text at /metrics, expvar JSON at /debug/vars, profiles at /debug/pprof/")
 	costReport := flag.Bool("cost-report", false, "print per-superstep predicted-vs-recorded cost-model residuals")
 	costMachine := flag.String("cost-machine", "SGI", "machine profile for -cost-report: SGI|Cenju|PC")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (ranks labeled on the BSP axes)")
+	memProfile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
+	rtraceFile := flag.String("runtime-trace", "", "write a runtime/trace capture to this file (superstep tasks, phase regions; open with `go tool trace`)")
+	profReport := flag.Bool("prof-report", false, "after the run, decompose the -cpuprofile capture into the W-attribution table (rank x phase x superstep bucket)")
 	flag.Parse()
 
 	tr, err := transport.New(*trName)
@@ -108,12 +124,22 @@ func main() {
 			fail(err)
 		}
 	}
+	if *profReport && *cpuProfile == "" {
+		fail(errors.New("-prof-report needs -cpuprofile (the report decomposes the captured CPU profile)"))
+	}
 	// Any observability consumer arms the recorder; otherwise cfg.Trace
 	// stays nil and every instrumentation site is a nil check.
 	var rec *trace.Recorder
-	if *traceFile != "" || *metricsAddr != "" || *costReport {
+	if *traceFile != "" || *metricsAddr != "" || *costReport || *profReport {
 		rec = trace.New(*p)
 		cfg.Trace = rec
+	}
+	// Any profiling consumer arms the rank labels — including
+	// -metrics-addr, whose /debug/pprof/profile endpoint profiles the
+	// live machine.
+	profiling := *cpuProfile != "" || *memProfile != "" || *rtraceFile != "" || *profReport || *metricsAddr != ""
+	if profiling {
+		cfg.Profile = prof.New(*app, *p)
 	}
 	writeTrace := func() {
 		if *traceFile == "" {
@@ -125,17 +151,25 @@ func main() {
 			fmt.Printf("trace written to %s (open in Perfetto or chrome://tracing)\n", *traceFile)
 		}
 	}
+	var metrics *metricsServer
 	if *metricsAddr != "" {
-		ln, err := net.Listen("tcp", *metricsAddr)
-		if err != nil {
+		if metrics, err = startMetricsServer(*metricsAddr, rec); err != nil {
 			fail(err)
 		}
-		mux := http.NewServeMux()
-		mux.Handle("/metrics", rec.Metrics().Handler())
-		expvar.Publish("bsp", expvar.Func(func() any { return rec.Metrics().Snapshot() }))
-		mux.Handle("/debug/vars", expvar.Handler())
-		go http.Serve(ln, mux)
-		fmt.Printf("live metrics on http://%s/metrics (Prometheus text) and /debug/vars (expvar JSON)\n", ln.Addr())
+		fmt.Printf("live metrics on http://%s/metrics (Prometheus text), /debug/vars (expvar JSON), /debug/pprof/ (profiles)\n", metrics.Addr())
+	}
+	shutdownMetrics := func() {
+		if metrics == nil {
+			return
+		}
+		if serr := metrics.Shutdown(5 * time.Second); serr != nil {
+			fmt.Fprintln(os.Stderr, "bsprun: metrics server:", serr)
+		}
+		metrics = nil
+	}
+	captures, err := startCaptures(*cpuProfile, *memProfile, *rtraceFile)
+	if err != nil {
+		fail(err)
 	}
 	// Live run on the requested transport for wall time and correctness.
 	t0 := time.Now()
@@ -146,13 +180,19 @@ func main() {
 		st, err = harness.RunOnConfig(*app, *size, cfg)
 	}
 	if err != nil {
-		// A failed run still leaves its timeline behind: the trace shows
-		// where the machine died.
+		// A failed run still leaves its timeline and profiles behind:
+		// they show where the machine died.
+		captures.stop()
+		captures.writeMem()
 		writeTrace()
+		shutdownMetrics()
 		fail(err)
 	}
 	wall := time.Since(t0)
+	captures.stop()
+	captures.writeMem()
 	writeTrace()
+	shutdownMetrics()
 	// Deterministic work measurement on the sim transport for the model.
 	rows, err := harness.Collect(*app, []int{*size}, []int{1, *p})
 	if err != nil {
@@ -178,6 +218,11 @@ func main() {
 	}
 	if *costReport {
 		trace.WriteResidualReport(os.Stdout, rec, machine.Name, machine.Params(*p), 3)
+	}
+	if *profReport {
+		if rerr := writeProfReport(*cpuProfile, rec); rerr != nil {
+			fail(rerr)
+		}
 	}
 	fmt.Printf("  sim measurement: W = %v   H = %d   S = %d   total work = %v\n",
 		run.W, run.H, run.S, run.TotalWork)

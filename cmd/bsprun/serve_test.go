@@ -1,0 +1,100 @@
+package main
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestMetricsServerEndpoints: one server serves Prometheus text,
+// expvar JSON and the pprof index.
+func TestMetricsServerEndpoints(t *testing.T) {
+	rec := trace.New(2)
+	rec.Rank(0).Compute(0, 0, 1000, 5)
+	m, err := startMetricsServer("127.0.0.1:0", rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Shutdown(time.Second)
+	base := "http://" + m.Addr()
+
+	if code, body := get(t, base+"/metrics"); code != http.StatusOK || !strings.Contains(body, "bsp_work_seconds_total") {
+		t.Errorf("/metrics: code %d, body %q", code, body)
+	}
+	if code, body := get(t, base+"/debug/vars"); code != http.StatusOK || !strings.Contains(body, "\"bsp\"") {
+		t.Errorf("/debug/vars: code %d, missing bsp var in %q", code, body)
+	}
+	if code, body := get(t, base+"/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/: code %d, body %q", code, body)
+	}
+	if code, _ := get(t, base+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline: code %d", code)
+	}
+}
+
+// TestMetricsServerShutdownReleasesPort: after a graceful Shutdown the
+// exact address can be bound again — the old server holds neither the
+// listener nor lingering accepts.
+func TestMetricsServerShutdownReleasesPort(t *testing.T) {
+	m, err := startMetricsServer("127.0.0.1:0", trace.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := m.Addr()
+	if _, body := get(t, "http://"+addr+"/metrics"); body == "" {
+		t.Fatal("server not serving before shutdown")
+	}
+	if err := m.Shutdown(2 * time.Second); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("port %s not released after shutdown: %v", addr, err)
+	}
+	ln.Close()
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("server still answering after shutdown")
+	}
+}
+
+// TestMetricsServerRestart: a second server in the same process must
+// not panic on the expvar re-publish, and its expvar output must
+// reflect the new recorder.
+func TestMetricsServerRestart(t *testing.T) {
+	m1, err := startMetricsServer("127.0.0.1:0", trace.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Shutdown(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rec2 := trace.New(3)
+	rec2.Rank(2).Compute(0, 0, 500, 1)
+	m2, err := startMetricsServer("127.0.0.1:0", rec2)
+	if err != nil {
+		t.Fatalf("second server: %v", err)
+	}
+	defer m2.Shutdown(time.Second)
+	if code, body := get(t, "http://"+m2.Addr()+"/debug/vars"); code != http.StatusOK || !strings.Contains(body, "\"bsp\"") {
+		t.Errorf("second server /debug/vars: code %d, body %q", code, body)
+	}
+}

@@ -5,9 +5,23 @@
 // the largest superstep seen anywhere), and — for fault-injected runs
 // — the crash and rollback markers must be present when required.
 //
+// With -check-pairs it also audits the trace's packet accounting: for
+// every (rank, superstep), the packet units of the per-(src,dst) batch
+// handoff events must reconcile with the sync span's sent/received
+// packet counters once self-delivered packets (which never cross a
+// pair) are subtracted:
+//
+//	Σ pkts of "batch to *" from rank  == sent_pkts − self_pkts
+//	Σ pkts of "batch to rank"         == recv_pkts − self_pkts
+//
+// The audit needs every handoff to be visible as a Pair event, which
+// holds on the batching transports (shm, xchg, tcp, sim) in a clean
+// run; when the trace contains a rollback, re-executed supersteps
+// double-count handoffs, so the pair check is skipped with a notice.
+//
 // Usage:
 //
-//	tracecheck -ranks 4 [-require-crash] [-require-rollback] trace.json
+//	tracecheck -ranks 4 [-require-crash] [-require-rollback] [-check-pairs] trace.json
 //
 // Exit status is nonzero on any violation, with one line per problem.
 package main
@@ -17,15 +31,30 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 )
 
 type traceEvent struct {
-	Name string  `json:"name"`
-	Ph   string  `json:"ph"`
-	Ts   float64 `json:"ts"`
-	Dur  float64 `json:"dur"`
-	Tid  int     `json:"tid"`
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+// argInt reads an integer-valued arg (encoding/json gives float64).
+func (e *traceEvent) argInt(key string) (int64, bool) {
+	v, ok := e.Args[key]
+	if !ok {
+		return 0, false
+	}
+	f, ok := v.(float64)
+	if !ok {
+		return 0, false
+	}
+	return int64(f), true
 }
 
 type traceDoc struct {
@@ -36,9 +65,10 @@ func main() {
 	ranks := flag.Int("ranks", 0, "number of rank tracks the trace must cover (required)")
 	requireCrash := flag.Bool("require-crash", false, "fail unless a chaos crash marker is present")
 	requireRollback := flag.Bool("require-rollback", false, "fail unless a rollback marker is present")
+	checkPairs := flag.Bool("check-pairs", false, "audit per-(src,dst) batch packet totals against each sync span's sent/recv counters (clean runs on batching transports)")
 	flag.Parse()
 	if *ranks <= 0 || flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck -ranks N [-require-crash] [-require-rollback] <trace.json>")
+		fmt.Fprintln(os.Stderr, "usage: tracecheck -ranks N [-require-crash] [-require-rollback] [-check-pairs] <trace.json>")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
@@ -59,6 +89,13 @@ func main() {
 	spans := map[int]map[int]int{}
 	maxStep := -1
 	crashes, rollbacks := 0, 0
+	// Packet accounting per (rank, step): sync-span counters and the
+	// pair handoffs each rank sent and received.
+	type rankStep struct{ rank, step int }
+	type syncCounters struct{ sent, recv, self int64 }
+	syncs := map[rankStep]syncCounters{}
+	pairSent := map[rankStep]int64{}
+	pairRecv := map[rankStep]int64{}
 	for _, e := range doc.TraceEvents {
 		switch {
 		case e.Ph == "X" && strings.HasPrefix(e.Name, "superstep "):
@@ -76,6 +113,29 @@ func main() {
 			if e.Dur < 0 {
 				fatal("negative duration on %q (tid %d)", e.Name, e.Tid)
 			}
+		case e.Ph == "X" && e.Name == "sync (exchange+wait)":
+			step, ok := e.argInt("step")
+			if !ok {
+				continue
+			}
+			sent, _ := e.argInt("sent_pkts")
+			recv, _ := e.argInt("recv_pkts")
+			self, _ := e.argInt("self_pkts")
+			key := rankStep{e.Tid, int(step)}
+			c := syncs[key]
+			c.sent += sent
+			c.recv += recv
+			c.self += self
+			syncs[key] = c
+		case e.Ph == "i" && strings.HasPrefix(e.Name, "batch to "):
+			step, okS := e.argInt("step")
+			dst, okD := e.argInt("dst")
+			pkts, okP := e.argInt("pkts")
+			if !okS || !okD || !okP {
+				continue
+			}
+			pairSent[rankStep{e.Tid, int(step)}] += pkts
+			pairRecv[rankStep{int(dst), int(step)}] += pkts
 		case e.Name == "chaos crash":
 			crashes++
 		case strings.HasPrefix(e.Name, "rollback to superstep"):
@@ -104,11 +164,51 @@ func main() {
 	if *requireRollback && rollbacks == 0 {
 		problem("no rollback marker (required)")
 	}
+	pairsChecked := 0
+	if *checkPairs {
+		if rollbacks > 0 {
+			// A rolled-back attempt leaves handoffs for supersteps whose
+			// sync spans only exist in the re-execution; the per-step sums
+			// no longer pair up one-to-one.
+			fmt.Printf("tracecheck: %s has %d rollback(s); pair accounting skipped (re-executed supersteps double-count handoffs)\n", path, rollbacks)
+		} else {
+			// Deterministic order for the problem report.
+			keys := make([]rankStep, 0, len(syncs))
+			for k := range syncs {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(i, j int) bool {
+				if keys[i].step != keys[j].step {
+					return keys[i].step < keys[j].step
+				}
+				return keys[i].rank < keys[j].rank
+			})
+			for _, k := range keys {
+				c := syncs[k]
+				if got, want := pairSent[k], c.sent-c.self; got != want {
+					problem("rank %d superstep %d: batch handoffs carry %d sent packet units, sync span counted %d (sent %d - self %d)",
+						k.rank, k.step, got, want, c.sent, c.self)
+				}
+				if got, want := pairRecv[k], c.recv-c.self; got != want {
+					problem("rank %d superstep %d: batch handoffs deliver %d packet units, sync span counted %d (recv %d - self %d)",
+						k.rank, k.step, got, want, c.recv, c.self)
+				}
+				pairsChecked++
+			}
+			if pairsChecked == 0 {
+				problem("-check-pairs found no sync spans to audit")
+			}
+		}
+	}
 	if bad > 0 {
 		os.Exit(1)
 	}
-	fmt.Printf("tracecheck: %s ok — %d events, %d ranks x %d supersteps, %d crash(es), %d rollback(s)\n",
+	fmt.Printf("tracecheck: %s ok — %d events, %d ranks x %d supersteps, %d crash(es), %d rollback(s)",
 		path, len(doc.TraceEvents), *ranks, maxStep+1, crashes, rollbacks)
+	if pairsChecked > 0 {
+		fmt.Printf(", %d (rank,superstep) packet reconciliations", pairsChecked)
+	}
+	fmt.Println()
 }
 
 func fatal(format string, args ...any) {

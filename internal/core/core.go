@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/prof"
 	"repro/internal/trace"
 	"repro/internal/transport"
 )
@@ -84,6 +85,14 @@ type Config struct {
 	// re-executed supersteps on one timeline. Nil disables tracing;
 	// the disabled path is a nil check only (see the alloc gate).
 	Trace *trace.Recorder
+	// Profile, when non-nil, tags each rank goroutine with pprof labels
+	// on the BSP axes (bsp_rank, bsp_superstep bucket, bsp_phase,
+	// bsp_app) and mirrors the superstep structure into runtime/trace
+	// tasks and regions, so CPU profiles decompose along the cost
+	// model's terms (see internal/prof). Profiling is independent of
+	// Trace: either may be armed without the other. Nil disables
+	// labeling; the disabled path is a nil check only.
+	Profile *prof.Labeler
 }
 
 // Proc is one BSP process's handle to the library. A Proc is confined to
@@ -98,6 +107,7 @@ type Proc struct {
 
 	steps    []stepRecord
 	sentPkts int
+	selfPkts int // portion of sentPkts addressed to this rank itself
 	units    int
 	segStart time.Time
 
@@ -114,6 +124,11 @@ type Proc struct {
 	// (every use is guarded by a nil check — the whole cost of the
 	// disabled path).
 	tr *trace.Buf
+
+	// pr is this rank's profiling handle; nil when profiling is
+	// disabled (prof.Rank methods are nil-receiver-safe, so the
+	// disabled path costs a nil check inside each call).
+	pr *prof.Rank
 
 	// phase counts barrier phases for the watchdog: +1 entering the
 	// transport Sync (waiting), +1 on its successful return
@@ -161,6 +176,9 @@ func pktUnits(n int) int {
 func (c *Proc) SendPkt(dst int, pkt *Pkt) {
 	c.ep.Send(dst, pkt[:])
 	c.sentPkts++
+	if dst == c.id {
+		c.selfPkts++
+	}
 }
 
 // GetPkt returns a packet that was sent to this process in the previous
@@ -189,6 +207,9 @@ func (c *Proc) GetPkt() (pkt Pkt, ok bool) {
 func (c *Proc) Send(dst int, b []byte) {
 	c.ep.Send(dst, b)
 	c.sentPkts += pktUnits(len(b))
+	if dst == c.id {
+		c.selfPkts += pktUnits(len(b))
+	}
 }
 
 // Recv returns the next message delivered to this process in the
@@ -227,6 +248,10 @@ func (c *Proc) Sync() {
 	if c.tr != nil {
 		arrive = c.tr.Now()
 	}
+	// The compute slice of this superstep ends here: CPU from now to
+	// the barrier release belongs to the sync phase (the transport
+	// narrows its data-movement slice to "exchange" via ProfSetter).
+	c.pr.SetPhase(prof.Sync, c.step)
 	if c.phase != nil {
 		c.phase.Add(1)
 	}
@@ -245,10 +270,11 @@ func (c *Proc) Sync() {
 		// falls out of comparing arrive times across ranks.
 		release := c.tr.Now()
 		c.tr.Compute(c.step, arrive-int64(work), arrive, c.units)
-		c.tr.SyncSpan(c.step, arrive, release, c.sentPkts, recv)
+		c.tr.SyncSpan(c.step, arrive, release, c.sentPkts, recv, c.selfPkts)
 	}
 	c.steps = append(c.steps, stepRecord{work: work, units: c.units, sent: c.sentPkts, recv: recv})
 	c.sentPkts = 0
+	c.selfPkts = 0
 	c.units = 0
 	c.inbox = inbox
 	c.step++
@@ -256,8 +282,10 @@ func (c *Proc) Sync() {
 		// The barrier just completed: every rank's superstep-t messages
 		// are delivered and nothing of superstep t+1 exists — a globally
 		// consistent cut, the only point where a snapshot is restartable.
+		c.pr.SetPhase(prof.Ckpt, c.step)
 		c.ck.capture(c)
 	}
+	c.pr.SetPhase(prof.Compute, c.step)
 	c.segStart = time.Now()
 }
 
@@ -390,6 +418,18 @@ func runMachine(cfg Config, fn func(*Proc), hooks Hooks, rs *runState) (*Stats, 
 						c.tr.CkptRestore(snap.Step, restoreStart, c.tr.Now())
 					}
 				}
+			}
+			if cfg.Profile != nil {
+				// Arm profiling after the resume block so the first
+				// labels carry the resume superstep, not 0. End runs
+				// deferred so the labels and runtime/trace regions are
+				// settled even when fn panics.
+				c.pr = cfg.Profile.Rank(i)
+				if ps, ok := ep.(transport.ProfSetter); ok {
+					ps.SetProf(c.pr)
+				}
+				c.pr.Begin(c.step)
+				defer c.pr.End()
 			}
 			procs[i] = c
 			fn(c)

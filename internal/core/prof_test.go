@@ -1,0 +1,83 @@
+package core
+
+// Profiling-label discipline at the library layer: labels must work
+// with tracing disabled (Config.Trace == nil is the common production
+// shape for a profiled run), track the superstep axis exactly, detach
+// when Run returns, and — like the trace recorder before them — cost
+// the steady-state exchange path zero allocations.
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/prof"
+	"repro/internal/transport"
+)
+
+// TestProfileWithoutTrace runs a profiled machine with a nil trace
+// recorder and asserts from inside each rank that the installed labels
+// follow the superstep axis: compute phase at the top of every
+// superstep, the right rank/app/bucket values, and detached labels
+// once Run returns. The xchg transport exercises the ProfSetter path
+// (exchange marks inside Sync must restore nothing core has to redo —
+// core re-labels compute after every barrier).
+func TestProfileWithoutTrace(t *testing.T) {
+	const p, steps = 4, 6
+	lab := prof.New("core-test", p)
+	_, err := Run(Config{P: p, Transport: transport.XchgTransport{}, Profile: lab}, func(c *Proc) {
+		r := lab.Rank(c.ID())
+		for s := 0; s < steps; s++ {
+			if ph, step := r.Current(); ph != prof.Compute || step != s {
+				t.Errorf("rank %d superstep %d: labels at (%v, %d), want (compute, %d)", c.ID(), s, ph, step, s)
+			}
+			ctx := r.Context()
+			for key, want := range map[string]string{
+				prof.LabelRank:  strconv.Itoa(c.ID()),
+				prof.LabelPhase: "compute",
+				prof.LabelApp:   "core-test",
+				prof.LabelStep:  prof.BucketLabel(s, lab.Bucket()),
+			} {
+				if got, ok := prof.LabelValue(ctx, key); !ok || got != want {
+					t.Errorf("rank %d superstep %d: label %s = %q (ok=%v), want %q", c.ID(), s, key, got, ok, want)
+				}
+			}
+			var pkt Pkt
+			pkt[0] = byte(c.ID())
+			c.SendPkt((c.ID()+1)%p, &pkt)
+			c.Sync()
+			for {
+				if _, ok := c.GetPkt(); !ok {
+					break
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p; i++ {
+		if lab.Rank(i).Context() != nil {
+			t.Errorf("rank %d labels still installed after Run", i)
+		}
+	}
+}
+
+// TestProfileAllocBound: with profiling armed (and tracing off), the
+// steady-state all-to-all superstep must hold the same allocation
+// bound as the fully-disabled path — phase transitions ride cached
+// label contexts, so turning profiling on adds zero allocations per
+// superstep. The wide bucket keeps the whole run in one superstep
+// bucket, isolating the steady state from the one-time cost of
+// entering a new bucket.
+func TestProfileAllocBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc bound skipped in -short mode")
+	}
+	lab := prof.NewBucketed("alloc-test", allocP, 1024)
+	avg := measureExchangeAllocs(t, Config{P: allocP, Transport: transport.ShmTransport{}, Profile: lab})
+	t.Logf("allocs per all-to-all superstep with profiling on: %.1f", avg)
+	if avg > allocTraceOffMax {
+		t.Errorf("profiling-on path: %.1f allocs/superstep, want <= %d — cached label contexts must keep phase transitions allocation-free",
+			avg, allocTraceOffMax)
+	}
+}

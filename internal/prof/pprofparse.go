@@ -1,0 +1,354 @@
+package prof
+
+// A minimal reader of the pprof protobuf wire format (profile.proto),
+// sufficient for label-based attribution: sample values, sample string
+// labels, the sample-type table and the period. The repo takes no
+// dependencies, so instead of github.com/google/pprof/profile this
+// hand-decodes the handful of fields it needs straight from the
+// protobuf wire encoding Go's runtime/pprof emits (gzip-compressed
+// delimited messages of varints and length-prefixed records).
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Profile is the decoded subset of a pprof CPU (or heap) profile.
+type Profile struct {
+	// SampleTypes names each value column as "type/unit", e.g.
+	// "samples/count", "cpu/nanoseconds".
+	SampleTypes []string
+	// Samples are the profile's samples with their value columns and
+	// string labels (numeric labels are ignored).
+	Samples []Sample
+	// PeriodType and Period describe the sampling period, e.g.
+	// "cpu/nanoseconds" every 10000000.
+	PeriodType string
+	Period     int64
+	// DurationNanos is the profiled wall duration, when recorded.
+	DurationNanos int64
+}
+
+// Sample is one pprof sample: its value columns (parallel to
+// Profile.SampleTypes) and its string labels.
+type Sample struct {
+	Values []int64
+	Labels map[string]string
+}
+
+// ValueIndex returns the index of the value column whose type matches
+// typ ("cpu", "samples", ...), or the last column (the pprof default
+// display type) when no column matches.
+func (p *Profile) ValueIndex(typ string) int {
+	for i, st := range p.SampleTypes {
+		if n := len(typ); len(st) > n && st[:n] == typ && st[n] == '/' {
+			return i
+		}
+	}
+	return len(p.SampleTypes) - 1
+}
+
+// TotalValue sums value column idx over all samples.
+func (p *Profile) TotalValue(idx int) int64 {
+	var total int64
+	for _, s := range p.Samples {
+		if idx >= 0 && idx < len(s.Values) {
+			total += s.Values[idx]
+		}
+	}
+	return total
+}
+
+// ParsePprofFile reads and parses a pprof profile from a file.
+func ParsePprofFile(path string) (*Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParsePprof(f)
+}
+
+// ParsePprof parses a (possibly gzip-compressed) pprof profile.
+func ParsePprof(r io.Reader) (*Profile, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("prof: read profile: %w", err)
+	}
+	if len(raw) >= 2 && raw[0] == 0x1f && raw[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(raw))
+		if err != nil {
+			return nil, fmt.Errorf("prof: gunzip profile: %w", err)
+		}
+		if raw, err = io.ReadAll(zr); err != nil {
+			return nil, fmt.Errorf("prof: gunzip profile: %w", err)
+		}
+		if err := zr.Close(); err != nil {
+			return nil, fmt.Errorf("prof: gunzip profile: %w", err)
+		}
+	}
+	return parseProfile(raw)
+}
+
+// profile.proto field numbers used below.
+const (
+	fieldSampleType    = 1 // repeated ValueType
+	fieldSample        = 2 // repeated Sample
+	fieldStringTable   = 6 // repeated string
+	fieldDurationNanos = 10
+	fieldPeriodType    = 11 // ValueType
+	fieldPeriod        = 12
+
+	sampleFieldValue = 2 // repeated int64
+	sampleFieldLabel = 3 // repeated Label
+
+	labelFieldKey = 1 // string-table index
+	labelFieldStr = 2 // string-table index
+
+	valueTypeFieldType = 1 // string-table index
+	valueTypeFieldUnit = 2 // string-table index
+)
+
+// rawValueType and rawLabel hold string-table indices until the table
+// (which the encoder may emit after the samples) is complete.
+type rawValueType struct{ typ, unit int64 }
+
+type rawLabel struct{ key, str int64 }
+
+type rawSample struct {
+	values []int64
+	labels []rawLabel
+}
+
+func parseProfile(b []byte) (*Profile, error) {
+	var (
+		strTab      []string
+		sampleTypes []rawValueType
+		samples     []rawSample
+		periodType  rawValueType
+		havePeriodT bool
+		p           = &Profile{}
+	)
+	err := scanFields(b, func(field, wire int, v uint64, data []byte) error {
+		switch field {
+		case fieldStringTable:
+			if wire != 2 {
+				return fmt.Errorf("string_table has wire type %d", wire)
+			}
+			strTab = append(strTab, string(data))
+		case fieldSampleType:
+			vt, err := parseValueType(data)
+			if err != nil {
+				return err
+			}
+			sampleTypes = append(sampleTypes, vt)
+		case fieldPeriodType:
+			vt, err := parseValueType(data)
+			if err != nil {
+				return err
+			}
+			periodType, havePeriodT = vt, true
+		case fieldPeriod:
+			p.Period = int64(v)
+		case fieldDurationNanos:
+			p.DurationNanos = int64(v)
+		case fieldSample:
+			s, err := parseSample(data)
+			if err != nil {
+				return err
+			}
+			samples = append(samples, s)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("prof: malformed profile: %w", err)
+	}
+	str := func(idx int64) (string, error) {
+		if idx < 0 || idx >= int64(len(strTab)) {
+			return "", fmt.Errorf("prof: string index %d out of table (%d entries)", idx, len(strTab))
+		}
+		return strTab[idx], nil
+	}
+	vtName := func(vt rawValueType) (string, error) {
+		t, err := str(vt.typ)
+		if err != nil {
+			return "", err
+		}
+		u, err := str(vt.unit)
+		if err != nil {
+			return "", err
+		}
+		return t + "/" + u, nil
+	}
+	for _, vt := range sampleTypes {
+		name, err := vtName(vt)
+		if err != nil {
+			return nil, err
+		}
+		p.SampleTypes = append(p.SampleTypes, name)
+	}
+	if havePeriodT {
+		if p.PeriodType, err = vtName(periodType); err != nil {
+			return nil, err
+		}
+	}
+	p.Samples = make([]Sample, 0, len(samples))
+	for _, rs := range samples {
+		s := Sample{Values: rs.values}
+		for _, rl := range rs.labels {
+			key, err := str(rl.key)
+			if err != nil {
+				return nil, err
+			}
+			// Numeric labels have str == 0 (the empty string); only
+			// string labels matter for attribution.
+			if rl.str == 0 {
+				continue
+			}
+			val, err := str(rl.str)
+			if err != nil {
+				return nil, err
+			}
+			if s.Labels == nil {
+				s.Labels = make(map[string]string, len(rs.labels))
+			}
+			s.Labels[key] = val
+		}
+		p.Samples = append(p.Samples, s)
+	}
+	return p, nil
+}
+
+func parseValueType(b []byte) (rawValueType, error) {
+	var vt rawValueType
+	err := scanFields(b, func(field, wire int, v uint64, _ []byte) error {
+		switch field {
+		case valueTypeFieldType:
+			vt.typ = int64(v)
+		case valueTypeFieldUnit:
+			vt.unit = int64(v)
+		}
+		return nil
+	})
+	return vt, err
+}
+
+func parseSample(b []byte) (rawSample, error) {
+	var s rawSample
+	err := scanFields(b, func(field, wire int, v uint64, data []byte) error {
+		switch field {
+		case sampleFieldValue:
+			if wire == 0 {
+				s.values = append(s.values, int64(v))
+				return nil
+			}
+			// Packed encoding: a length-delimited run of varints.
+			for off := 0; off < len(data); {
+				u, n, err := uvarint(data, off)
+				if err != nil {
+					return err
+				}
+				s.values = append(s.values, int64(u))
+				off = n
+			}
+		case sampleFieldLabel:
+			var l rawLabel
+			err := scanFields(data, func(field, wire int, v uint64, _ []byte) error {
+				switch field {
+				case labelFieldKey:
+					l.key = int64(v)
+				case labelFieldStr:
+					l.str = int64(v)
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			s.labels = append(s.labels, l)
+		}
+		return nil
+	})
+	return s, err
+}
+
+// scanFields walks one protobuf message, calling fn per field: varint
+// and fixed fields pass their value in v, length-delimited fields pass
+// their bytes in data (valid only during the call).
+func scanFields(b []byte, fn func(field, wire int, v uint64, data []byte) error) error {
+	for off := 0; off < len(b); {
+		tag, n, err := uvarint(b, off)
+		if err != nil {
+			return err
+		}
+		off = n
+		field, wire := int(tag>>3), int(tag&7)
+		if field == 0 {
+			return fmt.Errorf("field number 0 at offset %d", off)
+		}
+		var v uint64
+		var data []byte
+		switch wire {
+		case 0: // varint
+			if v, off, err = uvarint(b, off); err != nil {
+				return err
+			}
+		case 1: // fixed64
+			if len(b)-off < 8 {
+				return fmt.Errorf("truncated fixed64 at offset %d", off)
+			}
+			for i := 7; i >= 0; i-- {
+				v = v<<8 | uint64(b[off+i])
+			}
+			off += 8
+		case 2: // length-delimited
+			var ln uint64
+			if ln, off, err = uvarint(b, off); err != nil {
+				return err
+			}
+			if ln > uint64(len(b)-off) {
+				return fmt.Errorf("truncated field %d: %d bytes at offset %d of %d", field, ln, off, len(b))
+			}
+			data = b[off : off+int(ln)]
+			off += int(ln)
+		case 5: // fixed32
+			if len(b)-off < 4 {
+				return fmt.Errorf("truncated fixed32 at offset %d", off)
+			}
+			for i := 3; i >= 0; i-- {
+				v = v<<8 | uint64(b[off+i])
+			}
+			off += 4
+		default:
+			return fmt.Errorf("unsupported wire type %d for field %d at offset %d", wire, field, off)
+		}
+		if err := fn(field, wire, v, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// uvarint decodes a varint at off, returning the value and the offset
+// past it.
+func uvarint(b []byte, off int) (uint64, int, error) {
+	var v uint64
+	for shift := 0; ; shift += 7 {
+		if off >= len(b) {
+			return 0, off, fmt.Errorf("truncated varint at offset %d", off)
+		}
+		if shift >= 64 {
+			return 0, off, fmt.Errorf("varint overflow at offset %d", off)
+		}
+		c := b[off]
+		off++
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v, off, nil
+		}
+	}
+}

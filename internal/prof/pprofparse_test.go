@@ -1,0 +1,223 @@
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"runtime/pprof"
+	"strings"
+	"testing"
+)
+
+// --- minimal protobuf encoder for building test profiles ---
+
+func putUvarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+func field(b []byte, num int, wire int) []byte {
+	return putUvarint(b, uint64(num)<<3|uint64(wire))
+}
+
+func varintField(b []byte, num int, v uint64) []byte {
+	return putUvarint(field(b, num, 0), v)
+}
+
+func bytesField(b []byte, num int, data []byte) []byte {
+	b = field(b, num, 2)
+	b = putUvarint(b, uint64(len(data)))
+	return append(b, data...)
+}
+
+func valueType(typ, unit uint64) []byte {
+	var b []byte
+	b = varintField(b, valueTypeFieldType, typ)
+	return varintField(b, valueTypeFieldUnit, unit)
+}
+
+// testProfile hand-encodes a two-sample CPU profile:
+//
+//	string table: "", "samples", "count", "cpu", "nanoseconds",
+//	              "bsp_rank", "0", "bsp_phase", "compute", "threads"
+//	sample 0: values packed [3, 30e6], labels rank=0 phase=compute
+//	          plus a numeric label (threads, str=0) that must be skipped
+//	sample 1: values unpacked [2, 20e6], no labels
+func testProfile(t *testing.T, gzipped bool) []byte {
+	t.Helper()
+	strs := []string{"", "samples", "count", "cpu", "nanoseconds",
+		"bsp_rank", "0", "bsp_phase", "compute", "threads"}
+
+	var p []byte
+	p = bytesField(p, fieldSampleType, valueType(1, 2)) // samples/count
+	p = bytesField(p, fieldSampleType, valueType(3, 4)) // cpu/nanoseconds
+
+	var packed []byte
+	packed = putUvarint(packed, 3)
+	packed = putUvarint(packed, 30_000_000)
+	var s0 []byte
+	s0 = bytesField(s0, sampleFieldValue, packed)
+	var l0 []byte
+	l0 = varintField(l0, labelFieldKey, 5) // bsp_rank
+	l0 = varintField(l0, labelFieldStr, 6) // "0"
+	s0 = bytesField(s0, sampleFieldLabel, l0)
+	var l1 []byte
+	l1 = varintField(l1, labelFieldKey, 7) // bsp_phase
+	l1 = varintField(l1, labelFieldStr, 8) // "compute"
+	s0 = bytesField(s0, sampleFieldLabel, l1)
+	var ln []byte // numeric label: key set, str absent (0)
+	ln = varintField(ln, labelFieldKey, 9)
+	ln = varintField(ln, 3, 8) // Label.num = 8
+	s0 = bytesField(s0, sampleFieldLabel, ln)
+	p = bytesField(p, fieldSample, s0)
+
+	var s1 []byte // unpacked values: one varint field per element
+	s1 = varintField(s1, sampleFieldValue, 2)
+	s1 = varintField(s1, sampleFieldValue, 20_000_000)
+	p = bytesField(p, fieldSample, s1)
+
+	// String table after the samples, as the real encoder may order it.
+	for _, s := range strs {
+		p = bytesField(p, fieldStringTable, []byte(s))
+	}
+	p = varintField(p, fieldDurationNanos, 50_000_000)
+	p = bytesField(p, fieldPeriodType, valueType(3, 4))
+	p = varintField(p, fieldPeriod, 10_000_000)
+
+	if !gzipped {
+		return p
+	}
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestParsePprofHandEncoded(t *testing.T) {
+	for _, gz := range []bool{false, true} {
+		p, err := ParsePprof(bytes.NewReader(testProfile(t, gz)))
+		if err != nil {
+			t.Fatalf("gzip=%v: %v", gz, err)
+		}
+		if got, want := strings.Join(p.SampleTypes, ","), "samples/count,cpu/nanoseconds"; got != want {
+			t.Fatalf("gzip=%v: sample types %q, want %q", gz, got, want)
+		}
+		if p.PeriodType != "cpu/nanoseconds" || p.Period != 10_000_000 {
+			t.Errorf("period %q/%d", p.PeriodType, p.Period)
+		}
+		if p.DurationNanos != 50_000_000 {
+			t.Errorf("duration %d", p.DurationNanos)
+		}
+		if len(p.Samples) != 2 {
+			t.Fatalf("got %d samples", len(p.Samples))
+		}
+		s0, s1 := p.Samples[0], p.Samples[1]
+		if len(s0.Values) != 2 || s0.Values[0] != 3 || s0.Values[1] != 30_000_000 {
+			t.Errorf("sample 0 values %v", s0.Values)
+		}
+		if s0.Labels[LabelRank] != "0" || s0.Labels[LabelPhase] != "compute" {
+			t.Errorf("sample 0 labels %v", s0.Labels)
+		}
+		if _, ok := s0.Labels["threads"]; ok {
+			t.Error("numeric label leaked into string labels")
+		}
+		if len(s1.Values) != 2 || s1.Values[1] != 20_000_000 {
+			t.Errorf("sample 1 values %v", s1.Values)
+		}
+		if s1.Labels != nil {
+			t.Errorf("sample 1 labels %v, want none", s1.Labels)
+		}
+		if idx := p.ValueIndex("cpu"); idx != 1 {
+			t.Errorf("ValueIndex(cpu) = %d", idx)
+		}
+		if got := p.TotalValue(1); got != 50_000_000 {
+			t.Errorf("TotalValue = %d", got)
+		}
+	}
+}
+
+func TestParsePprofMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"truncated varint":  {0x80},
+		"truncated length":  append(field(nil, fieldSample, 2), 0x7f),
+		"field zero":        {0x00, 0x01},
+		"bad wire type":     {byte(1<<3 | 3)},
+		"bad string index":  bytesField(nil, fieldSampleType, valueType(9, 9)),
+		"bad gzip":          {0x1f, 0x8b, 0x00, 0x00},
+		"truncated fixed64": field(nil, 4, 1),
+		"truncated fixed32": field(nil, 4, 5),
+		"overflow varint":   append(field(nil, fieldPeriod, 0), bytes.Repeat([]byte{0xff}, 11)...),
+	}
+	for name, b := range cases {
+		if _, err := ParsePprof(bytes.NewReader(b)); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+}
+
+// TestParsePprofReal captures a real CPU profile of labeled spin work
+// and checks the hand parser reads what runtime/pprof wrote: the cpu
+// column exists and, when any samples landed, the labels round-trip.
+func TestParsePprofReal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping CPU capture")
+	}
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		t.Skipf("CPU profiling unavailable: %v", err)
+	}
+	ctx := pprof.WithLabels(context.Background(), pprof.Labels(LabelRank, "0", LabelPhase, "compute"))
+	pprof.SetGoroutineLabels(ctx)
+	spin(200_000_000)
+	pprof.SetGoroutineLabels(context.Background())
+	pprof.StopCPUProfile()
+
+	p, err := ParsePprof(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := p.ValueIndex("cpu")
+	if idx < 0 || !strings.HasPrefix(p.SampleTypes[idx], "cpu/") {
+		t.Fatalf("no cpu column in %v", p.SampleTypes)
+	}
+	if p.Period <= 0 {
+		t.Errorf("period %d", p.Period)
+	}
+	var labeled, total int64
+	for _, s := range p.Samples {
+		v := s.Values[idx]
+		total += v
+		if s.Labels[LabelRank] == "0" && s.Labels[LabelPhase] == "compute" {
+			labeled += v
+		}
+	}
+	if total == 0 {
+		t.Skip("no CPU samples landed; nothing to check")
+	}
+	if labeled == 0 {
+		t.Errorf("no labeled samples among %d total ns", total)
+	}
+	t.Logf("real profile: %d samples, %d/%d ns labeled", len(p.Samples), labeled, total)
+}
+
+// spin burns CPU without allocating; the sink defeats dead-code
+// elimination.
+var sink uint64
+
+func spin(iters int) {
+	var acc uint64 = 0x9e3779b9
+	for i := 0; i < iters; i++ {
+		acc ^= acc << 13
+		acc ^= acc >> 7
+		acc ^= acc << 17
+	}
+	sink = acc
+}

@@ -1,0 +1,339 @@
+// Package prof is the profiling layer of the BSP library: it tags
+// every rank goroutine with pprof labels on the axes of the BSP cost
+// model, mirrors the superstep structure into runtime/trace tasks and
+// regions, and turns captured CPU profiles back into the paper's
+// vocabulary.
+//
+// The paper's methodology attributes wall time to the cost-model terms
+// W, g·H and L·S (Equation 1). The trace recorder (internal/trace)
+// gives *event* time on those axes — when each compute span started
+// and ended — but Go's CPU profiler sees one flat program: p rank
+// goroutines in s supersteps collapse into a single call-graph. The
+// labels restore the missing dimensions:
+//
+//	bsp_rank      the BSP process id, "0".."p-1"
+//	bsp_superstep a superstep bucket, "0-9", "10-19", ... (bucketed
+//	              to bound label cardinality on long runs)
+//	bsp_phase     which cost-model term the CPU belongs to:
+//	              "compute" → W, "sync"/"exchange" → g·H + L·S,
+//	              "ckpt" → checkpoint overhead outside the model
+//	bsp_app       the application name, for mixed-profile captures
+//
+// so `go tool pprof -tagfocus` can isolate one rank, one phase or one
+// superstep range, and Attribute/WriteWReport can decompose a profile
+// into a samples-per-rank×phase×bucket table that reconciles against
+// the trace recorder's recorded w_i.
+//
+// Overhead contract (the same discipline as internal/trace): the
+// disabled path is a nil check — every method is safe on a nil
+// receiver and core/transport call sites guard with one pointer test.
+// When enabled, label contexts are cached per (phase, superstep
+// bucket), so a phase transition in steady state is a single
+// pprof.SetGoroutineLabels call on a cached context: no allocation,
+// no lock. runtime/trace tasks and regions are emitted only while a
+// runtime trace is actually being captured (trace.IsEnabled).
+package prof
+
+import (
+	"context"
+	"fmt"
+	"runtime/pprof"
+	rtrace "runtime/trace"
+	"strconv"
+)
+
+// Label keys attached to rank goroutines. They are part of the
+// profiling schema: renaming breaks saved pprof invocations and the
+// attribution report.
+const (
+	LabelRank  = "bsp_rank"
+	LabelStep  = "bsp_superstep"
+	LabelPhase = "bsp_phase"
+	LabelApp   = "bsp_app"
+)
+
+// Phase classifies where in the superstep a rank's CPU time belongs,
+// mapping samples onto the terms of Equation 1 (see DESIGN.md §9).
+type Phase uint8
+
+const (
+	// Compute is local computation — the w_i that sum into W.
+	Compute Phase = iota
+	// Sync is barrier arrival to release: exchange plus barrier wait,
+	// the g·h_i + L share of the superstep.
+	Sync
+	// Exchange is the data-movement slice inside Sync, on transports
+	// that distinguish it (the TCP staged total exchange, the xchg
+	// per-pair handoff loop).
+	Exchange
+	// Ckpt is checkpoint capture at a superstep boundary — overhead
+	// the cost model does not predict, kept visible as its own label.
+	Ckpt
+
+	numPhases
+)
+
+// String returns the bsp_phase label value.
+func (ph Phase) String() string {
+	switch ph {
+	case Compute:
+		return "compute"
+	case Sync:
+		return "sync"
+	case Exchange:
+		return "exchange"
+	case Ckpt:
+		return "ckpt"
+	}
+	return "unknown"
+}
+
+// regionNames are the runtime/trace region types per phase; constant
+// strings so StartRegion does not allocate the name.
+var regionNames = [numPhases]string{"bsp:compute", "bsp:sync", "bsp:exchange", "bsp:ckpt"}
+
+// DefaultBucket is the default superstep bucket width of the
+// bsp_superstep label: wide enough to bound cardinality on long runs,
+// narrow enough to localize a slow region of the superstep axis.
+const DefaultBucket = 10
+
+// Labeler owns the per-rank label state of one machine (core.Config.
+// Profile). A nil Labeler is the disabled path throughout.
+type Labeler struct {
+	app    string
+	bucket int
+	ranks  []*Rank
+}
+
+// New returns a Labeler for a p-rank machine running app, with the
+// default superstep bucket width.
+func New(app string, p int) *Labeler { return NewBucketed(app, p, DefaultBucket) }
+
+// NewBucketed is New with an explicit superstep bucket width for the
+// bsp_superstep label (minimum 1).
+func NewBucketed(app string, p int, bucket int) *Labeler {
+	if bucket < 1 {
+		bucket = DefaultBucket
+	}
+	l := &Labeler{app: app, bucket: bucket, ranks: make([]*Rank, p)}
+	for i := range l.ranks {
+		l.ranks[i] = &Rank{
+			app:     app,
+			rankStr: strconv.Itoa(i),
+			bucket:  bucket,
+		}
+	}
+	return l
+}
+
+// P returns the number of ranks, 0 on a nil Labeler.
+func (l *Labeler) P() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.ranks)
+}
+
+// Bucket returns the superstep bucket width of the bsp_superstep label.
+func (l *Labeler) Bucket() int {
+	if l == nil {
+		return DefaultBucket
+	}
+	return l.bucket
+}
+
+// Rank returns rank i's label state, or nil (the disabled path) when
+// the labeler is nil or i is out of range.
+func (l *Labeler) Rank(i int) *Rank {
+	if l == nil || i < 0 || i >= len(l.ranks) {
+		return nil
+	}
+	return l.ranks[i]
+}
+
+// Rank is one BSP process's labeling handle. Like a trace.Buf it is
+// confined to the goroutine of the rank that owns it; across recovery
+// attempts the successive incarnations of a rank run strictly one
+// after another, so the single-writer cache stays safe. All methods
+// are nil-receiver safe and do nothing when the Rank is nil.
+type Rank struct {
+	app     string
+	rankStr string
+	bucket  int
+
+	// ctxs caches one labeled context per (phase, superstep bucket):
+	// the allocation happens on the first visit to a bucket, and every
+	// later transition is a cached SetGoroutineLabels.
+	ctxs [numPhases][]context.Context
+
+	cur      context.Context // the label set currently installed
+	curPhase Phase
+	curStep  int
+
+	// runtime/trace mirror: one task per superstep, one open region
+	// per phase, emitted only while a runtime trace is being captured.
+	task     *rtrace.Task
+	taskCtx  context.Context
+	taskStep int
+	region   *rtrace.Region
+}
+
+// BucketLabel returns the bsp_superstep label value for step under
+// width bucket: "0-9", "10-19", ... (or the bare step for width 1).
+func BucketLabel(step, bucket int) string {
+	if step < 0 {
+		step = 0
+	}
+	if bucket <= 1 {
+		return strconv.Itoa(step)
+	}
+	lo := step / bucket * bucket
+	return strconv.Itoa(lo) + "-" + strconv.Itoa(lo+bucket-1)
+}
+
+// ctx returns the cached labeled context for (ph, step's bucket),
+// building it on first use.
+func (r *Rank) ctx(ph Phase, step int) context.Context {
+	if step < 0 {
+		step = 0
+	}
+	idx := step / r.bucket
+	for len(r.ctxs[ph]) <= idx {
+		r.ctxs[ph] = append(r.ctxs[ph], nil)
+	}
+	if c := r.ctxs[ph][idx]; c != nil {
+		return c
+	}
+	c := pprof.WithLabels(context.Background(), pprof.Labels(
+		LabelRank, r.rankStr,
+		LabelStep, BucketLabel(step, r.bucket),
+		LabelPhase, ph.String(),
+		LabelApp, r.app,
+	))
+	r.ctxs[ph][idx] = c
+	return c
+}
+
+// Begin installs the compute labels for the calling goroutine at the
+// given superstep (0 for a scratch start, the resume step for a rank
+// restored from a checkpoint). Call it from the rank's own goroutine
+// before the first instruction of the process function.
+func (r *Rank) Begin(step int) { r.SetPhase(Compute, step) }
+
+// SetPhase moves the calling goroutine's labels to (ph, step's
+// bucket). In steady state this is one SetGoroutineLabels call on a
+// cached context; when a runtime trace is being captured it also
+// closes the previous phase region (and superstep task, if the step
+// advanced) and opens the next.
+func (r *Rank) SetPhase(ph Phase, step int) {
+	if r == nil {
+		return
+	}
+	c := r.ctx(ph, step)
+	pprof.SetGoroutineLabels(c)
+	r.cur, r.curPhase, r.curStep = c, ph, step
+	if rtrace.IsEnabled() {
+		r.setRegion(ph, step)
+	} else if r.region != nil || r.task != nil {
+		// Tracing stopped mid-run: settle the open markers once.
+		r.closeRegions()
+	}
+}
+
+// Mark moves the calling goroutine to phase ph at the current
+// superstep. Transports use it to carve their data-movement slice out
+// of the sync span without tracking the machine's superstep axis (the
+// owning Proc keeps the step current via Begin/SetPhase).
+func (r *Rank) Mark(ph Phase) {
+	if r == nil {
+		return
+	}
+	r.SetPhase(ph, r.curStep)
+}
+
+// setRegion mirrors the phase transition into runtime/trace: one task
+// per superstep per rank, one open region per phase.
+func (r *Rank) setRegion(ph Phase, step int) {
+	if r.region != nil {
+		r.region.End()
+		r.region = nil
+	}
+	if r.task == nil || r.taskStep != step {
+		if r.task != nil {
+			r.task.End()
+		}
+		r.taskCtx, r.task = rtrace.NewTask(context.Background(), "bsp:superstep")
+		r.taskStep = step
+		rtrace.Logf(r.taskCtx, "bsp", "rank %s superstep %d", r.rankStr, step)
+	}
+	r.region = rtrace.StartRegion(r.taskCtx, regionNames[ph])
+}
+
+// closeRegions ends any open runtime/trace region and task.
+func (r *Rank) closeRegions() {
+	if r.region != nil {
+		r.region.End()
+		r.region = nil
+	}
+	if r.task != nil {
+		r.task.End()
+		r.task = nil
+	}
+}
+
+// End settles the rank's runtime/trace markers and detaches the labels
+// from the calling goroutine. Call it when the process function
+// returns (the goroutine is about to exit; End keeps a reused pool
+// goroutine, should one ever run ranks, from leaking labels).
+func (r *Rank) End() {
+	if r == nil {
+		return
+	}
+	r.closeRegions()
+	pprof.SetGoroutineLabels(context.Background())
+	r.cur = nil
+}
+
+// Context returns the label context currently installed by this rank,
+// or nil before Begin / after End. Tests use it to verify the live
+// label set without capturing a profile.
+func (r *Rank) Context() context.Context {
+	if r == nil {
+		return nil
+	}
+	return r.cur
+}
+
+// Current returns the phase and superstep most recently installed.
+func (r *Rank) Current() (Phase, int) {
+	if r == nil {
+		return Compute, 0
+	}
+	return r.curPhase, r.curStep
+}
+
+// LabelValue reads one label from a context produced by this package
+// (a test helper wrapping pprof.ForLabels).
+func LabelValue(ctx context.Context, key string) (string, bool) {
+	if ctx == nil {
+		return "", false
+	}
+	var val string
+	found := false
+	pprof.ForLabels(ctx, func(k, v string) bool {
+		if k == key {
+			val, found = v, true
+			return false
+		}
+		return true
+	})
+	return val, found
+}
+
+// String identifies the labeler in logs.
+func (l *Labeler) String() string {
+	if l == nil {
+		return "prof: disabled"
+	}
+	return fmt.Sprintf("prof: app=%s p=%d bucket=%d", l.app, len(l.ranks), l.bucket)
+}

@@ -1,0 +1,138 @@
+package prof
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLabelContexts: Begin/SetPhase install the full label schema on
+// cached contexts, and the cache returns the identical context for
+// repeat visits to the same (phase, bucket).
+func TestLabelContexts(t *testing.T) {
+	l := New("psort", 4)
+	if l.P() != 4 {
+		t.Fatalf("P() = %d, want 4", l.P())
+	}
+	r := l.Rank(2)
+	r.Begin(0)
+	defer r.End()
+	ctx := r.Context()
+	if ctx == nil {
+		t.Fatal("no context installed after Begin")
+	}
+	for key, want := range map[string]string{
+		LabelRank:  "2",
+		LabelStep:  "0-9",
+		LabelPhase: "compute",
+		LabelApp:   "psort",
+	} {
+		got, ok := LabelValue(ctx, key)
+		if !ok || got != want {
+			t.Errorf("label %s = %q (ok=%v), want %q", key, got, ok, want)
+		}
+	}
+
+	r.SetPhase(Sync, 0)
+	if got, _ := LabelValue(r.Context(), LabelPhase); got != "sync" {
+		t.Errorf("after SetPhase(Sync): bsp_phase = %q", got)
+	}
+	syncCtx := r.Context()
+	r.SetPhase(Compute, 1)
+	r.SetPhase(Sync, 3) // same bucket as the earlier sync context
+	if r.Context() != syncCtx {
+		t.Error("context for (Sync, bucket 0-9) was not cached")
+	}
+
+	r.SetPhase(Compute, 17)
+	if got, _ := LabelValue(r.Context(), LabelStep); got != "10-19" {
+		t.Errorf("bucket label at step 17 = %q, want 10-19", got)
+	}
+	if ph, step := r.Current(); ph != Compute || step != 17 {
+		t.Errorf("Current() = (%v, %d), want (compute, 17)", ph, step)
+	}
+}
+
+// TestNilSafety: every method is a no-op on the nil (disabled) path.
+func TestNilSafety(t *testing.T) {
+	var l *Labeler
+	if l.P() != 0 || l.Rank(0) != nil || l.Bucket() != DefaultBucket {
+		t.Error("nil Labeler accessors not inert")
+	}
+	if got := l.String(); got != "prof: disabled" {
+		t.Errorf("nil String() = %q", got)
+	}
+	var r *Rank
+	r.Begin(0)
+	r.SetPhase(Sync, 3)
+	r.End()
+	if r.Context() != nil {
+		t.Error("nil Rank has a context")
+	}
+	if ph, step := r.Current(); ph != Compute || step != 0 {
+		t.Errorf("nil Current() = (%v, %d)", ph, step)
+	}
+	if _, ok := LabelValue(nil, LabelRank); ok {
+		t.Error("LabelValue(nil) reported a label")
+	}
+	// Out-of-range ranks are the nil path too.
+	if New("x", 2).Rank(5) != nil {
+		t.Error("out-of-range Rank not nil")
+	}
+}
+
+func TestBucketLabel(t *testing.T) {
+	cases := []struct {
+		step, bucket int
+		want         string
+	}{
+		{0, 10, "0-9"},
+		{9, 10, "0-9"},
+		{10, 10, "10-19"},
+		{25, 10, "20-29"},
+		{7, 1, "7"},
+		{-3, 10, "0-9"},
+		{5, 3, "3-5"},
+	}
+	for _, c := range cases {
+		if got := BucketLabel(c.step, c.bucket); got != c.want {
+			t.Errorf("BucketLabel(%d, %d) = %q, want %q", c.step, c.bucket, got, c.want)
+		}
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	want := map[Phase]string{Compute: "compute", Sync: "sync", Exchange: "exchange", Ckpt: "ckpt"}
+	for ph, name := range want {
+		if ph.String() != name {
+			t.Errorf("%d.String() = %q, want %q", ph, ph.String(), name)
+		}
+	}
+	if got := Phase(99).String(); got != "unknown" {
+		t.Errorf("Phase(99).String() = %q", got)
+	}
+}
+
+// TestEndResetsLabels: End detaches the labels so a later profile of
+// the same goroutine is unlabeled again.
+func TestEndResetsLabels(t *testing.T) {
+	r := New("app", 1).Rank(0)
+	r.Begin(0)
+	r.End()
+	if r.Context() != nil {
+		t.Error("context survives End")
+	}
+}
+
+func TestLabelerString(t *testing.T) {
+	l := NewBucketed("nbody", 3, 5)
+	if got := l.String(); !strings.Contains(got, "nbody") || !strings.Contains(got, "p=3") || !strings.Contains(got, "bucket=5") {
+		t.Errorf("String() = %q", got)
+	}
+	if l.Bucket() != 5 {
+		t.Errorf("Bucket() = %d, want 5", l.Bucket())
+	}
+	// Degenerate widths fall back to the default.
+	if NewBucketed("x", 1, 0).Bucket() != DefaultBucket {
+		t.Error("bucket 0 did not fall back to default")
+	}
+}

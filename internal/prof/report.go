@@ -1,0 +1,287 @@
+package prof
+
+// The decomposition report: turn a labeled CPU profile back into the
+// cost-model's vocabulary. Attribute groups profile samples by the
+// (bsp_rank, bsp_phase, bsp_superstep) label axes; WriteWReport prints
+// the table with per-phase totals and, given the trace recorder's
+// compute spans, a per-rank reconciliation of profiled compute time
+// against the recorded w_i.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// AttrRow is one cell of the decomposition: CPU attributed to a
+// (rank, phase, superstep-bucket) combination.
+type AttrRow struct {
+	Rank  string // bsp_rank value; "-" on the untracked row
+	Phase string // bsp_phase value; "-" on the untracked row
+	Step  string // bsp_superstep bucket; "-" when absent
+	Value int64  // in Attribution.Unit
+}
+
+// Attribution is a CPU profile decomposed along the BSP label axes.
+type Attribution struct {
+	Unit    string // value column, e.g. "cpu/nanoseconds"
+	Total   int64  // whole profile
+	Labeled int64  // samples carrying both bsp_rank and bsp_phase
+	Rows    []AttrRow
+}
+
+// Untracked is the CPU the labels do not cover: runtime, GC, the
+// driver goroutine, transport service goroutines.
+func (a *Attribution) Untracked() int64 { return a.Total - a.Labeled }
+
+// Coverage is the labeled fraction of the profile, in [0, 1].
+func (a *Attribution) Coverage() float64 {
+	if a.Total <= 0 {
+		return 0
+	}
+	return float64(a.Labeled) / float64(a.Total)
+}
+
+// PhaseTotals sums the rows per bsp_phase value.
+func (a *Attribution) PhaseTotals() map[string]int64 {
+	out := make(map[string]int64)
+	for _, r := range a.Rows {
+		out[r.Phase] += r.Value
+	}
+	return out
+}
+
+// RankPhase sums the rows for one (rank, phase) pair across buckets.
+func (a *Attribution) RankPhase(rank int, ph Phase) int64 {
+	rs, ps := strconv.Itoa(rank), ph.String()
+	var v int64
+	for _, r := range a.Rows {
+		if r.Rank == rs && r.Phase == ps {
+			v += r.Value
+		}
+	}
+	return v
+}
+
+// ComputeByRank returns each labeled rank's compute-phase CPU — the
+// profile-side estimate of the w_i in W = max over supersteps of the
+// per-rank work.
+func (a *Attribution) ComputeByRank() map[int]int64 {
+	out := make(map[int]int64)
+	cs := Compute.String()
+	for _, r := range a.Rows {
+		if r.Phase != cs {
+			continue
+		}
+		if rank, err := strconv.Atoi(r.Rank); err == nil {
+			out[rank] += r.Value
+		}
+	}
+	return out
+}
+
+// Attribute decomposes a profile along the BSP label axes using its
+// cpu value column (falling back to the profile's default column).
+func Attribute(p *Profile) *Attribution {
+	idx := p.ValueIndex("cpu")
+	a := &Attribution{}
+	if idx >= 0 && idx < len(p.SampleTypes) {
+		a.Unit = p.SampleTypes[idx]
+	}
+	type key struct{ rank, phase, step string }
+	cells := make(map[key]int64)
+	for _, s := range p.Samples {
+		if idx < 0 || idx >= len(s.Values) {
+			continue
+		}
+		v := s.Values[idx]
+		a.Total += v
+		rank, okR := s.Labels[LabelRank]
+		phase, okP := s.Labels[LabelPhase]
+		if !okR || !okP {
+			continue
+		}
+		a.Labeled += v
+		step, okS := s.Labels[LabelStep]
+		if !okS {
+			step = "-"
+		}
+		cells[key{rank, phase, step}] += v
+	}
+	for k, v := range cells {
+		a.Rows = append(a.Rows, AttrRow{Rank: k.rank, Phase: k.phase, Step: k.step, Value: v})
+	}
+	sortRows(a.Rows)
+	return a
+}
+
+// phaseOrder ranks bsp_phase values in superstep order for display.
+func phaseOrder(ph string) int {
+	for i := Phase(0); i < numPhases; i++ {
+		if i.String() == ph {
+			return int(i)
+		}
+	}
+	return int(numPhases)
+}
+
+// bucketLow orders bucket labels ("0-9", "10-19", bare steps) by their
+// low edge.
+func bucketLow(step string) int {
+	s, _, _ := strings.Cut(step, "-")
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 1 << 30
+	}
+	return n
+}
+
+func sortRows(rows []AttrRow) {
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		an, aerr := strconv.Atoi(a.Rank)
+		bn, berr := strconv.Atoi(b.Rank)
+		if aerr == nil && berr == nil && an != bn {
+			return an < bn
+		}
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank
+		}
+		if po, pb := phaseOrder(a.Phase), phaseOrder(b.Phase); po != pb {
+			return po < pb
+		}
+		if al, bl := bucketLow(a.Step), bucketLow(b.Step); al != bl {
+			return al < bl
+		}
+		return a.Step < b.Step
+	})
+}
+
+// TraceComputeNs sums the trace recorder's compute spans per rank —
+// the event-time w_i the profile attribution reconciles against.
+// Recovery re-executions count in both views, so the comparison stays
+// apples-to-apples on crashed-and-recovered runs.
+func TraceComputeNs(rec *trace.Recorder) map[int]int64 {
+	out := make(map[int]int64)
+	for _, e := range rec.Events() {
+		if e.Kind == trace.KindCompute && e.Rank >= 0 {
+			out[int(e.Rank)] += e.End - e.Start
+		}
+	}
+	return out
+}
+
+// RankOrderDesc returns the ranks sorted by descending value (ties by
+// ascending rank) — the ordering WriteWReport compares between the
+// profile and the trace recorder.
+func RankOrderDesc(byRank map[int]int64) []int {
+	order := make([]int, 0, len(byRank))
+	for r := range byRank {
+		order = append(order, r)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if byRank[a] != byRank[b] {
+			return byRank[a] > byRank[b]
+		}
+		return a < b
+	})
+	return order
+}
+
+// fmtVal renders a value in the attribution's unit: durations for
+// nanosecond columns, raw counts otherwise.
+func fmtVal(v int64, unit string) string {
+	if strings.HasSuffix(unit, "/nanoseconds") {
+		return time.Duration(v).Round(10 * time.Microsecond).String()
+	}
+	return strconv.FormatInt(v, 10)
+}
+
+func pct(v, total int64) string {
+	if total <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(v)/float64(total))
+}
+
+// WriteWReport prints the decomposition table: one row per
+// rank × phase × superstep-bucket, the untracked remainder as its own
+// row, per-phase totals, and — when traceW (per-rank compute
+// nanoseconds from TraceComputeNs) is non-nil — the per-rank
+// reconciliation of profiled compute against the recorded w_i with
+// both rank orderings.
+func WriteWReport(w io.Writer, a *Attribution, traceW map[int]int64) error {
+	tw := &errWriter{w: w}
+	tw.printf("W attribution (%s): total %s, labeled %s (%s)\n\n",
+		a.Unit, fmtVal(a.Total, a.Unit), fmtVal(a.Labeled, a.Unit), pct(a.Labeled, a.Total))
+	tw.printf("%-6s %-10s %-12s %12s %8s\n", "RANK", "PHASE", "SUPERSTEP", "CPU", "SHARE")
+	for _, r := range a.Rows {
+		tw.printf("%-6s %-10s %-12s %12s %8s\n", r.Rank, r.Phase, r.Step, fmtVal(r.Value, a.Unit), pct(r.Value, a.Total))
+	}
+	tw.printf("%-6s %-10s %-12s %12s %8s\n", "-", "untracked", "-", fmtVal(a.Untracked(), a.Unit), pct(a.Untracked(), a.Total))
+
+	phases := a.PhaseTotals()
+	tw.printf("\nphase totals:")
+	for ph := Phase(0); ph < numPhases; ph++ {
+		name := ph.String()
+		if v, ok := phases[name]; ok {
+			tw.printf("  %s %s (%s)", name, fmtVal(v, a.Unit), pct(v, a.Total))
+		}
+	}
+	tw.printf("\n")
+
+	if traceW != nil {
+		profW := a.ComputeByRank()
+		var profTotal, traceTotal int64
+		for _, v := range profW {
+			profTotal += v
+		}
+		for _, v := range traceW {
+			traceTotal += v
+		}
+		tw.printf("\ncompute reconciliation (profile vs trace w_i):\n")
+		tw.printf("%-6s %12s %8s %12s %8s\n", "RANK", "PROFILE", "SHARE", "TRACE", "SHARE")
+		ranks := make([]int, 0, len(traceW))
+		for r := range traceW {
+			ranks = append(ranks, r)
+		}
+		for r := range profW {
+			if _, ok := traceW[r]; !ok {
+				ranks = append(ranks, r)
+			}
+		}
+		sort.Ints(ranks)
+		for _, r := range ranks {
+			tw.printf("%-6d %12s %8s %12s %8s\n", r,
+				fmtVal(profW[r], a.Unit), pct(profW[r], profTotal),
+				fmtVal(traceW[r], "/nanoseconds"), pct(traceW[r], traceTotal))
+		}
+		po, to := RankOrderDesc(profW), RankOrderDesc(traceW)
+		agree := len(po) == len(to)
+		for i := 0; agree && i < len(po); i++ {
+			agree = po[i] == to[i]
+		}
+		tw.printf("rank order by compute: profile %v  trace %v  agree=%v\n", po, to, agree)
+	}
+	return tw.err
+}
+
+// errWriter collects the first write error so the report body stays
+// free of per-line error plumbing.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

@@ -1,0 +1,140 @@
+package prof
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// synthProfile builds a Profile covering two ranks across phases plus
+// unlabeled runtime samples.
+func synthProfile() *Profile {
+	mk := func(ns int64, labels map[string]string) Sample {
+		return Sample{Values: []int64{ns / 10_000_000, ns}, Labels: labels}
+	}
+	lbl := func(rank, phase, step string) map[string]string {
+		return map[string]string{LabelRank: rank, LabelPhase: phase, LabelStep: step, LabelApp: "psort"}
+	}
+	return &Profile{
+		SampleTypes: []string{"samples/count", "cpu/nanoseconds"},
+		Samples: []Sample{
+			mk(400_000_000, lbl("0", "compute", "0-9")),
+			mk(100_000_000, lbl("0", "compute", "0-9")), // same cell, must merge
+			mk(200_000_000, lbl("0", "sync", "0-9")),
+			mk(800_000_000, lbl("1", "compute", "0-9")),
+			mk(150_000_000, lbl("1", "compute", "10-19")),
+			mk(50_000_000, lbl("1", "ckpt", "10-19")),
+			mk(30_000_000, map[string]string{LabelRank: "1"}), // phase missing: unlabeled
+			mk(70_000_000, nil),                               // runtime/GC
+		},
+		PeriodType: "cpu/nanoseconds", Period: 10_000_000,
+	}
+}
+
+func TestAttribute(t *testing.T) {
+	a := Attribute(synthProfile())
+	if a.Unit != "cpu/nanoseconds" {
+		t.Errorf("unit %q", a.Unit)
+	}
+	if a.Total != 1_800_000_000 {
+		t.Errorf("total %d", a.Total)
+	}
+	if a.Labeled != 1_700_000_000 {
+		t.Errorf("labeled %d", a.Labeled)
+	}
+	if a.Untracked() != 100_000_000 {
+		t.Errorf("untracked %d", a.Untracked())
+	}
+	if cov := a.Coverage(); cov < 0.94 || cov > 0.95 {
+		t.Errorf("coverage %f", cov)
+	}
+	// 5 distinct cells; the two rank-0 compute samples merge into one.
+	if len(a.Rows) != 5 {
+		t.Fatalf("rows %d: %+v", len(a.Rows), a.Rows)
+	}
+	// Sorted: rank asc, then phase order, then bucket.
+	first := a.Rows[0]
+	if first.Rank != "0" || first.Phase != "compute" || first.Value != 500_000_000 {
+		t.Errorf("first row %+v", first)
+	}
+	byRank := a.ComputeByRank()
+	if byRank[0] != 500_000_000 || byRank[1] != 950_000_000 {
+		t.Errorf("compute by rank %v", byRank)
+	}
+	if got := a.RankPhase(1, Ckpt); got != 50_000_000 {
+		t.Errorf("RankPhase(1, ckpt) = %d", got)
+	}
+	ph := a.PhaseTotals()
+	if ph["compute"] != 1_450_000_000 || ph["sync"] != 200_000_000 {
+		t.Errorf("phase totals %v", ph)
+	}
+	if order := RankOrderDesc(byRank); len(order) != 2 || order[0] != 1 || order[1] != 0 {
+		t.Errorf("rank order %v", order)
+	}
+}
+
+func TestWriteWReport(t *testing.T) {
+	a := Attribute(synthProfile())
+
+	// A trace recorder whose w_i agree in rank ordering (rank 1 > rank 0).
+	rec := trace.New(2)
+	rec.Rank(0).Compute(0, 0, 450_000_000, 10)
+	rec.Rank(1).Compute(0, 0, 900_000_000, 20)
+
+	var buf bytes.Buffer
+	if err := WriteWReport(&buf, a, TraceComputeNs(rec)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"W attribution (cpu/nanoseconds)",
+		"untracked",
+		"phase totals:",
+		"compute reconciliation",
+		"agree=true",
+		"94.4%", // labeled share
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	// Disagreeing trace ordering is reported, not hidden.
+	rec2 := trace.New(2)
+	rec2.Rank(0).Compute(0, 0, 900_000_000, 10)
+	rec2.Rank(1).Compute(0, 0, 100_000_000, 20)
+	buf.Reset()
+	if err := WriteWReport(&buf, a, TraceComputeNs(rec2)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "agree=false") {
+		t.Errorf("disagreement not reported:\n%s", buf.String())
+	}
+
+	// No trace recorder: the reconciliation section is omitted.
+	buf.Reset()
+	if err := WriteWReport(&buf, a, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "reconciliation") {
+		t.Error("reconciliation printed without trace data")
+	}
+}
+
+func TestWriteWReportError(t *testing.T) {
+	if err := WriteWReport(failWriter{}, Attribute(synthProfile()), nil); err == nil {
+		t.Fatal("write error swallowed")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errFail }
+
+var errFail = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "sink failed" }

@@ -118,7 +118,7 @@ func appendRankEvents(evs []chromeEvent, events []Event, tid int) []chromeEvent 
 			evs = append(evs, chromeEvent{
 				Name: "sync (exchange+wait)", Ph: "X",
 				Ts: us(e.Start), Dur: durPtr(e.Start, e.End), Pid: 0, Tid: tid,
-				Args: map[string]any{"recv_pkts": e.B, "sent_pkts": e.A, "step": e.Step},
+				Args: map[string]any{"recv_pkts": e.B, "self_pkts": e.C, "sent_pkts": e.A, "step": e.Step},
 			})
 		case KindExchange:
 			evs = append(evs, chromeEvent{
@@ -130,7 +130,7 @@ func appendRankEvents(evs []chromeEvent, events []Event, tid int) []chromeEvent 
 			evs = append(evs, chromeEvent{
 				Name: fmt.Sprintf("batch to %d", e.A), Ph: "i",
 				Ts: us(e.Start), Pid: 0, Tid: tid, S: "t",
-				Args: map[string]any{"bytes": e.B, "dst": e.A, "frames": e.C, "step": e.Step},
+				Args: map[string]any{"bytes": e.B, "dst": e.A, "frames": e.C, "pkts": e.D, "step": e.Step},
 			})
 		case KindCkptSave:
 			evs = append(evs, chromeEvent{

@@ -22,19 +22,19 @@ func goldenRecorder() *Recorder {
 
 	// Attempt 1, superstep 0: both ranks compute, exchange one batch
 	// each, checkpoint the boundary.
-	b0.Pair(0, 1, 900, 64, 4)
+	b0.Pair(0, 1, 900, 64, 4, 4)
 	b0.Compute(0, 0, 1000, 5)
-	b0.SyncSpan(0, 1000, 2000, 4, 3)
+	b0.SyncSpan(0, 1000, 2000, 4, 3, 0)
 	b0.CkptSave(1, 2000, 2100, 96)
-	b1.Pair(0, 0, 950, 48, 3)
+	b1.Pair(0, 0, 950, 48, 3, 3)
 	b1.Compute(0, 100, 1100, 6)
-	b1.SyncSpan(0, 1100, 2000, 3, 4)
+	b1.SyncSpan(0, 1100, 2000, 3, 4, 0)
 	b1.CkptSave(1, 2000, 2120, 80)
 
 	// Attempt 1, superstep 1: rank 0 reaches the barrier (its batch is
 	// already handed over); rank 1 crashes in its Sync, so neither rank
 	// records a sync span for step 1 in this attempt.
-	b0.Pair(1, 1, 3000, 32, 2)
+	b0.Pair(1, 1, 3000, 32, 2, 2)
 	b1.Fault(1, FaultCrash, 3100, 0)
 
 	// Rollback to the boundary-1 snapshot; attempt 2 restores and
@@ -42,12 +42,12 @@ func goldenRecorder() *Recorder {
 	r.machine = append(r.machine, Event{Kind: KindRollback, Rank: MachineRank, Step: 1, Start: 3500, End: 3500, A: 2, B: 1})
 	b0.CkptRestore(1, 4000, 4050)
 	b1.CkptRestore(1, 4000, 4060)
-	b0.Pair(1, 1, 4900, 32, 2)
+	b0.Pair(1, 1, 4900, 32, 2, 2)
 	b0.Compute(1, 4100, 5000, 7)
 	b0.Exchange(1, 5000, 5200)
-	b0.SyncSpan(1, 5000, 6000, 2, 1)
+	b0.SyncSpan(1, 5000, 6000, 2, 1, 0)
 	b1.Compute(1, 4100, 5100, 8)
-	b1.SyncSpan(1, 5100, 6000, 1, 2)
+	b1.SyncSpan(1, 5100, 6000, 1, 2, 1)
 	return r
 }
 

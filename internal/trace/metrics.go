@@ -23,6 +23,7 @@ type Metrics struct {
 
 	pairBytes  []atomic.Int64 // bytes shipped, [src*p+dst]
 	pairFrames []atomic.Int64 // frames shipped, [src*p+dst]
+	pairPkts   []atomic.Int64 // payload packet units shipped, [src*p+dst]
 
 	CkptSaves atomic.Int64 // per-rank snapshot records written
 	CkptBytes atomic.Int64 // snapshot bytes written
@@ -41,6 +42,7 @@ func newMetrics(p int) *Metrics {
 		recvPkts:   make([]atomic.Int64, p),
 		pairBytes:  make([]atomic.Int64, p*p),
 		pairFrames: make([]atomic.Int64, p*p),
+		pairPkts:   make([]atomic.Int64, p*p),
 	}
 }
 
@@ -68,6 +70,7 @@ type Snapshot struct {
 	Ranks      []RankSnapshot
 	PairBytes  map[string]int64 // "src->dst", nonzero pairs only
 	PairFrames map[string]int64
+	PairPkts   map[string]int64
 	CkptSaves  int64
 	CkptBytes  int64
 	Restores   int64
@@ -87,6 +90,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		Ranks:      make([]RankSnapshot, m.p),
 		PairBytes:  map[string]int64{},
 		PairFrames: map[string]int64{},
+		PairPkts:   map[string]int64{},
 		CkptSaves:  m.CkptSaves.Load(),
 		CkptBytes:  m.CkptBytes.Load(),
 		Restores:   m.Restores.Load(),
@@ -108,6 +112,7 @@ func (m *Metrics) Snapshot() Snapshot {
 				key := fmt.Sprintf("%d->%d", src, dst)
 				s.PairBytes[key] = b
 				s.PairFrames[key] = m.pairFrames[src*m.p+dst].Load()
+				s.PairPkts[key] = m.pairPkts[src*m.p+dst].Load()
 			}
 		}
 	}
@@ -153,6 +158,14 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		for dst := 0; dst < m.p; dst++ {
 			if f := m.pairFrames[src*m.p+dst].Load(); f > 0 {
 				fmt.Fprintf(w, "bsp_pair_frames_total{src=\"%d\",dst=\"%d\"} %d\n", src, dst, f)
+			}
+		}
+	}
+	fmt.Fprintf(w, "# HELP bsp_pair_packets_total Payload packet units shipped per (src,dst) pair.\n# TYPE bsp_pair_packets_total counter\n")
+	for src := 0; src < m.p; src++ {
+		for dst := 0; dst < m.p; dst++ {
+			if n := m.pairPkts[src*m.p+dst].Load(); n > 0 {
+				fmt.Fprintf(w, "bsp_pair_packets_total{src=\"%d\",dst=\"%d\"} %d\n", src, dst, n)
 			}
 		}
 	}

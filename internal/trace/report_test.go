@@ -15,21 +15,21 @@ func TestResiduals(t *testing.T) {
 	b0, b1 := r.Rank(0), r.Rank(1)
 	// Superstep 0: rank 1 computes longer and arrives last.
 	b0.Compute(0, 0, 1000, 10)
-	b0.SyncSpan(0, 1000, 1500, 4, 2)
+	b0.SyncSpan(0, 1000, 1500, 4, 2, 0)
 	b1.Compute(0, 0, 1200, 12)
-	b1.SyncSpan(0, 1200, 1500, 2, 4)
+	b1.SyncSpan(0, 1200, 1500, 2, 4, 0)
 	// Superstep 1, first execution (to be superseded by the re-run).
 	b0.Compute(1, 1500, 2600, 20)
-	b0.SyncSpan(1, 2600, 3000, 8, 8)
+	b0.SyncSpan(1, 2600, 3000, 8, 8, 0)
 	b1.Compute(1, 1500, 2000, 9)
-	b1.SyncSpan(1, 2000, 3000, 6, 6)
+	b1.SyncSpan(1, 2000, 3000, 6, 6, 0)
 	// Rollback; superstep 1 re-executes with different spans. The final
 	// execution must win, matching Stats' final-attempt semantics.
 	r.Rollback(2, 1)
 	b0.Compute(1, 5000, 5400, 20)
-	b0.SyncSpan(1, 5400, 5600, 8, 8)
+	b0.SyncSpan(1, 5400, 5600, 8, 8, 0)
 	b1.Compute(1, 5000, 5300, 9)
-	b1.SyncSpan(1, 5300, 5600, 6, 6)
+	b1.SyncSpan(1, 5300, 5600, 6, 6, 0)
 	// Trailing compute with no sync (the finish segment) must not
 	// produce a row.
 	b0.Compute(2, 5600, 5700, 1)
@@ -81,9 +81,9 @@ func TestWriteResidualReport(t *testing.T) {
 			end = base + 60_000 // the step the model misses worst
 		}
 		b0.Compute(s, base, base+1_000, 10)
-		b0.SyncSpan(s, base+1_000, end, 2, 2)
+		b0.SyncSpan(s, base+1_000, end, 2, 2, 0)
 		b1.Compute(s, base, base+1_000, 10)
-		b1.SyncSpan(s, base+1_000, end, 2, 2)
+		b1.SyncSpan(s, base+1_000, end, 2, 2, 0)
 	}
 	var sb strings.Builder
 	WriteResidualReport(&sb, r, "SGI", cost.SGI.Params(2), 1)

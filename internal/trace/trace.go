@@ -54,14 +54,18 @@ const (
 	// KindSync is one rank's barrier span: Start is barrier-arrive
 	// (the rank finished computing and entered the transport Sync),
 	// End is barrier-release. A and B hold the packets sent and
-	// received in the superstep the span ends.
+	// received in the superstep the span ends; C holds the self-
+	// delivered packet units (messages the rank sent to itself),
+	// which a trace validator subtracts when reconciling against the
+	// inter-rank-only Pair events.
 	KindSync
 	// KindExchange is a transport-level data-movement span nested
 	// inside a KindSync span (the TCP transport's staged total
 	// exchange).
 	KindExchange
 	// KindPair is one (src,dst) batch handoff: Rank is the sender, A
-	// the destination rank, B the batch bytes, C the frame count.
+	// the destination rank, B the batch bytes, C the frame count, D
+	// the payload size in packet units (core's h-relation currency).
 	KindPair
 	// KindCkptSave is a checkpoint capture span at a superstep
 	// boundary; B holds the snapshot bytes written.
@@ -135,7 +139,7 @@ type Event struct {
 	Rank       int32 // recording rank; MachineRank for machine-level events
 	Step       int32 // 0-based superstep index the event belongs to
 	Start, End int64 // ns since the recorder epoch
-	A, B, C    int64 // kind-specific payload, see the Kind constants
+	A, B, C, D int64 // kind-specific payload, see the Kind constants
 }
 
 // Dur returns the span length in nanoseconds.
@@ -203,12 +207,14 @@ func (b *Buf) Compute(step int, start, end int64, units int) {
 }
 
 // SyncSpan records one superstep's barrier span (arrive..release) with
-// the packets sent and received in the superstep it ends.
-func (b *Buf) SyncSpan(step int, start, end int64, sentPkts, recvPkts int) {
+// the packets sent and received in the superstep it ends. selfPkts is
+// the portion of both counters the rank delivered to itself, recorded
+// so Pair-event totals (inter-rank only) stay reconcilable.
+func (b *Buf) SyncSpan(step int, start, end int64, sentPkts, recvPkts, selfPkts int) {
 	if b == nil {
 		return
 	}
-	b.events = append(b.events, Event{Kind: KindSync, Rank: b.rank, Step: int32(step), Start: start, End: end, A: int64(sentPkts), B: int64(recvPkts)})
+	b.events = append(b.events, Event{Kind: KindSync, Rank: b.rank, Step: int32(step), Start: start, End: end, A: int64(sentPkts), B: int64(recvPkts), C: int64(selfPkts)})
 	if b.m != nil {
 		b.m.waitNs[b.rank].Add(end - start)
 		b.m.steps[b.rank].Add(1)
@@ -226,18 +232,19 @@ func (b *Buf) Exchange(step int, start, end int64) {
 	b.events = append(b.events, Event{Kind: KindExchange, Rank: b.rank, Step: b.base + int32(step), Start: start, End: end})
 }
 
-// Pair records the handoff of one (src,dst) batch: bytes and frames
-// shipped from this rank to dst in the given superstep. step is
-// endpoint-local (SetStepBase).
-func (b *Buf) Pair(step, dst int, at int64, bytes, frames int) {
+// Pair records the handoff of one (src,dst) batch: bytes, frames and
+// payload packet units shipped from this rank to dst in the given
+// superstep. step is endpoint-local (SetStepBase).
+func (b *Buf) Pair(step, dst int, at int64, bytes, frames, pkts int) {
 	if b == nil {
 		return
 	}
-	b.events = append(b.events, Event{Kind: KindPair, Rank: b.rank, Step: b.base + int32(step), Start: at, End: at, A: int64(dst), B: int64(bytes), C: int64(frames)})
+	b.events = append(b.events, Event{Kind: KindPair, Rank: b.rank, Step: b.base + int32(step), Start: at, End: at, A: int64(dst), B: int64(bytes), C: int64(frames), D: int64(pkts)})
 	if b.m != nil {
 		if i := b.m.pairIndex(int(b.rank), dst); i >= 0 {
 			b.m.pairBytes[i].Add(int64(bytes))
 			b.m.pairFrames[i].Add(int64(frames))
+			b.m.pairPkts[i].Add(int64(pkts))
 		}
 	}
 }

@@ -14,9 +14,9 @@ func TestDisabledPathAllocs(t *testing.T) {
 	var r *Recorder
 	allocs := testing.AllocsPerRun(1000, func() {
 		b.Compute(0, 0, 1, 2)
-		b.SyncSpan(0, 1, 2, 3, 4)
+		b.SyncSpan(0, 1, 2, 3, 4, 0)
 		b.Exchange(0, 1, 2)
-		b.Pair(0, 1, 2, 3, 4)
+		b.Pair(0, 1, 2, 3, 4, 4)
 		b.CkptSave(0, 1, 2, 3)
 		b.CkptRestore(0, 1, 2)
 		b.Fault(0, FaultDelay, 1, 2)
@@ -47,11 +47,11 @@ func TestRecorderEvents(t *testing.T) {
 		t.Fatal("out-of-range Rank must be nil (the disabled path)")
 	}
 	b0, b1 := r.Rank(0), r.Rank(1)
-	b0.Pair(0, 1, 900, 64, 4)
+	b0.Pair(0, 1, 900, 64, 4, 4)
 	b0.Compute(0, 0, 1000, 5)
-	b0.SyncSpan(0, 1000, 2000, 2, 1)
+	b0.SyncSpan(0, 1000, 2000, 2, 1, 0)
 	b1.Compute(0, 100, 1100, 6)
-	b1.SyncSpan(0, 1100, 2100, 1, 2)
+	b1.SyncSpan(0, 1100, 2100, 1, 2, 0)
 	b1.Fault(0, FaultStall, 2150, 42)
 	r.Rollback(2, 1)
 
@@ -81,10 +81,10 @@ func TestMetrics(t *testing.T) {
 	r := New(2)
 	b0, b1 := r.Rank(0), r.Rank(1)
 	b0.Compute(0, 0, 1000, 5)
-	b0.SyncSpan(0, 1000, 2000, 3, 2)
-	b0.Pair(0, 1, 900, 64, 4)
+	b0.SyncSpan(0, 1000, 2000, 3, 2, 0)
+	b0.Pair(0, 1, 900, 64, 4, 4)
 	b1.Compute(0, 100, 1100, 6)
-	b1.SyncSpan(0, 1100, 2100, 1, 4)
+	b1.SyncSpan(0, 1100, 2100, 1, 4, 0)
 	b0.CkptSave(1, 2200, 2300, 128)
 	b0.CkptRestore(1, 2400, 2500)
 	b1.Fault(0, FaultCrash, 2150, 0)

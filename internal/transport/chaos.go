@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/prof"
 	"repro/internal/trace"
 )
 
@@ -341,6 +342,15 @@ func (e *chaosEndpoint) SetTrace(b *trace.Buf) {
 	e.buf = b
 	if ts, ok := e.Endpoint.(TraceSetter); ok {
 		ts.SetTrace(b)
+	}
+}
+
+// SetProf implements ProfSetter by forwarding to the wrapped endpoint:
+// the decorator adds no data movement of its own, so the base
+// transport's exchange marks are the whole story.
+func (e *chaosEndpoint) SetProf(r *prof.Rank) {
+	if ps, ok := e.Endpoint.(ProfSetter); ok {
+		ps.SetProf(r)
 	}
 }
 

@@ -209,8 +209,8 @@ func (e *shmEndpoint) seal(buf *shmBuffer, dst int, c []byte) {
 	if dst != e.id {
 		e.handed++
 		if e.buf != nil {
-			frames, _ := wire.FrameCount(c) // locally produced, always valid
-			e.buf.Pair(int(e.round), dst, e.buf.Now(), len(c), frames)
+			frames, pkts, _ := wire.BatchStats(c) // locally produced, always valid
+			e.buf.Pair(int(e.round), dst, e.buf.Now(), len(c), frames, pkts)
 		}
 	}
 }
@@ -239,8 +239,8 @@ func (e *shmEndpoint) Sync() (*Inbox, error) {
 			if b := st.bufs[parity][dst].blocks[e.id]; dst != e.id && len(b) > 0 {
 				e.handed++
 				if e.buf != nil {
-					frames, _ := wire.FrameCount(b) // locally produced, always valid
-					e.buf.Pair(int(e.round), dst, e.buf.Now(), len(b), frames)
+					frames, pkts, _ := wire.BatchStats(b) // locally produced, always valid
+					e.buf.Pair(int(e.round), dst, e.buf.Now(), len(b), frames, pkts)
 				}
 			}
 		}

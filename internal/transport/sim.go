@@ -141,8 +141,8 @@ func (e *simEndpoint) Sync() (*Inbox, error) {
 			if dst != e.id {
 				e.handed++
 				if e.buf != nil {
-					frames, _ := wire.FrameCount(b) // locally produced, always valid
-					e.buf.Pair(e.round, dst, e.buf.Now(), len(b), frames)
+					frames, pkts, _ := wire.BatchStats(b) // locally produced, always valid
+					e.buf.Pair(e.round, dst, e.buf.Now(), len(b), frames, pkts)
 				}
 			}
 		} else if b != nil {

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/prof"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
@@ -249,6 +250,7 @@ type tcpEndpoint struct {
 	recycle [][]byte // pooled buffers to return at the next Sync/Close
 	handed  int      // nonempty batches handed to peers (observability)
 	buf     *trace.Buf
+	pr      *prof.Rank
 	round   uint32
 	closed  bool
 	hdr     [8]byte
@@ -256,6 +258,9 @@ type tcpEndpoint struct {
 
 // SetTrace implements TraceSetter.
 func (e *tcpEndpoint) SetTrace(b *trace.Buf) { e.buf = b }
+
+// SetProf implements ProfSetter.
+func (e *tcpEndpoint) SetProf(r *prof.Rank) { e.pr = r }
 
 // setConn installs the connection to peer. The raw conn is kept for
 // Close/CloseWrite/Abort; the framing readers and writers run over the
@@ -375,6 +380,7 @@ func (e *tcpEndpoint) Sync() (*Inbox, error) {
 	if e.buf != nil {
 		exStart = e.buf.Now()
 	}
+	e.pr.Mark(prof.Exchange)
 	for stage := 0; stage < st.sched.Stages(); stage++ {
 		peer := st.sched.Partner(stage, e.id)
 		if peer < 0 {
@@ -399,6 +405,7 @@ func (e *tcpEndpoint) Sync() (*Inbox, error) {
 			return nil, fmt.Errorf("tcp: process %d exchanging with %d in superstep %d: %w", e.id, peer, e.round, err)
 		}
 	}
+	e.pr.Mark(prof.Sync)
 	if e.buf != nil {
 		// The staged total exchange is the data-movement slice of this
 		// superstep's sync span (what remains of the span is barrier
@@ -431,8 +438,8 @@ func (e *tcpEndpoint) writeBatch(peer int) error {
 	if len(batch) > 0 {
 		e.handed++
 		if e.buf != nil {
-			frames, _ := wire.FrameCount(batch) // locally produced, always valid
-			e.buf.Pair(int(e.round)-1, peer, e.buf.Now(), len(batch), frames)
+			frames, pkts, _ := wire.BatchStats(batch) // locally produced, always valid
+			e.buf.Pair(int(e.round)-1, peer, e.buf.Now(), len(batch), frames, pkts)
 		}
 	}
 	putBatch(batch)

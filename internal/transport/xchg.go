@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/prof"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
@@ -75,11 +76,15 @@ type xchgEndpoint struct {
 	handed  int      // nonempty batches handed to peers (observability)
 	round   int      // completed supersteps (trace step index)
 	buf     *trace.Buf
+	pr      *prof.Rank
 	closed  bool
 }
 
 // SetTrace implements TraceSetter.
 func (e *xchgEndpoint) SetTrace(b *trace.Buf) { e.buf = b }
+
+// SetProf implements ProfSetter.
+func (e *xchgEndpoint) SetProf(r *prof.Rank) { e.pr = r }
 
 func (e *xchgEndpoint) ID() int { return e.id }
 func (e *xchgEndpoint) P() int  { return e.st.p }
@@ -126,6 +131,10 @@ func (e *xchgEndpoint) Sync() (*Inbox, error) {
 	putBatches(e.recycle)
 	e.recycle = e.recycle[:0]
 	e.batches = e.batches[:0]
+	// The channel sends and receives below are the transport's entire
+	// data movement (the exchange doubles as the barrier), so the whole
+	// Isend/Waitall body is the exchange slice of the sync phase.
+	e.pr.Mark(prof.Exchange)
 	// "Isend" every output batch, including empty (nil) ones: the
 	// exchange is the barrier, so every pair must communicate every
 	// superstep.
@@ -136,8 +145,8 @@ func (e *xchgEndpoint) Sync() (*Inbox, error) {
 		// Record the handoff before ownership passes over the channel:
 		// once sent, the batch belongs to the receiver.
 		if b := e.out[dst]; e.buf != nil && len(b) > 0 {
-			frames, _ := wire.FrameCount(b) // locally produced, always valid
-			e.buf.Pair(e.round, dst, e.buf.Now(), len(b), frames)
+			frames, pkts, _ := wire.BatchStats(b) // locally produced, always valid
+			e.buf.Pair(e.round, dst, e.buf.Now(), len(b), frames, pkts)
 		}
 		select {
 		case st.ch[e.id][dst] <- e.out[dst]:
@@ -188,6 +197,7 @@ func (e *xchgEndpoint) Sync() (*Inbox, error) {
 			}
 		}
 	}
+	e.pr.Mark(prof.Sync)
 	if err := e.inbox.reset(e.batches); err != nil {
 		return nil, fmt.Errorf("xchg: process %d: %w", e.id, err)
 	}

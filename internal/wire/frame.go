@@ -77,6 +77,40 @@ func FrameCount(batch []byte) (int, error) {
 	return frames, nil
 }
 
+// PktBytes is the fixed packet size of the cost model's h-relation
+// currency (core.PktSize; duplicated here so wire stays dependency-free).
+const PktBytes = 16
+
+// BatchStats validates batch in one pass and returns both its frame
+// count and its size in packet units — ceil(payload/PktBytes) per
+// frame, minimum one, matching core's h-relation accounting. It is the
+// observability companion of FrameCount: the transports record both
+// quantities on every per-pair batch handoff so a trace validator can
+// reconcile pair totals against the superstep counters.
+func BatchStats(batch []byte) (frames, pkts int, err error) {
+	for off := 0; off < len(batch); {
+		if len(batch)-off < frameHdrLen {
+			return frames, pkts, fmt.Errorf("wire: truncated frame header at offset %d of %d", off, len(batch))
+		}
+		n := binary.LittleEndian.Uint32(batch[off:])
+		if n > MaxFramePayload {
+			return frames, pkts, fmt.Errorf("wire: corrupt frame length %d at offset %d", n, off)
+		}
+		off += frameHdrLen
+		if len(batch)-off < int(n) {
+			return frames, pkts, fmt.Errorf("wire: truncated frame payload: need %d bytes at offset %d of %d", n, off, len(batch))
+		}
+		off += int(n)
+		frames++
+		if n <= PktBytes {
+			pkts++
+		} else {
+			pkts += (int(n) + PktBytes - 1) / PktBytes
+		}
+	}
+	return frames, pkts, nil
+}
+
 // DecodeBatch appends a zero-copy view of every frame payload in batch
 // to views and returns the extended slice (the whole per-pair buffer
 // decode). The views alias batch and share its lifetime. batch must

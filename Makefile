@@ -3,10 +3,11 @@
 #   make verify       tier-1: build + go vet + full test suite + the
 #                     cross-transport conformance suite under -race
 #   make verify-race  tier-2: go vet + full test suite under -race
-#   make verify-alloc allocation gate: the batched exchange engine must
+#   make verify-alloc allocation gates: the batched exchange engine must
 #                     keep an 8-process all-to-all superstep allocation-
 #                     free (see internal/core/alloc_test.go and
-#                     BENCH_exchange.json)
+#                     BENCH_exchange.json), and the sample sort's alloc
+#                     count must stay flat in n (internal/psort)
 #   make conformance  cross-transport contract suite under -race
 #                     (shortened fault plans; stays well under 60s),
 #                     plus the checkpoint/recovery conformance suite
@@ -56,6 +57,7 @@ verify-race: vet race
 
 verify-alloc:
 	$(GO) test -count=1 ./internal/core/ -run TestExchangeAllocGate -v
+	$(GO) test -count=1 ./internal/psort/ -run TestSortAllocBound -v
 
 conformance:
 	$(GO) test -race -timeout 120s ./internal/transport/ -run 'Conformance|PerPairBatchHandoff' -v
@@ -79,6 +81,7 @@ fuzz:
 	$(GO) test ./internal/wire/ -fuzz FuzzReaderShortMessage -fuzztime 5s
 	$(GO) test ./internal/wire/ -fuzz FuzzFrameBatch -fuzztime 5s
 	$(GO) test ./internal/ckpt/ -fuzz FuzzSnapshotRecord -fuzztime 10s
+	$(GO) test ./internal/psort/ -fuzz FuzzSampleSort -fuzztime 10s
 
 bench:
 	$(GO) test ./internal/transport/ -run xxx -bench . -benchtime 100x

@@ -348,8 +348,9 @@ func BenchmarkAblationRepartition(b *testing.B) {
 	}
 }
 
-// BenchmarkExtensionSampleSort measures the PSRS sorter (DESIGN.md E1):
-// S = 3 at every size, the fully predictable cost shape of §4.
+// BenchmarkExtensionSampleSort measures the oversampling sample sort
+// (DESIGN.md E1): S = 4 at every size, the fully predictable cost
+// shape of §4 with a deterministic (1+1/ℓ)·n/p imbalance bound.
 func BenchmarkExtensionSampleSort(b *testing.B) {
 	data := psort.RandomData(100000, 1996)
 	for _, p := range []int{1, 2, 4, 8} {

@@ -18,6 +18,14 @@ BenchmarkCheckpointDisabled-8  	   19318	     61958 ns/op	    1701 B/op	       5
 BenchmarkCheckpointEvery1-8    	     252	   4718556 ns/op	  246454 B/op	     320 allocs/op
 PASS
 ok  	repro/internal/core	8.1s
+goos: linux
+goarch: amd64
+pkg: repro/internal/psort
+cpu: some CPU
+BenchmarkSampleSortUniform-8   	     142	   7007549 ns/op	  16.29 MB/s	  703610 B/op	     207 allocs/op
+BenchmarkSampleSortZipfian-8   	     196	   5425887 ns/op	  23.67 MB/s	  713595 B/op	     207 allocs/op
+PASS
+ok  	repro/internal/psort	11.1s
 `
 
 func TestParseBenchOutput(t *testing.T) {
@@ -25,8 +33,8 @@ func TestParseBenchOutput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 3 {
-		t.Fatalf("got %d benchmarks, want 3: %v", len(results), results)
+	if len(results) != 5 {
+		t.Fatalf("got %d benchmarks, want 5: %v", len(results), results)
 	}
 	ex := results["BenchmarkExchangeAllocs"]
 	if ex.Runs != 2 {
@@ -43,6 +51,10 @@ func TestParseBenchOutput(t *testing.T) {
 	}
 	if ck := results["BenchmarkCheckpointEvery1"]; ck.NsPerOp != 4718556 || ck.AllocsPerOp != 320 {
 		t.Errorf("CheckpointEvery1 = %+v", ck)
+	}
+	// The MB/s column between ns/op and B/op must not confuse the parser.
+	if so := results["BenchmarkSampleSortZipfian"]; so.NsPerOp != 5425887 || so.AllocsPerOp != 207 || so.BytesPerOp != 713595 {
+		t.Errorf("SampleSortZipfian = %+v", so)
 	}
 }
 
@@ -63,13 +75,15 @@ func TestParseBenchOutputBadNumber(t *testing.T) {
 	}
 }
 
-// writeBaselines writes BENCH_exchange.json / BENCH_ckpt.json shaped
-// fixtures matching the sample output above exactly.
-func writeBaselines(t *testing.T) (exchange, ckpt string) {
+// writeBaselines writes BENCH_exchange.json / BENCH_ckpt.json /
+// BENCH_sort.json shaped fixtures matching the sample output above
+// exactly.
+func writeBaselines(t *testing.T) (exchange, ckpt, sortb string) {
 	t.Helper()
 	dir := t.TempDir()
 	exchange = filepath.Join(dir, "BENCH_exchange.json")
 	ckpt = filepath.Join(dir, "BENCH_ckpt.json")
+	sortb = filepath.Join(dir, "BENCH_sort.json")
 	writeJSON(t, exchange, map[string]any{
 		"after": map[string]any{"ns_per_op": 51493.0, "bytes_per_op": 1347.0, "allocs_per_op": 0.0},
 	})
@@ -77,7 +91,11 @@ func writeBaselines(t *testing.T) (exchange, ckpt string) {
 		"disabled": map[string]any{"ns_per_op": 61958.0, "bytes_per_op": 1701.0, "allocs_per_op": 5.0},
 		"every_1":  map[string]any{"ns_per_op": 4718556.0, "bytes_per_op": 246454.0, "allocs_per_op": 320.0},
 	})
-	return exchange, ckpt
+	writeJSON(t, sortb, map[string]any{
+		"uniform": map[string]any{"ns_per_op": 7007549.0, "bytes_per_op": 703610.0, "allocs_per_op": 207.0},
+		"zipfian": map[string]any{"ns_per_op": 5425887.0, "bytes_per_op": 713595.0, "allocs_per_op": 207.0},
+	})
+	return exchange, ckpt, sortb
 }
 
 func writeJSON(t *testing.T, path string, v any) {
@@ -92,31 +110,34 @@ func writeJSON(t *testing.T, path string, v any) {
 }
 
 func TestLoadBaselines(t *testing.T) {
-	exchange, ckpt := writeBaselines(t)
-	baselines, err := loadBaselines(exchange, ckpt)
+	exchange, ckpt, sortb := writeBaselines(t)
+	baselines, err := loadBaselines(exchange, ckpt, sortb)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(baselines) != 3 {
-		t.Fatalf("got %d baselines, want 3", len(baselines))
+	if len(baselines) != 5 {
+		t.Fatalf("got %d baselines, want 5", len(baselines))
 	}
 	byName := map[string]Baseline{}
 	for _, b := range baselines {
 		byName[b.Name] = b
 	}
-	if b := byName["BenchmarkExchangeAllocs"]; b.NsPerOp != 51493 || b.AllocsPerOp != 0 {
+	if b := byName["BenchmarkExchangeAllocs"]; b.NsPerOp != 51493 || b.AllocsPerOp != 0 || b.AllocSlack != 0 {
 		t.Errorf("exchange baseline = %+v", b)
 	}
 	if b := byName["BenchmarkCheckpointEvery1"]; b.NsPerOp != 4718556 || b.AllocsPerOp != 320 {
 		t.Errorf("every_1 baseline = %+v", b)
+	}
+	if b := byName["BenchmarkSampleSortZipfian"]; b.NsPerOp != 5425887 || b.AllocsPerOp != 207 || b.AllocSlack != sortAllocSlack {
+		t.Errorf("zipfian baseline = %+v", b)
 	}
 }
 
 // TestCompareCleanPass: results exactly at baseline pass any
 // nonnegative tolerance.
 func TestCompareCleanPass(t *testing.T) {
-	exchange, ckpt := writeBaselines(t)
-	baselines, err := loadBaselines(exchange, ckpt)
+	exchange, ckpt, sortb := writeBaselines(t)
+	baselines, err := loadBaselines(exchange, ckpt, sortb)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,8 +157,8 @@ func TestCompareCleanPass(t *testing.T) {
 // limit below the baseline itself, so the same clean results must fail
 // — the gate demonstrably bites.
 func TestCompareImpossibleTolerance(t *testing.T) {
-	exchange, ckpt := writeBaselines(t)
-	baselines, err := loadBaselines(exchange, ckpt)
+	exchange, ckpt, sortb := writeBaselines(t)
+	baselines, err := loadBaselines(exchange, ckpt, sortb)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,8 +167,8 @@ func TestCompareImpossibleTolerance(t *testing.T) {
 		t.Fatal(err)
 	}
 	problems := compare(baselines, results, -0.5, 4)
-	if len(problems) != 3 {
-		t.Fatalf("impossible tolerance produced %d problems, want 3: %v", len(problems), problems)
+	if len(problems) != 5 {
+		t.Fatalf("impossible tolerance produced %d problems, want 5: %v", len(problems), problems)
 	}
 	for _, p := range problems {
 		if !strings.Contains(p, "ns/op exceeds baseline") {
@@ -164,6 +185,24 @@ func TestCompareAllocRegression(t *testing.T) {
 	problems := compare(baselines, results, 0.5, 4)
 	if len(problems) != 1 || !strings.Contains(problems[0], "allocs/op exceeds baseline") {
 		t.Fatalf("alloc regression not flagged: %v", problems)
+	}
+}
+
+// TestComparePerBaselineAllocSlack: a baseline's own AllocSlack widens
+// the band past the gate-wide value — and still bites beyond it.
+func TestComparePerBaselineAllocSlack(t *testing.T) {
+	baselines := []Baseline{{Name: "BenchmarkSampleSortZipfian", NsPerOp: 5425887, AllocsPerOp: 207, AllocSlack: 8}}
+	within := map[string]Result{
+		"BenchmarkSampleSortZipfian": {Name: "BenchmarkSampleSortZipfian", NsPerOp: 5425887, AllocsPerOp: 213, Runs: 1},
+	}
+	if problems := compare(baselines, within, 0.5, 4); len(problems) != 0 {
+		t.Fatalf("+6 allocs flagged despite per-baseline slack 8: %v", problems)
+	}
+	beyond := map[string]Result{
+		"BenchmarkSampleSortZipfian": {Name: "BenchmarkSampleSortZipfian", NsPerOp: 5425887, AllocsPerOp: 220, Runs: 1},
+	}
+	if problems := compare(baselines, beyond, 0.5, 4); len(problems) != 1 || !strings.Contains(problems[0], "allocs/op exceeds baseline") {
+		t.Fatalf("+13 allocs not flagged: %v", problems)
 	}
 }
 

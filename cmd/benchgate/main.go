@@ -1,9 +1,10 @@
 // Command benchgate is the benchmark-regression gate behind
-// `make bench-gate`: it runs the alloc/exchange/checkpoint benchmarks
-// -count times, reduces each to its best run, compares the results
-// against the checked-in BENCH_exchange.json / BENCH_ckpt.json
-// baselines with a tolerance band, appends the run to the
-// BENCH_run.json trajectory, and exits nonzero on any regression.
+// `make bench-gate`: it runs the exchange, checkpoint and sample-sort
+// benchmarks -count times, reduces each to its best run, compares the
+// results against the checked-in BENCH_exchange.json / BENCH_ckpt.json
+// / BENCH_sort.json baselines with a tolerance band, appends the run
+// to the BENCH_run.json trajectory, and exits nonzero on any
+// regression.
 //
 // Usage:
 //
@@ -34,9 +35,10 @@ func main() {
 	input := flag.String("input", "", "gate saved `go test -bench` output instead of running benchmarks")
 	exchangeBase := flag.String("baseline-exchange", "BENCH_exchange.json", "exchange baseline file")
 	ckptBase := flag.String("baseline-ckpt", "BENCH_ckpt.json", "checkpoint baseline file")
+	sortBase := flag.String("baseline-sort", "BENCH_sort.json", "sample-sort baseline file")
 	flag.Parse()
 
-	baselines, err := loadBaselines(*exchangeBase, *ckptBase)
+	baselines, err := loadBaselines(*exchangeBase, *ckptBase, *sortBase)
 	if err != nil {
 		fatal(err)
 	}
@@ -97,15 +99,21 @@ func main() {
 // runBenchmarks executes the gated benchmark set and returns the raw
 // `go test` output (which is also echoed for the log).
 func runBenchmarks(count int) (string, error) {
-	cmd := exec.Command("go", "test", "-run", "^$",
-		"-bench", "BenchmarkExchangeAllocs|BenchmarkCheckpointEvery1|BenchmarkCheckpointDisabled",
-		"-benchmem", "-count", fmt.Sprint(count), "./internal/core/")
-	raw, err := cmd.CombinedOutput()
-	os.Stdout.Write(raw)
-	if err != nil {
-		return "", fmt.Errorf("benchgate: go test -bench: %w", err)
+	var out strings.Builder
+	for _, run := range [][]string{
+		{"-bench", "BenchmarkExchangeAllocs|BenchmarkCheckpointEvery1|BenchmarkCheckpointDisabled", "./internal/core/"},
+		{"-bench", "BenchmarkSampleSortUniform|BenchmarkSampleSortZipfian", "./internal/psort/"},
+	} {
+		cmd := exec.Command("go", append([]string{"test", "-run", "^$",
+			run[0], run[1], "-benchmem", "-count", fmt.Sprint(count)}, run[2])...)
+		raw, err := cmd.CombinedOutput()
+		os.Stdout.Write(raw)
+		if err != nil {
+			return "", fmt.Errorf("benchgate: go test -bench %s: %w", run[2], err)
+		}
+		out.Write(raw)
 	}
-	return string(raw), nil
+	return out.String(), nil
 }
 
 func fatal(err error) {

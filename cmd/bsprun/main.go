@@ -32,7 +32,10 @@
 // (Prometheus text at /metrics, expvar JSON at /debug/vars, live
 // profiles at /debug/pprof/); -cost-report prints the per-superstep
 // predicted-vs-recorded residuals of Equation 1 for the machine named
-// by -cost-machine:
+// by -cost-machine — and, for the sort apps (psort, psortz), the
+// sample sort's predicted cost shape: per-superstep W and H terms, the
+// (1+1/ℓ)·n/p imbalance bound and the Bilardi et al. H lower bound
+// next to the measured H:
 //
 //	bsprun -app ocean -size 34 -p 4 -transport shm \
 //	    -trace trace.json -metrics-addr localhost:8080 -cost-report
@@ -69,6 +72,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/harness"
 	"repro/internal/prof"
+	"repro/internal/psort"
 	"repro/internal/trace"
 	"repro/internal/transport"
 )
@@ -80,13 +84,13 @@ const (
 )
 
 func main() {
-	app := flag.String("app", "nbody", "application: ocean|nbody|mst|sp|msp|mm|psort")
+	app := flag.String("app", "nbody", "application: ocean|nbody|mst|sp|msp|mm|psort|psortz (psortz = sample sort on Zipf-skewed keys)")
 	size := flag.Int("size", 1000, "input size (paper conventions per app)")
 	p := flag.Int("p", 4, "number of BSP processes")
 	trName := flag.String("transport", "shm", "transport: shm|xchg|tcp|sim|chaos:<base>")
 	chaosSpec := flag.String("chaos", "", "fault-injection plan, e.g. \"seed=42,delay=0.1,maxdelay=2ms,stall=0.05,stallfor=20ms,connerr=0.05,abort=1@3,crash=1:3\"; empty disables")
 	syncTimeout := flag.Duration("sync-timeout", 0, "abort the run if no process completes a superstep for this long (0 disables)")
-	ckptDir := flag.String("checkpoint-dir", "", "snapshot directory; arms superstep checkpointing and crash recovery (apps with hooks: ocean, psort)")
+	ckptDir := flag.String("checkpoint-dir", "", "snapshot directory; arms superstep checkpointing and crash recovery (apps with hooks: ocean, psort, psortz)")
 	ckptEvery := flag.Int("checkpoint-every", 1, "snapshot every Nth eligible superstep boundary")
 	resume := flag.Bool("resume", false, "continue from the latest complete snapshot in -checkpoint-dir")
 	traceFile := flag.String("trace", "", "write the run's timeline as Chrome trace-event JSON to this file (open in Perfetto)")
@@ -218,6 +222,9 @@ func main() {
 	}
 	if *costReport {
 		trace.WriteResidualReport(os.Stdout, rec, machine.Name, machine.Params(*p), 3)
+		if *app == "psort" || *app == "psortz" {
+			psort.WriteCostReport(os.Stdout, machine.Name, machine.Params(*p), *size, *p, 8, psort.Options{}, st)
+		}
 	}
 	if *profReport {
 		if rerr := writeProfReport(*cpuProfile, rec); rerr != nil {

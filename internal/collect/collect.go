@@ -210,6 +210,85 @@ func AllOr(c *core.Proc, flag bool) bool {
 	return AllReduceInt(c, x, func(a, b int) int { return a + b }) != 0
 }
 
+// GroupFanout returns the branching factor b = ⌈√p⌉ of the two-phase
+// reduction tree over p processes: ranks are partitioned into ⌈p/b⌉
+// contiguous groups of (at most) b members, each led by its lowest
+// rank. Concentrating p messages through √p group leaders caps any
+// single rank's per-superstep receive volume at ⌈√p⌉ messages instead
+// of p — the standard BSP fix for a root that would otherwise absorb
+// an O(p²)-unit h-relation (psort's splitter reduction is the staged,
+// checkpointable unrolling of this tree).
+func GroupFanout(p int) int {
+	if p <= 1 {
+		return 1
+	}
+	return int(math.Ceil(math.Sqrt(float64(p))))
+}
+
+// GroupLeader returns the leader of the group containing rank id for
+// the given fanout: the lowest rank of id's contiguous group.
+func GroupLeader(id, fanout int) int {
+	return id - id%fanout
+}
+
+// GatherTwoPhase collects each process's data at root across two
+// supersteps through the ⌈√p⌉-ary group tree of GroupFanout: members
+// send to their group leader, leaders forward their group's
+// concatenation to root. No rank receives more than ⌈√p⌉ messages in
+// any superstep (Gather's root absorbs p at once); the byte volume at
+// the root is conserved — a reduction that also wants the root's
+// *byte* fan-in bounded must condense at the leaders, which is
+// exactly what psort's staged splitter reduction layers on top of
+// this tree. The result at root is indexed by source rank; other
+// processes return nil. Cost: h = Σ|data| at root as in Gather but
+// spread over two supersteps with ⌈√p⌉-bounded message fan-in, s = 2.
+func GatherTwoPhase(c *core.Proc, root int, data []byte) [][]byte {
+	p, id := c.P(), c.ID()
+	b := GroupFanout(p)
+	// Groups are laid out in root-relative rank space so the root is
+	// always the leader of group 0, whatever rank it holds.
+	rid := ((id-root)%p + p) % p
+	leader := (GroupLeader(rid, b) + root) % p
+	w := wire.NewWriter(8 + len(data))
+	w.Int(id)
+	w.Raw(data)
+	c.Send(leader, w.Bytes())
+	c.Sync()
+	if rid%b == 0 {
+		// Leader: forward the group's length-prefixed payloads. The
+		// leader's own phase-1 message is in its inbox too, so the
+		// forward is never empty.
+		fw := wire.NewWriter(0)
+		for {
+			msg, ok := c.Recv()
+			if !ok {
+				break
+			}
+			fw.Int(len(msg))
+			fw.Raw(msg)
+		}
+		c.Send(root, fw.Bytes())
+	}
+	c.Sync()
+	if id != root {
+		return nil
+	}
+	out := make([][]byte, p)
+	for {
+		msg, ok := c.Recv()
+		if !ok {
+			break
+		}
+		r := wire.NewReader(msg)
+		for r.Remaining() > 0 {
+			inner := wire.NewReader(r.Raw(r.Int()))
+			src := inner.Int()
+			out[src] = clone(inner.Raw(inner.Remaining()))
+		}
+	}
+	return out
+}
+
 // Gather collects each process's data at root; the result at root is
 // indexed by rank. Other processes return nil. Cost: h = Σ|data| at the
 // root, s = 1.

@@ -180,3 +180,63 @@ func TestScatterPanicsOnBadPieces(t *testing.T) {
 		t.Fatal("Scatter with wrong piece count should fail the run")
 	}
 }
+
+func TestGroupTopology(t *testing.T) {
+	for _, tc := range []struct{ p, fanout int }{
+		{1, 1}, {2, 2}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 3}, {16, 4},
+	} {
+		if got := GroupFanout(tc.p); got != tc.fanout {
+			t.Errorf("GroupFanout(%d) = %d, want %d", tc.p, got, tc.fanout)
+		}
+	}
+	// Every rank's leader is a leader of itself, and group members are
+	// contiguous.
+	for _, p := range []int{1, 2, 3, 5, 7, 8, 9} {
+		b := GroupFanout(p)
+		for id := 0; id < p; id++ {
+			l := GroupLeader(id, b)
+			if l < 0 || l > id || GroupLeader(l, b) != l {
+				t.Errorf("p=%d: GroupLeader(%d, %d) = %d", p, id, b, l)
+			}
+			if id-l >= b {
+				t.Errorf("p=%d: rank %d is %d past its leader %d (fanout %d)", p, id, id-l, l, b)
+			}
+		}
+	}
+}
+
+func TestGatherTwoPhase(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8, 9} {
+		for _, root := range []int{0, p - 1} {
+			st := run(t, p, func(c *core.Proc) {
+				payload := []byte(fmt.Sprintf("from-%d", c.ID()))
+				if c.ID()%3 == 2 {
+					payload = nil // empty payloads survive the relay
+				}
+				got := GatherTwoPhase(c, root, payload)
+				if c.ID() != root {
+					if got != nil {
+						t.Errorf("p=%d root=%d: non-root %d got %v", p, root, c.ID(), got)
+					}
+					return
+				}
+				if len(got) != p {
+					t.Errorf("p=%d root=%d: %d entries", p, root, len(got))
+					return
+				}
+				for src, b := range got {
+					want := fmt.Sprintf("from-%d", src)
+					if src%3 == 2 {
+						want = ""
+					}
+					if string(b) != want {
+						t.Errorf("p=%d root=%d src=%d: got %q, want %q", p, root, src, b, want)
+					}
+				}
+			})
+			if st.S() != 2 {
+				t.Errorf("p=%d root=%d: S = %d, want 2", p, root, st.S())
+			}
+		}
+	}
+}

@@ -192,6 +192,25 @@ func MachineByName(name string) (Machine, error) {
 	return Machine{}, fmt.Errorf("cost: unknown machine %q (want SGI, Cenju or PC)", name)
 }
 
+// SortHLowerBound returns a lower bound, in 16-byte packet units, on
+// the h-relation volume H that any BSP sort of n elements of elemBytes
+// each must pay on p processors with balanced input and output — the
+// bandwidth specialization of the Bilardi–Scquizzato–Silvestri BSP
+// communication lower bounds (PAPERS.md): each processor holds n/p
+// elements, of which a (p−1)/p fraction belong on another rank for a
+// worst-case (indeed, for a random) input permutation, so some
+// superstep sequence must move at least (1−1/p)·n/p elements through
+// every rank's ports. Measured H at or near this bound certifies that
+// the redistribution superstep, not the sample machinery, dominates
+// communication.
+func SortHLowerBound(n, p, elemBytes int) int {
+	if p <= 1 || n <= 0 {
+		return 0
+	}
+	elems := n / p * (p - 1) / p
+	return (elems*elemBytes + 15) / 16
+}
+
 // Speedup returns t1/tp, the paper's speed-up definition ("the ratio of
 // the parallel runtime and the runtime of the same program on a single
 // processor"). It returns 0 when tp is 0.

@@ -212,3 +212,27 @@ func TestParamsExtrapolated(t *testing.T) {
 		t.Errorf("Cenju extrapolated L = %g should exceed the 16-proc value", cj.L)
 	}
 }
+
+func TestSortHLowerBound(t *testing.T) {
+	if got := SortHLowerBound(100000, 1, 8); got != 0 {
+		t.Errorf("p=1 bound = %d, want 0 (nothing must move)", got)
+	}
+	if got := SortHLowerBound(0, 4, 8); got != 0 {
+		t.Errorf("n=0 bound = %d, want 0", got)
+	}
+	// p=4, n=16000 float64s: each rank holds 4000, 3/4 of them foreign
+	// in the worst case -> 3000 elements = 24000 bytes = 1500 packets.
+	if got := SortHLowerBound(16000, 4, 8); got != 1500 {
+		t.Errorf("bound = %d, want 1500", got)
+	}
+	// Monotone in n, elemBytes; the per-rank share shrinks with p.
+	if SortHLowerBound(32000, 4, 8) <= SortHLowerBound(16000, 4, 8) {
+		t.Error("bound not monotone in n")
+	}
+	if SortHLowerBound(16000, 4, 16) <= SortHLowerBound(16000, 4, 8) {
+		t.Error("bound not monotone in element size")
+	}
+	if SortHLowerBound(16000, 16, 8) >= SortHLowerBound(16000, 4, 8) {
+		t.Error("per-rank bound should shrink as p grows")
+	}
+}

@@ -76,8 +76,8 @@ func TestCollectPsort(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, r := range rows {
-		if r.S != 3 {
-			t.Errorf("psort p=%d: S = %d, want 3", r.NP, r.S)
+		if r.S != 4 {
+			t.Errorf("psort p=%d: S = %d, want 4", r.NP, r.S)
 		}
 	}
 }

@@ -136,7 +136,7 @@ func Sizes(app string, full bool) []int {
 		return []int{500, 1000, 2500}
 	case "mm":
 		return []int{48, 96, 144}
-	case "psort":
+	case "psort", "psortz":
 		return []int{1000, 4000, 16000}
 	default:
 		return nil
@@ -196,6 +196,11 @@ func prepare(app string, size int) (*workload, error) {
 	case "psort":
 		wl.data = psort.RandomData(size, 1996)
 		wl.seqFn = func() { d := append([]float64(nil), wl.data...); sortFloats(d) }
+	case "psortz":
+		// Zipf-skewed keys: the duplicate-heavy distribution that the
+		// tagged splitters keep within the (1+1/ℓ)·n/p imbalance bound.
+		wl.data = psort.ZipfData(size, 1996)
+		wl.seqFn = func() { d := append([]float64(nil), wl.data...); sortFloats(d) }
 	default:
 		return nil, fmt.Errorf("harness: unknown app %q", app)
 	}
@@ -224,7 +229,7 @@ func runOnce(app string, size int, wl *workload, cfg core.Config) (*core.Stats, 
 	case "mm":
 		_, st, err := matmult.Parallel(cfg, wl.a, wl.b, size)
 		return st, err
-	case "psort":
+	case "psort", "psortz":
 		_, st, err := psort.Parallel(cfg, wl.data)
 		return st, err
 	}
@@ -257,7 +262,7 @@ func RunRecoverableOnConfig(app string, size int, cfg core.Config) (*core.Stats,
 	case "ocean":
 		_, st, err := ocean.ParallelRecoverable(cfg, ocean.Config{Size: size, Steps: 1})
 		return st, err
-	case "psort":
+	case "psort", "psortz":
 		wl, err := prepare(app, size)
 		if err != nil {
 			return nil, err
@@ -265,7 +270,7 @@ func RunRecoverableOnConfig(app string, size int, cfg core.Config) (*core.Stats,
 		_, st, err := psort.ParallelRecoverable(cfg, wl.data)
 		return st, err
 	}
-	return nil, fmt.Errorf("harness: app %q has no checkpoint hooks (ocean and psort do)", app)
+	return nil, fmt.Errorf("harness: app %q has no checkpoint hooks (ocean, psort and psortz do)", app)
 }
 
 // Collect measures one application across sizes × processor counts on

@@ -1,0 +1,55 @@
+package psort
+
+// Gated sort benchmarks (BENCH_sort.json, `make bench-gate`): the
+// whole-machine p=4 shm sample sort on a uniform and on a Zipf-skewed
+// key distribution. ns/op is per full 4-superstep sort of benchSortN
+// elements; allocs/op is whole-machine and must stay flat (see
+// alloc_test.go — the routed runs land in pooled per-pair batches and
+// the merge reads zero-copy inbox views). The zipfian benchmark is also
+// a property gate: every measured run must respect the deterministic
+// (1+1/ℓ)·n/p imbalance bound, so a splitter-quality regression fails
+// the benchmark itself, not just a separate test.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+const (
+	benchSortN = 16384
+	benchSortP = 4
+)
+
+func benchSort(b *testing.B, data []float64, gateBound bool) {
+	b.Helper()
+	opt := Resolve(Options{}, len(data), benchSortP, 8)
+	cfg := core.Config{P: benchSortP, Transport: transport.ShmTransport{}}
+	bound := ImbalanceBound(len(data), benchSortP, opt.Oversample)
+	b.ReportAllocs()
+	b.SetBytes(int64(8 * len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		parts, _, err := SortParallel(cfg, Float64Codec{}, data, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if gateBound {
+			for q, part := range parts {
+				if len(part) > bound {
+					b.Fatalf("rank %d holds %d elements, imbalance bound (n=%d p=%d l=%d) is %d",
+						q, len(part), len(data), benchSortP, opt.Oversample, bound)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkSampleSortUniform(b *testing.B) {
+	benchSort(b, RandomData(benchSortN, 1996), false)
+}
+
+func BenchmarkSampleSortZipfian(b *testing.B) {
+	benchSort(b, ZipfData(benchSortN, 1996), true)
+}

@@ -26,8 +26,8 @@ func TestParallelSorts(t *testing.T) {
 				t.Fatalf("p=%d: element %d = %g, want %g", p, i, got[i], want[i])
 			}
 		}
-		if st.S() != 3 {
-			t.Errorf("p=%d: S = %d, want 3 (sample, splitters, redistribute)", p, st.S())
+		if st.S() != 4 {
+			t.Errorf("p=%d: S = %d, want 4 (sample, condense, splitters, redistribute)", p, st.S())
 		}
 	}
 }

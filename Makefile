@@ -16,6 +16,13 @@
 #                     a superstep span per rank per superstep plus the
 #                     crash and rollback markers (validated by
 #                     cmd/tracecheck)
+#   make cluster-smoke  end-to-end multi-process smoke: psort and ocean
+#                     run as real OS processes (one per rank, loopback
+#                     TCP) via bsprun -cluster; a clean run must leave a
+#                     merged per-rank trace with every h-relation pair
+#                     reconciled, and a chaos-crashed checkpointed run
+#                     must recover across a gang relaunch with the crash
+#                     and rollback markers in the merged trace
 #   make fuzz         brief wire encode/decode + snapshot codec fuzz pass
 #   make bench        transport latency/throughput microbenchmarks
 #   make bench-gate   benchmark-regression gate: run the exchange and
@@ -30,6 +37,7 @@
 GO ?= go
 TRACE_DIR ?= /tmp/bsp-trace-smoke
 PROF_DIR ?= /tmp/bsp-prof-smoke
+CLUSTER_DIR ?= /tmp/bsp-cluster-smoke
 # ns/op is host-dependent (the checkpoint benchmark is disk-bound); the
 # band is wide on purpose — the gate catches order-of-magnitude
 # regressions and alloc creep, not scheduler noise.
@@ -37,7 +45,7 @@ BENCH_N ?= 3
 BENCH_TOL ?= 2.0
 COMMIT := $(shell git rev-parse --short HEAD 2>/dev/null)
 
-.PHONY: build test vet race verify verify-race verify-alloc conformance trace-smoke fuzz bench bench-alloc bench-gate prof-smoke
+.PHONY: build test vet race verify verify-race verify-alloc conformance trace-smoke cluster-smoke fuzz bench bench-alloc bench-gate prof-smoke
 
 build:
 	$(GO) build ./...
@@ -75,6 +83,22 @@ trace-smoke:
 	$(TRACE_DIR)/bsprun -app psort -size 4000 -p 4 -transport shm \
 		-trace $(TRACE_DIR)/clean.json
 	$(TRACE_DIR)/tracecheck -ranks 4 -check-pairs $(TRACE_DIR)/clean.json
+
+cluster-smoke:
+	rm -rf $(CLUSTER_DIR) && mkdir -p $(CLUSTER_DIR)
+	$(GO) build -o $(CLUSTER_DIR)/bsprun ./cmd/bsprun
+	$(GO) build -o $(CLUSTER_DIR)/tracecheck ./cmd/tracecheck
+	$(CLUSTER_DIR)/bsprun -app psort -size 4000 -p 4 -cluster \
+		-trace $(CLUSTER_DIR)/clean.json
+	$(CLUSTER_DIR)/tracecheck -ranks 4 -check-pairs $(CLUSTER_DIR)/clean.json
+	$(CLUSTER_DIR)/bsprun -app ocean -size 34 -p 4 -cluster \
+		-trace $(CLUSTER_DIR)/ocean.json
+	$(CLUSTER_DIR)/tracecheck -ranks 4 $(CLUSTER_DIR)/ocean.json
+	$(CLUSTER_DIR)/bsprun -app psort -size 4000 -p 4 -cluster \
+		-chaos "seed=1,delay=0,stall=0,connerr=0,crash=1:3" \
+		-checkpoint-dir $(CLUSTER_DIR)/ckpt -trace $(CLUSTER_DIR)/crash.json \
+		-sync-timeout 30s
+	$(CLUSTER_DIR)/tracecheck -ranks 4 -require-crash -require-rollback $(CLUSTER_DIR)/crash.json
 
 fuzz:
 	$(GO) test ./internal/wire/ -fuzz FuzzRoundTrip -fuzztime 10s

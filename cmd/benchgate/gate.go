@@ -99,13 +99,19 @@ type benchRecord struct {
 // growth is goroutine-scheduling-dependent, so it wobbles by a few.
 const sortAllocSlack = 8
 
+// clusterAllocSlack is the allocs/op band of the cluster exchange:
+// the count rides on the kernel socket path and bufio refills, whose
+// per-op amortization shifts with scheduling.
+const clusterAllocSlack = 8
+
 // loadBaselines reads the checked-in baseline files and maps each
 // gated benchmark to its reference numbers: the exchange file's
 // "after" block gates BenchmarkExchangeAllocs, the checkpoint file's
 // "disabled" and "every_1" blocks gate the two checkpoint benchmarks,
-// and the sort file's "uniform" and "zipfian" blocks gate the two
-// sample-sort benchmarks.
-func loadBaselines(exchangePath, ckptPath, sortPath string) ([]Baseline, error) {
+// the sort file's "uniform" and "zipfian" blocks gate the two
+// sample-sort benchmarks, and the cluster file's "exchange" block
+// gates the loopback-TCP cluster total exchange.
+func loadBaselines(exchangePath, ckptPath, sortPath, clusterPath string) ([]Baseline, error) {
 	var ex struct {
 		After benchRecord `json:"after"`
 	}
@@ -126,12 +132,19 @@ func loadBaselines(exchangePath, ckptPath, sortPath string) ([]Baseline, error) 
 	if err := readJSON(sortPath, &so); err != nil {
 		return nil, err
 	}
+	var cl struct {
+		Exchange benchRecord `json:"exchange"`
+	}
+	if err := readJSON(clusterPath, &cl); err != nil {
+		return nil, err
+	}
 	return []Baseline{
 		{Name: "BenchmarkExchangeAllocs", NsPerOp: ex.After.NsPerOp, AllocsPerOp: ex.After.AllocsPerOp},
 		{Name: "BenchmarkCheckpointDisabled", NsPerOp: ck.Disabled.NsPerOp, AllocsPerOp: ck.Disabled.AllocsPerOp},
 		{Name: "BenchmarkCheckpointEvery1", NsPerOp: ck.Every1.NsPerOp, AllocsPerOp: ck.Every1.AllocsPerOp},
 		{Name: "BenchmarkSampleSortUniform", NsPerOp: so.Uniform.NsPerOp, AllocsPerOp: so.Uniform.AllocsPerOp, AllocSlack: sortAllocSlack},
 		{Name: "BenchmarkSampleSortZipfian", NsPerOp: so.Zipfian.NsPerOp, AllocsPerOp: so.Zipfian.AllocsPerOp, AllocSlack: sortAllocSlack},
+		{Name: "BenchmarkClusterExchange", NsPerOp: cl.Exchange.NsPerOp, AllocsPerOp: cl.Exchange.AllocsPerOp, AllocSlack: clusterAllocSlack},
 	}, nil
 }
 

@@ -26,6 +26,14 @@ BenchmarkSampleSortUniform-8   	     142	   7007549 ns/op	  16.29 MB/s	  703610 
 BenchmarkSampleSortZipfian-8   	     196	   5425887 ns/op	  23.67 MB/s	  713595 B/op	     207 allocs/op
 PASS
 ok  	repro/internal/psort	11.1s
+goos: linux
+goarch: amd64
+pkg: repro/internal/transport
+cpu: some CPU
+BenchmarkClusterExchange-8     	   12589	     87988 ns/op	  46.55 MB/s	     672 B/op	      28 allocs/op
+BenchmarkClusterExchange-8     	   10000	    105455 ns/op	  38.84 MB/s	     672 B/op	      28 allocs/op
+PASS
+ok  	repro/internal/transport	5.3s
 `
 
 func TestParseBenchOutput(t *testing.T) {
@@ -33,8 +41,8 @@ func TestParseBenchOutput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 5 {
-		t.Fatalf("got %d benchmarks, want 5: %v", len(results), results)
+	if len(results) != 6 {
+		t.Fatalf("got %d benchmarks, want 6: %v", len(results), results)
 	}
 	ex := results["BenchmarkExchangeAllocs"]
 	if ex.Runs != 2 {
@@ -56,6 +64,9 @@ func TestParseBenchOutput(t *testing.T) {
 	if so := results["BenchmarkSampleSortZipfian"]; so.NsPerOp != 5425887 || so.AllocsPerOp != 207 || so.BytesPerOp != 713595 {
 		t.Errorf("SampleSortZipfian = %+v", so)
 	}
+	if cl := results["BenchmarkClusterExchange"]; cl.NsPerOp != 87988 || cl.AllocsPerOp != 28 || cl.Runs != 2 {
+		t.Errorf("ClusterExchange = %+v", cl)
+	}
 }
 
 func TestParseBenchOutputNoBenchmem(t *testing.T) {
@@ -76,14 +87,15 @@ func TestParseBenchOutputBadNumber(t *testing.T) {
 }
 
 // writeBaselines writes BENCH_exchange.json / BENCH_ckpt.json /
-// BENCH_sort.json shaped fixtures matching the sample output above
-// exactly.
-func writeBaselines(t *testing.T) (exchange, ckpt, sortb string) {
+// BENCH_sort.json / BENCH_cluster.json shaped fixtures matching the
+// sample output above exactly.
+func writeBaselines(t *testing.T) (exchange, ckpt, sortb, cluster string) {
 	t.Helper()
 	dir := t.TempDir()
 	exchange = filepath.Join(dir, "BENCH_exchange.json")
 	ckpt = filepath.Join(dir, "BENCH_ckpt.json")
 	sortb = filepath.Join(dir, "BENCH_sort.json")
+	cluster = filepath.Join(dir, "BENCH_cluster.json")
 	writeJSON(t, exchange, map[string]any{
 		"after": map[string]any{"ns_per_op": 51493.0, "bytes_per_op": 1347.0, "allocs_per_op": 0.0},
 	})
@@ -95,7 +107,10 @@ func writeBaselines(t *testing.T) (exchange, ckpt, sortb string) {
 		"uniform": map[string]any{"ns_per_op": 7007549.0, "bytes_per_op": 703610.0, "allocs_per_op": 207.0},
 		"zipfian": map[string]any{"ns_per_op": 5425887.0, "bytes_per_op": 713595.0, "allocs_per_op": 207.0},
 	})
-	return exchange, ckpt, sortb
+	writeJSON(t, cluster, map[string]any{
+		"exchange": map[string]any{"ns_per_op": 87988.0, "bytes_per_op": 672.0, "allocs_per_op": 28.0},
+	})
+	return exchange, ckpt, sortb, cluster
 }
 
 func writeJSON(t *testing.T, path string, v any) {
@@ -110,13 +125,13 @@ func writeJSON(t *testing.T, path string, v any) {
 }
 
 func TestLoadBaselines(t *testing.T) {
-	exchange, ckpt, sortb := writeBaselines(t)
-	baselines, err := loadBaselines(exchange, ckpt, sortb)
+	exchange, ckpt, sortb, cluster := writeBaselines(t)
+	baselines, err := loadBaselines(exchange, ckpt, sortb, cluster)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(baselines) != 5 {
-		t.Fatalf("got %d baselines, want 5", len(baselines))
+	if len(baselines) != 6 {
+		t.Fatalf("got %d baselines, want 6", len(baselines))
 	}
 	byName := map[string]Baseline{}
 	for _, b := range baselines {
@@ -131,13 +146,16 @@ func TestLoadBaselines(t *testing.T) {
 	if b := byName["BenchmarkSampleSortZipfian"]; b.NsPerOp != 5425887 || b.AllocsPerOp != 207 || b.AllocSlack != sortAllocSlack {
 		t.Errorf("zipfian baseline = %+v", b)
 	}
+	if b := byName["BenchmarkClusterExchange"]; b.NsPerOp != 87988 || b.AllocsPerOp != 28 || b.AllocSlack != clusterAllocSlack {
+		t.Errorf("cluster baseline = %+v", b)
+	}
 }
 
 // TestCompareCleanPass: results exactly at baseline pass any
 // nonnegative tolerance.
 func TestCompareCleanPass(t *testing.T) {
-	exchange, ckpt, sortb := writeBaselines(t)
-	baselines, err := loadBaselines(exchange, ckpt, sortb)
+	exchange, ckpt, sortb, cluster := writeBaselines(t)
+	baselines, err := loadBaselines(exchange, ckpt, sortb, cluster)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,8 +175,8 @@ func TestCompareCleanPass(t *testing.T) {
 // limit below the baseline itself, so the same clean results must fail
 // — the gate demonstrably bites.
 func TestCompareImpossibleTolerance(t *testing.T) {
-	exchange, ckpt, sortb := writeBaselines(t)
-	baselines, err := loadBaselines(exchange, ckpt, sortb)
+	exchange, ckpt, sortb, cluster := writeBaselines(t)
+	baselines, err := loadBaselines(exchange, ckpt, sortb, cluster)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,8 +185,8 @@ func TestCompareImpossibleTolerance(t *testing.T) {
 		t.Fatal(err)
 	}
 	problems := compare(baselines, results, -0.5, 4)
-	if len(problems) != 5 {
-		t.Fatalf("impossible tolerance produced %d problems, want 5: %v", len(problems), problems)
+	if len(problems) != 6 {
+		t.Fatalf("impossible tolerance produced %d problems, want 6: %v", len(problems), problems)
 	}
 	for _, p := range problems {
 		if !strings.Contains(p, "ns/op exceeds baseline") {

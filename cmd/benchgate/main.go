@@ -1,8 +1,9 @@
 // Command benchgate is the benchmark-regression gate behind
-// `make bench-gate`: it runs the exchange, checkpoint and sample-sort
-// benchmarks -count times, reduces each to its best run, compares the
-// results against the checked-in BENCH_exchange.json / BENCH_ckpt.json
-// / BENCH_sort.json baselines with a tolerance band, appends the run
+// `make bench-gate`: it runs the exchange, checkpoint, sample-sort and
+// cluster-exchange benchmarks -count times, reduces each to its best
+// run, compares the results against the checked-in
+// BENCH_exchange.json / BENCH_ckpt.json / BENCH_sort.json /
+// BENCH_cluster.json baselines with a tolerance band, appends the run
 // to the BENCH_run.json trajectory, and exits nonzero on any
 // regression.
 //
@@ -36,9 +37,10 @@ func main() {
 	exchangeBase := flag.String("baseline-exchange", "BENCH_exchange.json", "exchange baseline file")
 	ckptBase := flag.String("baseline-ckpt", "BENCH_ckpt.json", "checkpoint baseline file")
 	sortBase := flag.String("baseline-sort", "BENCH_sort.json", "sample-sort baseline file")
+	clusterBase := flag.String("baseline-cluster", "BENCH_cluster.json", "cluster exchange baseline file")
 	flag.Parse()
 
-	baselines, err := loadBaselines(*exchangeBase, *ckptBase, *sortBase)
+	baselines, err := loadBaselines(*exchangeBase, *ckptBase, *sortBase, *clusterBase)
 	if err != nil {
 		fatal(err)
 	}
@@ -103,6 +105,7 @@ func runBenchmarks(count int) (string, error) {
 	for _, run := range [][]string{
 		{"-bench", "BenchmarkExchangeAllocs|BenchmarkCheckpointEvery1|BenchmarkCheckpointDisabled", "./internal/core/"},
 		{"-bench", "BenchmarkSampleSortUniform|BenchmarkSampleSortZipfian", "./internal/psort/"},
+		{"-bench", "BenchmarkClusterExchange$", "./internal/transport/"},
 	} {
 		cmd := exec.Command("go", append([]string{"test", "-run", "^$",
 			run[0], run[1], "-benchmem", "-count", fmt.Sprint(count)}, run[2])...)

@@ -1,0 +1,299 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// The -cluster launcher self-execs one bsprun process per rank and
+// hands each process its slot through these environment variables. A
+// process that finds BSPRUN_CLUSTER_RANK set runs as a cluster child:
+// it joins the coordinator named here with a transport.ClusterMember
+// instead of opening an in-process transport, and it re-parses the
+// launcher's own command line, so every -app/-size/-chaos/-checkpoint
+// flag means the same thing in both roles.
+const (
+	envClusterRank    = "BSPRUN_CLUSTER_RANK"
+	envClusterP       = "BSPRUN_CLUSTER_P"
+	envClusterEpoch   = "BSPRUN_CLUSTER_EPOCH"
+	envClusterJob     = "BSPRUN_CLUSTER_JOB"
+	envClusterCoord   = "BSPRUN_CLUSTER_COORD"
+	envClusterResume  = "BSPRUN_CLUSTER_RESUME"
+	envClusterShards  = "BSPRUN_CLUSTER_SHARD_DIR"
+	envClusterMetrics = "BSPRUN_CLUSTER_METRICS"
+)
+
+// clusterChild is the slot a cluster child process was launched into.
+type clusterChild struct {
+	rank, p, epoch int
+	job, coord     string
+	resume         bool
+	shardDir       string // where to write this rank's trace shard ("" = no trace)
+	metricsAddr    string // this rank's metrics address ("" = none)
+}
+
+// clusterChildFromEnv decodes the child spec, if this process is one.
+func clusterChildFromEnv() (clusterChild, bool, error) {
+	if _, ok := os.LookupEnv(envClusterRank); !ok {
+		return clusterChild{}, false, nil
+	}
+	var c clusterChild
+	var err error
+	atoi := func(key string) int {
+		if err != nil {
+			return 0
+		}
+		v, aerr := strconv.Atoi(os.Getenv(key))
+		if aerr != nil {
+			err = fmt.Errorf("cluster child: bad %s=%q: %w", key, os.Getenv(key), aerr)
+		}
+		return v
+	}
+	c.rank = atoi(envClusterRank)
+	c.p = atoi(envClusterP)
+	c.epoch = atoi(envClusterEpoch)
+	if err != nil {
+		return c, true, err
+	}
+	c.job = os.Getenv(envClusterJob)
+	c.coord = os.Getenv(envClusterCoord)
+	if c.job == "" || c.coord == "" {
+		return c, true, fmt.Errorf("cluster child: %s and %s must both be set", envClusterJob, envClusterCoord)
+	}
+	c.resume = os.Getenv(envClusterResume) == "1"
+	c.shardDir = os.Getenv(envClusterShards)
+	c.metricsAddr = os.Getenv(envClusterMetrics)
+	return c, true, nil
+}
+
+// transport builds the child's single-rank transport. Every generation
+// re-execs the original command line, so the chaos spec arrives
+// unchanged; hard faults (abort, crash) are stripped for epoch > 0 so
+// a relaunched generation replays fault-free from the checkpoint cut,
+// while transient faults (delays, connection errors) keep exercising
+// the retry paths.
+func (c clusterChild) transport(chaosSpec string) (transport.Transport, error) {
+	cfg := transport.ClusterConfig{
+		Coordinator: c.coord, JobID: c.job,
+		Rank: c.rank, Epoch: c.epoch, P: c.p,
+	}
+	if chaosSpec != "" {
+		plan, err := transport.ParseFaultPlan(chaosSpec)
+		if err != nil {
+			return nil, err
+		}
+		if c.epoch > 0 {
+			plan.AbortStep, plan.CrashStep = 0, 0
+		}
+		cfg.Chaos = &plan
+		cfg.ChaosCrash = true
+	}
+	return transport.ClusterMember{Config: cfg}, nil
+}
+
+// writeShard persists this rank's slice of the run's trace; the
+// launcher merges the shards once the gang is done. Failures are
+// reported, not fatal: a lost shard costs observability, not the run.
+func (c clusterChild) writeShard(rec *trace.Recorder) {
+	if c.shardDir == "" || rec == nil {
+		return
+	}
+	path := filepath.Join(c.shardDir, fmt.Sprintf("rank%04d-e%03d.json", c.rank, c.epoch))
+	if err := trace.WriteShardFile(path, rec.Shard(c.job, c.rank)); err != nil {
+		fmt.Fprintln(os.Stderr, "bsprun: write trace shard:", err)
+	}
+}
+
+// clusterRun describes one -cluster launcher invocation.
+type clusterRun struct {
+	app         string
+	size, p     int
+	chaosArmed  bool
+	ckptArmed   bool
+	traceFile   string
+	metricsAddr string
+}
+
+// launchCluster supervises the gang: one OS process per rank, relaunch
+// from checkpoints on recoverable failures, and a merged trace from
+// whatever shards the children left behind (a partial timeline of a
+// failed gang still shows where it died). Returns the gang wall time,
+// the merged recorder (nil without -trace) and the run error.
+func launchCluster(o clusterRun) (time.Duration, *trace.Recorder, error) {
+	shardDir := ""
+	if o.traceFile != "" {
+		shardDir = o.traceFile + ".shards"
+		if err := os.RemoveAll(shardDir); err != nil {
+			return 0, nil, err
+		}
+		if err := os.MkdirAll(shardDir, 0o755); err != nil {
+			return 0, nil, err
+		}
+	}
+	metricsHost, metricsBase := "", 0
+	if o.metricsAddr != "" {
+		host, portStr, err := net.SplitHostPort(o.metricsAddr)
+		if err != nil {
+			return 0, nil, fmt.Errorf("-cluster -metrics-addr must be host:port (rank r serves on port+r): %w", err)
+		}
+		port, err := strconv.Atoi(portStr)
+		if err != nil || port <= 0 {
+			return 0, nil, fmt.Errorf("-cluster -metrics-addr needs an explicit numeric base port (rank r serves on port+r), got %q", portStr)
+		}
+		metricsHost, metricsBase = host, port
+	}
+	// Without checkpoints or injected faults a relaunch would just
+	// repeat the same failure; with them, a crashed generation resumes
+	// from the latest complete cut.
+	restarts := 0
+	if o.ckptArmed || o.chaosArmed {
+		restarts = 3
+	}
+	job := transport.ClusterJob{
+		P:           o.p,
+		JobID:       fmt.Sprintf("bsprun-%s-p%d-%d", o.app, o.p, os.Getpid()),
+		MaxRestarts: restarts,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "bsprun: %s\n", fmt.Sprintf(format, args...))
+		},
+		Command: func(spec transport.ClusterProcSpec) *exec.Cmd {
+			cmd := exec.Command(os.Args[0], os.Args[1:]...)
+			env := append(os.Environ(),
+				envClusterRank+"="+strconv.Itoa(spec.Rank),
+				envClusterP+"="+strconv.Itoa(spec.P),
+				envClusterEpoch+"="+strconv.Itoa(spec.Epoch),
+				envClusterJob+"="+spec.JobID,
+				envClusterCoord+"="+spec.Coordinator,
+			)
+			if spec.Resume {
+				env = append(env, envClusterResume+"=1")
+			}
+			if shardDir != "" {
+				env = append(env, envClusterShards+"="+shardDir)
+			}
+			if metricsBase > 0 {
+				env = append(env, envClusterMetrics+"="+net.JoinHostPort(metricsHost, strconv.Itoa(metricsBase+spec.Rank)))
+			}
+			cmd.Env = env
+			cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+			return cmd
+		},
+	}
+	t0 := time.Now()
+	runErr := job.Run()
+	wall := time.Since(t0)
+	var rec *trace.Recorder
+	if shardDir != "" {
+		var merr error
+		if rec, merr = mergeShardDir(shardDir); merr != nil {
+			if runErr == nil {
+				runErr = merr
+			} else {
+				fmt.Fprintln(os.Stderr, "bsprun: merge trace shards:", merr)
+			}
+		}
+	}
+	return wall, rec, runErr
+}
+
+// mergeShardDir folds every shard the children wrote into one recorder
+// on a common time axis.
+func mergeShardDir(dir string) (*trace.Recorder, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no trace shards in %s (did every rank die before its first superstep?)", dir)
+	}
+	shards := make([]trace.Shard, 0, len(paths))
+	for _, p := range paths {
+		s, err := trace.ReadShardFile(p)
+		if err != nil {
+			return nil, err
+		}
+		shards = append(shards, s)
+	}
+	return trace.MergeShards(shards)
+}
+
+// rejectClusterProfileFlags guards the launcher against per-process
+// capture flags that cannot describe a multi-process gang.
+func rejectClusterProfileFlags(cpuProfile, memProfile, rtraceFile string, profReport bool) error {
+	if cpuProfile != "" || memProfile != "" || rtraceFile != "" || profReport {
+		return errors.New("-cluster cannot capture gang-wide profiles into one file; use -metrics-addr for per-rank /debug/pprof endpoints, or profile without -cluster")
+	}
+	return nil
+}
+
+// launcherFlags carries the parsed command line into the launcher.
+type launcherFlags struct {
+	app                                string
+	size, p                            int
+	chaosSpec, ckptDir                 string
+	traceFile, metricsAddr             string
+	costReport                         bool
+	costMachine                        string
+	cpuProfile, memProfile, rtraceFile string
+	profReport                         bool
+}
+
+// runClusterLauncher is bsprun's -cluster entry point: it validates
+// the flags a gang cannot honor, supervises the rank processes, merges
+// their trace shards, and prints the same summary and model block the
+// in-process path does.
+func runClusterLauncher(f launcherFlags) {
+	if err := rejectClusterProfileFlags(f.cpuProfile, f.memProfile, f.rtraceFile, f.profReport); err != nil {
+		fail(err)
+	}
+	if f.chaosSpec != "" {
+		// Validate here so a bad spec fails once, not p times.
+		plan, err := transport.ParseFaultPlan(f.chaosSpec)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("fault injection on (cluster): %s\n", plan)
+	}
+	if f.costReport && f.traceFile == "" {
+		fail(errors.New("-cluster -cost-report reads the merged trace; add -trace <file>"))
+	}
+	wall, rec, err := launchCluster(clusterRun{
+		app: f.app, size: f.size, p: f.p,
+		chaosArmed:  f.chaosSpec != "",
+		ckptArmed:   f.ckptDir != "",
+		traceFile:   f.traceFile,
+		metricsAddr: f.metricsAddr,
+	})
+	if rec != nil && f.traceFile != "" {
+		if werr := rec.WriteChromeFile(f.traceFile); werr != nil {
+			fmt.Fprintln(os.Stderr, "bsprun: write merged trace:", werr)
+		} else {
+			fmt.Printf("merged trace written to %s (open in Perfetto or chrome://tracing)\n", f.traceFile)
+		}
+	}
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%s size=%d p=%d on cluster: wall %v (%d rank process(es) over loopback TCP)\n",
+		f.app, f.size, f.p, wall, f.p)
+	if f.costReport {
+		machine, err := cost.MachineByName(f.costMachine)
+		if err != nil {
+			fail(err)
+		}
+		trace.WriteResidualReport(os.Stdout, rec, machine.Name, machine.Params(f.p), 3)
+	}
+	if err := printModelBlock(f.app, f.size, f.p, nil); err != nil {
+		fail(err)
+	}
+}

@@ -68,6 +68,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/harness"
@@ -87,7 +88,8 @@ func main() {
 	app := flag.String("app", "nbody", "application: ocean|nbody|mst|sp|msp|mm|psort|psortz (psortz = sample sort on Zipf-skewed keys)")
 	size := flag.Int("size", 1000, "input size (paper conventions per app)")
 	p := flag.Int("p", 4, "number of BSP processes")
-	trName := flag.String("transport", "shm", "transport: shm|xchg|tcp|sim|chaos:<base>")
+	trName := flag.String("transport", "shm", "transport: shm|xchg|tcp|sim|cluster|chaos:<base>")
+	cluster := flag.Bool("cluster", false, "run each rank as its own OS process over loopback TCP (self-exec fan-out; supersedes -transport); combines with -chaos and -checkpoint-dir for gang-level crash recovery")
 	chaosSpec := flag.String("chaos", "", "fault-injection plan, e.g. \"seed=42,delay=0.1,maxdelay=2ms,stall=0.05,stallfor=20ms,connerr=0.05,abort=1@3,crash=1:3\"; empty disables")
 	syncTimeout := flag.Duration("sync-timeout", 0, "abort the run if no process completes a superstep for this long (0 disables)")
 	ckptDir := flag.String("checkpoint-dir", "", "snapshot directory; arms superstep checkpointing and crash recovery (apps with hooks: ocean, psort, psortz)")
@@ -103,24 +105,65 @@ func main() {
 	profReport := flag.Bool("prof-report", false, "after the run, decompose the -cpuprofile capture into the W-attribution table (rank x phase x superstep bucket)")
 	flag.Parse()
 
-	tr, err := transport.New(*trName)
+	child, isChild, err := clusterChildFromEnv()
 	if err != nil {
 		fail(err)
 	}
-	if *chaosSpec != "" {
-		plan, err := transport.ParseFaultPlan(*chaosSpec)
-		if err != nil {
+	if *cluster && !isChild {
+		runClusterLauncher(launcherFlags{
+			app: *app, size: *size, p: *p,
+			chaosSpec: *chaosSpec, ckptDir: *ckptDir,
+			traceFile: *traceFile, metricsAddr: *metricsAddr,
+			costReport: *costReport, costMachine: *costMachine,
+			cpuProfile: *cpuProfile, memProfile: *memProfile,
+			rtraceFile: *rtraceFile, profReport: *profReport,
+		})
+		return
+	}
+	var tr transport.Transport
+	if isChild {
+		// A cluster child hosts exactly one rank: its transport is the
+		// gang membership handed down by the launcher, chaos included
+		// (wrapping again here would double-inject every fault). The
+		// launcher also owns the merged artifacts, so the per-process
+		// report flags are neutralized.
+		if child.p != *p {
+			fail(fmt.Errorf("cluster child: launched for p=%d but -p is %d", child.p, *p))
+		}
+		if tr, err = child.transport(*chaosSpec); err != nil {
 			fail(err)
 		}
-		// NewChaosTransport: an armed crash fires once, so a recovered
-		// re-execution of the same run proceeds fault-free.
-		ct := transport.NewChaosTransport(tr, plan)
-		tr = ct
-		fmt.Printf("fault injection on (%s): %s\n", ct.Name(), plan)
+		*metricsAddr = child.metricsAddr
+		*costReport = false
+		*profReport = false
+	} else {
+		if tr, err = transport.New(*trName); err != nil {
+			fail(err)
+		}
+		if *chaosSpec != "" {
+			plan, err := transport.ParseFaultPlan(*chaosSpec)
+			if err != nil {
+				fail(err)
+			}
+			// NewChaosTransport: an armed crash fires once, so a recovered
+			// re-execution of the same run proceeds fault-free.
+			ct := transport.NewChaosTransport(tr, plan)
+			tr = ct
+			fmt.Printf("fault injection on (%s): %s\n", ct.Name(), plan)
+		}
 	}
 	cfg := core.Config{P: *p, Transport: tr, SyncTimeout: *syncTimeout}
 	if *ckptDir != "" {
-		cfg.Checkpoint = &core.CheckpointConfig{Dir: *ckptDir, Every: *ckptEvery, Resume: *resume}
+		cfg.Checkpoint = &core.CheckpointConfig{Dir: *ckptDir, Every: *ckptEvery, Resume: *resume || child.resume}
+		if isChild {
+			// A rank process fails fast on a recoverable error; the
+			// launcher relaunches the whole generation from the shared
+			// checkpoint cut with a bumped epoch.
+			cfg.Checkpoint.Retries = -1
+		}
+	}
+	if isChild {
+		cfg.Group = &transport.GroupOptions{JobID: child.job, Epoch: child.epoch}
 	}
 	machine := cost.SGI
 	if *costReport {
@@ -138,6 +181,15 @@ func main() {
 		rec = trace.New(*p)
 		cfg.Trace = rec
 	}
+	if isChild && child.resume && child.rank == 0 && rec != nil && *ckptDir != "" {
+		// A gang-level rollback spans processes, so no single child's
+		// RunRecoverable records it. Mark it once, on the resuming
+		// generation's rank-0 shard, so the merged trace shows the
+		// generation boundary and the superstep it resumed from.
+		if step, _, ok := (&ckpt.Store{Dir: *ckptDir}).LoadComplete(*p); ok {
+			rec.Rollback(child.epoch+1, step)
+		}
+	}
 	// Any profiling consumer arms the rank labels — including
 	// -metrics-addr, whose /debug/pprof/profile endpoint profiles the
 	// live machine.
@@ -146,6 +198,12 @@ func main() {
 		cfg.Profile = prof.New(*app, *p)
 	}
 	writeTrace := func() {
+		if isChild {
+			// The launcher merges the per-rank shards into the -trace
+			// file once the gang is done.
+			child.writeShard(rec)
+			return
+		}
 		if *traceFile == "" {
 			return
 		}
@@ -197,19 +255,15 @@ func main() {
 	captures.writeMem()
 	writeTrace()
 	shutdownMetrics()
-	// Deterministic work measurement on the sim transport for the model.
-	rows, err := harness.Collect(*app, []int{*size}, []int{1, *p})
-	if err != nil {
-		fail(err)
-	}
-	var base, run harness.Row
-	for _, r := range rows {
-		if r.NP == 1 {
-			base = r
+	if isChild {
+		// The per-rank line; the launcher prints the gang summary and
+		// the model block once.
+		fmt.Printf("%s size=%d rank %d/%d of %s (epoch %d): wall %v, %s\n",
+			*app, *size, child.rank, child.p, child.job, child.epoch, wall, st)
+		if ck := st.Ckpt; ck != nil && (ck.Attempts > 1 || ck.ResumeStep > 0) {
+			fmt.Printf("  recovery: resumed at superstep %d\n", ck.ResumeStep)
 		}
-		if r.NP == *p {
-			run = r
-		}
+		return
 	}
 	fmt.Printf("%s size=%d p=%d on %s: wall %v, %s\n", *app, *size, *p, *trName, wall, st)
 	if ck := st.Ckpt; ck != nil {
@@ -231,20 +285,44 @@ func main() {
 			fail(rerr)
 		}
 	}
+	if err := printModelBlock(*app, *size, *p, st); err != nil {
+		fail(err)
+	}
+}
+
+// printModelBlock re-measures the program on the sim transport for the
+// deterministic work parameters and prints the cost-model predictions
+// for the paper's machines. st (the live run's statistics) may be nil:
+// the cluster launcher has no single-process view of the gang.
+func printModelBlock(app string, size, p int, st *core.Stats) error {
+	rows, err := harness.Collect(app, []int{size}, []int{1, p})
+	if err != nil {
+		return err
+	}
+	var base, run harness.Row
+	for _, r := range rows {
+		if r.NP == 1 {
+			base = r
+		}
+		if r.NP == p {
+			run = r
+		}
+	}
 	fmt.Printf("  sim measurement: W = %v   H = %d   S = %d   total work = %v\n",
 		run.W, run.H, run.S, run.TotalWork)
-	if st.LoadImbalance() > 0 {
+	if st != nil && st.LoadImbalance() > 0 {
 		fmt.Printf("  load imbalance (work depth / ideal): %.2f\n", st.LoadImbalance())
 	}
 	fmt.Printf("  sequential baseline: %v\n", run.SeqTime)
 	for _, m := range cost.PaperMachines() {
-		if !m.Supports(*p) {
-			fmt.Printf("  %-5s: not available at %d processors\n", m.Name, *p)
+		if !m.Supports(p) {
+			fmt.Printf("  %-5s: not available at %d processors\n", m.Name, p)
 			continue
 		}
 		fmt.Printf("  %-5s: predicted %v (comm %v), model speed-up %.1f\n",
 			m.Name, run.Predict(m), run.PredictComm(m), run.Speedup(m, base))
 	}
+	return nil
 }
 
 // fail prints err and exits with a code CI can classify: timeouts

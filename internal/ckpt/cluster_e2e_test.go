@@ -1,0 +1,203 @@
+// Cross-process recovery conformance: the acceptance bar for the
+// cluster transport is that a p=4 gang of real OS processes, crashed
+// by the chaos fault and relaunched from checkpoints by the gang
+// launcher, sorts bit-identically to a fault-free gang. The rank
+// processes are this test binary re-executed: TestMain intercepts a
+// role environment variable before any test runs and becomes one rank
+// of the gang.
+package ckpt_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/psort"
+	"repro/internal/transport"
+)
+
+const (
+	e2eRole   = "CKPT_CLUSTER_E2E_ROLE"
+	e2eRank   = "CKPT_CLUSTER_E2E_RANK"
+	e2eP      = "CKPT_CLUSTER_E2E_P"
+	e2eEpoch  = "CKPT_CLUSTER_E2E_EPOCH"
+	e2eJob    = "CKPT_CLUSTER_E2E_JOB"
+	e2eCoord  = "CKPT_CLUSTER_E2E_COORD"
+	e2eResume = "CKPT_CLUSTER_E2E_RESUME"
+	e2eChaos  = "CKPT_CLUSTER_E2E_CHAOS"
+	e2eCkpt   = "CKPT_CLUSTER_E2E_CKPT_DIR"
+	e2eOut    = "CKPT_CLUSTER_E2E_OUT_DIR"
+
+	e2eSize = 4000
+	e2eSeed = 1996
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv(e2eRole) == "rank" {
+		os.Exit(runE2ERank())
+	}
+	os.Exit(m.Run())
+}
+
+// runE2ERank is one OS process hosting one rank of the e2e gang. It
+// exits with bsprun's CI codes so the launcher's default Recoverable
+// classification applies: 0 ok, 3 recoverable (abort/crash/timeout),
+// 1 anything else.
+func runE2ERank() int {
+	atoi := func(key string) int {
+		v, err := strconv.Atoi(os.Getenv(key))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "e2e rank: bad %s=%q: %v\n", key, os.Getenv(key), err)
+			os.Exit(1)
+		}
+		return v
+	}
+	rank, p, epoch := atoi(e2eRank), atoi(e2eP), atoi(e2eEpoch)
+	outDir := os.Getenv(e2eOut)
+
+	// Leave a generation marker so the supervising test can assert the
+	// crashed generation really ran and a second one really launched.
+	marker := filepath.Join(outDir, fmt.Sprintf("gen-e%d-r%d", epoch, rank))
+	if err := os.WriteFile(marker, nil, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "e2e rank:", err)
+		return 1
+	}
+
+	mcfg := transport.ClusterConfig{
+		Coordinator: os.Getenv(e2eCoord),
+		JobID:       os.Getenv(e2eJob),
+		Rank:        rank, Epoch: epoch, P: p,
+	}
+	if os.Getenv(e2eChaos) == "1" && epoch == 0 {
+		// The crash fires in the first generation only; relaunched
+		// generations replay fault-free from the checkpoint cut.
+		plan := crashPlan()
+		mcfg.Chaos = &plan
+		mcfg.ChaosCrash = true
+	}
+	cfg := core.Config{
+		P:           p,
+		Transport:   transport.ClusterMember{Config: mcfg},
+		SyncTimeout: 30 * time.Second,
+		Group:       &transport.GroupOptions{JobID: mcfg.JobID, Epoch: epoch},
+	}
+	if dir := os.Getenv(e2eCkpt); dir != "" {
+		// Retries < 0: fail fast and let the gang launcher relaunch the
+		// whole generation.
+		cfg.Checkpoint = &core.CheckpointConfig{Dir: dir, Every: 1, Retries: -1, Resume: os.Getenv(e2eResume) == "1"}
+	}
+	data := psort.RandomData(e2eSize, e2eSeed)
+	part, _, err := psort.ParallelRecoverable(cfg, data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "e2e rank %d (epoch %d): %v\n", rank, epoch, err)
+		if core.Recoverable(err) {
+			return 3
+		}
+		return 1
+	}
+	// This process hosted one rank, so the concatenated result is
+	// exactly its partition of the global order.
+	var buf bytes.Buffer
+	for _, v := range part {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		buf.Write(b[:])
+	}
+	if err := os.WriteFile(filepath.Join(outDir, fmt.Sprintf("part-r%02d", rank)), buf.Bytes(), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "e2e rank:", err)
+		return 1
+	}
+	return 0
+}
+
+// runE2EGang launches one gang of rank processes (this test binary,
+// re-executed) and returns the launcher error.
+func runE2EGang(t *testing.T, jobID, outDir, ckptDir string, chaos bool, restarts int) error {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := transport.ClusterJob{
+		P:           recoveryP,
+		JobID:       jobID,
+		MaxRestarts: restarts,
+		Logf:        t.Logf,
+		Command: func(spec transport.ClusterProcSpec) *exec.Cmd {
+			cmd := exec.Command(exe)
+			cmd.Env = append(os.Environ(),
+				e2eRole+"=rank",
+				e2eRank+"="+strconv.Itoa(spec.Rank),
+				e2eP+"="+strconv.Itoa(spec.P),
+				e2eEpoch+"="+strconv.Itoa(spec.Epoch),
+				e2eJob+"="+spec.JobID,
+				e2eCoord+"="+spec.Coordinator,
+				e2eResume+"="+boolEnv(spec.Resume),
+				e2eChaos+"="+boolEnv(chaos),
+				e2eCkpt+"="+ckptDir,
+				e2eOut+"="+outDir,
+			)
+			cmd.Stderr = os.Stderr
+			return cmd
+		},
+	}
+	return job.Run()
+}
+
+func boolEnv(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+// TestClusterCrashRecoveryBitIdentical: a crashed-and-recovered p=4
+// cluster run — every rank its own OS process — produces per-rank
+// partitions byte-identical to a fault-free cluster run.
+func TestClusterCrashRecoveryBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns 2 gangs of OS processes")
+	}
+	cleanDir, crashDir := t.TempDir(), t.TempDir()
+	if err := runE2EGang(t, "e2e-clean", cleanDir, "", false, 0); err != nil {
+		t.Fatalf("fault-free gang failed: %v", err)
+	}
+	if err := runE2EGang(t, "e2e-crash", crashDir, t.TempDir(), true, 2); err != nil {
+		t.Fatalf("crashed gang did not recover: %v", err)
+	}
+	// The crash must actually have cost a generation: epoch 0 ran, and
+	// a relaunched epoch wrote the partitions.
+	if _, err := os.Stat(filepath.Join(crashDir, "gen-e0-r0")); err != nil {
+		t.Error("no marker from the crashed generation (epoch 0 never ran?)")
+	}
+	if _, err := os.Stat(filepath.Join(crashDir, "gen-e1-r0")); err != nil {
+		t.Error("no marker from a relaunched generation (the crash never fired?)")
+	}
+	total := 0
+	for r := 0; r < recoveryP; r++ {
+		name := fmt.Sprintf("part-r%02d", r)
+		want, err := os.ReadFile(filepath.Join(cleanDir, name))
+		if err != nil {
+			t.Fatalf("fault-free gang left no partition for rank %d: %v", r, err)
+		}
+		got, err := os.ReadFile(filepath.Join(crashDir, name))
+		if err != nil {
+			t.Fatalf("recovered gang left no partition for rank %d: %v", r, err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Errorf("rank %d partition differs after recovery (%d vs %d bytes)", r, len(want), len(got))
+		}
+		total += len(want) / 8
+	}
+	if total != e2eSize {
+		t.Errorf("partitions cover %d elements, want %d", total, e2eSize)
+	}
+}

@@ -26,10 +26,11 @@ const recoveryP = 4
 
 func baseTransports() map[string]transport.Transport {
 	return map[string]transport.Transport{
-		"shm":  transport.ShmTransport{},
-		"xchg": transport.XchgTransport{},
-		"tcp":  transport.TCPTransport{},
-		"sim":  transport.SimTransport{},
+		"shm":     transport.ShmTransport{},
+		"xchg":    transport.XchgTransport{},
+		"tcp":     transport.TCPTransport{},
+		"sim":     transport.SimTransport{},
+		"cluster": transport.ClusterTransport{},
 	}
 }
 

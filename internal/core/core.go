@@ -62,6 +62,12 @@ type Config struct {
 	// Transport selects the library implementation; nil means the
 	// shared-memory transport (the paper's B.1).
 	Transport transport.Transport
+	// Group, when non-nil, carries the job identity (job id, gang
+	// epoch) to transports that implement transport.GroupTransport —
+	// the cluster transport fences handshakes on it. Nil runs an
+	// anonymous job. RunRecoverable bumps the epoch on every retry so
+	// a relaunched gang is fenced from stragglers of the crashed one.
+	Group *transport.GroupOptions
 	// SyncTimeout, when positive, bounds how long the machine may go
 	// without any process completing a barrier phase. If it elapses, a
 	// watchdog aborts the run and Run returns an error wrapping
@@ -325,43 +331,62 @@ func runMachine(cfg Config, fn func(*Proc), hooks Hooks, rs *runState) (*Stats, 
 	if tr == nil {
 		tr = transport.ShmTransport{}
 	}
-	eps, err := tr.Open(cfg.P)
+	var gopts transport.GroupOptions
+	if cfg.Group != nil {
+		gopts = *cfg.Group
+	}
+	eps, err := transport.OpenWithOptions(tr, cfg.P, gopts)
 	if err != nil {
 		return nil, err
 	}
+	// A transport may host only a subset of the machine's ranks in this
+	// process (a cluster member hosts exactly one); each returned
+	// endpoint identifies its rank via ID(). The in-process transports
+	// return all cfg.P ranks.
+	if len(eps) < 1 || len(eps) > cfg.P {
+		return nil, fmt.Errorf("bsp: transport %s opened %d endpoints for p=%d", tr.Name(), len(eps), cfg.P)
+	}
+	ranks := make([]int, len(eps))
+	for s, ep := range eps {
+		if id := ep.ID(); id < 0 || id >= cfg.P {
+			return nil, fmt.Errorf("bsp: transport %s endpoint rank %d out of range [0,%d)", tr.Name(), id, cfg.P)
+		}
+		ranks[s] = ep.ID()
+	}
 	procs := make([]*Proc, cfg.P)
-	errs := make([]error, cfg.P)
-	phases := make([]atomic.Int64, cfg.P)
-	finished := make([]atomic.Bool, cfg.P)
+	errs := make([]error, len(eps))
+	phases := make([]atomic.Int64, len(eps))
+	finished := make([]atomic.Bool, len(eps))
 
-	// Superstep watchdog: if no process completes a barrier phase for
-	// SyncTimeout, abort the machine so the stalled barrier unwinds as
-	// errors instead of hanging, and record an ErrTimeout naming the
-	// laggard(s).
+	// Superstep watchdog: if no locally-hosted process completes a
+	// barrier phase for SyncTimeout, abort the machine so the stalled
+	// barrier unwinds as errors instead of hanging, and record an
+	// ErrTimeout naming the laggard(s).
 	var timeoutErr error
 	var watchStop, watchDone chan struct{}
 	if cfg.SyncTimeout > 0 {
 		watchStop, watchDone = make(chan struct{}), make(chan struct{})
 		go func() {
 			defer close(watchDone)
-			timeoutErr = watchProgress(eps, phases, finished, cfg.SyncTimeout, watchStop)
+			timeoutErr = watchProgress(eps, ranks, phases, finished, cfg.SyncTimeout, watchStop)
 		}()
 	}
 
 	var wg sync.WaitGroup
-	for i := 0; i < cfg.P; i++ {
+	for s := 0; s < len(eps); s++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			defer finished[i].Store(true)
-			ep := eps[i]
+			defer finished[s].Store(true)
+			ep := eps[s]
+			i := ranks[s]
 			defer ep.Close()
 			defer func() {
 				if r := recover(); r != nil {
 					if sf, ok := r.(syncFailure); ok {
-						errs[i] = fmt.Errorf("bsp: process %d: %w", i, sf.err)
+						errs[s] = fmt.Errorf("bsp: process %d: %w", i, sf.err)
 					} else {
-						errs[i] = fmt.Errorf("bsp: process %d panicked: %v\n%s", i, r, debug.Stack())
+						errs[s] = fmt.Errorf("bsp: process %d panicked: %v\n%s", i, r, debug.Stack())
 					}
 					ep.Abort()
 				}
@@ -385,7 +410,7 @@ func runMachine(cfg Config, fn func(*Proc), hooks Hooks, rs *runState) (*Stats, 
 				c.tr.SetStepBase(0)
 			}
 			if cfg.SyncTimeout > 0 {
-				c.phase = &phases[i]
+				c.phase = &phases[s]
 			}
 			if rs != nil {
 				c.ck = rs.cap
@@ -474,10 +499,13 @@ func isAbort(err error) bool { return errors.Is(err, transport.ErrAborted) }
 // watchProgress polls the per-rank barrier-phase counters until the run
 // ends (stop closes or every rank finishes) or no counter has moved for
 // d, in which case it aborts every endpoint and returns the ErrTimeout
-// describing who is stuck where. Aborting from outside the process
-// goroutines is safe on every transport (their abort flags are atomic);
-// it unblocks the concurrent transports' barriers so wg.Wait can finish.
-func watchProgress(eps []transport.Endpoint, phases []atomic.Int64, finished []atomic.Bool, d time.Duration, stop <-chan struct{}) error {
+// describing who is stuck where. It observes only the ranks hosted in
+// this process (ranks[s] labels slot s); in a cluster, a remote
+// laggard surfaces through this rank's own barrier making no progress.
+// Aborting from outside the process goroutines is safe on every
+// transport (their abort flags are atomic); it unblocks the concurrent
+// transports' barriers so wg.Wait can finish.
+func watchProgress(eps []transport.Endpoint, ranks []int, phases []atomic.Int64, finished []atomic.Bool, d time.Duration, stop <-chan struct{}) error {
 	tick := d / 8
 	if tick < time.Millisecond {
 		tick = time.Millisecond
@@ -524,7 +552,7 @@ func watchProgress(eps []transport.Endpoint, phases []atomic.Int64, finished []a
 		if time.Since(lastChange) < d {
 			continue
 		}
-		err := timeoutError(phases, finished, d)
+		err := timeoutError(ranks, phases, finished, d)
 		for _, ep := range eps {
 			ep.Abort()
 		}
@@ -559,35 +587,35 @@ func (e *TimeoutError) Unwrap() error { return ErrTimeout }
 func (e *TimeoutError) Detail() string { return strings.Join(e.Ranks, "\n") }
 
 // timeoutError builds the TimeoutError: the stuck rank(s) are the
-// unfinished ranks with the least barrier progress (a rank still
-// computing while its peers wait in the next barrier, or the whole
-// machine if all are wedged together), and every rank's position is
-// listed.
-func timeoutError(phases []atomic.Int64, finished []atomic.Bool, d time.Duration) error {
+// unfinished locally-hosted ranks with the least barrier progress (a
+// rank still computing while its peers wait in the next barrier, or
+// the whole machine if all are wedged together), and every local
+// rank's position is listed (ranks[s] labels slot s).
+func timeoutError(ranks []int, phases []atomic.Int64, finished []atomic.Bool, d time.Duration) error {
 	minPhase := int64(-1)
-	for i := range phases {
-		if finished[i].Load() {
+	for s := range phases {
+		if finished[s].Load() {
 			continue
 		}
-		if ph := phases[i].Load(); minPhase < 0 || ph < minPhase {
+		if ph := phases[s].Load(); minPhase < 0 || ph < minPhase {
 			minPhase = ph
 		}
 	}
 	te := &TimeoutError{Wait: d, Ranks: make([]string, len(phases))}
-	for i := range phases {
-		ph := phases[i].Load()
-		done := finished[i].Load()
+	for s := range phases {
+		ph := phases[s].Load()
+		done := finished[s].Load()
 		step := ph/2 + 1
 		switch {
 		case done:
-			te.Ranks[i] = fmt.Sprintf("rank %d finished after %d supersteps", i, ph/2)
+			te.Ranks[s] = fmt.Sprintf("rank %d finished after %d supersteps", ranks[s], ph/2)
 		case ph%2 == 1:
-			te.Ranks[i] = fmt.Sprintf("rank %d waiting in barrier %d", i, step)
+			te.Ranks[s] = fmt.Sprintf("rank %d waiting in barrier %d", ranks[s], step)
 		default:
-			te.Ranks[i] = fmt.Sprintf("rank %d computing superstep %d", i, step)
+			te.Ranks[s] = fmt.Sprintf("rank %d computing superstep %d", ranks[s], step)
 		}
 		if !done && ph == minPhase {
-			te.Stuck = append(te.Stuck, i)
+			te.Stuck = append(te.Stuck, ranks[s])
 		}
 	}
 	return te

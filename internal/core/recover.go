@@ -25,7 +25,9 @@ type CheckpointConfig struct {
 	Every int
 	// Retries bounds how many times RunRecoverable re-executes after a
 	// recoverable failure before giving up and returning the original
-	// error. 0 means 3.
+	// error. 0 means 3; negative disables in-process retry entirely —
+	// a cluster rank process fails fast and lets the gang launcher
+	// relaunch the whole generation from the shared checkpoint cut.
 	Retries int
 	// Backoff is the sleep before the first re-execution, doubled per
 	// subsequent attempt. 0 means 50ms.
@@ -44,7 +46,10 @@ func (ck *CheckpointConfig) every() int {
 }
 
 func (ck *CheckpointConfig) retries() int {
-	if ck.Retries <= 0 {
+	if ck.Retries < 0 {
+		return 0
+	}
+	if ck.Retries == 0 {
 		return 3
 	}
 	return ck.Retries
@@ -231,9 +236,18 @@ func RunRecoverable(cfg Config, fn func(*Proc), hooks Hooks) (*Stats, error) {
 		resume = load()
 	}
 	var acc CkptStats
+	baseGroup := cfg.Group
 	attempts := 0
 	for {
 		attempts++
+		if baseGroup != nil {
+			// Each retry is a new gang generation: bump the epoch so a
+			// cluster straggler of the failed attempt is fenced at the
+			// handshake instead of corrupting the fresh exchanges.
+			g := *baseGroup
+			g.Epoch += attempts - 1
+			cfg.Group = &g
+		}
 		rs := &runState{resume: resume}
 		if hooks.Save != nil {
 			rs.cap = newCapturer(ck, cfg.P, hooks.Save)

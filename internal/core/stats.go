@@ -113,23 +113,31 @@ func (s *Stats) String() string {
 }
 
 // mergeStats folds the per-process step records into machine-wide
-// statistics. All processes must have recorded the same number of steps;
-// the concurrent transports guarantee this for runs that complete
-// without error.
+// statistics. All locally-hosted processes must have recorded the same
+// number of steps; the concurrent transports guarantee this for runs
+// that complete without error. In a cluster member, procs has entries
+// only for the ranks this process hosts: Stats then describe the local
+// ranks' contribution to the machine (P stays the machine width).
 func mergeStats(p int, procs []*Proc) (*Stats, error) {
-	steps := -1
+	steps, first := -1, -1
 	for i, pr := range procs {
 		if pr == nil {
-			return nil, fmt.Errorf("bsp: process %d produced no statistics", i)
+			continue
 		}
 		if steps == -1 {
-			steps = len(pr.steps)
+			steps, first = len(pr.steps), i
 		} else if len(pr.steps) != steps {
-			return nil, fmt.Errorf("bsp: superstep counts diverged: process 0 ran %d segments, process %d ran %d", steps, i, len(pr.steps))
+			return nil, fmt.Errorf("bsp: superstep counts diverged: process %d ran %d segments, process %d ran %d", first, steps, i, len(pr.steps))
 		}
+	}
+	if steps == -1 {
+		return nil, fmt.Errorf("bsp: no process produced statistics")
 	}
 	st := &Stats{P: p, Syncs: steps - 1, Steps: make([]Step, steps)}
 	for _, pr := range procs {
+		if pr == nil {
+			continue
+		}
 		for i, rec := range pr.steps {
 			s := &st.Steps[i]
 			s.MaxWork = max(s.MaxWork, rec.work)

@@ -196,10 +196,25 @@ func Parallel(ccfg core.Config, cfg Config) (*Fields, *core.Stats, error) {
 }
 
 // assemble stitches the owned rows of every process into a full grid.
+// On a cluster member only the locally-hosted rank's sim exists (the
+// rest stay nil); its rows are filled and the remote ranks' rows are
+// left zero — each process holds exactly its own partition.
 func assemble(sims []*oceanSim) *Fields {
-	m := sims[0].m
+	m := -1
+	for _, s := range sims {
+		if s != nil {
+			m = s.m
+			break
+		}
+	}
+	if m < 0 {
+		return &Fields{}
+	}
 	f := &Fields{M: m, Psi: make([]float64, (m+2)*(m+2))}
 	for _, s := range sims {
+		if s == nil {
+			continue
+		}
 		for r := s.psi.lo; r < s.psi.hi; r++ {
 			copy(f.Psi[r*(m+2):(r+1)*(m+2)], s.psi.row(r))
 		}

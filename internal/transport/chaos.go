@@ -296,30 +296,67 @@ func (t ChaosTransport) Name() string { return "chaos:" + t.Base.Name() }
 
 // Open implements Transport.
 func (t ChaosTransport) Open(p int) ([]Endpoint, error) {
+	return t.open(p, nil)
+}
+
+// OpenGroup implements GroupTransport when the base transport does,
+// threading the job identity through the fault decorator.
+func (t ChaosTransport) OpenGroup(p int, opts GroupOptions) ([]Endpoint, error) {
+	return t.open(p, func(base Transport) ([]Endpoint, error) {
+		return OpenWithOptions(base, p, opts)
+	})
+}
+
+func (t ChaosTransport) open(p int, openBase func(Transport) ([]Endpoint, error)) ([]Endpoint, error) {
 	base := t.Base
-	if tt, ok := base.(TCPTransport); ok && t.Plan.ConnErrRate > 0 {
-		plan := t.Plan
-		tt.wrapConn = func(local, peer int, c net.Conn) net.Conn {
-			seed := plan.Seed ^ int64(local*1_000_003+peer+1)
-			return &chaosConn{Conn: c, rng: rand.New(rand.NewSource(seed)), rate: plan.ConnErrRate}
+	if t.Plan.ConnErrRate > 0 {
+		// Socket-backed bases get the connection fault decorator too.
+		switch bt := base.(type) {
+		case TCPTransport:
+			bt.wrapConn = chaosWrapConn(t.Plan)
+			base = bt
+		case ClusterTransport:
+			bt.wrapConn = chaosWrapConn(t.Plan)
+			base = bt
 		}
-		base = tt
 	}
-	eps, err := base.Open(p)
+	var eps []Endpoint
+	var err error
+	if openBase != nil {
+		eps, err = openBase(base)
+	} else {
+		eps, err = base.Open(p)
+	}
 	if err != nil {
 		return nil, err
 	}
 	crash := t.crashArmed()
 	wrapped := make([]Endpoint, p)
 	for i, ep := range eps {
-		wrapped[i] = &chaosEndpoint{
-			Endpoint: ep,
-			plan:     t.Plan,
-			crash:    crash && i == t.Plan.CrashRank,
-			rng:      rand.New(rand.NewSource(t.Plan.Seed ^ int64(i+1)*2654435761)),
-		}
+		wrapped[i] = newChaosEndpoint(ep, t.Plan, crash && i == t.Plan.CrashRank)
 	}
 	return wrapped, nil
+}
+
+// NewChaosEndpoint wraps a single endpoint in a fault plan — the
+// per-process entry point used by cluster children, where each process
+// owns one rank and ChaosTransport (which wraps whole in-process
+// machines) cannot apply. armCrash arms the plan's one-shot crash fault
+// in this endpoint's process; the caller (the launcher relaunching a
+// recovered generation) is responsible for not re-arming it. The rng
+// seeding matches ChaosTransport.Open, so a cluster rank draws the same
+// fault decision stream as the same rank in-process.
+func NewChaosEndpoint(ep Endpoint, plan FaultPlan, armCrash bool) Endpoint {
+	return newChaosEndpoint(ep, plan, armCrash && plan.CrashStep > 0 && ep.ID() == plan.CrashRank)
+}
+
+func newChaosEndpoint(ep Endpoint, plan FaultPlan, crash bool) *chaosEndpoint {
+	return &chaosEndpoint{
+		Endpoint: ep,
+		plan:     plan,
+		crash:    crash,
+		rng:      rand.New(rand.NewSource(plan.Seed ^ int64(ep.ID()+1)*2654435761)),
+	}
 }
 
 // chaosEndpoint injects the endpoint-level faults. It is confined to

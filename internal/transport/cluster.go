@@ -1,0 +1,988 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os/exec"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// This file implements the first out-of-process ProcessGroup: the
+// "cluster" transport, where each rank is its own OS process — the
+// deployment shape of the paper's Appendix B.3 PC LAN machine. The
+// pieces:
+//
+//   - Coordinator: owns membership for one job. Ranks join over a TCP
+//     control connection with a wire.Handshake frame (magic, job id,
+//     rank, epoch, p); when all p ranks of the current epoch have
+//     joined, the coordinator broadcasts the peer address book — the
+//     readiness barrier. Afterwards it relays abort and leave events,
+//     and converts a control connection dropped without a leave into a
+//     gang-wide abort (crash fan-out).
+//   - JoinCluster: the member side. It joins the coordinator, waits for
+//     the address book, establishes the pairwise data connections (each
+//     carrying a mutual handshake so a stale or foreign peer is fenced
+//     at the data plane too), and returns an Endpoint backed by the
+//     same staged total-exchange engine as TCPTransport.
+//   - ClusterTransport: the in-process composition — Open starts a
+//     coordinator and joins all p ranks as goroutines over real
+//     loopback sockets, running the full join/handshake/book protocol.
+//     This is what makes "cluster" a first-class registry transport
+//     that the whole conformance + chaos + recovery matrix exercises.
+//   - ClusterMember: a Transport adapter for a child process hosting
+//     exactly one rank (bsprun -cluster workers, test children).
+//   - ClusterJob: the rank-per-process gang launcher with
+//     restart-on-recoverable-failure and epoch fencing.
+
+// Control frame tags, coordinator <-> member. Every control frame is a
+// [u32 length][payload] wire frame whose first payload byte is the tag.
+const (
+	ctrlBook   = 'B' // coordinator -> member: p peer data addresses
+	ctrlReject = 'R' // coordinator -> member: join rejected, reason follows
+	ctrlAbort  = 'X' // either direction: gang abort, reason follows
+	ctrlLeave  = 'L' // member -> coordinator: clean detach; broadcast back with rank
+)
+
+// ctrlFrameLimit bounds control frames (the address book dominates:
+// ~32 bytes per rank).
+const ctrlFrameLimit = 1 << 20
+
+const (
+	clusterDefaultJoinTimeout = 30 * time.Second
+	// ctrlWriteTimeout bounds coordinator broadcast writes so one wedged
+	// member cannot stall the fan-out to the others.
+	ctrlWriteTimeout = 5 * time.Second
+	// settleTimeout is how long a cluster member waits, after a
+	// data-plane error, for the membership event (abort or leave
+	// broadcast) that explains it; on the loopback control plane the
+	// notification beats this by orders of magnitude.
+	settleTimeout = 2 * time.Second
+)
+
+func writeCtrlFrame(c net.Conn, payload []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	c.SetWriteDeadline(time.Now().Add(ctrlWriteTimeout))
+	defer c.SetWriteDeadline(time.Time{})
+	if _, err := c.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := c.Write(payload)
+	return err
+}
+
+func readCtrlFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > ctrlFrameLimit {
+		return nil, fmt.Errorf("cluster: control frame of %d bytes out of range", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// CoordinatorOptions configure a cluster job's membership service.
+type CoordinatorOptions struct {
+	// JobID names the job; handshakes with any other id are rejected.
+	JobID string
+	// Epoch is the starting gang generation (see GroupOptions.Epoch).
+	Epoch int
+	// JoinTimeout bounds how long a gang generation may stay incomplete
+	// after its first rank joins: when it fires, every joined rank is
+	// rejected with an error naming the missing rank(s). It also bounds
+	// the handshake read on each new control connection, so a peer that
+	// connects but never completes the handshake cannot park forever.
+	// 0 means clusterDefaultJoinTimeout.
+	JoinTimeout time.Duration
+
+	// closeOnIdle shuts the coordinator down once a ready generation's
+	// members have all disconnected (the in-process ClusterTransport
+	// sets it; a launcher that relaunches generations keeps it off).
+	closeOnIdle bool
+}
+
+func (o CoordinatorOptions) joinTimeout() time.Duration {
+	if o.JoinTimeout > 0 {
+		return o.JoinTimeout
+	}
+	return clusterDefaultJoinTimeout
+}
+
+// Coordinator is the membership owner of one cluster job: it admits
+// ranks epoch by epoch, broadcasts the address book when a generation
+// is complete, relays abort/leave events, and fences handshakes from
+// the wrong job, a stale epoch, an out-of-range or duplicate rank.
+type Coordinator struct {
+	p    int
+	opts CoordinatorOptions
+	ln   net.Listener
+
+	mu     sync.Mutex
+	epoch  int
+	gen    *coordGen
+	closed bool
+}
+
+// coordGen is one gang generation: the ranks joined at the current
+// epoch.
+type coordGen struct {
+	epoch   int
+	members map[int]*coordMember
+	ready   bool
+	aborted bool
+	live    int // member control conns still connected
+	timer   *time.Timer
+}
+
+type coordMember struct {
+	rank int
+	conn net.Conn
+	addr string
+	left bool
+}
+
+// StartCoordinator listens on a loopback port and serves membership for
+// one job of p ranks.
+func StartCoordinator(p int, opts CoordinatorOptions) (*Coordinator, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("cluster: p must be >= 1, got %d", p)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("cluster: coordinator listen: %w", err)
+	}
+	c := &Coordinator{p: p, opts: opts, ln: ln, epoch: opts.Epoch}
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the coordinator's control address for ClusterConfig.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Epoch returns the generation currently being admitted.
+func (c *Coordinator) Epoch() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// AdvanceEpoch starts the next gang generation (a recovery relaunch):
+// handshakes carrying the previous epoch are rejected from now on, so a
+// straggler process of the crashed generation cannot rejoin the new
+// gang. It returns the new epoch.
+func (c *Coordinator) AdvanceEpoch() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.epoch++
+	if c.gen != nil && c.gen.timer != nil {
+		c.gen.timer.Stop()
+	}
+	c.gen = nil
+	return c.epoch
+}
+
+// Close shuts the coordinator down, disconnecting any joined members.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	gen := c.gen
+	c.mu.Unlock()
+	err := c.ln.Close()
+	if gen != nil {
+		for _, m := range gen.members {
+			m.conn.Close()
+		}
+	}
+	return err
+}
+
+func (c *Coordinator) acceptLoop() {
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go c.handleJoin(conn)
+	}
+}
+
+// handleJoin validates one joining rank's handshake and admits it into
+// the current generation. Invalid handshakes are rejected with a frame
+// naming the cause; a connection that never completes the handshake is
+// dropped when its read deadline fires (and, if a generation is
+// waiting on that rank, the generation's join timer names it).
+func (c *Coordinator) handleJoin(conn net.Conn) {
+	conn.SetReadDeadline(time.Now().Add(c.opts.joinTimeout()))
+	hs, err := wire.ReadHandshake(conn)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	addrB, err := readCtrlFrame(conn)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	reject := func(reason string) {
+		writeCtrlFrame(conn, append([]byte{ctrlReject}, reason...))
+		conn.Close()
+	}
+
+	c.mu.Lock()
+	switch {
+	case c.closed:
+		c.mu.Unlock()
+		reject("coordinator closed")
+		return
+	case hs.JobID != c.opts.JobID:
+		c.mu.Unlock()
+		reject(fmt.Sprintf("wrong job id %q (this coordinator serves job %q)", hs.JobID, c.opts.JobID))
+		return
+	case hs.P != c.p:
+		c.mu.Unlock()
+		reject(fmt.Sprintf("p mismatch: handshake says %d ranks, job %q has %d", hs.P, c.opts.JobID, c.p))
+		return
+	case hs.Rank < 0 || hs.Rank >= c.p:
+		c.mu.Unlock()
+		reject(fmt.Sprintf("rank %d out of range [0,%d)", hs.Rank, c.p))
+		return
+	case hs.Epoch != c.epoch:
+		cur := c.epoch
+		c.mu.Unlock()
+		if hs.Epoch < cur {
+			reject(fmt.Sprintf("stale epoch %d: job %q is at epoch %d (a process from a previous generation must not rejoin; resume with the bumped epoch)", hs.Epoch, c.opts.JobID, cur))
+		} else {
+			reject(fmt.Sprintf("epoch %d not yet current: job %q is at epoch %d", hs.Epoch, c.opts.JobID, cur))
+		}
+		return
+	}
+	if c.gen == nil {
+		gen := &coordGen{epoch: c.epoch, members: make(map[int]*coordMember)}
+		epoch := c.epoch
+		gen.timer = time.AfterFunc(c.opts.joinTimeout(), func() { c.joinTimedOut(epoch) })
+		c.gen = gen
+	}
+	gen := c.gen
+	if _, dup := gen.members[hs.Rank]; dup {
+		c.mu.Unlock()
+		reject(fmt.Sprintf("duplicate rank %d: already joined job %q epoch %d", hs.Rank, c.opts.JobID, c.epoch))
+		return
+	}
+	m := &coordMember{rank: hs.Rank, conn: conn, addr: string(addrB)}
+	gen.members[hs.Rank] = m
+	gen.live++
+	if len(gen.members) == c.p {
+		// Readiness barrier: the generation is complete. Stop the join
+		// timer, broadcast the address book, and start monitoring each
+		// member for abort/leave/crash.
+		gen.timer.Stop()
+		book := c.bookLocked(gen)
+		for _, mm := range gen.members {
+			if err := writeCtrlFrame(mm.conn, book); err != nil {
+				c.abortGenLocked(gen, fmt.Sprintf("rank %d unreachable during readiness broadcast: %v", mm.rank, err))
+				break
+			}
+		}
+		gen.ready = true
+		for _, mm := range gen.members {
+			go c.monitor(gen, mm)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// bookLocked renders the address book broadcast: tag, p, then one
+// length-prefixed address per rank.
+func (c *Coordinator) bookLocked(gen *coordGen) []byte {
+	b := []byte{ctrlBook}
+	b = binary.LittleEndian.AppendUint32(b, uint32(c.p))
+	for r := 0; r < c.p; r++ {
+		addr := gen.members[r].addr
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(addr)))
+		b = append(b, addr...)
+	}
+	return b
+}
+
+// joinTimedOut fires when a generation stays incomplete past the join
+// timeout: every joined rank is rejected with the missing rank(s)
+// named — the silent peer is identified by its absence.
+func (c *Coordinator) joinTimedOut(epoch int) {
+	c.mu.Lock()
+	gen := c.gen
+	if gen == nil || gen.epoch != epoch || gen.ready {
+		c.mu.Unlock()
+		return
+	}
+	c.gen = nil
+	c.mu.Unlock()
+	var missing []int
+	for r := 0; r < c.p; r++ {
+		if _, ok := gen.members[r]; !ok {
+			missing = append(missing, r)
+		}
+	}
+	sort.Ints(missing)
+	reason := fmt.Sprintf("cluster join timed out after %v: rank(s) %v never completed the handshake (job %q, epoch %d)",
+		c.opts.joinTimeout(), missing, c.opts.JobID, epoch)
+	for _, m := range gen.members {
+		writeCtrlFrame(m.conn, append([]byte{ctrlReject}, reason...))
+		m.conn.Close()
+	}
+}
+
+// monitor serves one ready member's control connection: it relays
+// aborts and leaves to the rest of the gang and converts a connection
+// dropped without a leave into a gang-wide abort (the crash fan-out).
+func (c *Coordinator) monitor(gen *coordGen, m *coordMember) {
+	for {
+		b, err := readCtrlFrame(m.conn)
+		if err != nil {
+			c.mu.Lock()
+			if !m.left && !gen.aborted {
+				c.abortGenLocked(gen, fmt.Sprintf("rank %d disconnected without leaving (crashed?)", m.rank))
+			}
+			gen.live--
+			idle := gen.live == 0 && c.opts.closeOnIdle
+			c.mu.Unlock()
+			m.conn.Close()
+			if idle {
+				c.Close()
+			}
+			return
+		}
+		switch b[0] {
+		case ctrlAbort:
+			c.mu.Lock()
+			c.abortGenLocked(gen, fmt.Sprintf("rank %d aborted: %s", m.rank, b[1:]))
+			c.mu.Unlock()
+		case ctrlLeave:
+			c.mu.Lock()
+			m.left = true
+			note := []byte{ctrlLeave, 0, 0, 0, 0}
+			binary.LittleEndian.PutUint32(note[1:], uint32(m.rank))
+			for _, mm := range gen.members {
+				if mm != m && !mm.left {
+					writeCtrlFrame(mm.conn, note)
+				}
+			}
+			c.mu.Unlock()
+		}
+	}
+}
+
+// abortGenLocked broadcasts a gang abort once.
+func (c *Coordinator) abortGenLocked(gen *coordGen, reason string) {
+	if gen.aborted {
+		return
+	}
+	gen.aborted = true
+	frame := append([]byte{ctrlAbort}, reason...)
+	for _, m := range gen.members {
+		if !m.left {
+			writeCtrlFrame(m.conn, frame)
+		}
+	}
+}
+
+// ClusterConfig configures one rank's membership in a cluster job.
+type ClusterConfig struct {
+	// Coordinator is the control address of the job's Coordinator.
+	Coordinator string
+	// JobID, Rank, Epoch and P form this rank's handshake.
+	JobID string
+	Rank  int
+	Epoch int
+	P     int
+	// JoinTimeout bounds the join, the address-book wait and the
+	// pairwise data-plane establishment. 0 means
+	// clusterDefaultJoinTimeout.
+	JoinTimeout time.Duration
+	// StageTimeout and MaxRetries tune the staged exchange engine
+	// exactly as on TCPTransport.
+	StageTimeout time.Duration
+	MaxRetries   int
+	// Chaos, when non-nil, wraps this rank's endpoint (and, when the
+	// plan injects connection faults, its data connections) in the
+	// fault plan; ChaosCrash additionally arms the plan's one-shot
+	// crash fault in this process. A child process uses this instead of
+	// ChaosTransport, which wraps whole in-process machines.
+	Chaos      *FaultPlan
+	ChaosCrash bool
+
+	// wrapConn lets the in-process ClusterTransport thread the chaos
+	// connection decorator through JoinCluster.
+	wrapConn func(local, peer int, c net.Conn) net.Conn
+}
+
+func (cfg ClusterConfig) joinTimeout() time.Duration {
+	if cfg.JoinTimeout > 0 {
+		return cfg.JoinTimeout
+	}
+	return clusterDefaultJoinTimeout
+}
+
+// clusterMember is the out-of-process GroupMember: the shared groupCore
+// driven by coordinator control frames. Abort and Leave notify the
+// coordinator; the control reader applies remote aborts and leaves to
+// the local core (flag first, then hooks, so an exchange woken by a
+// dying socket always sees the flag).
+type clusterMember struct {
+	core     *groupCore
+	rank     int
+	ctrl     net.Conn
+	ctrlWMu  sync.Mutex
+	leftSelf atomic.Bool
+}
+
+func (m *clusterMember) Rank() int                       { return m.rank }
+func (m *clusterMember) P() int                          { return m.core.p }
+func (m *clusterMember) Options() GroupOptions           { return m.core.opts }
+func (m *clusterMember) OnAbort(fn func())               { m.core.onAbort(fn) }
+func (m *clusterMember) Aborted() bool                   { return m.core.aborted.Load() }
+func (m *clusterMember) AbortCh() <-chan struct{}        { return m.core.abortCh }
+func (m *clusterMember) Left(rank int) bool              { return m.core.isLeft(rank) }
+func (m *clusterMember) LeftCh(rank int) <-chan struct{} { return m.core.leftChan(rank) }
+
+// Abort latches the local failure (unblocking this process's exchange)
+// and notifies the coordinator, which fans the abort out to the gang.
+func (m *clusterMember) Abort() {
+	first := !m.core.aborted.Load()
+	m.core.abort()
+	if first {
+		m.sendCtrl(append([]byte{ctrlAbort}, "local abort"...))
+	}
+}
+
+// Leave detaches this rank: the coordinator broadcasts the departure.
+// The hosting process owns exactly one member, so Leave always reports
+// last == true (the endpoint then tears down this process's sockets).
+func (m *clusterMember) Leave() (last bool) {
+	m.leftSelf.Store(true)
+	m.sendCtrl([]byte{ctrlLeave})
+	m.core.markLeft(m.rank)
+	return true
+}
+
+func (m *clusterMember) sendCtrl(frame []byte) {
+	m.ctrlWMu.Lock()
+	defer m.ctrlWMu.Unlock()
+	writeCtrlFrame(m.ctrl, frame)
+}
+
+// settleFailure implements failureSettler: wait briefly for the
+// membership event (gang abort or peer leave) explaining a data-plane
+// error.
+func (m *clusterMember) settleFailure(peer int) {
+	if m.core.aborted.Load() || (peer != m.rank && m.core.isLeft(peer)) {
+		return
+	}
+	t := time.NewTimer(settleTimeout)
+	defer t.Stop()
+	var leftCh <-chan struct{}
+	if peer != m.rank {
+		leftCh = m.core.leftChan(peer)
+	}
+	select {
+	case <-m.core.abortCh:
+	case <-leftCh:
+	case <-t.C:
+	}
+}
+
+// readControl applies coordinator broadcasts to the local core until
+// the control connection dies. A connection lost before this rank left
+// means the coordinator (or the launcher that owns it) is gone: the
+// gang cannot recover its membership, so the run aborts.
+func (m *clusterMember) readControl() {
+	for {
+		b, err := readCtrlFrame(m.ctrl)
+		if err != nil {
+			if !m.leftSelf.Load() {
+				m.core.abort()
+			}
+			return
+		}
+		switch b[0] {
+		case ctrlAbort:
+			m.core.abort()
+		case ctrlLeave:
+			if len(b) == 5 {
+				if r := int(binary.LittleEndian.Uint32(b[1:])); r >= 0 && r < m.core.p {
+					m.core.markLeft(r)
+				}
+			}
+		}
+	}
+}
+
+// JoinCluster joins one rank into a cluster job and returns its
+// Endpoint: the member's handshake is validated by the coordinator, the
+// address-book broadcast is the readiness barrier, and every pairwise
+// data connection exchanges mutual handshakes so job id and epoch are
+// fenced on the data plane as well. The returned endpoint runs the same
+// staged total-exchange engine as TCPTransport.
+func JoinCluster(cfg ClusterConfig) (Endpoint, error) {
+	if cfg.P < 1 {
+		return nil, fmt.Errorf("cluster: p must be >= 1, got %d", cfg.P)
+	}
+	if cfg.Rank < 0 || cfg.Rank >= cfg.P {
+		return nil, fmt.Errorf("cluster: rank %d out of range [0,%d)", cfg.Rank, cfg.P)
+	}
+	deadline := time.Now().Add(cfg.joinTimeout())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("cluster: rank %d data listen: %w", cfg.Rank, err)
+	}
+	ctrl, err := net.DialTimeout("tcp", cfg.Coordinator, cfg.joinTimeout())
+	if err != nil {
+		ln.Close()
+		return nil, fmt.Errorf("cluster: rank %d dial coordinator %s: %w", cfg.Rank, cfg.Coordinator, err)
+	}
+	fail := func(err error) (Endpoint, error) {
+		ctrl.Close()
+		ln.Close()
+		return nil, err
+	}
+	hs := wire.Handshake{JobID: cfg.JobID, Rank: cfg.Rank, Epoch: cfg.Epoch, P: cfg.P}
+	ctrl.SetDeadline(deadline)
+	if err := wire.WriteHandshake(ctrl, hs); err != nil {
+		return fail(fmt.Errorf("cluster: rank %d handshake: %w", cfg.Rank, err))
+	}
+	if err := writeCtrlFrame(ctrl, []byte(ln.Addr().String())); err != nil {
+		return fail(fmt.Errorf("cluster: rank %d handshake: %w", cfg.Rank, err))
+	}
+	reply, err := readCtrlFrame(ctrl)
+	if err != nil {
+		return fail(fmt.Errorf("cluster: rank %d waiting for the gang to assemble: %w", cfg.Rank, err))
+	}
+	switch reply[0] {
+	case ctrlReject:
+		return fail(fmt.Errorf("cluster: rank %d join rejected: %s", cfg.Rank, reply[1:]))
+	case ctrlBook:
+	default:
+		return fail(fmt.Errorf("cluster: rank %d: unexpected control frame %q before readiness", cfg.Rank, reply[0]))
+	}
+	ctrl.SetDeadline(time.Time{})
+	book, err := parseBook(reply, cfg.P)
+	if err != nil {
+		return fail(fmt.Errorf("cluster: rank %d: %w", cfg.Rank, err))
+	}
+
+	core := newGroupCore(cfg.P, GroupOptions{JobID: cfg.JobID, Epoch: cfg.Epoch})
+	m := &clusterMember{core: core, rank: cfg.Rank, ctrl: ctrl}
+	go m.readControl()
+
+	wrap := cfg.wrapConn
+	if wrap == nil && cfg.Chaos != nil && cfg.Chaos.ConnErrRate > 0 {
+		wrap = chaosWrapConn(*cfg.Chaos)
+	}
+	conns, err := dataPlane(cfg, hs, ln, book, deadline)
+	ln.Close()
+	if err != nil {
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+		// Leave rather than lingering: the coordinator should not turn
+		// our failed join into a gang-wide crash abort twice.
+		m.Leave()
+		ctrl.Close()
+		return nil, err
+	}
+
+	tt := TCPTransport{StageTimeout: cfg.StageTimeout, MaxRetries: cfg.MaxRetries}
+	st := &tcpState{
+		p:        cfg.P,
+		sched:    NewPairSchedule(cfg.P),
+		timeout:  tt.stageTimeout(),
+		retries:  tt.maxRetries(),
+		wrapConn: wrap,
+	}
+	e := newTCPEndpoint(st, m, cfg.Rank)
+	for peer, c := range conns {
+		if c != nil {
+			e.setConn(peer, c)
+		}
+	}
+	st.setTeardown(func() {
+		e.closeConns()
+		ctrl.Close()
+	})
+	// A gang abort must unblock this process's exchange immediately;
+	// the control connection stays up so the coordinator can still see
+	// our leave.
+	m.OnAbort(e.closeConns)
+	var ep Endpoint = e
+	if cfg.Chaos != nil {
+		ep = NewChaosEndpoint(e, *cfg.Chaos, cfg.ChaosCrash)
+	}
+	return ep, nil
+}
+
+// parseBook decodes the coordinator's address-book broadcast.
+func parseBook(b []byte, p int) ([]string, error) {
+	b = b[1:]
+	if len(b) < 4 {
+		return nil, errors.New("short address book")
+	}
+	if n := int(binary.LittleEndian.Uint32(b)); n != p {
+		return nil, fmt.Errorf("address book for %d ranks, want %d", n, p)
+	}
+	b = b[4:]
+	addrs := make([]string, p)
+	for r := 0; r < p; r++ {
+		if len(b) < 4 {
+			return nil, errors.New("truncated address book")
+		}
+		n := int(binary.LittleEndian.Uint32(b))
+		b = b[4:]
+		if len(b) < n {
+			return nil, errors.New("truncated address book")
+		}
+		addrs[r] = string(b[:n])
+		b = b[n:]
+	}
+	return addrs, nil
+}
+
+// dataPlane establishes this rank's p-1 pairwise data connections:
+// dial every lower rank, accept from every higher rank, and exchange
+// mutual handshakes on each connection. The dependency order is
+// acyclic (a rank's dials only wait on lower ranks' accept loops), so
+// the sequential establishment cannot deadlock; the kernel listen
+// backlog holds early dials from higher ranks.
+func dataPlane(cfg ClusterConfig, hs wire.Handshake, ln net.Listener, book []string, deadline time.Time) ([]net.Conn, error) {
+	conns := make([]net.Conn, cfg.P)
+	checkPeer := func(ph wire.Handshake, wantRank int) error {
+		switch {
+		case ph.JobID != cfg.JobID:
+			return fmt.Errorf("peer presented job id %q, want %q", ph.JobID, cfg.JobID)
+		case ph.Epoch != cfg.Epoch:
+			return fmt.Errorf("peer presented epoch %d, want %d (stale generation?)", ph.Epoch, cfg.Epoch)
+		case ph.P != cfg.P:
+			return fmt.Errorf("peer presented p=%d, want %d", ph.P, cfg.P)
+		case wantRank >= 0 && ph.Rank != wantRank:
+			return fmt.Errorf("peer presented rank %d, want %d", ph.Rank, wantRank)
+		}
+		return nil
+	}
+	for j := 0; j < cfg.Rank; j++ {
+		c, err := net.DialTimeout("tcp", book[j], time.Until(deadline))
+		if err != nil {
+			return conns, fmt.Errorf("cluster: rank %d dial rank %d at %s: %w", cfg.Rank, j, book[j], err)
+		}
+		c.SetDeadline(deadline)
+		if err := wire.WriteHandshake(c, hs); err != nil {
+			c.Close()
+			return conns, fmt.Errorf("cluster: rank %d handshake with rank %d: %w", cfg.Rank, j, err)
+		}
+		ph, err := wire.ReadHandshake(c)
+		if err != nil {
+			c.Close()
+			return conns, fmt.Errorf("cluster: rank %d handshake with rank %d: %w", cfg.Rank, j, err)
+		}
+		if err := checkPeer(ph, j); err != nil {
+			c.Close()
+			return conns, fmt.Errorf("cluster: rank %d data handshake with rank %d: %w", cfg.Rank, j, err)
+		}
+		c.SetDeadline(time.Time{})
+		conns[j] = c
+	}
+	if tl, ok := ln.(*net.TCPListener); ok {
+		tl.SetDeadline(deadline)
+	}
+	for need := cfg.P - 1 - cfg.Rank; need > 0; need-- {
+		c, err := ln.Accept()
+		if err != nil {
+			return conns, fmt.Errorf("cluster: rank %d accepting data connections: %w", cfg.Rank, err)
+		}
+		c.SetDeadline(deadline)
+		ph, err := wire.ReadHandshake(c)
+		if err != nil {
+			c.Close()
+			return conns, fmt.Errorf("cluster: rank %d reading a data handshake: %w", cfg.Rank, err)
+		}
+		if err := checkPeer(ph, -1); err != nil {
+			c.Close()
+			return conns, fmt.Errorf("cluster: rank %d data handshake: %w", cfg.Rank, err)
+		}
+		if ph.Rank <= cfg.Rank || ph.Rank >= cfg.P {
+			c.Close()
+			return conns, fmt.Errorf("cluster: rank %d: unexpected data connection from rank %d", cfg.Rank, ph.Rank)
+		}
+		if conns[ph.Rank] != nil {
+			c.Close()
+			return conns, fmt.Errorf("cluster: rank %d: duplicate data connection from rank %d", cfg.Rank, ph.Rank)
+		}
+		if err := wire.WriteHandshake(c, hs); err != nil {
+			c.Close()
+			return conns, fmt.Errorf("cluster: rank %d handshake with rank %d: %w", cfg.Rank, ph.Rank, err)
+		}
+		c.SetDeadline(time.Time{})
+		conns[ph.Rank] = c
+	}
+	return conns, nil
+}
+
+// ClusterTransport is the registry's "cluster" transport: the
+// multi-process TCP machine of the paper's Appendix B.3 PC LAN,
+// refactored so rank membership lives in a coordinator rather than in
+// the exchange path. In-process Open runs the complete protocol — a
+// coordinator plus p concurrent JoinCluster members over real loopback
+// sockets with handshake frames on both planes — so the conformance,
+// chaos and recovery matrices exercise the cluster code paths without
+// spawning processes. Rank-per-OS-process deployments use the same
+// pieces directly: a Coordinator (owned by the launcher, see
+// ClusterJob) and one JoinCluster (via ClusterMember) per child.
+type ClusterTransport struct {
+	// StageTimeout and MaxRetries tune the staged exchange engine, as
+	// on TCPTransport.
+	StageTimeout time.Duration
+	MaxRetries   int
+	// JoinTimeout bounds gang assembly (see CoordinatorOptions).
+	JoinTimeout time.Duration
+
+	// wrapConn is ChaosTransport's connection decorator.
+	wrapConn func(local, peer int, c net.Conn) net.Conn
+}
+
+// Name implements Transport.
+func (ClusterTransport) Name() string { return "cluster" }
+
+// Open implements Transport.
+func (t ClusterTransport) Open(p int) ([]Endpoint, error) {
+	return t.OpenGroup(p, GroupOptions{JobID: "cluster-local"})
+}
+
+// OpenGroup implements GroupTransport.
+func (t ClusterTransport) OpenGroup(p int, opts GroupOptions) ([]Endpoint, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("cluster: p must be >= 1, got %d", p)
+	}
+	coord, err := StartCoordinator(p, CoordinatorOptions{
+		JobID:       opts.JobID,
+		Epoch:       opts.Epoch,
+		JoinTimeout: t.JoinTimeout,
+		closeOnIdle: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	eps := make([]Endpoint, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			eps[i], errs[i] = JoinCluster(ClusterConfig{
+				Coordinator:  coord.Addr(),
+				JobID:        opts.JobID,
+				Rank:         i,
+				Epoch:        opts.Epoch,
+				P:            p,
+				JoinTimeout:  t.JoinTimeout,
+				StageTimeout: t.StageTimeout,
+				MaxRetries:   t.MaxRetries,
+				wrapConn:     t.wrapConn,
+			})
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			for _, ep := range eps {
+				if ep != nil {
+					ep.Abort()
+					ep.Close()
+				}
+			}
+			coord.Close()
+			return nil, fmt.Errorf("cluster: open: %w (rank %d)", err, i)
+		}
+	}
+	return eps, nil
+}
+
+// ClusterMember adapts one rank's cluster membership to the Transport
+// interface for a process that hosts exactly that rank (a bsprun
+// -cluster worker or a test child). Open(p) validates the width and
+// returns a single endpoint: core then runs just this rank's process
+// function.
+type ClusterMember struct {
+	Config ClusterConfig
+}
+
+// Name implements Transport.
+func (ClusterMember) Name() string { return "cluster-member" }
+
+// Open implements Transport. The returned slice holds one endpoint —
+// this process's rank.
+func (m ClusterMember) Open(p int) ([]Endpoint, error) {
+	if p != m.Config.P {
+		return nil, fmt.Errorf("cluster: member configured for p=%d opened with p=%d", m.Config.P, p)
+	}
+	ep, err := JoinCluster(m.Config)
+	if err != nil {
+		return nil, err
+	}
+	return []Endpoint{ep}, nil
+}
+
+// ClusterProcSpec is the launch recipe for one rank of one generation.
+type ClusterProcSpec struct {
+	Rank, P, Epoch int
+	JobID          string
+	Coordinator    string
+	// Resume is set on relaunches: the child should continue from the
+	// latest complete checkpoint cut.
+	Resume bool
+}
+
+// ClusterJob launches one OS process per rank and supervises the gang:
+// on a recoverable failure (a crashed or timed-out generation) it
+// advances the epoch — fencing stragglers of the dead generation — and
+// relaunches every rank with Resume set, bounded by MaxRestarts.
+type ClusterJob struct {
+	P int
+	// JobID names the job; a fresh unique id per run keeps processes of
+	// unrelated runs from joining each other.
+	JobID string
+	// Epoch is the starting generation (normally 0).
+	Epoch int
+	// JoinTimeout bounds gang assembly per generation.
+	JoinTimeout time.Duration
+	// Command builds the ready-to-start process for one rank. The
+	// returned Cmd must not be started.
+	Command func(spec ClusterProcSpec) *exec.Cmd
+	// Recoverable classifies a rank's exit code: true means the
+	// generation may be relaunched from checkpoints. Nil defaults to
+	// exit codes 2 (timeout) and 3 (abort/crash) — bsprun's CI
+	// classification.
+	Recoverable func(exitCode int) bool
+	// MaxRestarts bounds the relaunch attempts (0 means none).
+	MaxRestarts int
+	// Backoff is the pause before the first relaunch, doubling per
+	// attempt. 0 means 100ms.
+	Backoff time.Duration
+	// Logf, when set, receives launcher progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (j *ClusterJob) logf(format string, args ...any) {
+	if j.Logf != nil {
+		j.Logf(format, args...)
+	}
+}
+
+func (j *ClusterJob) recoverable(code int) bool {
+	if j.Recoverable != nil {
+		return j.Recoverable(code)
+	}
+	return code == 2 || code == 3
+}
+
+// Run executes the job to completion: it owns the coordinator, spawns
+// the p rank processes of each generation, and returns nil once a
+// generation exits cleanly. A non-recoverable rank failure, or a
+// recoverable one past MaxRestarts, returns an error naming the rank.
+func (j *ClusterJob) Run() error {
+	if j.P < 1 {
+		return fmt.Errorf("cluster: p must be >= 1, got %d", j.P)
+	}
+	if j.Command == nil {
+		return errors.New("cluster: ClusterJob.Command is required")
+	}
+	coord, err := StartCoordinator(j.P, CoordinatorOptions{
+		JobID:       j.JobID,
+		Epoch:       j.Epoch,
+		JoinTimeout: j.JoinTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+	backoff := j.Backoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	for attempt := 0; ; attempt++ {
+		epoch := coord.Epoch()
+		resume := attempt > 0
+		j.logf("cluster: launching generation epoch=%d (p=%d, resume=%v)", epoch, j.P, resume)
+		cmds := make([]*exec.Cmd, j.P)
+		for r := 0; r < j.P; r++ {
+			cmds[r] = j.Command(ClusterProcSpec{
+				Rank: r, P: j.P, Epoch: epoch,
+				JobID: j.JobID, Coordinator: coord.Addr(),
+				Resume: resume,
+			})
+			if err := cmds[r].Start(); err != nil {
+				for k := 0; k < r; k++ {
+					cmds[k].Process.Kill()
+					cmds[k].Wait()
+				}
+				return fmt.Errorf("cluster: start rank %d: %w", r, err)
+			}
+		}
+		worst, firstBad := 0, -1
+		for r, cmd := range cmds {
+			code := 0
+			if err := cmd.Wait(); err != nil {
+				code = 1
+				var ee *exec.ExitError
+				if errors.As(err, &ee) && ee.ExitCode() > 0 {
+					code = ee.ExitCode()
+				}
+			}
+			if code != 0 && firstBad < 0 {
+				worst, firstBad = code, r
+			}
+		}
+		if firstBad < 0 {
+			j.logf("cluster: generation epoch=%d completed cleanly", epoch)
+			return nil
+		}
+		if !j.recoverable(worst) {
+			return fmt.Errorf("cluster: rank %d of job %q failed with exit code %d (not recoverable)", firstBad, j.JobID, worst)
+		}
+		if attempt >= j.MaxRestarts {
+			return fmt.Errorf("cluster: rank %d of job %q failed with exit code %d after %d attempt(s)", firstBad, j.JobID, worst, attempt+1)
+		}
+		j.logf("cluster: rank %d exited with code %d; relaunching from checkpoints (attempt %d/%d)", firstBad, worst, attempt+1, j.MaxRestarts)
+		time.Sleep(backoff << attempt)
+		coord.AdvanceEpoch()
+	}
+}
+
+// chaosWrapConn builds the ChaosTransport connection decorator for a
+// fault plan (shared by the tcp and cluster wrapping paths).
+func chaosWrapConn(plan FaultPlan) func(local, peer int, c net.Conn) net.Conn {
+	return func(local, peer int, c net.Conn) net.Conn {
+		seed := plan.Seed ^ int64(local*1_000_003+peer+1)
+		return &chaosConn{Conn: c, rng: rand.New(rand.NewSource(seed)), rate: plan.ConnErrRate}
+	}
+}

@@ -1,0 +1,349 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"os/exec"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// rawControlJoin performs only the control-plane half of a join — the
+// handshake and data-address frames — and returns the open control
+// connection. It lets tests impersonate a partially-alive rank.
+func rawControlJoin(coord, job string, rank, epoch, p int, dataAddr string) (net.Conn, error) {
+	c, err := net.DialTimeout("tcp", coord, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	if err := wire.WriteHandshake(c, wire.Handshake{JobID: job, Rank: rank, Epoch: epoch, P: p}); err != nil {
+		c.Close()
+		return nil, err
+	}
+	if err := writeCtrlFrame(c, []byte(dataAddr)); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// joinErr runs one JoinCluster expecting failure and returns the error.
+func joinErr(t *testing.T, cfg ClusterConfig) error {
+	t.Helper()
+	ep, err := JoinCluster(cfg)
+	if err == nil {
+		ep.Close()
+		t.Fatalf("JoinCluster(rank %d) unexpectedly succeeded", cfg.Rank)
+	}
+	return err
+}
+
+// TestClusterRejectsWrongJobID: a handshake carrying another job's id
+// must be fenced at the coordinator with an error naming both ids.
+func TestClusterRejectsWrongJobID(t *testing.T) {
+	coord, err := StartCoordinator(1, CoordinatorOptions{JobID: "right-job"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	err = joinErr(t, ClusterConfig{
+		Coordinator: coord.Addr(), JobID: "wrong-job", Rank: 0, P: 1,
+		JoinTimeout: 5 * time.Second,
+	})
+	if !strings.Contains(err.Error(), `wrong job id "wrong-job"`) || !strings.Contains(err.Error(), "right-job") {
+		t.Errorf("error must name both job ids, got: %v", err)
+	}
+}
+
+// TestClusterRejectsDuplicateRank: the second process presenting an
+// already-joined rank is rejected by name.
+func TestClusterRejectsDuplicateRank(t *testing.T) {
+	coord, err := StartCoordinator(2, CoordinatorOptions{JobID: "dup", JoinTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	firstErr := make(chan error, 1)
+	go func() {
+		// Legitimate rank 0: blocks waiting for rank 1, and is
+		// eventually unblocked when the coordinator closes.
+		_, err := JoinCluster(ClusterConfig{
+			Coordinator: coord.Addr(), JobID: "dup", Rank: 0, P: 2,
+			JoinTimeout: 5 * time.Second,
+		})
+		firstErr <- err
+	}()
+	// Wait until rank 0 is admitted, then present the duplicate.
+	var dupErr error
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		dupErr = joinErr(t, ClusterConfig{
+			Coordinator: coord.Addr(), JobID: "dup", Rank: 0, P: 2,
+			JoinTimeout: 5 * time.Second,
+		})
+		if strings.Contains(dupErr.Error(), "duplicate rank 0") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never saw the duplicate-rank rejection, last: %v", dupErr)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	coord.Close()
+	if err := <-firstErr; err == nil {
+		t.Error("rank 0 should fail once the coordinator closes")
+	}
+}
+
+// TestClusterRejectsStaleEpoch: after the gang generation advances (a
+// recovery relaunch), a straggler of the previous generation must be
+// fenced at the handshake, with the error telling it the current epoch.
+func TestClusterRejectsStaleEpoch(t *testing.T) {
+	coord, err := StartCoordinator(1, CoordinatorOptions{JobID: "gen", Epoch: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	if got := coord.AdvanceEpoch(); got != 1 {
+		t.Fatalf("AdvanceEpoch = %d, want 1", got)
+	}
+	err = joinErr(t, ClusterConfig{
+		Coordinator: coord.Addr(), JobID: "gen", Rank: 0, P: 1, Epoch: 0,
+		JoinTimeout: 5 * time.Second,
+	})
+	if !strings.Contains(err.Error(), "stale epoch 0") || !strings.Contains(err.Error(), "epoch 1") {
+		t.Errorf("stale-epoch rejection must name both epochs, got: %v", err)
+	}
+	// The converse fence: an epoch from the future is rejected too.
+	err = joinErr(t, ClusterConfig{
+		Coordinator: coord.Addr(), JobID: "gen", Rank: 0, P: 1, Epoch: 7,
+		JoinTimeout: 5 * time.Second,
+	})
+	if !strings.Contains(err.Error(), "epoch 7 not yet current") {
+		t.Errorf("future-epoch rejection, got: %v", err)
+	}
+}
+
+// TestClusterJoinTimeoutNamesSilentRank: a gang missing a rank — here
+// rank 1 never even connects — must not hang: the joined ranks are
+// rejected after the join timeout with the missing rank named.
+func TestClusterJoinTimeoutNamesSilentRank(t *testing.T) {
+	coord, err := StartCoordinator(2, CoordinatorOptions{
+		JobID: "silent", JoinTimeout: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	start := time.Now()
+	err = joinErr(t, ClusterConfig{
+		Coordinator: coord.Addr(), JobID: "silent", Rank: 0, P: 2,
+		JoinTimeout: 10 * time.Second, // the member is patient; the coordinator is not
+	})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("join took %v; the coordinator's 300ms timeout should have fired", elapsed)
+	}
+	if !strings.Contains(err.Error(), "timed out") || !strings.Contains(err.Error(), "[1]") {
+		t.Errorf("timeout rejection must name missing rank 1, got: %v", err)
+	}
+}
+
+// TestClusterSilentDataPeer: a peer that completes the control join but
+// never opens its data plane must surface as an error (via the join
+// deadline on the data-plane establishment), not a hang. The silent
+// rank uses a raw control connection so the coordinator admits it.
+func TestClusterSilentDataPeer(t *testing.T) {
+	coord, err := StartCoordinator(2, CoordinatorOptions{
+		JobID: "halfway", JoinTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	// Rank 0 joins the control plane with a bogus data address and then
+	// goes silent: rank 1 dials lower ranks, so its dial of that address
+	// must fail the join and name the unreachable peer.
+	silent, err := rawControlJoin(coord.Addr(), "halfway", 0, 0, 2, "127.0.0.1:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer silent.Close()
+	err = joinErr(t, ClusterConfig{
+		Coordinator: coord.Addr(), JobID: "halfway", Rank: 1, P: 2,
+		JoinTimeout: 2 * time.Second,
+	})
+	if !strings.Contains(err.Error(), "rank 1 dial rank 0") {
+		t.Errorf("error must name the unreachable peer, got: %v", err)
+	}
+}
+
+// TestClusterMemberAdapter: two independent members (separate group
+// cores, exactly as two OS processes would have) exchange over real
+// sockets through the Transport adapter.
+func TestClusterMemberAdapter(t *testing.T) {
+	const p = 2
+	coord, err := StartCoordinator(p, CoordinatorOptions{JobID: "adapter", JoinTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, p)
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := ClusterMember{Config: ClusterConfig{
+				Coordinator: coord.Addr(), JobID: "adapter", Rank: r, P: p,
+				JoinTimeout: 10 * time.Second,
+			}}
+			eps, err := m.Open(p)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			if len(eps) != 1 || eps[0].ID() != r {
+				errs[r] = fmt.Errorf("member opened %d endpoints, id %d", len(eps), eps[0].ID())
+				return
+			}
+			ep := eps[0]
+			defer ep.Close()
+			ep.Begin()
+			for s := 0; s < 3; s++ {
+				ep.Send(1-r, msgFor(r, 1-r, s, 0))
+				in, err := ep.Sync()
+				if err != nil {
+					errs[r] = fmt.Errorf("step %d: %w", s, err)
+					return
+				}
+				got := drain(in)
+				if len(got) != 1 || string(got[0]) != string(msgFor(1-r, r, s, 0)) {
+					errs[r] = fmt.Errorf("step %d: inbox %q", s, got)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Errorf("rank %d: %v", r, err)
+		}
+	}
+	m := ClusterMember{Config: ClusterConfig{P: 2}}
+	if _, err := m.Open(4); err == nil {
+		t.Error("width mismatch must be rejected")
+	}
+}
+
+// TestClusterJobLauncher covers the launcher's exit-code supervision
+// without a full worker binary: clean gangs succeed, a non-recoverable
+// exit fails immediately naming the rank, and a persistently
+// recoverable exit fails after MaxRestarts generations with the epoch
+// advanced per relaunch.
+func TestClusterJobLauncher(t *testing.T) {
+	run := func(j ClusterJob) error { return j.Run() }
+
+	if err := run(ClusterJob{
+		P: 3, JobID: "clean",
+		Command: func(spec ClusterProcSpec) *exec.Cmd { return exec.Command("true") },
+	}); err != nil {
+		t.Errorf("clean gang: %v", err)
+	}
+
+	err := run(ClusterJob{
+		P: 2, JobID: "hard",
+		Command: func(spec ClusterProcSpec) *exec.Cmd {
+			if spec.Rank == 1 {
+				return exec.Command("sh", "-c", "exit 1")
+			}
+			return exec.Command("true")
+		},
+	})
+	if err == nil || !strings.Contains(err.Error(), "rank 1") || !strings.Contains(err.Error(), "exit code 1") {
+		t.Errorf("non-recoverable failure must name rank and code, got: %v", err)
+	}
+
+	var specs []ClusterProcSpec
+	var mu sync.Mutex
+	err = run(ClusterJob{
+		P: 1, JobID: "soft", MaxRestarts: 2, Backoff: time.Millisecond,
+		Command: func(spec ClusterProcSpec) *exec.Cmd {
+			mu.Lock()
+			specs = append(specs, spec)
+			mu.Unlock()
+			return exec.Command("sh", "-c", "exit 3")
+		},
+	})
+	if err == nil || !strings.Contains(err.Error(), "after 3 attempt(s)") {
+		t.Errorf("recoverable failure past MaxRestarts, got: %v", err)
+	}
+	if len(specs) != 3 {
+		t.Fatalf("launched %d generations, want 3", len(specs))
+	}
+	for i, spec := range specs {
+		if spec.Epoch != i {
+			t.Errorf("generation %d launched at epoch %d, want %d", i, spec.Epoch, i)
+		}
+		if spec.Resume != (i > 0) {
+			t.Errorf("generation %d Resume = %v", i, spec.Resume)
+		}
+	}
+}
+
+// TestClusterCrashFansOutAsAbort: a member whose process dies without
+// leaving (its control connection drops) must turn into a gang-wide
+// abort, not a hang — the coordinator's crash fan-out.
+func TestClusterCrashFansOutAsAbort(t *testing.T) {
+	const p = 2
+	coord, err := StartCoordinator(p, CoordinatorOptions{JobID: "crashy", JoinTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	eps := make([]Endpoint, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ep, err := JoinCluster(ClusterConfig{
+				Coordinator: coord.Addr(), JobID: "crashy", Rank: r, P: p,
+				JoinTimeout: 10 * time.Second,
+			})
+			if err != nil {
+				t.Errorf("rank %d join: %v", r, err)
+				return
+			}
+			eps[r] = ep
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	// Rank 1 "crashes": every socket dies with no abort and no leave,
+	// exactly like a killed process.
+	crashed := eps[1].(*tcpEndpoint)
+	crashed.closeConns()
+	crashed.m.(*clusterMember).ctrl.Close()
+	// Rank 0, mid-exchange, must unwind with an error, not hang.
+	done := make(chan error, 1)
+	go func() {
+		eps[0].Send(1, []byte("hi"))
+		_, err := eps[0].Sync()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("rank 0 must fail once its peer crashed")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("rank 0 hung on a crashed peer")
+	}
+	eps[0].Close()
+}

@@ -47,19 +47,34 @@ func conformanceFaultPlan() FaultPlan {
 	}
 }
 
+// conformanceCases builds the matrix from the registry: every
+// registered transport runs the suite clean AND chaos-wrapped, so a
+// newly registered transport — the cluster, with its out-of-process
+// membership — inherits the whole contract the day it is registered.
+// Socket-backed transports get transient connection faults on top of
+// the delay/stall plan; sim is the only transport that tolerates early
+// finishers (its barrier is a scheduler, not a peer exchange).
 func conformanceCases() []conformanceCase {
-	tcpPlan := conformanceFaultPlan()
-	tcpPlan.ConnErrRate = 0.05
-	return []conformanceCase{
-		{"shm", ShmTransport{}, true},
-		{"xchg", XchgTransport{}, true},
-		{"tcp", TCPTransport{}, true},
-		{"sim", SimTransport{}, false},
-		{"chaos-shm", ChaosTransport{Base: ShmTransport{}, Plan: conformanceFaultPlan()}, true},
-		{"chaos-xchg", ChaosTransport{Base: XchgTransport{}, Plan: conformanceFaultPlan()}, true},
-		{"chaos-tcp", ChaosTransport{Base: TCPTransport{}, Plan: tcpPlan}, true},
-		{"chaos-sim", ChaosTransport{Base: SimTransport{}, Plan: conformanceFaultPlan()}, false},
+	var cases []conformanceCase
+	for _, name := range Names() {
+		tr, err := New(name)
+		if err != nil {
+			panic(fmt.Sprintf("conformanceCases: New(%q): %v", name, err))
+		}
+		cases = append(cases, conformanceCase{name, tr, name != "sim"})
 	}
+	for _, name := range Names() {
+		base, err := New(name)
+		if err != nil {
+			panic(fmt.Sprintf("conformanceCases: New(%q): %v", name, err))
+		}
+		plan := conformanceFaultPlan()
+		if name == "tcp" || name == "cluster" {
+			plan.ConnErrRate = 0.05
+		}
+		cases = append(cases, conformanceCase{"chaos-" + name, ChaosTransport{Base: base, Plan: plan}, name != "sim"})
+	}
+	return cases
 }
 
 // TestConformanceDeliveryAfterBarrier is the core contract: in every

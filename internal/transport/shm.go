@@ -33,6 +33,10 @@ import (
 //   - "packet": one lock acquisition per message appended to a single
 //     shared block, the naive baseline the paper's chunking is designed
 //     to beat (ablation A1).
+//
+// Membership and lifecycle (abort fan-out, who has detached) live in
+// the LocalGroup; the barrier polls the member for both, so failures
+// surface as errors instead of hangs.
 type ShmTransport struct {
 	// Locking is "none", "chunk" or "packet". Empty means "none".
 	Locking string
@@ -60,6 +64,12 @@ func (ShmTransport) Name() string { return "shm" }
 
 // Open implements Transport.
 func (t ShmTransport) Open(p int) ([]Endpoint, error) {
+	return t.OpenGroup(p, GroupOptions{})
+}
+
+// OpenGroup implements GroupTransport: the exchange engine composes
+// with an in-process group carrying the job identity.
+func (t ShmTransport) OpenGroup(p int, opts GroupOptions) ([]Endpoint, error) {
 	if p < 1 {
 		return nil, fmt.Errorf("shm: p must be >= 1, got %d", p)
 	}
@@ -73,9 +83,12 @@ func (t ShmTransport) Open(p int) ([]Endpoint, error) {
 	default:
 		return nil, fmt.Errorf("shm: unknown locking mode %q", t.Locking)
 	}
+	g, err := NewLocalGroup(p, opts)
+	if err != nil {
+		return nil, err
+	}
 	st := &shmState{p: p, mode: mode}
 	st.arrive = make([]atomic.Uint64, p*pad)
-	st.done = make([]atomic.Bool, p*pad)
 	for q := 0; q < 2; q++ {
 		st.bufs[q] = make([]shmBuffer, p)
 		for i := range st.bufs[q] {
@@ -84,7 +97,11 @@ func (t ShmTransport) Open(p int) ([]Endpoint, error) {
 	}
 	eps := make([]Endpoint, p)
 	for i := 0; i < p; i++ {
-		eps[i] = &shmEndpoint{st: st, id: i}
+		m, err := g.Join(i)
+		if err != nil {
+			return nil, err
+		}
+		eps[i] = &shmEndpoint{st: st, m: m, id: i}
 	}
 	return eps, nil
 }
@@ -113,15 +130,15 @@ type shmState struct {
 
 	bufs [2][]shmBuffer
 
-	// Barrier state (paper-style central barrier, abort-aware).
+	// Barrier state (paper-style central barrier; the abort and
+	// peer-exit flags it polls live in the group member).
 	arrive  []atomic.Uint64
 	release atomic.Uint64
-	done    []atomic.Bool
-	aborted atomic.Bool
 }
 
 type shmEndpoint struct {
 	st    *shmState
+	m     GroupMember
 	id    int
 	round uint64 // completed supersteps
 
@@ -143,13 +160,14 @@ func (e *shmEndpoint) SetTrace(b *trace.Buf) { e.buf = b }
 func (e *shmEndpoint) ID() int { return e.id }
 func (e *shmEndpoint) P() int  { return e.st.p }
 func (e *shmEndpoint) Begin()  {}
-func (e *shmEndpoint) Abort()  { e.st.aborted.Store(true) }
+func (e *shmEndpoint) Abort()  { e.m.Abort() }
 
 // handedBatches reports how many contiguous buffers this endpoint has
 // handed to other processes (per-pair batching observability).
 func (e *shmEndpoint) handedBatches() int { return e.handed }
 
-// Close implements Endpoint.
+// Close implements Endpoint: the rank detaches from the group; peers
+// spinning at the barrier observe the departure through the member.
 func (e *shmEndpoint) Close() error {
 	if e.closed {
 		return fmt.Errorf("shm: endpoint %d closed twice", e.id)
@@ -163,7 +181,7 @@ func (e *shmEndpoint) Close() error {
 			e.chunk[i] = nil
 		}
 	}
-	e.st.done[e.id*pad].Store(true)
+	e.m.Leave()
 	return nil
 }
 
@@ -282,8 +300,9 @@ func (e *shmEndpoint) Sync() (*Inbox, error) {
 	return &e.inbox, nil
 }
 
-// barrier is the paper's central spin barrier, extended with abort and
-// peer-exit detection so failures surface as errors instead of hangs.
+// barrier is the paper's central spin barrier, polling the group member
+// for aborts and departed peers so failures surface as errors instead
+// of hangs.
 func (e *shmEndpoint) barrier() error {
 	st := e.st
 	if st.p == 1 {
@@ -294,13 +313,13 @@ func (e *shmEndpoint) barrier() error {
 	if e.id == 0 {
 		for i := 1; i < st.p; i++ {
 			for st.arrive[i*pad].Load() < round {
-				if st.aborted.Load() {
+				if e.m.Aborted() {
 					return ErrAborted
 				}
-				if st.done[i*pad].Load() && st.arrive[i*pad].Load() < round {
-					if st.aborted.Load() {
-						// A crashed peer sets aborted before done;
-						// report the abort, not a mismatch.
+				if e.m.Left(i) && st.arrive[i*pad].Load() < round {
+					if e.m.Aborted() {
+						// A crashed peer aborts before leaving; report
+						// the abort, not a mismatch.
 						return ErrAborted
 					}
 					return fmt.Errorf("shm: process %d exited after %d supersteps while process 0 is synchronizing superstep %d", i, st.arrive[i*pad].Load(), round)
@@ -312,11 +331,11 @@ func (e *shmEndpoint) barrier() error {
 		return nil
 	}
 	for st.release.Load() < round {
-		if st.aborted.Load() {
+		if e.m.Aborted() {
 			return ErrAborted
 		}
-		if st.done[0].Load() && st.release.Load() < round {
-			if st.aborted.Load() {
+		if e.m.Left(0) && st.release.Load() < round {
+			if e.m.Aborted() {
 				return ErrAborted
 			}
 			return fmt.Errorf("shm: process 0 exited while process %d is synchronizing superstep %d", e.id, round)

@@ -2,7 +2,6 @@ package transport
 
 import (
 	"fmt"
-	"sync/atomic"
 
 	"repro/internal/trace"
 	"repro/internal/wire"
@@ -34,9 +33,18 @@ type SimTransport struct{}
 func (SimTransport) Name() string { return "sim" }
 
 // Open implements Transport.
-func (SimTransport) Open(p int) ([]Endpoint, error) {
+func (t SimTransport) Open(p int) ([]Endpoint, error) {
+	return t.OpenGroup(p, GroupOptions{})
+}
+
+// OpenGroup implements GroupTransport.
+func (SimTransport) OpenGroup(p int, opts GroupOptions) ([]Endpoint, error) {
 	if p < 1 {
 		return nil, fmt.Errorf("sim: p must be >= 1, got %d", p)
+	}
+	g, err := NewLocalGroup(p, opts)
+	if err != nil {
+		return nil, err
 	}
 	st := &simState{
 		p:         p,
@@ -56,7 +64,11 @@ func (SimTransport) Open(p int) ([]Endpoint, error) {
 	st.turn[0] <- struct{}{} // prime: rank 0 runs first
 	eps := make([]Endpoint, p)
 	for i := 0; i < p; i++ {
-		eps[i] = &simEndpoint{st: st, id: i, out: make([][]byte, p)}
+		m, err := g.Join(i)
+		if err != nil {
+			return nil, err
+		}
+		eps[i] = &simEndpoint{st: st, m: m, id: i, out: make([][]byte, p)}
 	}
 	return eps, nil
 }
@@ -76,15 +88,11 @@ type simState struct {
 	arrived    []bool
 	numActive  int
 	numArrived int
-	// aborted is atomic (not token-guarded like the rest of the state)
-	// because core's superstep watchdog may set it from outside the
-	// token ring; a stalled token holder then observes it at its next
-	// Sync.
-	aborted atomic.Bool
 }
 
 type simEndpoint struct {
 	st      *simState
+	m       GroupMember
 	id      int
 	out     [][]byte // per-destination contiguous framed batches
 	inbox   Inbox
@@ -107,9 +115,10 @@ func (e *simEndpoint) P() int  { return e.st.p }
 func (e *simEndpoint) Begin() { <-e.st.turn[e.id] }
 
 // Abort implements Endpoint. Usually invoked from the failing process's
-// goroutine (which holds the token); the atomic store also admits calls
-// from core's watchdog goroutine.
-func (e *simEndpoint) Abort() { e.st.aborted.Store(true) }
+// goroutine (which holds the token); the group's atomic latch also
+// admits calls from core's watchdog goroutine, and a stalled token
+// holder observes the flag at its next Sync.
+func (e *simEndpoint) Abort() { e.m.Abort() }
 
 // handedBatches reports how many nonempty contiguous buffers this
 // endpoint has handed to other processes.
@@ -128,7 +137,7 @@ func (e *simEndpoint) Send(dst int, msg []byte) {
 // Sync implements Endpoint.
 func (e *simEndpoint) Sync() (*Inbox, error) {
 	st := e.st
-	if st.aborted.Load() {
+	if e.m.Aborted() {
 		return nil, ErrAborted
 	}
 	// Entering Sync invalidates the previous Inbox: recycle its buffers.
@@ -154,7 +163,7 @@ func (e *simEndpoint) Sync() (*Inbox, error) {
 	st.numArrived++
 	st.advance(e.id)
 	<-st.turn[e.id]
-	if st.aborted.Load() {
+	if e.m.Aborted() {
 		return nil, ErrAborted
 	}
 	// Slice the delivered batches into the inbox, in sender-rank order.
@@ -194,6 +203,7 @@ func (e *simEndpoint) Close() error {
 			st.pending[e.id][src] = nil
 		}
 	}
+	e.m.Leave()
 	st.active[e.id] = false
 	st.numActive--
 	if st.numActive > 0 {

@@ -8,7 +8,6 @@ import (
 	"io"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/prof"
@@ -26,7 +25,9 @@ import (
 //
 // The original ran on eight Pentium PCs behind a 100-Mbit Ethernet
 // switch; here every process is a goroutine and the pairs exchange over
-// real kernel TCP sockets on the loopback interface (DESIGN.md §2).
+// real kernel TCP sockets on the loopback interface (DESIGN.md §2). For
+// the rank-per-OS-process deployment shape of the paper's PC LAN, see
+// ClusterTransport, which reuses this staged exchange engine unchanged.
 // Within a stage the lower-ranked process of a pair streams its batch
 // first while the higher-ranked process drains it, then the roles swap —
 // so neither side ever depends on kernel socket buffering.
@@ -101,8 +102,20 @@ func isTransientNetErr(err error) bool {
 
 // Open implements Transport.
 func (t TCPTransport) Open(p int) ([]Endpoint, error) {
+	return t.OpenGroup(p, GroupOptions{})
+}
+
+// OpenGroup implements GroupTransport: the staged exchange engine
+// composes with an in-process group. The group's abort hook closes
+// every socket so peers stuck in blocking reads or writes unblock; the
+// last member to leave tears the sockets down.
+func (t TCPTransport) OpenGroup(p int, opts GroupOptions) ([]Endpoint, error) {
 	if p < 1 {
 		return nil, fmt.Errorf("tcp: p must be >= 1, got %d", p)
+	}
+	g, err := NewLocalGroup(p, opts)
+	if err != nil {
+		return nil, err
 	}
 	st := &tcpState{
 		p:        p,
@@ -114,15 +127,22 @@ func (t TCPTransport) Open(p int) ([]Endpoint, error) {
 	eps := make([]Endpoint, p)
 	tes := make([]*tcpEndpoint, p)
 	for i := 0; i < p; i++ {
-		tes[i] = &tcpEndpoint{
-			st: st, id: i,
-			conns: make([]net.Conn, p),
-			rd:    make([]*bufio.Reader, p),
-			wr:    make([]*bufio.Writer, p),
-			out:   make([][]byte, p),
+		m, err := g.Join(i)
+		if err != nil {
+			return nil, err
 		}
+		tes[i] = newTCPEndpoint(st, m, i)
 		eps[i] = tes[i]
 	}
+	st.setTeardown(func() {
+		for _, e := range tes {
+			e.closeConns()
+		}
+	})
+	// Abort fan-out: closing every connection unblocks peers stuck in
+	// blocking reads or writes. One hook serves the whole machine; the
+	// group runs it once.
+	tes[0].m.OnAbort(st.runTeardown)
 	if p == 1 {
 		return eps, nil
 	}
@@ -149,13 +169,13 @@ func (t TCPTransport) Open(p int) ([]Endpoint, error) {
 			}()
 			cj, err := st.dial(ln.Addr().String())
 			if err != nil {
-				st.closeAll(tes)
+				st.runTeardown()
 				return nil, fmt.Errorf("tcp: dial for pair (%d,%d): %w", i, j, err)
 			}
 			a := <-accCh
 			if a.err != nil {
 				cj.Close()
-				st.closeAll(tes)
+				st.runTeardown()
 				return nil, fmt.Errorf("tcp: accept for pair (%d,%d): %w", i, j, a.err)
 			}
 			tes[i].setConn(j, a.c)
@@ -165,17 +185,31 @@ func (t TCPTransport) Open(p int) ([]Endpoint, error) {
 	return eps, nil
 }
 
+// tcpState is the exchange-engine state shared by the endpoints of one
+// process. It carries no membership: abort and leave flags live in the
+// endpoints' group members. For the in-process transport one tcpState
+// serves all p ranks; in a cluster process each rank's endpoint has its
+// own (holding only that process's sockets).
 type tcpState struct {
-	p         int
-	sched     *PairSchedule
-	timeout   time.Duration
-	retries   int
-	wrapConn  func(local, peer int, c net.Conn) net.Conn
-	aborted   atomic.Bool
-	abortOnce sync.Once
-	closedN   atomic.Int64
-	eps       []*tcpEndpoint // set lazily for abort fan-out
-	epsMu     sync.Mutex
+	p        int
+	sched    *PairSchedule
+	timeout  time.Duration
+	retries  int
+	wrapConn func(local, peer int, c net.Conn) net.Conn
+
+	teardown     func()
+	teardownOnce sync.Once
+}
+
+// setTeardown installs the socket-cleanup function, run at most once —
+// from the group's abort hook or from the last local member's Close.
+func (st *tcpState) setTeardown(fn func()) { st.teardown = fn }
+
+func (st *tcpState) runTeardown() {
+	if st.teardown == nil {
+		return
+	}
+	st.teardownOnce.Do(st.teardown)
 }
 
 // dial connects with the per-stage deadline and bounded retry +
@@ -228,18 +262,18 @@ func (c *stageConn) Write(p []byte) (n int, err error) {
 	}
 }
 
-func (st *tcpState) closeAll(tes []*tcpEndpoint) {
-	for _, e := range tes {
-		for _, c := range e.conns {
-			if c != nil {
-				c.Close()
-			}
-		}
-	}
+// failureSettler is implemented by group members whose abort and leave
+// signals arrive asynchronously (the cluster's coordinator fan-out):
+// after a data-plane error it blocks briefly for an in-flight signal,
+// so a peer's crash or clean exit is reported as the membership event
+// it is rather than as the raw socket error it caused.
+type failureSettler interface {
+	settleFailure(peer int)
 }
 
 type tcpEndpoint struct {
 	st      *tcpState
+	m       GroupMember
 	id      int
 	conns   []net.Conn
 	rd      []*bufio.Reader
@@ -256,6 +290,16 @@ type tcpEndpoint struct {
 	hdr     [8]byte
 }
 
+func newTCPEndpoint(st *tcpState, m GroupMember, id int) *tcpEndpoint {
+	return &tcpEndpoint{
+		st: st, m: m, id: id,
+		conns: make([]net.Conn, st.p),
+		rd:    make([]*bufio.Reader, st.p),
+		wr:    make([]*bufio.Writer, st.p),
+		out:   make([][]byte, st.p),
+	}
+}
+
 // SetTrace implements TraceSetter.
 func (e *tcpEndpoint) SetTrace(b *trace.Buf) { e.buf = b }
 
@@ -263,8 +307,8 @@ func (e *tcpEndpoint) SetTrace(b *trace.Buf) { e.buf = b }
 func (e *tcpEndpoint) SetProf(r *prof.Rank) { e.pr = r }
 
 // setConn installs the connection to peer. The raw conn is kept for
-// Close/CloseWrite/Abort; the framing readers and writers run over the
-// retry-and-deadline stageConn (optionally over a fault-injecting
+// Close/CloseWrite/teardown; the framing readers and writers run over
+// the retry-and-deadline stageConn (optionally over a fault-injecting
 // wrapper), so every read and write of a stage inherits the policy.
 func (e *tcpEndpoint) setConn(peer int, c net.Conn) {
 	e.conns[peer] = c
@@ -275,46 +319,30 @@ func (e *tcpEndpoint) setConn(peer int, c net.Conn) {
 	sc := &stageConn{Conn: inner, timeout: e.st.timeout, retries: e.st.retries}
 	e.rd[peer] = bufio.NewReaderSize(sc, 64<<10)
 	e.wr[peer] = bufio.NewWriterSize(sc, 64<<10)
-	e.st.epsMu.Lock()
-	found := false
-	for _, x := range e.st.eps {
-		if x == e {
-			found = true
-			break
+}
+
+// closeConns closes this endpoint's raw sockets.
+func (e *tcpEndpoint) closeConns() {
+	for _, c := range e.conns {
+		if c != nil {
+			c.Close()
 		}
 	}
-	if !found {
-		e.st.eps = append(e.st.eps, e)
-	}
-	e.st.epsMu.Unlock()
 }
 
 func (e *tcpEndpoint) ID() int { return e.id }
 func (e *tcpEndpoint) P() int  { return e.st.p }
 func (e *tcpEndpoint) Begin()  {}
 
-// Abort implements Endpoint: closing every connection unblocks peers
-// stuck in blocking reads or writes.
-func (e *tcpEndpoint) Abort() {
-	st := e.st
-	st.aborted.Store(true)
-	st.abortOnce.Do(func() {
-		st.epsMu.Lock()
-		defer st.epsMu.Unlock()
-		for _, ep := range st.eps {
-			for _, c := range ep.conns {
-				if c != nil {
-					c.Close()
-				}
-			}
-		}
-	})
-}
+// Abort implements Endpoint: the group latches the failure and its
+// abort hook closes every local socket, unblocking peers stuck in
+// blocking reads or writes.
+func (e *tcpEndpoint) Abort() { e.m.Abort() }
 
 // Close implements Endpoint. Our write directions are shut down so that
 // a peer still expecting traffic observes EOF (a superstep-count
-// mismatch) instead of hanging; the last process to close tears down
-// every socket.
+// mismatch) instead of hanging; the last local member to leave tears
+// down this process's sockets.
 func (e *tcpEndpoint) Close() error {
 	if e.closed {
 		return fmt.Errorf("tcp: endpoint %d closed twice", e.id)
@@ -333,16 +361,8 @@ func (e *tcpEndpoint) Close() error {
 			tc.CloseWrite()
 		}
 	}
-	if int(e.st.closedN.Add(1)) == e.st.p {
-		e.st.epsMu.Lock()
-		defer e.st.epsMu.Unlock()
-		for _, ep := range e.st.eps {
-			for _, c := range ep.conns {
-				if c != nil {
-					c.Close()
-				}
-			}
-		}
+	if e.m.Leave() {
+		e.st.runTeardown()
 	}
 	return nil
 }
@@ -399,10 +419,7 @@ func (e *tcpEndpoint) Sync() (*Inbox, error) {
 			}
 		}
 		if err != nil {
-			if st.aborted.Load() {
-				return nil, ErrAborted
-			}
-			return nil, fmt.Errorf("tcp: process %d exchanging with %d in superstep %d: %w", e.id, peer, e.round, err)
+			return nil, e.stageError(peer, err)
 		}
 	}
 	e.pr.Mark(prof.Sync)
@@ -416,6 +433,26 @@ func (e *tcpEndpoint) Sync() (*Inbox, error) {
 		return nil, fmt.Errorf("tcp: process %d: %w", e.id, err)
 	}
 	return &e.inbox, nil
+}
+
+// stageError classifies a failed exchange stage through the group
+// member: an abort anywhere in the gang outranks the socket error it
+// caused, a peer that left cleanly is a superstep-count mismatch, and
+// anything else surfaces as the raw error naming the pair and
+// superstep. Cluster members first wait briefly for an in-flight
+// abort/leave notification from the coordinator.
+func (e *tcpEndpoint) stageError(peer int, err error) error {
+	if fs, ok := e.m.(failureSettler); ok {
+		fs.settleFailure(peer)
+	}
+	if e.m.Aborted() {
+		return ErrAborted
+	}
+	if e.m.Left(peer) {
+		return fmt.Errorf("tcp: process %d exited while process %d is exchanging superstep %d (superstep counts diverged): %w",
+			peer, e.id, e.round, err)
+	}
+	return fmt.Errorf("tcp: process %d exchanging with %d in superstep %d: %w", e.id, peer, e.round, err)
 }
 
 // writeBatch ships this superstep's whole per-pair buffer to peer in

@@ -6,7 +6,9 @@
 // a TCP version (PC LAN). This package reproduces all three structures —
 // Shm, Xchg and TCP — plus Sim, a deterministic single-processor
 // round-robin scheduler that plays the role of the paper's "IPC
-// shared-memory single-processor simulation" used to measure work depths.
+// shared-memory single-processor simulation" used to measure work depths,
+// and Cluster, the multi-process extension of the TCP structure where
+// each rank is its own OS process (see ClusterTransport).
 //
 // A Transport opens p Endpoints, one per BSP process. During a superstep
 // a process combines outgoing messages with Send into one contiguous
@@ -18,6 +20,13 @@
 // implemented with the paper's message combining: per-pair buffers are
 // shipped whole (B.2, B.3) or deposited into coarse per-writer blocks
 // (B.1), never one packet at a time.
+//
+// Rank membership and lifecycle — who joined, abort fan-out, who has
+// detached — live in a ProcessGroup (group.go); every Endpoint holds a
+// GroupMember and keeps only the exchange contract. In-process
+// transports compose their exchange engines with a LocalGroup; the
+// cluster transport implements the same membership contract over a
+// coordinator and TCP handshake frames (cluster.go).
 //
 // Buffer ownership: Send copies msg into the batch, so the caller may
 // reuse msg immediately. Inbox frame views are valid until the caller's
@@ -102,42 +111,60 @@ type ProfSetter interface {
 
 // Transport creates connected endpoint groups.
 type Transport interface {
-	// Name identifies the transport ("shm", "xchg", "tcp", "sim").
+	// Name identifies the transport ("shm", "xchg", "tcp", "sim",
+	// "cluster").
 	Name() string
 	// Open creates p connected endpoints. Endpoint i must be used by
 	// exactly one goroutine.
 	Open(p int) ([]Endpoint, error)
 }
 
+// registry is the single source of truth for the named transports:
+// New, Names and the registry-driven test helpers all derive from it.
+var registry = []struct {
+	name  string
+	build func() Transport
+}{
+	{"shm", func() Transport { return ShmTransport{} }},
+	{"xchg", func() Transport { return XchgTransport{} }},
+	{"tcp", func() Transport { return TCPTransport{} }},
+	{"sim", func() Transport { return SimTransport{} }},
+	{"cluster", func() Transport { return ClusterTransport{} }},
+}
+
 // New returns a transport by name. Supported names are "shm" (shared
 // memory, paper B.1), "xchg" (buffered pairwise exchange in the style of
 // the MPI version, paper B.2), "tcp" (real TCP loopback sockets with the
-// staged total-exchange schedule, paper B.3) and "sim" (deterministic
-// single-processor simulation). A "chaos:" prefix ("chaos:tcp",
-// "chaos:shm", ...) wraps the named base transport in a ChaosTransport
-// with DefaultFaultPlan; use ChaosTransport directly for a custom
-// FaultPlan.
+// staged total-exchange schedule, paper B.3), "sim" (deterministic
+// single-processor simulation) and "cluster" (the multi-process TCP
+// machine; in-process Open runs the full coordinator + handshake
+// protocol over loopback, see ClusterTransport). A "chaos:" prefix
+// ("chaos:tcp", "chaos:shm", ...) wraps the named base transport in a
+// ChaosTransport with DefaultFaultPlan; use ChaosTransport directly for
+// a custom FaultPlan.
 func New(name string) (Transport, error) {
 	if base, ok := strings.CutPrefix(name, "chaos:"); ok {
 		tr, err := New(base)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("transport: unknown chaos base %q in %q (valid bases: %s)",
+				base, name, strings.Join(Names(), ", "))
 		}
 		return NewChaosTransport(tr, DefaultFaultPlan()), nil
 	}
-	switch name {
-	case "shm":
-		return ShmTransport{}, nil
-	case "xchg":
-		return XchgTransport{}, nil
-	case "tcp":
-		return TCPTransport{}, nil
-	case "sim":
-		return SimTransport{}, nil
-	default:
-		return nil, fmt.Errorf("transport: unknown transport %q", name)
+	for _, r := range registry {
+		if r.name == name {
+			return r.build(), nil
+		}
 	}
+	return nil, fmt.Errorf("transport: unknown transport %q (valid: %s, or chaos:<base>)",
+		name, strings.Join(Names(), ", "))
 }
 
 // Names lists the available transports.
-func Names() []string { return []string{"shm", "xchg", "tcp", "sim"} }
+func Names() []string {
+	names := make([]string, len(registry))
+	for i, r := range registry {
+		names[i] = r.name
+	}
+	return names
+}

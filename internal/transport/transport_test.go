@@ -14,17 +14,22 @@ import (
 	"repro/internal/trace"
 )
 
-// allTransports returns one instance of every transport, including the
-// shm locking variants.
+// allTransports returns one instance of every registered transport
+// (built through the registry, so a newly registered transport joins
+// every matrix test automatically) plus the shm locking variants.
 func allTransports() []Transport {
-	return []Transport{
-		ShmTransport{},
+	trs := []Transport{
 		ShmTransport{Locking: "chunk"},
 		ShmTransport{Locking: "packet"},
-		XchgTransport{},
-		TCPTransport{},
-		SimTransport{},
 	}
+	for _, name := range Names() {
+		tr, err := New(name)
+		if err != nil {
+			panic(fmt.Sprintf("allTransports: New(%q): %v", name, err))
+		}
+		trs = append(trs, tr)
+	}
+	return trs
 }
 
 func label(tr Transport) string {
@@ -416,9 +421,11 @@ func TestPerPairBatchHandoff(t *testing.T) {
 		XchgTransport{},
 		TCPTransport{},
 		SimTransport{},
+		ClusterTransport{},
 		ChaosTransport{Base: XchgTransport{}, Plan: conformanceFaultPlan()},
 		ChaosTransport{Base: SimTransport{}, Plan: conformanceFaultPlan()},
 		ChaosTransport{Base: TCPTransport{}, Plan: tcpPlan},
+		ChaosTransport{Base: ClusterTransport{}, Plan: tcpPlan},
 	}
 	for _, tr := range transports {
 		t.Run(label(tr), func(t *testing.T) {
@@ -563,7 +570,7 @@ func TestQuickRandomTraffic(t *testing.T) {
 			return ok
 		}
 		cfg := &quick.Config{MaxCount: 12}
-		if tr.Name() == "tcp" {
+		if tr.Name() == "tcp" || tr.Name() == "cluster" {
 			cfg.MaxCount = 4 // socket setup dominates; keep it quick
 		}
 		if err := quick.Check(f, cfg); err != nil {

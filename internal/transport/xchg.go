@@ -2,7 +2,6 @@ package transport
 
 import (
 	"fmt"
-	"sync/atomic"
 
 	"repro/internal/prof"
 	"repro/internal/trace"
@@ -24,24 +23,32 @@ import (
 // exchange doubles as the barrier: no separate synchronization exists.
 // Batch buffers are pooled: a receiver recycles the buffers behind its
 // previous Inbox when it next calls Sync.
+//
+// Membership and lifecycle live in the LocalGroup: the exchange selects
+// on the member's abort and per-rank leave channels, so a failed or
+// departed peer surfaces as an error instead of a hang.
 type XchgTransport struct{}
 
 // Name implements Transport.
 func (XchgTransport) Name() string { return "xchg" }
 
 // Open implements Transport.
-func (XchgTransport) Open(p int) ([]Endpoint, error) {
+func (t XchgTransport) Open(p int) ([]Endpoint, error) {
+	return t.OpenGroup(p, GroupOptions{})
+}
+
+// OpenGroup implements GroupTransport.
+func (XchgTransport) OpenGroup(p int, opts GroupOptions) ([]Endpoint, error) {
 	if p < 1 {
 		return nil, fmt.Errorf("xchg: p must be >= 1, got %d", p)
 	}
-	st := &xchgState{
-		p:       p,
-		abortCh: make(chan struct{}),
-		doneCh:  make([]chan struct{}, p),
+	g, err := NewLocalGroup(p, opts)
+	if err != nil {
+		return nil, err
 	}
+	st := &xchgState{p: p}
 	st.ch = make([][]chan []byte, p)
 	for i := 0; i < p; i++ {
-		st.doneCh[i] = make(chan struct{})
 		st.ch[i] = make([]chan []byte, p)
 		for j := 0; j < p; j++ {
 			if i != j {
@@ -53,21 +60,23 @@ func (XchgTransport) Open(p int) ([]Endpoint, error) {
 	}
 	eps := make([]Endpoint, p)
 	for i := 0; i < p; i++ {
-		eps[i] = &xchgEndpoint{st: st, id: i, out: make([][]byte, p)}
+		m, err := g.Join(i)
+		if err != nil {
+			return nil, err
+		}
+		eps[i] = &xchgEndpoint{st: st, m: m, id: i, out: make([][]byte, p)}
 	}
 	return eps, nil
 }
 
 type xchgState struct {
-	p       int
-	ch      [][]chan []byte // ch[src][dst] carries one framed batch per superstep
-	abortCh chan struct{}
-	aborted atomic.Bool
-	doneCh  []chan struct{}
+	p  int
+	ch [][]chan []byte // ch[src][dst] carries one framed batch per superstep
 }
 
 type xchgEndpoint struct {
 	st      *xchgState
+	m       GroupMember
 	id      int
 	out     [][]byte // per-destination contiguous output batches
 	inbox   Inbox
@@ -95,11 +104,7 @@ func (e *xchgEndpoint) Begin()  {}
 func (e *xchgEndpoint) handedBatches() int { return e.handed }
 
 // Abort implements Endpoint.
-func (e *xchgEndpoint) Abort() {
-	if e.st.aborted.CompareAndSwap(false, true) {
-		close(e.st.abortCh)
-	}
-}
+func (e *xchgEndpoint) Abort() { e.m.Abort() }
 
 // Close implements Endpoint.
 func (e *xchgEndpoint) Close() error {
@@ -109,7 +114,7 @@ func (e *xchgEndpoint) Close() error {
 	e.closed = true
 	putBatches(e.recycle)
 	e.recycle = e.recycle[:0]
-	close(e.st.doneCh[e.id])
+	e.m.Leave()
 	return nil
 }
 
@@ -153,11 +158,11 @@ func (e *xchgEndpoint) Sync() (*Inbox, error) {
 			if len(e.out[dst]) > 0 {
 				e.handed++
 			}
-		case <-st.abortCh:
+		case <-e.m.AbortCh():
 			return nil, ErrAborted
-		case <-st.doneCh[dst]:
-			if st.aborted.Load() {
-				// A crashed peer closes both channels; report the
+		case <-e.m.LeftCh(dst):
+			if e.m.Aborted() {
+				// A crashed peer aborts before leaving; report the
 				// abort, not a superstep mismatch.
 				return nil, ErrAborted
 			}
@@ -180,9 +185,9 @@ func (e *xchgEndpoint) Sync() (*Inbox, error) {
 		select {
 		case batch := <-st.ch[src][e.id]:
 			e.accept(batch)
-		case <-st.abortCh:
+		case <-e.m.AbortCh():
 			return nil, ErrAborted
-		case <-st.doneCh[src]:
+		case <-e.m.LeftCh(src):
 			// The peer may have sent its batch just before exiting;
 			// drain it if present, otherwise the superstep counts
 			// genuinely diverged.
@@ -190,7 +195,7 @@ func (e *xchgEndpoint) Sync() (*Inbox, error) {
 			case batch := <-st.ch[src][e.id]:
 				e.accept(batch)
 			default:
-				if st.aborted.Load() {
+				if e.m.Aborted() {
 					return nil, ErrAborted
 				}
 				return nil, fmt.Errorf("xchg: process %d exited while process %d expected a superstep batch", src, e.id)

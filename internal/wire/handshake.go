@@ -1,0 +1,108 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Handshake is the frame a cluster peer presents before any superstep
+// traffic flows: it names the job, the peer's rank, the gang epoch and
+// the expected machine width, so a connection from the wrong job, a
+// stale (pre-recovery) gang generation, or a mis-sized machine is
+// rejected before it can corrupt an exchange. The same frame travels on
+// both planes — once to the coordinator when a rank joins, and once in
+// each direction on every pairwise data connection — layered on the
+// standard [u32 length][payload] wire framing used for batches.
+type Handshake struct {
+	// JobID names the job instance; both sides must agree.
+	JobID string
+	// Rank is the presenting peer's rank in [0, P).
+	Rank int
+	// Epoch is the gang generation: it starts at the job's initial
+	// epoch and is bumped by the launcher on every recovery relaunch,
+	// fencing off processes from a previous (crashed) generation.
+	Epoch int
+	// P is the machine width the peer was started with.
+	P int
+}
+
+// HandshakeMagic brands the first word of every handshake payload, so a
+// stray connection from something that is not a BSP cluster peer fails
+// loudly instead of being misread as rank/epoch fields.
+const HandshakeMagic = 0x42535047 // "GPSB" little-endian on the wire
+
+// HandshakeVersion is the protocol revision this build speaks.
+const HandshakeVersion = 1
+
+// handshakeFixed is the fixed-width prefix of the payload: magic,
+// version, rank, epoch, p — five little-endian uint32s. The job id
+// occupies the remainder of the payload.
+const handshakeFixed = 20
+
+// handshakeMaxLen bounds a handshake frame, guarding ReadHandshake
+// against corrupt or hostile length prefixes.
+const handshakeMaxLen = 4096
+
+// EncodePayload renders the handshake as a frame payload (without the
+// length prefix).
+func (h Handshake) EncodePayload() []byte {
+	b := make([]byte, handshakeFixed, handshakeFixed+len(h.JobID))
+	binary.LittleEndian.PutUint32(b[0:4], HandshakeMagic)
+	binary.LittleEndian.PutUint32(b[4:8], HandshakeVersion)
+	binary.LittleEndian.PutUint32(b[8:12], uint32(h.Rank))
+	binary.LittleEndian.PutUint32(b[12:16], uint32(h.Epoch))
+	binary.LittleEndian.PutUint32(b[16:20], uint32(h.P))
+	return append(b, h.JobID...)
+}
+
+// DecodeHandshakePayload parses a frame payload produced by
+// EncodePayload, validating the magic and version.
+func DecodeHandshakePayload(b []byte) (Handshake, error) {
+	if len(b) < handshakeFixed {
+		return Handshake{}, fmt.Errorf("wire: handshake payload of %d bytes, want >= %d", len(b), handshakeFixed)
+	}
+	if m := binary.LittleEndian.Uint32(b[0:4]); m != HandshakeMagic {
+		return Handshake{}, fmt.Errorf("wire: bad handshake magic %#08x (not a BSP cluster peer?)", m)
+	}
+	if v := binary.LittleEndian.Uint32(b[4:8]); v != HandshakeVersion {
+		return Handshake{}, fmt.Errorf("wire: handshake version %d, this build speaks %d", v, HandshakeVersion)
+	}
+	return Handshake{
+		Rank:  int(binary.LittleEndian.Uint32(b[8:12])),
+		Epoch: int(binary.LittleEndian.Uint32(b[12:16])),
+		P:     int(binary.LittleEndian.Uint32(b[16:20])),
+		JobID: string(b[handshakeFixed:]),
+	}, nil
+}
+
+// WriteHandshake sends the handshake as one length-prefixed frame.
+func WriteHandshake(w io.Writer, h Handshake) error {
+	payload := h.EncodePayload()
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadHandshake reads one length-prefixed handshake frame. The length
+// is bounded by handshakeMaxLen so a peer speaking a different protocol
+// cannot make the reader allocate or block on an absurd frame.
+func ReadHandshake(r io.Reader) (Handshake, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Handshake{}, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > handshakeMaxLen {
+		return Handshake{}, fmt.Errorf("wire: handshake frame of %d bytes exceeds limit %d", n, handshakeMaxLen)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Handshake{}, err
+	}
+	return DecodeHandshakePayload(payload)
+}

@@ -1,0 +1,63 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+func TestHandshakeRoundTrip(t *testing.T) {
+	cases := []Handshake{
+		{},
+		{JobID: "job-1", Rank: 0, Epoch: 0, P: 1},
+		{JobID: "psort-e2e", Rank: 3, Epoch: 7, P: 4},
+		{JobID: strings.Repeat("x", 100), Rank: 255, Epoch: 1 << 20, P: 1024},
+	}
+	for _, hs := range cases {
+		var buf bytes.Buffer
+		if err := WriteHandshake(&buf, hs); err != nil {
+			t.Fatalf("WriteHandshake(%+v): %v", hs, err)
+		}
+		got, err := ReadHandshake(&buf)
+		if err != nil {
+			t.Fatalf("ReadHandshake(%+v): %v", hs, err)
+		}
+		if got != hs {
+			t.Errorf("round trip: got %+v, want %+v", got, hs)
+		}
+	}
+}
+
+func TestHandshakeRejectsCorruption(t *testing.T) {
+	good := Handshake{JobID: "j", Rank: 1, Epoch: 2, P: 4}.EncodePayload()
+
+	short := good[:handshakeFixed-1]
+	if _, err := DecodeHandshakePayload(short); err == nil {
+		t.Error("short payload should fail")
+	}
+
+	badMagic := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(badMagic[0:], 0xDEADBEEF)
+	if _, err := DecodeHandshakePayload(badMagic); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("bad magic should fail naming the magic, got %v", err)
+	}
+
+	badVersion := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(badVersion[4:], HandshakeVersion+1)
+	if _, err := DecodeHandshakePayload(badVersion); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("bad version should fail naming the version, got %v", err)
+	}
+}
+
+func TestReadHandshakeBoundsFrame(t *testing.T) {
+	// A frame claiming an absurd length must be rejected before any
+	// allocation of that size.
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], 1<<31)
+	buf.Write(hdr[:])
+	if _, err := ReadHandshake(&buf); err == nil {
+		t.Error("oversized handshake frame should fail")
+	}
+}

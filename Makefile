@@ -23,6 +23,16 @@
 #                     reconciled, and a chaos-crashed checkpointed run
 #                     must recover across a gang relaunch with the crash
 #                     and rollback markers in the merged trace
+#   make soak         chaos soak: cmd/bspsoak cycles seeded fault
+#                     scenarios (in-process chaos crashes, warm
+#                     single-rank cluster recovery, control-plane
+#                     partitions through the TCP chaos proxy) for
+#                     SOAK_DURATION, asserting byte-identical results
+#                     vs fault-free runs, surgical recovery counts and
+#                     zero goroutine leaks; the merged trace of the
+#                     last warm round is validated by tracecheck
+#   make soak-smoke   the same, bounded for CI: a short seeded soak
+#                     with the soak binary built under -race
 #   make fuzz         brief wire encode/decode + snapshot codec fuzz pass
 #   make bench        transport latency/throughput microbenchmarks
 #   make bench-gate   benchmark-regression gate: run the exchange and
@@ -38,6 +48,10 @@ GO ?= go
 TRACE_DIR ?= /tmp/bsp-trace-smoke
 PROF_DIR ?= /tmp/bsp-prof-smoke
 CLUSTER_DIR ?= /tmp/bsp-cluster-smoke
+SOAK_DIR ?= /tmp/bsp-soak
+SOAK_DURATION ?= 60s
+SOAK_SMOKE_DURATION ?= 15s
+SOAK_SEED ?= 1
 # ns/op is host-dependent (the checkpoint benchmark is disk-bound); the
 # band is wide on purpose — the gate catches order-of-magnitude
 # regressions and alloc creep, not scheduler noise.
@@ -45,7 +59,7 @@ BENCH_N ?= 3
 BENCH_TOL ?= 2.0
 COMMIT := $(shell git rev-parse --short HEAD 2>/dev/null)
 
-.PHONY: build test vet race verify verify-race verify-alloc conformance trace-smoke cluster-smoke fuzz bench bench-alloc bench-gate prof-smoke
+.PHONY: build test vet race verify verify-race verify-alloc conformance trace-smoke cluster-smoke soak soak-smoke fuzz bench bench-alloc bench-gate prof-smoke
 
 build:
 	$(GO) build ./...
@@ -99,6 +113,22 @@ cluster-smoke:
 		-checkpoint-dir $(CLUSTER_DIR)/ckpt -trace $(CLUSTER_DIR)/crash.json \
 		-sync-timeout 30s
 	$(CLUSTER_DIR)/tracecheck -ranks 4 -require-crash -require-rollback $(CLUSTER_DIR)/crash.json
+
+soak:
+	rm -rf $(SOAK_DIR) && mkdir -p $(SOAK_DIR)
+	$(GO) build -o $(SOAK_DIR)/bspsoak ./cmd/bspsoak
+	$(GO) build -o $(SOAK_DIR)/tracecheck ./cmd/tracecheck
+	$(SOAK_DIR)/bspsoak -duration $(SOAK_DURATION) -seed $(SOAK_SEED) \
+		-dir $(SOAK_DIR)/work -trace $(SOAK_DIR)/soak-trace.json
+	$(SOAK_DIR)/tracecheck -ranks 4 -require-crash -require-rollback $(SOAK_DIR)/soak-trace.json
+
+soak-smoke:
+	rm -rf $(SOAK_DIR) && mkdir -p $(SOAK_DIR)
+	$(GO) build -race -o $(SOAK_DIR)/bspsoak ./cmd/bspsoak
+	$(GO) build -o $(SOAK_DIR)/tracecheck ./cmd/tracecheck
+	$(SOAK_DIR)/bspsoak -duration $(SOAK_SMOKE_DURATION) -seed $(SOAK_SEED) \
+		-dir $(SOAK_DIR)/work -trace $(SOAK_DIR)/soak-trace.json
+	$(SOAK_DIR)/tracecheck -ranks 4 -require-crash -require-rollback $(SOAK_DIR)/soak-trace.json
 
 fuzz:
 	$(GO) test ./internal/wire/ -fuzz FuzzRoundTrip -fuzztime 10s

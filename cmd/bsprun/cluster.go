@@ -29,6 +29,7 @@ const (
 	envClusterJob     = "BSPRUN_CLUSTER_JOB"
 	envClusterCoord   = "BSPRUN_CLUSTER_COORD"
 	envClusterResume  = "BSPRUN_CLUSTER_RESUME"
+	envClusterWarm    = "BSPRUN_CLUSTER_WARM"
 	envClusterShards  = "BSPRUN_CLUSTER_SHARD_DIR"
 	envClusterMetrics = "BSPRUN_CLUSTER_METRICS"
 )
@@ -38,6 +39,7 @@ type clusterChild struct {
 	rank, p, epoch int
 	job, coord     string
 	resume         bool
+	warm           bool   // survivors retry in place; only crashed processes are replaced
 	shardDir       string // where to write this rank's trace shard ("" = no trace)
 	metricsAddr    string // this rank's metrics address ("" = none)
 }
@@ -71,6 +73,7 @@ func clusterChildFromEnv() (clusterChild, bool, error) {
 		return c, true, fmt.Errorf("cluster child: %s and %s must both be set", envClusterJob, envClusterCoord)
 	}
 	c.resume = os.Getenv(envClusterResume) == "1"
+	c.warm = os.Getenv(envClusterWarm) == "1"
 	c.shardDir = os.Getenv(envClusterShards)
 	c.metricsAddr = os.Getenv(envClusterMetrics)
 	return c, true, nil
@@ -82,10 +85,11 @@ func clusterChildFromEnv() (clusterChild, bool, error) {
 // a relaunched generation replays fault-free from the checkpoint cut,
 // while transient faults (delays, connection errors) keep exercising
 // the retry paths.
-func (c clusterChild) transport(chaosSpec string) (transport.Transport, error) {
+func (c clusterChild) transport(chaosSpec string, hbInterval, suspectAfter time.Duration) (transport.Transport, error) {
 	cfg := transport.ClusterConfig{
 		Coordinator: c.coord, JobID: c.job,
 		Rank: c.rank, Epoch: c.epoch, P: c.p,
+		HeartbeatInterval: hbInterval, SuspectAfter: suspectAfter,
 	}
 	if chaosSpec != "" {
 		plan, err := transport.ParseFaultPlan(chaosSpec)
@@ -97,6 +101,12 @@ func (c clusterChild) transport(chaosSpec string) (transport.Transport, error) {
 		}
 		cfg.Chaos = &plan
 		cfg.ChaosCrash = true
+	}
+	if c.warm {
+		// A warm child retries recoverable failures in-process: the
+		// one-shot member keeps a re-Open from re-firing the hard
+		// chaos faults the first attempt already injected.
+		return transport.NewClusterMember(cfg), nil
 	}
 	return transport.ClusterMember{Config: cfg}, nil
 }
@@ -116,12 +126,14 @@ func (c clusterChild) writeShard(rec *trace.Recorder) {
 
 // clusterRun describes one -cluster launcher invocation.
 type clusterRun struct {
-	app         string
-	size, p     int
-	chaosArmed  bool
-	ckptArmed   bool
-	traceFile   string
-	metricsAddr string
+	app          string
+	size, p      int
+	chaosArmed   bool
+	ckptArmed    bool
+	traceFile    string
+	metricsAddr  string
+	hbInterval   time.Duration
+	suspectAfter time.Duration
 }
 
 // launchCluster supervises the gang: one OS process per rank, relaunch
@@ -163,6 +175,11 @@ func launchCluster(o clusterRun) (time.Duration, *trace.Recorder, error) {
 		P:           o.p,
 		JobID:       fmt.Sprintf("bsprun-%s-p%d-%d", o.app, o.p, os.Getpid()),
 		MaxRestarts: restarts,
+		// Warm recovery needs a shared checkpoint cut for the survivors
+		// to roll back to; without one, recovery stays gang-relaunch.
+		Warm:              o.ckptArmed,
+		HeartbeatInterval: o.hbInterval,
+		SuspectAfter:      o.suspectAfter,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "bsprun: %s\n", fmt.Sprintf(format, args...))
 		},
@@ -177,6 +194,9 @@ func launchCluster(o clusterRun) (time.Duration, *trace.Recorder, error) {
 			)
 			if spec.Resume {
 				env = append(env, envClusterResume+"=1")
+			}
+			if spec.Warm {
+				env = append(env, envClusterWarm+"=1")
 			}
 			if shardDir != "" {
 				env = append(env, envClusterShards+"="+shardDir)
@@ -246,6 +266,7 @@ type launcherFlags struct {
 	costMachine                        string
 	cpuProfile, memProfile, rtraceFile string
 	profReport                         bool
+	hbInterval, suspectAfter           time.Duration
 }
 
 // runClusterLauncher is bsprun's -cluster entry point: it validates
@@ -269,10 +290,12 @@ func runClusterLauncher(f launcherFlags) {
 	}
 	wall, rec, err := launchCluster(clusterRun{
 		app: f.app, size: f.size, p: f.p,
-		chaosArmed:  f.chaosSpec != "",
-		ckptArmed:   f.ckptDir != "",
-		traceFile:   f.traceFile,
-		metricsAddr: f.metricsAddr,
+		chaosArmed:   f.chaosSpec != "",
+		ckptArmed:    f.ckptDir != "",
+		traceFile:    f.traceFile,
+		metricsAddr:  f.metricsAddr,
+		hbInterval:   f.hbInterval,
+		suspectAfter: f.suspectAfter,
 	})
 	if rec != nil && f.traceFile != "" {
 		if werr := rec.WriteChromeFile(f.traceFile); werr != nil {

@@ -93,6 +93,8 @@ func main() {
 	chaosSpec := flag.String("chaos", "", "fault-injection plan, e.g. \"seed=42,delay=0.1,maxdelay=2ms,stall=0.05,stallfor=20ms,connerr=0.05,abort=1@3,crash=1:3\"; empty disables")
 	syncTimeout := flag.Duration("sync-timeout", 0, "abort the run if no process completes a superstep for this long (0 disables)")
 	ckptDir := flag.String("checkpoint-dir", "", "snapshot directory; arms superstep checkpointing and crash recovery (apps with hooks: ocean, psort, psortz)")
+	hbInterval := flag.Duration("heartbeat-interval", 0, "cluster liveness heartbeat period on the control plane (0 = 500ms default, negative disables)")
+	suspectAfter := flag.Duration("suspect-after", 0, "declare a connected-but-silent cluster rank crashed after this long without a heartbeat (0 = 5s default, negative disables)")
 	ckptEvery := flag.Int("checkpoint-every", 1, "snapshot every Nth eligible superstep boundary")
 	resume := flag.Bool("resume", false, "continue from the latest complete snapshot in -checkpoint-dir")
 	traceFile := flag.String("trace", "", "write the run's timeline as Chrome trace-event JSON to this file (open in Perfetto)")
@@ -117,6 +119,7 @@ func main() {
 			costReport: *costReport, costMachine: *costMachine,
 			cpuProfile: *cpuProfile, memProfile: *memProfile,
 			rtraceFile: *rtraceFile, profReport: *profReport,
+			hbInterval: *hbInterval, suspectAfter: *suspectAfter,
 		})
 		return
 	}
@@ -130,7 +133,7 @@ func main() {
 		if child.p != *p {
 			fail(fmt.Errorf("cluster child: launched for p=%d but -p is %d", child.p, *p))
 		}
-		if tr, err = child.transport(*chaosSpec); err != nil {
+		if tr, err = child.transport(*chaosSpec, *hbInterval, *suspectAfter); err != nil {
 			fail(err)
 		}
 		*metricsAddr = child.metricsAddr
@@ -155,10 +158,33 @@ func main() {
 	cfg := core.Config{P: *p, Transport: tr, SyncTimeout: *syncTimeout}
 	if *ckptDir != "" {
 		cfg.Checkpoint = &core.CheckpointConfig{Dir: *ckptDir, Every: *ckptEvery, Resume: *resume || child.resume}
-		if isChild {
-			// A rank process fails fast on a recoverable error; the
-			// launcher relaunches the whole generation from the shared
-			// checkpoint cut with a bumped epoch.
+		switch {
+		case isChild && child.warm:
+			// A warm child is its own first line of recovery: a peer's
+			// crash (or a cooperative abort) rolls back in-process from
+			// the latest cut and rejoins at the fenced epoch — no
+			// process restart. Only a failure naming THIS process as
+			// the dead party exits, letting the launcher replace
+			// exactly this rank. The retry budget is per-process and
+			// generous; the launcher's MaxRestarts bounds the real
+			// recovery events.
+			cfg.Checkpoint.Retries = 100
+			cfg.Checkpoint.ShouldRetry = func(err error) bool {
+				var ce *transport.CrashError
+				if errors.As(err, &ce) {
+					// The coordinator named the dead rank: survivors
+					// heal in place, the convicted process exits.
+					return ce.Rank != child.rank
+				}
+				// An anonymous ErrCrashed is this process's own hard
+				// crash (injected or observed): the endpoint is dead,
+				// the process must be replaced.
+				return !errors.Is(err, transport.ErrCrashed)
+			}
+		case isChild:
+			// A cold rank process fails fast on a recoverable error;
+			// the launcher relaunches the whole generation from the
+			// shared checkpoint cut with a bumped epoch.
 			cfg.Checkpoint.Retries = -1
 		}
 	}
@@ -340,7 +366,8 @@ func fail(err error) {
 		os.Exit(exitTimeout)
 	case errors.Is(err, transport.ErrAborted),
 		errors.Is(err, transport.ErrInjectedAbort),
-		errors.Is(err, transport.ErrCrashed):
+		errors.Is(err, transport.ErrCrashed),
+		errors.Is(err, transport.ErrJoin):
 		os.Exit(exitAbort)
 	}
 	os.Exit(exitErr)

@@ -1,0 +1,626 @@
+// Command bspsoak soaks the fault-tolerance machinery: for a
+// wall-clock budget it cycles seeded fault scenarios over psort and
+// ocean — in-process chaos crashes on the shared-memory transport,
+// warm single-rank recovery on a real multi-process cluster gang, and
+// control-plane partitions injected by a TCP chaos proxy — and after
+// every round asserts that the faulted run's result is byte-identical
+// to a fault-free run's and that recovery stayed bounded: exactly one
+// process relaunch per injected cluster crash, zero gang fallbacks,
+// no goroutine leaked across the whole soak.
+//
+// The binary re-executes itself as the cluster rank processes (the
+// BSPSOAK_ROLE environment variable short-circuits main), so a single
+// artifact is both the driver and the gang. Every fault decision is
+// drawn from -seed; a failing round prints the fault plan needed to
+// replay it.
+//
+// With -trace the warm-recovery rounds write per-rank trace shards and
+// the merged Chrome timeline of the last such round is kept at the
+// given path — the soak's observability artifact, validated by
+// cmd/tracecheck in CI (it must carry the crash and rollback markers).
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ocean"
+	"repro/internal/psort"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// Environment protocol between the soak driver and its re-executed
+// rank children (same pattern as the ckpt cluster e2e).
+const (
+	envRole   = "BSPSOAK_ROLE"
+	envRank   = "BSPSOAK_RANK"
+	envP      = "BSPSOAK_P"
+	envEpoch  = "BSPSOAK_EPOCH"
+	envJob    = "BSPSOAK_JOB"
+	envCoord  = "BSPSOAK_COORD"
+	envResume = "BSPSOAK_RESUME"
+	envWarm   = "BSPSOAK_WARM"
+	envChaos  = "BSPSOAK_CHAOS"
+	envCkpt   = "BSPSOAK_CKPT_DIR"
+	envOut    = "BSPSOAK_OUT_DIR"
+	envShards = "BSPSOAK_SHARD_DIR"
+	envSize   = "BSPSOAK_SIZE"
+	envSeed   = "BSPSOAK_SEED"
+)
+
+func main() {
+	if os.Getenv(envRole) == "rank" {
+		os.Exit(runRank())
+	}
+	os.Exit(run())
+}
+
+type soak struct {
+	p, size int
+	grid    int
+	seed    int64
+	dir     string
+	trace   string
+	exe     string
+	round   int
+
+	// gangBase holds the per-rank partitions of a fault-free cluster
+	// gang, the byte-identity baseline for every faulted gang round.
+	gangBase map[int][]byte
+	// oceanBase is the fault-free parallel stream function for the
+	// fixed ocean configuration.
+	oceanBase *ocean.Fields
+
+	rankRelaunches int64
+}
+
+type scenario struct {
+	name string
+	run  func(*rand.Rand) (string, error)
+}
+
+func run() int {
+	duration := flag.Duration("duration", 60*time.Second, "wall-clock soak budget; every scenario runs at least once even if it overruns")
+	seed := flag.Int64("seed", 1, "root of every fault decision (crash sites, partition windows)")
+	p := flag.Int("p", 4, "ranks per machine/gang")
+	size := flag.Int("size", 4000, "psort input size")
+	grid := flag.Int("grid", 18, "ocean grid size (interior must be a power of two)")
+	dir := flag.String("dir", "", "work directory (default: a fresh temp dir, removed on success)")
+	traceFile := flag.String("trace", "", "write the merged Chrome trace of the last warm-recovery round here")
+	keep := flag.Bool("keep", false, "keep the work directory even on success")
+	flag.Parse()
+
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bspsoak:", err)
+		return 1
+	}
+	workDir := *dir
+	ownDir := workDir == ""
+	if ownDir {
+		if workDir, err = os.MkdirTemp("", "bspsoak-"); err != nil {
+			fmt.Fprintln(os.Stderr, "bspsoak:", err)
+			return 1
+		}
+	} else if err := os.MkdirAll(workDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "bspsoak:", err)
+		return 1
+	}
+
+	s := &soak{p: *p, size: *size, grid: *grid, seed: *seed, dir: workDir, trace: *traceFile, exe: exe}
+	scenarios := []scenario{
+		{"shm-psort-crash", s.shmPsortCrash},
+		{"shm-ocean-crash", s.shmOceanCrash},
+		{"cluster-warm-crash", s.clusterWarmCrash},
+		{"cluster-partition-join", s.clusterPartitionJoin},
+	}
+
+	baseGoroutines := runtime.NumGoroutine()
+	rng := rand.New(rand.NewSource(*seed))
+	start := time.Now()
+	deadline := start.Add(*duration)
+	counts := make([]int, len(scenarios))
+	// Cycle until the budget runs out, but never skip a scenario: the
+	// smoke run must exercise every fault class at least once.
+	for s.round = 0; s.round < len(scenarios) || time.Now().Before(deadline); s.round++ {
+		sc := scenarios[s.round%len(scenarios)]
+		t0 := time.Now()
+		detail, err := sc.run(rng)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bspsoak: FAIL round %d %s: %v\n", s.round, sc.name, err)
+			fmt.Fprintf(os.Stderr, "bspsoak: work dir kept at %s (rerun with -seed %d to replay)\n", workDir, *seed)
+			return 1
+		}
+		counts[s.round%len(scenarios)]++
+		fmt.Printf("bspsoak: round %3d  %-22s ok  %s  [%v]\n",
+			s.round, sc.name, detail, time.Since(t0).Round(time.Millisecond))
+	}
+
+	if err := settleGoroutines(baseGoroutines); err != nil {
+		fmt.Fprintf(os.Stderr, "bspsoak: FAIL %v\n", err)
+		return 1
+	}
+
+	fmt.Printf("bspsoak: PASS %d rounds in %v (seed %d):", s.round, time.Since(start).Round(time.Millisecond), *seed)
+	for i, sc := range scenarios {
+		fmt.Printf(" %s=%d", sc.name, counts[i])
+	}
+	fmt.Printf("; %d surgical rank relaunches, 0 gang fallbacks, goroutines settled\n", s.rankRelaunches)
+	if ownDir && !*keep {
+		os.RemoveAll(workDir)
+	}
+	return 0
+}
+
+// settleGoroutines waits for the goroutine count to return to the
+// pre-soak baseline: every machine, gang supervisor, heartbeat loop and
+// proxy pipe must have unwound.
+func settleGoroutines(base int) error {
+	deadline := time.Now().Add(5 * time.Second)
+	n := runtime.NumGoroutine()
+	for n > base && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	if n > base {
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		fmt.Fprintf(os.Stderr, "---- goroutine dump ----\n%s\n", buf)
+		return fmt.Errorf("goroutine leak: %d alive after soak, %d before", n, base)
+	}
+	return nil
+}
+
+// ---- in-process scenarios ------------------------------------------
+
+// shmPsortCrash runs a checkpointed psort on the shared-memory
+// transport with a seeded hard crash and asserts the recovered output
+// is byte-identical to a fault-free run over the same data.
+func (s *soak) shmPsortCrash(rng *rand.Rand) (string, error) {
+	dataSeed := rng.Int63()
+	data := psort.RandomData(s.size, dataSeed)
+	want, _, err := psort.Parallel(core.Config{P: s.p, Transport: transport.ShmTransport{}}, data)
+	if err != nil {
+		return "", fmt.Errorf("fault-free run: %w", err)
+	}
+	// Supersteps 2 and 3 bracket psort's sample-gather and splitter
+	// broadcast: at least one complete snapshot cut exists by then.
+	plan := transport.FaultPlan{Seed: rng.Int63(), CrashRank: rng.Intn(s.p), CrashStep: 2 + rng.Intn(2)}
+	ckptDir, err := os.MkdirTemp(s.dir, "shm-psort-")
+	if err != nil {
+		return "", err
+	}
+	defer os.RemoveAll(ckptDir)
+	cfg := core.Config{
+		P:           s.p,
+		Transport:   transport.NewChaosTransport(transport.ShmTransport{}, plan),
+		SyncTimeout: 30 * time.Second,
+		Checkpoint:  &core.CheckpointConfig{Dir: ckptDir, Every: 1, Backoff: time.Millisecond},
+	}
+	got, _, err := psort.ParallelRecoverable(cfg, data)
+	if err != nil {
+		return "", fmt.Errorf("crashed run did not recover [plan %s]: %w", plan, err)
+	}
+	if !bytes.Equal(f64bytes(want), f64bytes(got)) {
+		return "", fmt.Errorf("recovered sort diverges from fault-free [plan %s, data seed %d]", plan, dataSeed)
+	}
+	return fmt.Sprintf("n=%d crash %d:%d", s.size, plan.CrashRank, plan.CrashStep), nil
+}
+
+// shmOceanCrash crashes a checkpointed ocean simulation mid-timestep
+// and asserts the recovered stream function is bit-identical to the
+// fault-free parallel solution.
+func (s *soak) shmOceanCrash(rng *rand.Rand) (string, error) {
+	ocfg := ocean.Config{Size: s.grid, Steps: 2}
+	if s.oceanBase == nil {
+		f, _, err := ocean.Parallel(core.Config{P: s.p, Transport: transport.ShmTransport{}}, ocfg)
+		if err != nil {
+			return "", fmt.Errorf("fault-free ocean run: %w", err)
+		}
+		s.oceanBase = f
+	}
+	// Steps 2..8 land inside the timestep loop's ghost exchanges and
+	// multigrid work, after the first boundary snapshot.
+	plan := transport.FaultPlan{Seed: rng.Int63(), CrashRank: rng.Intn(s.p), CrashStep: 2 + rng.Intn(7)}
+	ckptDir, err := os.MkdirTemp(s.dir, "shm-ocean-")
+	if err != nil {
+		return "", err
+	}
+	defer os.RemoveAll(ckptDir)
+	cfg := core.Config{
+		P:           s.p,
+		Transport:   transport.NewChaosTransport(transport.ShmTransport{}, plan),
+		SyncTimeout: 30 * time.Second,
+		Checkpoint:  &core.CheckpointConfig{Dir: ckptDir, Every: 1, Backoff: time.Millisecond},
+	}
+	got, _, err := ocean.ParallelRecoverable(cfg, ocfg)
+	if err != nil {
+		return "", fmt.Errorf("crashed ocean run did not recover [plan %s]: %w", plan, err)
+	}
+	if len(got.Psi) != len(s.oceanBase.Psi) {
+		return "", fmt.Errorf("recovered grid has %d cells, want %d [plan %s]", len(got.Psi), len(s.oceanBase.Psi), plan)
+	}
+	for i := range got.Psi {
+		if math.Float64bits(got.Psi[i]) != math.Float64bits(s.oceanBase.Psi[i]) {
+			return "", fmt.Errorf("recovered ψ diverges at cell %d: %v != %v [plan %s]", i, got.Psi[i], s.oceanBase.Psi[i], plan)
+		}
+	}
+	return fmt.Sprintf("grid=%d crash %d:%d", s.grid, plan.CrashRank, plan.CrashStep), nil
+}
+
+// ---- cluster scenarios ---------------------------------------------
+
+// gangCommand builds the ClusterJob Command hook: this binary,
+// re-executed as one rank.
+func (s *soak) gangCommand(outDir, ckptDir, shardDir, chaos string) func(transport.ClusterProcSpec) *exec.Cmd {
+	return func(spec transport.ClusterProcSpec) *exec.Cmd {
+		cmd := exec.Command(s.exe)
+		cmd.Env = append(os.Environ(),
+			envRole+"=rank",
+			envRank+"="+strconv.Itoa(spec.Rank),
+			envP+"="+strconv.Itoa(spec.P),
+			envEpoch+"="+strconv.Itoa(spec.Epoch),
+			envJob+"="+spec.JobID,
+			envCoord+"="+spec.Coordinator,
+			envResume+"="+boolEnv(spec.Resume),
+			envWarm+"="+boolEnv(spec.Warm),
+			envChaos+"="+chaos,
+			envCkpt+"="+ckptDir,
+			envOut+"="+outDir,
+			envShards+"="+shardDir,
+			envSize+"="+strconv.Itoa(s.size),
+			envSeed+"="+strconv.FormatInt(s.seed, 10),
+		)
+		cmd.Stderr = os.Stderr
+		return cmd
+	}
+}
+
+// ensureGangBaseline runs one fault-free cold gang and captures its
+// per-rank partitions, the baseline every faulted gang must match byte
+// for byte.
+func (s *soak) ensureGangBaseline() error {
+	if s.gangBase != nil {
+		return nil
+	}
+	outDir := filepath.Join(s.dir, "gang-baseline")
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	job := &transport.ClusterJob{
+		P:           s.p,
+		JobID:       fmt.Sprintf("soak-baseline-%d", os.Getpid()),
+		JoinTimeout: 15 * time.Second,
+		Command:     s.gangCommand(outDir, "", "", ""),
+	}
+	if err := job.Run(); err != nil {
+		return fmt.Errorf("fault-free baseline gang: %w", err)
+	}
+	parts := make(map[int][]byte, s.p)
+	total := 0
+	for r := 0; r < s.p; r++ {
+		b, err := os.ReadFile(filepath.Join(outDir, fmt.Sprintf("part-r%02d", r)))
+		if err != nil {
+			return fmt.Errorf("baseline gang left no partition for rank %d: %w", r, err)
+		}
+		parts[r] = b
+		total += len(b) / 8
+	}
+	if total != s.size {
+		return fmt.Errorf("baseline partitions cover %d elements, want %d", total, s.size)
+	}
+	s.gangBase = parts
+	return nil
+}
+
+// comparePartitions asserts a faulted gang's per-rank output matches
+// the fault-free baseline byte for byte.
+func (s *soak) comparePartitions(outDir string) error {
+	for r := 0; r < s.p; r++ {
+		got, err := os.ReadFile(filepath.Join(outDir, fmt.Sprintf("part-r%02d", r)))
+		if err != nil {
+			return fmt.Errorf("gang left no partition for rank %d: %w", r, err)
+		}
+		if !bytes.Equal(s.gangBase[r], got) {
+			return fmt.Errorf("rank %d partition diverges from fault-free baseline (%d vs %d bytes)", r, len(got), len(s.gangBase[r]))
+		}
+	}
+	return nil
+}
+
+// clusterWarmCrash crashes one rank of a warm p-process gang and
+// asserts the recovery was surgical: exactly one process relaunch (the
+// crashed rank's, at the fenced epoch), zero gang fallbacks, survivors
+// never re-executed, output byte-identical to the baseline.
+func (s *soak) clusterWarmCrash(rng *rand.Rand) (string, error) {
+	if err := s.ensureGangBaseline(); err != nil {
+		return "", err
+	}
+	roundDir := filepath.Join(s.dir, fmt.Sprintf("round-%03d", s.round))
+	outDir := filepath.Join(roundDir, "out")
+	ckptDir := filepath.Join(roundDir, "ckpt")
+	shardDir := ""
+	if s.trace != "" {
+		shardDir = filepath.Join(roundDir, "shards")
+	}
+	for _, d := range []string{outDir, ckptDir, shardDir} {
+		if d != "" {
+			if err := os.MkdirAll(d, 0o755); err != nil {
+				return "", err
+			}
+		}
+	}
+	crashed := rng.Intn(s.p)
+	plan := transport.FaultPlan{Seed: rng.Int63(), CrashRank: crashed, CrashStep: 2 + rng.Intn(2)}
+	job := &transport.ClusterJob{
+		P:                 s.p,
+		JobID:             fmt.Sprintf("soak-warm-%d-%d", os.Getpid(), s.round),
+		JoinTimeout:       15 * time.Second,
+		MaxRestarts:       3,
+		Warm:              true,
+		HeartbeatInterval: 100 * time.Millisecond,
+		SuspectAfter:      2 * time.Second,
+		Command:           s.gangCommand(outDir, ckptDir, shardDir, plan.String()),
+	}
+	if err := job.Run(); err != nil {
+		return "", fmt.Errorf("warm gang did not recover [plan %s]: %w", plan, err)
+	}
+	if n := job.GangRelaunches(); n != 0 {
+		return "", fmt.Errorf("gang relaunches = %d, want 0 — warm recovery must be surgical [plan %s]", n, plan)
+	}
+	for r, n := range job.RankRestarts() {
+		want := int64(0)
+		if r == crashed {
+			want = 1
+		}
+		if n != want {
+			return "", fmt.Errorf("rank %d relaunches = %d, want %d [plan %s]", r, n, want, plan)
+		}
+	}
+	// The process census agrees with the counters: only the crashed
+	// rank ran a second (epoch 1) process.
+	for r := 0; r < s.p; r++ {
+		_, err := os.Stat(filepath.Join(outDir, fmt.Sprintf("gen-e1-r%d", r)))
+		if r == crashed && err != nil {
+			return "", fmt.Errorf("crashed rank %d left no epoch-1 marker (never relaunched?) [plan %s]", r, plan)
+		}
+		if r != crashed && err == nil {
+			return "", fmt.Errorf("surviving rank %d left an epoch-1 marker (re-execed instead of rolled back in place) [plan %s]", r, plan)
+		}
+	}
+	if err := s.comparePartitions(outDir); err != nil {
+		return "", fmt.Errorf("%w [plan %s]", err, plan)
+	}
+	if shardDir != "" {
+		if err := mergeShards(shardDir, s.trace); err != nil {
+			return "", fmt.Errorf("merge trace shards: %w", err)
+		}
+	}
+	s.rankRelaunches++
+	os.RemoveAll(roundDir)
+	return fmt.Sprintf("crash %d:%d, 1 surgical relaunch", plan.CrashRank, plan.CrashStep), nil
+}
+
+// clusterPartitionJoin assembles a gang whose control plane runs
+// through a chaos proxy that is partitioned when the ranks start
+// dialing and stays a slow link for the whole run: the join retries
+// must ride out the partition, the heartbeats must tolerate the delay,
+// and the result must match the baseline with zero relaunches.
+func (s *soak) clusterPartitionJoin(rng *rand.Rand) (string, error) {
+	if err := s.ensureGangBaseline(); err != nil {
+		return "", err
+	}
+	outDir := filepath.Join(s.dir, fmt.Sprintf("round-%03d", s.round))
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return "", err
+	}
+	window := time.Duration(200+rng.Intn(400)) * time.Millisecond
+	delay := time.Duration(rng.Intn(3)) * 500 * time.Microsecond
+	var proxy *transport.ChaosProxy
+	var perr error
+	job := &transport.ClusterJob{
+		P:           s.p,
+		JobID:       fmt.Sprintf("soak-part-%d-%d", os.Getpid(), s.round),
+		JoinTimeout: 20 * time.Second,
+		Command:     s.gangCommand(outDir, "", "", ""),
+		AdvertiseCoordinator: func(addr string) string {
+			if proxy, perr = transport.NewChaosProxy(addr); perr != nil {
+				return addr
+			}
+			proxy.SetDelay(delay)
+			proxy.Partition(window)
+			return proxy.Addr()
+		},
+	}
+	err := job.Run()
+	if proxy != nil {
+		proxy.Close()
+	}
+	if perr != nil {
+		return "", fmt.Errorf("chaos proxy: %w", perr)
+	}
+	if err != nil {
+		return "", fmt.Errorf("gang behind a %v join partition failed: %w", window, err)
+	}
+	// Nothing should have been relaunched: the partition healed inside
+	// every join deadline.
+	for r := 0; r < s.p; r++ {
+		if _, err := os.Stat(filepath.Join(outDir, fmt.Sprintf("gen-e1-r%d", r))); err == nil {
+			return "", fmt.Errorf("rank %d was relaunched during a heal-in-time partition (window %v)", r, window)
+		}
+	}
+	if err := s.comparePartitions(outDir); err != nil {
+		return "", fmt.Errorf("%w (window %v)", err, window)
+	}
+	os.RemoveAll(outDir)
+	return fmt.Sprintf("join partition %v, control-plane delay %v", window, delay), nil
+}
+
+// mergeShards folds the per-rank trace shards of one gang round into a
+// single Chrome trace at path.
+func mergeShards(dir, path string) error {
+	paths, err := filepath.Glob(filepath.Join(dir, "rank*.json"))
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("no trace shards in %s", dir)
+	}
+	shards := make([]trace.Shard, 0, len(paths))
+	for _, p := range paths {
+		sh, err := trace.ReadShardFile(p)
+		if err != nil {
+			return err
+		}
+		shards = append(shards, sh)
+	}
+	rec, err := trace.MergeShards(shards)
+	if err != nil {
+		return err
+	}
+	return rec.WriteChromeFile(path)
+}
+
+func f64bytes(vals []float64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+func boolEnv(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+// ---- rank child ----------------------------------------------------
+
+// runRank is one OS process hosting one rank of a soak gang. It exits
+// with bsprun's CI codes so ClusterJob's default Recoverable
+// classification applies: 0 ok, 3 recoverable (abort/crash/timeout),
+// 1 anything else.
+func runRank() int {
+	atoi := func(key string) int {
+		v, err := strconv.Atoi(os.Getenv(key))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bspsoak rank: bad %s=%q: %v\n", key, os.Getenv(key), err)
+			os.Exit(1)
+		}
+		return v
+	}
+	rank, p, epoch := atoi(envRank), atoi(envP), atoi(envEpoch)
+	size := atoi(envSize)
+	seed, err := strconv.ParseInt(os.Getenv(envSeed), 10, 64)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bspsoak rank: bad %s: %v\n", envSeed, err)
+		return 1
+	}
+	outDir := os.Getenv(envOut)
+
+	// A generation marker per (epoch, rank) process lets the driver
+	// assert which ranks were relaunched and which survived in place.
+	marker := filepath.Join(outDir, fmt.Sprintf("gen-e%d-r%d", epoch, rank))
+	if err := os.WriteFile(marker, nil, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bspsoak rank:", err)
+		return 1
+	}
+
+	warm := os.Getenv(envWarm) == "1"
+	mcfg := transport.ClusterConfig{
+		Coordinator: os.Getenv(envCoord),
+		JobID:       os.Getenv(envJob),
+		Rank:        rank, Epoch: epoch, P: p,
+	}
+	if warm {
+		mcfg.HeartbeatInterval = 100 * time.Millisecond
+		mcfg.SuspectAfter = 2 * time.Second
+	}
+	if spec := os.Getenv(envChaos); spec != "" && epoch == 0 {
+		// Faults fire in the first generation only; relaunched
+		// generations replay fault-free from the checkpoint cut.
+		plan, err := transport.ParseFaultPlan(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bspsoak rank:", err)
+			return 1
+		}
+		mcfg.Chaos = &plan
+		mcfg.ChaosCrash = true
+	}
+	var tr transport.Transport = transport.ClusterMember{Config: mcfg}
+	if warm {
+		// One-shot hard faults: an in-process retry of a surviving rank
+		// must not re-fire the crash the first attempt injected.
+		tr = transport.NewClusterMember(mcfg)
+	}
+	cfg := core.Config{
+		P:           p,
+		Transport:   tr,
+		SyncTimeout: 30 * time.Second,
+		Group:       &transport.GroupOptions{JobID: mcfg.JobID, Epoch: epoch},
+	}
+	shardDir := os.Getenv(envShards)
+	var rec *trace.Recorder
+	if shardDir != "" {
+		rec = trace.New(p)
+		cfg.Trace = rec
+	}
+	if dir := os.Getenv(envCkpt); dir != "" {
+		cfg.Checkpoint = &core.CheckpointConfig{Dir: dir, Every: 1, Retries: -1, Resume: os.Getenv(envResume) == "1"}
+		if warm {
+			// Warm survivors roll back in place; only the process the
+			// failure names as dead exits and gets replaced.
+			cfg.Checkpoint.Retries = 100
+			cfg.Checkpoint.ShouldRetry = func(err error) bool {
+				var ce *transport.CrashError
+				if errors.As(err, &ce) {
+					return ce.Rank != rank
+				}
+				return !errors.Is(err, transport.ErrCrashed)
+			}
+		}
+	}
+	data := psort.RandomData(size, seed)
+	part, _, err := psort.ParallelRecoverable(cfg, data)
+	if rec != nil {
+		// Written on failure too: the crashed generation's shard carries
+		// the crash marker the merged timeline must show.
+		path := filepath.Join(shardDir, fmt.Sprintf("rank%04d-e%03d.json", rank, epoch))
+		if werr := trace.WriteShardFile(path, rec.Shard(mcfg.JobID, rank)); werr != nil {
+			fmt.Fprintln(os.Stderr, "bspsoak rank: write trace shard:", werr)
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bspsoak rank %d (epoch %d): %v\n", rank, epoch, err)
+		if core.Recoverable(err) || errors.Is(err, transport.ErrJoin) {
+			return 3
+		}
+		return 1
+	}
+	var buf bytes.Buffer
+	for _, v := range part {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		buf.Write(b[:])
+	}
+	if err := os.WriteFile(filepath.Join(outDir, fmt.Sprintf("part-r%02d", rank)), buf.Bytes(), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bspsoak rank:", err)
+		return 1
+	}
+	return 0
+}

@@ -10,6 +10,7 @@ package ckpt_test
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"os"
@@ -33,6 +34,7 @@ const (
 	e2eCoord  = "CKPT_CLUSTER_E2E_COORD"
 	e2eResume = "CKPT_CLUSTER_E2E_RESUME"
 	e2eChaos  = "CKPT_CLUSTER_E2E_CHAOS"
+	e2eWarm   = "CKPT_CLUSTER_E2E_WARM"
 	e2eCkpt   = "CKPT_CLUSTER_E2E_CKPT_DIR"
 	e2eOut    = "CKPT_CLUSTER_E2E_OUT_DIR"
 
@@ -71,10 +73,15 @@ func runE2ERank() int {
 		return 1
 	}
 
+	warm := os.Getenv(e2eWarm) == "1"
 	mcfg := transport.ClusterConfig{
 		Coordinator: os.Getenv(e2eCoord),
 		JobID:       os.Getenv(e2eJob),
 		Rank:        rank, Epoch: epoch, P: p,
+	}
+	if warm {
+		mcfg.HeartbeatInterval = 100 * time.Millisecond
+		mcfg.SuspectAfter = 2 * time.Second
 	}
 	if os.Getenv(e2eChaos) == "1" && epoch == 0 {
 		// The crash fires in the first generation only; relaunched
@@ -83,9 +90,15 @@ func runE2ERank() int {
 		mcfg.Chaos = &plan
 		mcfg.ChaosCrash = true
 	}
+	var tr transport.Transport = transport.ClusterMember{Config: mcfg}
+	if warm {
+		// One-shot hard faults: an in-process retry of a surviving rank
+		// must not re-fire the crash the first attempt injected.
+		tr = transport.NewClusterMember(mcfg)
+	}
 	cfg := core.Config{
 		P:           p,
-		Transport:   transport.ClusterMember{Config: mcfg},
+		Transport:   tr,
 		SyncTimeout: 30 * time.Second,
 		Group:       &transport.GroupOptions{JobID: mcfg.JobID, Epoch: epoch},
 	}
@@ -93,12 +106,24 @@ func runE2ERank() int {
 		// Retries < 0: fail fast and let the gang launcher relaunch the
 		// whole generation.
 		cfg.Checkpoint = &core.CheckpointConfig{Dir: dir, Every: 1, Retries: -1, Resume: os.Getenv(e2eResume) == "1"}
+		if warm {
+			// Warm survivors roll back in place; only the process the
+			// failure names as dead exits and gets replaced.
+			cfg.Checkpoint.Retries = 100
+			cfg.Checkpoint.ShouldRetry = func(err error) bool {
+				var ce *transport.CrashError
+				if errors.As(err, &ce) {
+					return ce.Rank != rank
+				}
+				return !errors.Is(err, transport.ErrCrashed)
+			}
+		}
 	}
 	data := psort.RandomData(e2eSize, e2eSeed)
 	part, _, err := psort.ParallelRecoverable(cfg, data)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "e2e rank %d (epoch %d): %v\n", rank, epoch, err)
-		if core.Recoverable(err) {
+		if core.Recoverable(err) || errors.Is(err, transport.ErrJoin) {
 			return 3
 		}
 		return 1
@@ -118,18 +143,20 @@ func runE2ERank() int {
 	return 0
 }
 
-// runE2EGang launches one gang of rank processes (this test binary,
-// re-executed) and returns the launcher error.
-func runE2EGang(t *testing.T, jobID, outDir, ckptDir string, chaos bool, restarts int) error {
+// e2eGang builds a gang launcher for rank processes (this test binary,
+// re-executed); the caller runs it and may inspect its restart
+// counters afterwards.
+func e2eGang(t *testing.T, jobID, outDir, ckptDir string, chaos, warm bool, restarts int) *transport.ClusterJob {
 	t.Helper()
 	exe, err := os.Executable()
 	if err != nil {
 		t.Fatal(err)
 	}
-	job := transport.ClusterJob{
+	job := &transport.ClusterJob{
 		P:           recoveryP,
 		JobID:       jobID,
 		MaxRestarts: restarts,
+		Warm:        warm,
 		Logf:        t.Logf,
 		Command: func(spec transport.ClusterProcSpec) *exec.Cmd {
 			cmd := exec.Command(exe)
@@ -142,6 +169,7 @@ func runE2EGang(t *testing.T, jobID, outDir, ckptDir string, chaos bool, restart
 				e2eCoord+"="+spec.Coordinator,
 				e2eResume+"="+boolEnv(spec.Resume),
 				e2eChaos+"="+boolEnv(chaos),
+				e2eWarm+"="+boolEnv(warm),
 				e2eCkpt+"="+ckptDir,
 				e2eOut+"="+outDir,
 			)
@@ -149,7 +177,17 @@ func runE2EGang(t *testing.T, jobID, outDir, ckptDir string, chaos bool, restart
 			return cmd
 		},
 	}
-	return job.Run()
+	if warm {
+		job.HeartbeatInterval = 100 * time.Millisecond
+		job.SuspectAfter = 2 * time.Second
+	}
+	return job
+}
+
+// runE2EGang launches one gang and returns the launcher error.
+func runE2EGang(t *testing.T, jobID, outDir, ckptDir string, chaos bool, restarts int) error {
+	t.Helper()
+	return e2eGang(t, jobID, outDir, ckptDir, chaos, false, restarts).Run()
 }
 
 func boolEnv(b bool) string {
@@ -181,6 +219,13 @@ func TestClusterCrashRecoveryBitIdentical(t *testing.T) {
 	if _, err := os.Stat(filepath.Join(crashDir, "gen-e1-r0")); err != nil {
 		t.Error("no marker from a relaunched generation (the crash never fired?)")
 	}
+	comparePartitions(t, cleanDir, crashDir)
+}
+
+// comparePartitions asserts the recovered gang's per-rank partitions
+// are byte-identical to the fault-free gang's and cover the input.
+func comparePartitions(t *testing.T, cleanDir, gotDir string) {
+	t.Helper()
 	total := 0
 	for r := 0; r < recoveryP; r++ {
 		name := fmt.Sprintf("part-r%02d", r)
@@ -188,7 +233,7 @@ func TestClusterCrashRecoveryBitIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatalf("fault-free gang left no partition for rank %d: %v", r, err)
 		}
-		got, err := os.ReadFile(filepath.Join(crashDir, name))
+		got, err := os.ReadFile(filepath.Join(gotDir, name))
 		if err != nil {
 			t.Fatalf("recovered gang left no partition for rank %d: %v", r, err)
 		}
@@ -200,4 +245,52 @@ func TestClusterCrashRecoveryBitIdentical(t *testing.T) {
 	if total != e2eSize {
 		t.Errorf("partitions cover %d elements, want %d", total, e2eSize)
 	}
+}
+
+// TestClusterWarmRecoveryRelaunchesExactlyOneRank: with warm recovery
+// on, a single-rank crash costs exactly one process relaunch — the
+// crashed rank's — while the survivors roll back in place from the
+// latest complete cut and re-admit the newcomer at the fenced epoch.
+// The output stays byte-identical to a fault-free gang.
+func TestClusterWarmRecoveryRelaunchesExactlyOneRank(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns 2 gangs of OS processes")
+	}
+	crashed := crashPlan().CrashRank
+	cleanDir, warmDir := t.TempDir(), t.TempDir()
+	if err := runE2EGang(t, "e2e-warm-clean", cleanDir, "", false, 0); err != nil {
+		t.Fatalf("fault-free gang failed: %v", err)
+	}
+	job := e2eGang(t, "e2e-warm-crash", warmDir, t.TempDir(), true, true, 3)
+	if err := job.Run(); err != nil {
+		t.Fatalf("warm gang did not recover: %v", err)
+	}
+
+	// Surgical recovery: one relaunch, of the crashed rank, no gang
+	// fallback.
+	if n := job.GangRelaunches(); n != 0 {
+		t.Errorf("gang relaunches = %d, want 0 (warm recovery must be surgical)", n)
+	}
+	for r, n := range job.RankRestarts() {
+		want := int64(0)
+		if r == crashed {
+			want = 1
+		}
+		if n != want {
+			t.Errorf("rank %d restarts = %d, want %d", r, n, want)
+		}
+	}
+	// The process census agrees with the counters: only the crashed
+	// rank ever ran as a second (epoch 1) process; the survivors' only
+	// processes are the epoch-0 ones.
+	for r := 0; r < recoveryP; r++ {
+		_, err := os.Stat(filepath.Join(warmDir, fmt.Sprintf("gen-e1-r%d", r)))
+		if r == crashed && err != nil {
+			t.Errorf("crashed rank %d left no epoch-1 marker (never relaunched?)", r)
+		}
+		if r != crashed && err == nil {
+			t.Errorf("surviving rank %d left an epoch-1 marker (was re-execed, not rolled back in place)", r)
+		}
+	}
+	comparePartitions(t, cleanDir, warmDir)
 }

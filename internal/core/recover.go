@@ -36,6 +36,12 @@ type CheckpointConfig struct {
 	// attempt, continuing an earlier (crashed) invocation's run instead
 	// of starting from superstep 0.
 	Resume bool
+	// ShouldRetry, when non-nil, vetoes individual in-process retries:
+	// a recoverable error is re-executed only if ShouldRetry returns
+	// true for it. A warm cluster rank uses this to fail fast when the
+	// error names itself as the crashed party (its process must be
+	// replaced) while still healing peer crashes in-process.
+	ShouldRetry func(error) bool
 }
 
 func (ck *CheckpointConfig) every() int {
@@ -266,7 +272,7 @@ func RunRecoverable(cfg Config, fn func(*Proc), hooks Hooks) (*Stats, error) {
 			st.Ckpt = &acc
 			return st, nil
 		}
-		if !Recoverable(err) || attempts > ck.retries() {
+		if !Recoverable(err) || (ck.ShouldRetry != nil && !ck.ShouldRetry(err)) || attempts > ck.retries() {
 			return nil, err
 		}
 		time.Sleep(ck.backoff() << (attempts - 1))

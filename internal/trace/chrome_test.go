@@ -33,9 +33,19 @@ func goldenRecorder() *Recorder {
 
 	// Attempt 1, superstep 1: rank 0 reaches the barrier (its batch is
 	// already handed over); rank 1 crashes in its Sync, so neither rank
-	// records a sync span for step 1 in this attempt.
+	// records a sync span for step 1 in this attempt. The control plane
+	// had been beating (rank 0 sent three heartbeats, missed one reply
+	// window); the coordinator convicts the silent rank 1 and rank 0
+	// sees the suspicion surface in its failed Sync, after which the
+	// launcher warm-relaunches only rank 1.
 	b0.Pair(1, 1, 3000, 32, 2, 2)
 	b1.Fault(1, FaultCrash, 3100, 0)
+	b0.Heartbeat()
+	b0.Heartbeat()
+	b0.Heartbeat()
+	b0.HeartbeatMiss()
+	b0.Suspect(1, 3400, 1)
+	b0.WarmRestart()
 
 	// Rollback to the boundary-1 snapshot; attempt 2 restores and
 	// re-executes superstep 1.

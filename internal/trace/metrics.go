@@ -30,6 +30,11 @@ type Metrics struct {
 	Restores  atomic.Int64 // ranks restored from a snapshot
 	Rollbacks atomic.Int64 // machine rollbacks (recovery re-executions)
 	Faults    atomic.Int64 // injected chaos faults observed
+
+	Heartbeats      atomic.Int64 // liveness heartbeats sent on the control plane
+	HeartbeatMisses atomic.Int64 // heartbeat intervals that passed without a peer beat
+	Suspects        atomic.Int64 // ranks declared crashed by liveness suspicion or conn loss
+	WarmRestarts    atomic.Int64 // surgical single-rank process relaunches observed
 }
 
 func newMetrics(p int) *Metrics {
@@ -76,6 +81,11 @@ type Snapshot struct {
 	Restores   int64
 	Rollbacks  int64
 	Faults     int64
+
+	Heartbeats      int64
+	HeartbeatMisses int64
+	Suspects        int64
+	WarmRestarts    int64
 }
 
 // Snapshot copies the counters. Safe concurrently with a running
@@ -96,6 +106,11 @@ func (m *Metrics) Snapshot() Snapshot {
 		Restores:   m.Restores.Load(),
 		Rollbacks:  m.Rollbacks.Load(),
 		Faults:     m.Faults.Load(),
+
+		Heartbeats:      m.Heartbeats.Load(),
+		HeartbeatMisses: m.HeartbeatMisses.Load(),
+		Suspects:        m.Suspects.Load(),
+		WarmRestarts:    m.WarmRestarts.Load(),
 	}
 	for i := 0; i < m.p; i++ {
 		s.Ranks[i] = RankSnapshot{
@@ -174,6 +189,10 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "# HELP bsp_restores_total Ranks restored from a snapshot.\n# TYPE bsp_restores_total counter\nbsp_restores_total %d\n", m.Restores.Load())
 	fmt.Fprintf(w, "# HELP bsp_rollbacks_total Machine rollbacks (recovery re-executions).\n# TYPE bsp_rollbacks_total counter\nbsp_rollbacks_total %d\n", m.Rollbacks.Load())
 	fmt.Fprintf(w, "# HELP bsp_faults_total Injected chaos faults observed.\n# TYPE bsp_faults_total counter\nbsp_faults_total %d\n", m.Faults.Load())
+	fmt.Fprintf(w, "# HELP bsp_heartbeats_total Liveness heartbeats sent on the control plane.\n# TYPE bsp_heartbeats_total counter\nbsp_heartbeats_total %d\n", m.Heartbeats.Load())
+	fmt.Fprintf(w, "# HELP bsp_heartbeat_misses_total Heartbeat intervals that passed without a peer beat.\n# TYPE bsp_heartbeat_misses_total counter\nbsp_heartbeat_misses_total %d\n", m.HeartbeatMisses.Load())
+	fmt.Fprintf(w, "# HELP bsp_suspects_total Ranks declared crashed by liveness suspicion or connection loss.\n# TYPE bsp_suspects_total counter\nbsp_suspects_total %d\n", m.Suspects.Load())
+	fmt.Fprintf(w, "# HELP bsp_warm_restarts_total Surgical single-rank process relaunches observed.\n# TYPE bsp_warm_restarts_total counter\nbsp_warm_restarts_total %d\n", m.WarmRestarts.Load())
 }
 
 // Handler returns an http.Handler serving the Prometheus text format

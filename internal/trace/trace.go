@@ -114,6 +114,11 @@ const (
 	FaultStall
 	FaultAbort
 	FaultCrash
+	// FaultSuspect marks a liveness crash declaration: the coordinator
+	// stopped hearing a rank's heartbeats (or saw its control
+	// connection drop without a leave) and fanned the crash out. B
+	// holds the suspected rank.
+	FaultSuspect
 )
 
 // String names the fault as it appears in exported traces.
@@ -127,6 +132,8 @@ func (f FaultCode) String() string {
 		return "chaos abort"
 	case FaultCrash:
 		return "chaos crash"
+	case FaultSuspect:
+		return "liveness suspect"
 	}
 	return "chaos fault"
 }
@@ -283,6 +290,50 @@ func (b *Buf) Fault(step int, code FaultCode, at int64, aux int64) {
 	if b.m != nil {
 		b.m.Faults.Add(1)
 	}
+}
+
+// Suspect records a liveness crash declaration the recording rank
+// learned of: suspected names the rank declared crashed. Like every
+// event append it must run on the owning rank's goroutine.
+func (b *Buf) Suspect(step int, at int64, suspected int) {
+	if b == nil {
+		return
+	}
+	b.events = append(b.events, Event{Kind: KindFault, Rank: b.rank, Step: b.base + int32(step), Start: at, End: at, A: int64(FaultSuspect), B: int64(suspected)})
+	if b.m != nil {
+		b.m.Suspects.Add(1)
+	}
+}
+
+// Heartbeat counts one liveness heartbeat sent on the control plane.
+// Unlike the event appenders it is safe from any goroutine: it touches
+// only the atomic Metrics counters (the transport's heartbeat loop is
+// not a rank goroutine).
+func (b *Buf) Heartbeat() {
+	if b == nil || b.m == nil {
+		return
+	}
+	b.m.Heartbeats.Add(1)
+}
+
+// HeartbeatMiss counts a heartbeat interval that passed without a
+// beat from the peer. Safe from any goroutine (atomics only).
+func (b *Buf) HeartbeatMiss() {
+	if b == nil || b.m == nil {
+		return
+	}
+	b.m.HeartbeatMisses.Add(1)
+}
+
+// WarmRestart counts a surgical single-rank relaunch this process
+// observed (a crash declaration naming a peer that the launcher will
+// replace while this rank rolls back in place). Safe from any
+// goroutine (atomics only).
+func (b *Buf) WarmRestart() {
+	if b == nil || b.m == nil {
+		return
+	}
+	b.m.WarmRestarts.Add(1)
 }
 
 // Recorder owns the per-rank buffers and the machine-level event list

@@ -1,0 +1,187 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startEcho runs a line-echo TCP server and returns its address; it
+// stops when the test ends.
+func startEcho(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("echo listen: %v", err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				sc := bufio.NewScanner(c)
+				for sc.Scan() {
+					fmt.Fprintf(c, "%s\n", sc.Text())
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func dialProxy(t *testing.T, p *ChaosProxy) net.Conn {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", p.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial proxy: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// echoLine writes a line and reads the echo with deadline d, returning
+// the echoed text or the error.
+func echoLine(c net.Conn, line string, d time.Duration) (string, error) {
+	c.SetDeadline(time.Now().Add(d))
+	if _, err := fmt.Fprintf(c, "%s\n", line); err != nil {
+		return "", err
+	}
+	r := bufio.NewReader(c)
+	got, err := r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSuffix(got, "\n"), nil
+}
+
+func TestChaosProxyRelays(t *testing.T) {
+	p, err := NewChaosProxy(startEcho(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	if got, err := echoLine(c, "hello", 2*time.Second); err != nil || got != "hello" {
+		t.Fatalf("echo through proxy: got %q, %v", got, err)
+	}
+}
+
+func TestChaosProxySlowLinkDelays(t *testing.T) {
+	p, err := NewChaosProxy(startEcho(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	if _, err := echoLine(c, "warm", 2*time.Second); err != nil {
+		t.Fatalf("warm echo: %v", err)
+	}
+	p.SetDelay(30 * time.Millisecond)
+	start := time.Now()
+	if got, err := echoLine(c, "slow", 5*time.Second); err != nil || got != "slow" {
+		t.Fatalf("slow echo: got %q, %v", got, err)
+	}
+	// The line crosses the proxy twice (request and echo), each chunk
+	// delayed 30ms.
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("slow-link echo returned in %v, want >= 50ms", d)
+	}
+}
+
+func TestChaosProxyPartitionHangsThenHeals(t *testing.T) {
+	p, err := NewChaosProxy(startEcho(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	if _, err := echoLine(c, "before", 2*time.Second); err != nil {
+		t.Fatalf("pre-partition echo: %v", err)
+	}
+
+	p.Partition(time.Minute)
+	if got, err := echoLine(c, "during", 150*time.Millisecond); err == nil {
+		t.Fatalf("echo during partition: got %q, want timeout", got)
+	} else if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+		// The connection must hang, not reset: a partition loses
+		// packets without notifying either side.
+		t.Fatalf("echo during partition: got %v, want timeout", err)
+	}
+
+	p.Heal()
+	// The held chunk is delivered after healing: partitioned traffic is
+	// delayed, not lost.
+	c.SetDeadline(time.Now().Add(2 * time.Second))
+	got, err := bufio.NewReader(c).ReadString('\n')
+	if err != nil || strings.TrimSuffix(got, "\n") != "during" {
+		t.Fatalf("post-heal read: got %q, %v", got, err)
+	}
+
+	// A connection opened during a partition is not relayed until heal.
+	p.Partition(200 * time.Millisecond)
+	c2 := dialProxy(t, p)
+	start := time.Now()
+	if got, err := echoLine(c2, "new-conn", 5*time.Second); err != nil || got != "new-conn" {
+		t.Fatalf("new conn after heal: got %q, %v", got, err)
+	}
+	if d := time.Since(start); d < 100*time.Millisecond {
+		t.Fatalf("new conn relayed in %v, want held by the partition window", d)
+	}
+}
+
+func TestChaosProxyHalfOpenFreezesOneDirection(t *testing.T) {
+	p, err := NewChaosProxy(startEcho(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	if _, err := echoLine(c, "before", 2*time.Second); err != nil {
+		t.Fatalf("pre-stall echo: %v", err)
+	}
+
+	p.StallToTarget(true)
+	if got, err := echoLine(c, "frozen", 150*time.Millisecond); err == nil {
+		t.Fatalf("echo on half-open link: got %q, want timeout", got)
+	} else if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+		t.Fatalf("echo on half-open link: got %v, want timeout (conn must stay open)", err)
+	}
+
+	p.StallToTarget(false)
+	c.SetDeadline(time.Now().Add(2 * time.Second))
+	got, err := bufio.NewReader(c).ReadString('\n')
+	if err != nil || strings.TrimSuffix(got, "\n") != "frozen" {
+		t.Fatalf("post-thaw read: got %q, %v", got, err)
+	}
+}
+
+func TestChaosProxyResetSeversMidStream(t *testing.T) {
+	p, err := NewChaosProxy(startEcho(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	if _, err := echoLine(c, "alive", 2*time.Second); err != nil {
+		t.Fatalf("pre-reset echo: %v", err)
+	}
+	if n := p.ResetAll(); n != 1 {
+		t.Fatalf("ResetAll severed %d links, want 1", n)
+	}
+	c.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := echoLine(c, "dead", 2*time.Second); err == nil {
+		t.Fatal("echo after reset: want connection error")
+	}
+	// The link is gone but the proxy is not: a fresh connection relays.
+	c2 := dialProxy(t, p)
+	if got, err := echoLine(c2, "reborn", 2*time.Second); err != nil || got != "reborn" {
+		t.Fatalf("echo on fresh conn after reset: got %q, %v", got, err)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -50,6 +51,8 @@ const (
 	ctrlReject = 'R' // coordinator -> member: join rejected, reason follows
 	ctrlAbort  = 'X' // either direction: gang abort, reason follows
 	ctrlLeave  = 'L' // member -> coordinator: clean detach; broadcast back with rank
+	ctrlPing   = 'H' // either direction: liveness heartbeat (wire.Heartbeat payload)
+	ctrlCrash  = 'C' // coordinator -> member: crashed rank + new epoch + reason
 )
 
 // ctrlFrameLimit bounds control frames (the address book dominates:
@@ -66,6 +69,14 @@ const (
 	// broadcast) that explains it; on the loopback control plane the
 	// notification beats this by orders of magnitude.
 	settleTimeout = 2 * time.Second
+	// clusterDefaultHeartbeatInterval is the default liveness beat
+	// period on the control plane.
+	clusterDefaultHeartbeatInterval = 500 * time.Millisecond
+	// clusterDefaultSuspectAfter is the default suspicion timeout: a
+	// ready member silent for this long is declared crashed. Generous
+	// relative to the beat interval so scheduler hiccups and paused
+	// test processes are not convicted.
+	clusterDefaultSuspectAfter = 5 * time.Second
 )
 
 func writeCtrlFrame(c net.Conn, payload []byte) error {
@@ -110,6 +121,23 @@ type CoordinatorOptions struct {
 	// 0 means clusterDefaultJoinTimeout.
 	JoinTimeout time.Duration
 
+	// HeartbeatInterval is the liveness beat period once a generation
+	// is ready: the coordinator beats every member and expects beats
+	// back. 0 means clusterDefaultHeartbeatInterval; negative disables
+	// the liveness protocol entirely.
+	HeartbeatInterval time.Duration
+	// SuspectAfter is the suspicion timeout: a ready member whose last
+	// control frame (beat or otherwise) is older than this is declared
+	// crashed and fanned out to the gang, long before any sync
+	// watchdog. 0 means clusterDefaultSuspectAfter; negative disables
+	// suspicion (beats still flow for member-side miss accounting).
+	SuspectAfter time.Duration
+	// OnCrash, when set, is called (on its own goroutine) once per
+	// crash declaration: rank was convicted, failedEpoch died, and the
+	// survivors rejoin at newEpoch. A warm launcher uses it to relaunch
+	// exactly the convicted rank's process.
+	OnCrash func(rank, failedEpoch, newEpoch int, reason string)
+
 	// closeOnIdle shuts the coordinator down once a ready generation's
 	// members have all disconnected (the in-process ClusterTransport
 	// sets it; a launcher that relaunches generations keeps it off).
@@ -121,6 +149,26 @@ func (o CoordinatorOptions) joinTimeout() time.Duration {
 		return o.JoinTimeout
 	}
 	return clusterDefaultJoinTimeout
+}
+
+func (o CoordinatorOptions) heartbeatInterval() time.Duration {
+	if o.HeartbeatInterval > 0 {
+		return o.HeartbeatInterval
+	}
+	if o.HeartbeatInterval < 0 {
+		return 0
+	}
+	return clusterDefaultHeartbeatInterval
+}
+
+func (o CoordinatorOptions) suspectAfter() time.Duration {
+	if o.SuspectAfter > 0 {
+		return o.SuspectAfter
+	}
+	if o.SuspectAfter < 0 {
+		return 0
+	}
+	return clusterDefaultSuspectAfter
 }
 
 // Coordinator is the membership owner of one cluster job: it admits
@@ -154,6 +202,11 @@ type coordMember struct {
 	conn net.Conn
 	addr string
 	left bool
+	// lastBeat is the unix-nano time of the member's last control
+	// frame; the liveness loop convicts members whose lastBeat ages
+	// past SuspectAfter. Atomic: monitor goroutines store, the
+	// liveness goroutine loads.
+	lastBeat atomic.Int64
 }
 
 // StartCoordinator listens on a loopback port and serves membership for
@@ -295,7 +348,8 @@ func (c *Coordinator) handleJoin(conn net.Conn) {
 	if len(gen.members) == c.p {
 		// Readiness barrier: the generation is complete. Stop the join
 		// timer, broadcast the address book, and start monitoring each
-		// member for abort/leave/crash.
+		// member for abort/leave/crash — plus the liveness loop that
+		// beats the members and convicts the silent ones.
 		gen.timer.Stop()
 		book := c.bookLocked(gen)
 		for _, mm := range gen.members {
@@ -305,8 +359,13 @@ func (c *Coordinator) handleJoin(conn net.Conn) {
 			}
 		}
 		gen.ready = true
+		now := time.Now().UnixNano()
 		for _, mm := range gen.members {
+			mm.lastBeat.Store(now)
 			go c.monitor(gen, mm)
+		}
+		if c.opts.heartbeatInterval() > 0 {
+			go c.liveness(gen)
 		}
 	}
 	c.mu.Unlock()
@@ -353,15 +412,16 @@ func (c *Coordinator) joinTimedOut(epoch int) {
 }
 
 // monitor serves one ready member's control connection: it relays
-// aborts and leaves to the rest of the gang and converts a connection
-// dropped without a leave into a gang-wide abort (the crash fan-out).
+// aborts and leaves to the rest of the gang, feeds the liveness clock,
+// and converts a connection dropped without a leave into a crash
+// declaration naming this rank (the crash fan-out).
 func (c *Coordinator) monitor(gen *coordGen, m *coordMember) {
 	for {
 		b, err := readCtrlFrame(m.conn)
 		if err != nil {
 			c.mu.Lock()
 			if !m.left && !gen.aborted {
-				c.abortGenLocked(gen, fmt.Sprintf("rank %d disconnected without leaving (crashed?)", m.rank))
+				c.declareCrashLocked(gen, m.rank, fmt.Sprintf("rank %d disconnected without leaving (crashed?)", m.rank))
 			}
 			gen.live--
 			idle := gen.live == 0 && c.opts.closeOnIdle
@@ -372,7 +432,12 @@ func (c *Coordinator) monitor(gen *coordGen, m *coordMember) {
 			}
 			return
 		}
+		// Any frame proves the member's process is alive.
+		m.lastBeat.Store(time.Now().UnixNano())
 		switch b[0] {
+		case ctrlPing:
+			// Beats carry no payload the coordinator acts on beyond the
+			// liveness clock update above; a malformed one is ignored.
 		case ctrlAbort:
 			c.mu.Lock()
 			c.abortGenLocked(gen, fmt.Sprintf("rank %d aborted: %s", m.rank, b[1:]))
@@ -392,17 +457,102 @@ func (c *Coordinator) monitor(gen *coordGen, m *coordMember) {
 	}
 }
 
-// abortGenLocked broadcasts a gang abort once.
+// liveness is the per-generation suspicion loop: every interval it
+// beats each connected member and checks when each member last spoke.
+// A member silent past SuspectAfter is convicted — declared crashed to
+// the whole gang — which is what turns a hung-but-connected process
+// into a prompt ErrCrashed instead of a sync-watchdog timeout much
+// later. The loop ends when the generation fails, completes (all
+// members leave) or the coordinator closes.
+func (c *Coordinator) liveness(gen *coordGen) {
+	interval := c.opts.heartbeatInterval()
+	suspect := c.opts.suspectAfter()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	var seq uint32
+	for range tick.C {
+		seq++
+		beat := append([]byte{ctrlPing}, wire.Heartbeat{Rank: wire.CoordinatorRank, Epoch: gen.epoch, Seq: seq}.EncodePayload()...)
+		c.mu.Lock()
+		if gen.aborted || c.closed {
+			c.mu.Unlock()
+			return
+		}
+		now := time.Now().UnixNano()
+		alive := false
+		var suspected *coordMember
+		for _, m := range gen.members {
+			if m.left {
+				continue
+			}
+			alive = true
+			writeCtrlFrame(m.conn, beat)
+			if suspect > 0 && suspected == nil && now-m.lastBeat.Load() > int64(suspect) {
+				suspected = m
+			}
+		}
+		if suspected != nil {
+			c.declareCrashLocked(gen, suspected.rank, fmt.Sprintf(
+				"rank %d sent no heartbeat for %v (suspect after %v): declared crashed",
+				suspected.rank, time.Duration(now-suspected.lastBeat.Load()).Round(time.Millisecond), suspect))
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Unlock()
+		if !alive {
+			return
+		}
+	}
+}
+
+// abortGenLocked fails the generation with a cooperative abort: no
+// rank is convicted, members see a plain gang abort.
 func (c *Coordinator) abortGenLocked(gen *coordGen, reason string) {
+	c.failGenLocked(gen, -1, reason)
+}
+
+// declareCrashLocked fails the generation with a crash declaration
+// convicting rank: members receive a ctrlCrash frame naming the rank
+// and the epoch survivors rejoin at, and the launcher's OnCrash hook
+// (if any) fires so it can relaunch exactly that process.
+func (c *Coordinator) declareCrashLocked(gen *coordGen, rank int, reason string) {
+	c.failGenLocked(gen, rank, reason)
+}
+
+// failGenLocked ends a generation exactly once: it fences the dead
+// epoch (the coordinator advances, so stragglers of this generation
+// are rejected at the handshake while survivors rejoin at the next
+// epoch without launcher involvement) and broadcasts either a crash
+// declaration (crashedRank >= 0) or a cooperative abort.
+func (c *Coordinator) failGenLocked(gen *coordGen, crashedRank int, reason string) {
 	if gen.aborted {
 		return
 	}
 	gen.aborted = true
-	frame := append([]byte{ctrlAbort}, reason...)
+	if gen == c.gen {
+		c.epoch++
+		if gen.timer != nil {
+			gen.timer.Stop()
+		}
+		c.gen = nil
+	}
+	var frame []byte
+	if crashedRank >= 0 {
+		frame = make([]byte, 9, 9+len(reason))
+		frame[0] = ctrlCrash
+		binary.LittleEndian.PutUint32(frame[1:5], uint32(crashedRank))
+		binary.LittleEndian.PutUint32(frame[5:9], uint32(c.epoch))
+		frame = append(frame, reason...)
+	} else {
+		frame = append([]byte{ctrlAbort}, reason...)
+	}
 	for _, m := range gen.members {
 		if !m.left {
 			writeCtrlFrame(m.conn, frame)
 		}
+	}
+	if cb := c.opts.OnCrash; cb != nil && crashedRank >= 0 {
+		go cb(crashedRank, gen.epoch, c.epoch, reason)
 	}
 }
 
@@ -419,6 +569,12 @@ type ClusterConfig struct {
 	// pairwise data-plane establishment. 0 means
 	// clusterDefaultJoinTimeout.
 	JoinTimeout time.Duration
+	// HeartbeatInterval and SuspectAfter tune this member's side of the
+	// control-plane liveness protocol (beats sent, coordinator silence
+	// tolerated); they should match the coordinator's settings. 0 means
+	// the cluster defaults; negative disables.
+	HeartbeatInterval time.Duration
+	SuspectAfter      time.Duration
 	// StageTimeout and MaxRetries tune the staged exchange engine
 	// exactly as on TCPTransport.
 	StageTimeout time.Duration
@@ -443,17 +599,42 @@ func (cfg ClusterConfig) joinTimeout() time.Duration {
 	return clusterDefaultJoinTimeout
 }
 
+func (cfg ClusterConfig) heartbeatInterval() time.Duration {
+	return CoordinatorOptions{HeartbeatInterval: cfg.HeartbeatInterval}.heartbeatInterval()
+}
+
+func (cfg ClusterConfig) suspectAfter() time.Duration {
+	return CoordinatorOptions{SuspectAfter: cfg.SuspectAfter}.suspectAfter()
+}
+
 // clusterMember is the out-of-process GroupMember: the shared groupCore
 // driven by coordinator control frames. Abort and Leave notify the
-// coordinator; the control reader applies remote aborts and leaves to
-// the local core (flag first, then hooks, so an exchange woken by a
-// dying socket always sees the flag).
+// coordinator; the control reader applies remote aborts, leaves and
+// crash declarations to the local core (flag first, then hooks, so an
+// exchange woken by a dying socket always sees the flag), and a
+// heartbeat loop proves this process's liveness to the coordinator.
 type clusterMember struct {
 	core     *groupCore
 	rank     int
 	ctrl     net.Conn
 	ctrlWMu  sync.Mutex
 	leftSelf atomic.Bool
+
+	// crashCause holds the first crash declaration received; the
+	// exchange engine surfaces it (via abortCauser) instead of the
+	// anonymous ErrAborted.
+	crashCause atomic.Pointer[CrashError]
+	// buf is the rank's trace buffer once core installs it; only its
+	// atomic Metrics methods are used here (the heartbeat and control
+	// goroutines are not the rank goroutine).
+	buf atomic.Pointer[trace.Buf]
+	// coordBeat is the unix-nano time of the coordinator's last frame.
+	coordBeat atomic.Int64
+	// hbStop ends the heartbeat loop; stopping it while staying
+	// connected is exactly what a stalled process looks like, which
+	// the suspicion tests exploit.
+	hbStop     chan struct{}
+	hbStopOnce sync.Once
 }
 
 func (m *clusterMember) Rank() int                       { return m.rank }
@@ -480,9 +661,56 @@ func (m *clusterMember) Abort() {
 // last == true (the endpoint then tears down this process's sockets).
 func (m *clusterMember) Leave() (last bool) {
 	m.leftSelf.Store(true)
+	m.stopHeartbeats()
 	m.sendCtrl([]byte{ctrlLeave})
 	m.core.markLeft(m.rank)
 	return true
+}
+
+// abortCause implements abortCauser: the crash declaration behind the
+// abort, if the coordinator sent one.
+func (m *clusterMember) abortCause() *CrashError { return m.crashCause.Load() }
+
+// setTraceBuf receives the rank's trace buffer from the endpoint's
+// SetTrace, for the metrics-only counters the liveness goroutines bump.
+func (m *clusterMember) setTraceBuf(b *trace.Buf) { m.buf.Store(b) }
+
+func (m *clusterMember) stopHeartbeats() {
+	m.hbStopOnce.Do(func() { close(m.hbStop) })
+}
+
+// heartbeatLoop proves this process's liveness to the coordinator and
+// accounts for the coordinator's beats in return. A coordinator silent
+// past the suspicion timeout means the membership service (and the
+// launcher that owns it) is gone: the gang cannot maintain membership,
+// so the member aborts rather than hang in a later exchange.
+func (m *clusterMember) heartbeatLoop(interval, suspect time.Duration) {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	var seq uint32
+	for {
+		select {
+		case <-m.hbStop:
+			return
+		case <-m.core.abortCh:
+			return
+		case <-tick.C:
+		}
+		seq++
+		hb := wire.Heartbeat{Rank: m.rank, Epoch: m.core.opts.Epoch, Seq: seq}
+		m.sendCtrl(append([]byte{ctrlPing}, hb.EncodePayload()...))
+		m.buf.Load().Heartbeat()
+		if last := m.coordBeat.Load(); last > 0 {
+			gap := time.Now().UnixNano() - last
+			if gap > 2*int64(interval) {
+				m.buf.Load().HeartbeatMiss()
+			}
+			if suspect > 0 && gap > int64(suspect) {
+				m.core.abort()
+				return
+			}
+		}
+	}
 }
 
 func (m *clusterMember) sendCtrl(frame []byte) {
@@ -524,8 +752,27 @@ func (m *clusterMember) readControl() {
 			}
 			return
 		}
+		m.coordBeat.Store(time.Now().UnixNano())
 		switch b[0] {
+		case ctrlPing:
+			// The liveness clock update above is the whole effect.
 		case ctrlAbort:
+			m.core.abort()
+		case ctrlCrash:
+			if len(b) >= 9 {
+				crashed := int(binary.LittleEndian.Uint32(b[1:5]))
+				newEpoch := int(binary.LittleEndian.Uint32(b[5:9]))
+				m.crashCause.CompareAndSwap(nil, &CrashError{
+					JobID:    m.core.opts.JobID,
+					Rank:     crashed,
+					Epoch:    m.core.opts.Epoch,
+					NewEpoch: newEpoch,
+					Reason:   string(b[9:]),
+				})
+				if crashed != m.rank {
+					m.buf.Load().WarmRestart()
+				}
+			}
 			m.core.abort()
 		case ctrlLeave:
 			if len(b) == 5 {
@@ -542,8 +789,47 @@ func (m *clusterMember) readControl() {
 // address-book broadcast is the readiness barrier, and every pairwise
 // data connection exchanges mutual handshakes so job id and epoch are
 // fenced on the data plane as well. The returned endpoint runs the same
-// staged total-exchange engine as TCPTransport.
+// staged total-exchange engine as TCPTransport. Every error return is a
+// *JoinError (matching ErrJoin) naming the job, rank and epoch.
 func JoinCluster(cfg ClusterConfig) (Endpoint, error) {
+	ep, err := joinCluster(cfg)
+	if err != nil {
+		return nil, &JoinError{JobID: cfg.JobID, Rank: cfg.Rank, Epoch: cfg.Epoch, Err: err}
+	}
+	return ep, nil
+}
+
+// dialCoordinator dials the coordinator's control address with
+// jittered exponential backoff until the deadline: a rank racing the
+// coordinator's listener — or dialing through a control-plane
+// partition that heals — joins as soon as the address is reachable
+// instead of failing fast on the first refused connection.
+func dialCoordinator(addr string, deadline time.Time) (net.Conn, error) {
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	backoff := 5 * time.Millisecond
+	for {
+		c, err := net.DialTimeout("tcp", addr, time.Until(deadline))
+		if err == nil {
+			return c, nil
+		}
+		rem := time.Until(deadline)
+		if rem <= 0 {
+			return nil, err
+		}
+		// Jitter in [0.5, 1.5) of the current backoff, capped by the
+		// time remaining so the deadline stays an overall bound.
+		pause := backoff/2 + time.Duration(rng.Int63n(int64(backoff)))
+		if pause > rem {
+			pause = rem
+		}
+		time.Sleep(pause)
+		if backoff < 500*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+func joinCluster(cfg ClusterConfig) (Endpoint, error) {
 	if cfg.P < 1 {
 		return nil, fmt.Errorf("cluster: p must be >= 1, got %d", cfg.P)
 	}
@@ -555,7 +841,7 @@ func JoinCluster(cfg ClusterConfig) (Endpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: rank %d data listen: %w", cfg.Rank, err)
 	}
-	ctrl, err := net.DialTimeout("tcp", cfg.Coordinator, cfg.joinTimeout())
+	ctrl, err := dialCoordinator(cfg.Coordinator, deadline)
 	if err != nil {
 		ln.Close()
 		return nil, fmt.Errorf("cluster: rank %d dial coordinator %s: %w", cfg.Rank, cfg.Coordinator, err)
@@ -591,8 +877,12 @@ func JoinCluster(cfg ClusterConfig) (Endpoint, error) {
 	}
 
 	core := newGroupCore(cfg.P, GroupOptions{JobID: cfg.JobID, Epoch: cfg.Epoch})
-	m := &clusterMember{core: core, rank: cfg.Rank, ctrl: ctrl}
+	m := &clusterMember{core: core, rank: cfg.Rank, ctrl: ctrl, hbStop: make(chan struct{})}
+	m.coordBeat.Store(time.Now().UnixNano())
 	go m.readControl()
+	if interval := cfg.heartbeatInterval(); interval > 0 {
+		go m.heartbeatLoop(interval, cfg.suspectAfter())
+	}
 
 	wrap := cfg.wrapConn
 	if wrap == nil && cfg.Chaos != nil && cfg.Chaos.ConnErrRate > 0 {
@@ -831,9 +1121,26 @@ func (t ClusterTransport) OpenGroup(p int, opts GroupOptions) ([]Endpoint, error
 // interface for a process that hosts exactly that rank (a bsprun
 // -cluster worker or a test child). Open(p) validates the width and
 // returns a single endpoint: core then runs just this rank's process
-// function.
+// function. It also implements GroupTransport: OpenGroup joins with
+// the options' job id and epoch, which is what lets a surviving
+// process rejoin the gang at a bumped epoch on an in-process recovery
+// attempt (warm recovery) instead of exiting for a full relaunch.
 type ClusterMember struct {
 	Config ClusterConfig
+
+	// hardFaults, when set (NewClusterMember), makes the config's hard
+	// chaos faults (crash, abort) one-shot across Opens: a warm
+	// recovery attempt re-opens the transport in the same process and
+	// must not re-fire the fault that caused it.
+	hardFaults *atomic.Bool
+}
+
+// NewClusterMember builds a member whose hard chaos faults fire at
+// most once per process, however many times the transport is opened.
+// Warm children use this; the zero-value ClusterMember keeps the
+// arm-on-every-Open behavior.
+func NewClusterMember(cfg ClusterConfig) *ClusterMember {
+	return &ClusterMember{Config: cfg, hardFaults: new(atomic.Bool)}
 }
 
 // Name implements Transport.
@@ -842,10 +1149,34 @@ func (ClusterMember) Name() string { return "cluster-member" }
 // Open implements Transport. The returned slice holds one endpoint —
 // this process's rank.
 func (m ClusterMember) Open(p int) ([]Endpoint, error) {
+	return m.open(p, m.Config.JobID, m.Config.Epoch)
+}
+
+// OpenGroup implements GroupTransport: when opts carry a job id, they
+// override the configured identity — core's recovery loop bumps the
+// epoch per attempt, and this is where the bumped epoch reaches the
+// rejoin handshake.
+func (m ClusterMember) OpenGroup(p int, opts GroupOptions) ([]Endpoint, error) {
+	job, epoch := m.Config.JobID, m.Config.Epoch
+	if opts.JobID != "" {
+		job, epoch = opts.JobID, opts.Epoch
+	}
+	return m.open(p, job, epoch)
+}
+
+func (m ClusterMember) open(p int, job string, epoch int) ([]Endpoint, error) {
 	if p != m.Config.P {
 		return nil, fmt.Errorf("cluster: member configured for p=%d opened with p=%d", m.Config.P, p)
 	}
-	ep, err := JoinCluster(m.Config)
+	cfg := m.Config
+	cfg.JobID, cfg.Epoch = job, epoch
+	if m.hardFaults != nil && cfg.Chaos != nil && !m.hardFaults.CompareAndSwap(false, true) {
+		plan := *cfg.Chaos
+		plan.CrashStep, plan.AbortStep = 0, 0
+		cfg.Chaos = &plan
+		cfg.ChaosCrash = false
+	}
+	ep, err := JoinCluster(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -860,12 +1191,21 @@ type ClusterProcSpec struct {
 	// Resume is set on relaunches: the child should continue from the
 	// latest complete checkpoint cut.
 	Resume bool
+	// Warm is set by a warm launcher: the child should retry
+	// recoverable failures in-process (rolling back from the latest
+	// cut and rejoining at the bumped epoch) and exit only when it is
+	// itself the convicted rank.
+	Warm bool
 }
 
-// ClusterJob launches one OS process per rank and supervises the gang:
-// on a recoverable failure (a crashed or timed-out generation) it
-// advances the epoch — fencing stragglers of the dead generation — and
-// relaunches every rank with Resume set, bounded by MaxRestarts.
+// ClusterJob launches one OS process per rank and supervises the gang.
+// In the default (cold) mode, any recoverable failure relaunches every
+// rank at an advanced epoch with Resume set, bounded by MaxRestarts.
+// With Warm set, a single dead rank costs a single process: the
+// coordinator's crash declaration (or the rank's own recoverable exit)
+// relaunches only that rank while the survivors roll back in place and
+// re-admit it through the epoch-fenced rejoin handshake; the full gang
+// relaunch remains the fallback when failures overlap.
 type ClusterJob struct {
 	P int
 	// JobID names the job; a fresh unique id per run keeps processes of
@@ -875,6 +1215,10 @@ type ClusterJob struct {
 	Epoch int
 	// JoinTimeout bounds gang assembly per generation.
 	JoinTimeout time.Duration
+	// HeartbeatInterval and SuspectAfter tune the coordinator's
+	// liveness protocol (see CoordinatorOptions).
+	HeartbeatInterval time.Duration
+	SuspectAfter      time.Duration
 	// Command builds the ready-to-start process for one rank. The
 	// returned Cmd must not be started.
 	Command func(spec ClusterProcSpec) *exec.Cmd
@@ -883,13 +1227,27 @@ type ClusterJob struct {
 	// exit codes 2 (timeout) and 3 (abort/crash) — bsprun's CI
 	// classification.
 	Recoverable func(exitCode int) bool
-	// MaxRestarts bounds the relaunch attempts (0 means none).
+	// MaxRestarts bounds the relaunch attempts (0 means none). In warm
+	// mode it bounds the total of warm single-rank relaunches and gang
+	// relaunches.
 	MaxRestarts int
 	// Backoff is the pause before the first relaunch, doubling per
 	// attempt. 0 means 100ms.
 	Backoff time.Duration
+	// Warm enables surgical single-rank recovery. It requires children
+	// launched with spec.Warm handling (in-process retry); pairing it
+	// with cold children still converges, via the gang fallback.
+	Warm bool
+	// AdvertiseCoordinator, when set, maps the coordinator's listen
+	// address to the address handed to children — the hook a chaos
+	// proxy uses to interpose on the control plane.
+	AdvertiseCoordinator func(addr string) string
 	// Logf, when set, receives launcher progress lines.
 	Logf func(format string, args ...any)
+
+	statsMu      sync.Mutex
+	rankRestarts []int64
+	gangRelaunch int64
 }
 
 func (j *ClusterJob) logf(format string, args ...any) {
@@ -905,10 +1263,78 @@ func (j *ClusterJob) recoverable(code int) bool {
 	return code == 2 || code == 3
 }
 
+// fenceWait bounds how long a warm recovery waits for the coordinator
+// to fence a failed generation before escalating to the gang fallback:
+// the slowest detection source (liveness suspicion) plus scheduling
+// slack.
+func (j *ClusterJob) fenceWait() time.Duration {
+	suspect := j.SuspectAfter
+	if suspect <= 0 {
+		suspect = clusterDefaultSuspectAfter
+	}
+	return suspect + 2*time.Second
+}
+
+// RankRestarts returns the per-rank warm relaunch counts of the last
+// Run (nil before the first warm Run). The recovery e2e asserts a
+// single crash costs exactly one entry here.
+func (j *ClusterJob) RankRestarts() []int64 {
+	j.statsMu.Lock()
+	defer j.statsMu.Unlock()
+	out := make([]int64, len(j.rankRestarts))
+	copy(out, j.rankRestarts)
+	return out
+}
+
+// GangRelaunches returns how many full gang relaunches Run performed.
+func (j *ClusterJob) GangRelaunches() int64 {
+	j.statsMu.Lock()
+	defer j.statsMu.Unlock()
+	return j.gangRelaunch
+}
+
+func (j *ClusterJob) countRankRestart(rank int) {
+	j.statsMu.Lock()
+	j.rankRestarts[rank]++
+	j.statsMu.Unlock()
+}
+
+func (j *ClusterJob) countGangRelaunch() {
+	j.statsMu.Lock()
+	j.gangRelaunch++
+	j.statsMu.Unlock()
+}
+
+// crashDecl is one coordinator crash declaration delivered to the warm
+// supervision loop.
+type crashDecl struct {
+	rank        int
+	failedEpoch int
+	newEpoch    int
+	reason      string
+}
+
+// procExit is one rank process's exit as seen by the supervision loop.
+type procExit struct {
+	rank int
+	code int
+}
+
+func waitExitCode(cmd *exec.Cmd) int {
+	if err := cmd.Wait(); err != nil {
+		var ee *exec.ExitError
+		if errors.As(err, &ee) && ee.ExitCode() > 0 {
+			return ee.ExitCode()
+		}
+		return 1
+	}
+	return 0
+}
+
 // Run executes the job to completion: it owns the coordinator, spawns
-// the p rank processes of each generation, and returns nil once a
-// generation exits cleanly. A non-recoverable rank failure, or a
-// recoverable one past MaxRestarts, returns an error naming the rank.
+// the p rank processes of each generation, and returns nil once every
+// rank has exited cleanly. A non-recoverable rank failure, or
+// recoverable ones past MaxRestarts, returns an error naming the rank.
 func (j *ClusterJob) Run() error {
 	if j.P < 1 {
 		return fmt.Errorf("cluster: p must be >= 1, got %d", j.P)
@@ -916,19 +1342,49 @@ func (j *ClusterJob) Run() error {
 	if j.Command == nil {
 		return errors.New("cluster: ClusterJob.Command is required")
 	}
-	coord, err := StartCoordinator(j.P, CoordinatorOptions{
-		JobID:       j.JobID,
-		Epoch:       j.Epoch,
-		JoinTimeout: j.JoinTimeout,
-	})
+	j.statsMu.Lock()
+	j.rankRestarts = make([]int64, j.P)
+	j.gangRelaunch = 0
+	j.statsMu.Unlock()
+	opts := CoordinatorOptions{
+		JobID:             j.JobID,
+		Epoch:             j.Epoch,
+		JoinTimeout:       j.JoinTimeout,
+		HeartbeatInterval: j.HeartbeatInterval,
+		SuspectAfter:      j.SuspectAfter,
+	}
+	crashCh := make(chan crashDecl, 4*j.P)
+	if j.Warm {
+		opts.OnCrash = func(rank, failedEpoch, newEpoch int, reason string) {
+			select {
+			case crashCh <- crashDecl{rank: rank, failedEpoch: failedEpoch, newEpoch: newEpoch, reason: reason}:
+			default:
+			}
+		}
+	}
+	coord, err := StartCoordinator(j.P, opts)
 	if err != nil {
 		return err
 	}
 	defer coord.Close()
+	addr := coord.Addr()
+	if j.AdvertiseCoordinator != nil {
+		addr = j.AdvertiseCoordinator(addr)
+	}
 	backoff := j.Backoff
 	if backoff <= 0 {
 		backoff = 100 * time.Millisecond
 	}
+	if j.Warm {
+		return j.runWarm(coord, addr, crashCh, backoff)
+	}
+	return j.runCold(coord, addr, backoff)
+}
+
+// runCold is the original gang supervision: launch all p, wait for all
+// p, and on any recoverable failure relaunch the whole gang at the
+// next epoch.
+func (j *ClusterJob) runCold(coord *Coordinator, addr string, backoff time.Duration) error {
 	for attempt := 0; ; attempt++ {
 		epoch := coord.Epoch()
 		resume := attempt > 0
@@ -937,7 +1393,7 @@ func (j *ClusterJob) Run() error {
 		for r := 0; r < j.P; r++ {
 			cmds[r] = j.Command(ClusterProcSpec{
 				Rank: r, P: j.P, Epoch: epoch,
-				JobID: j.JobID, Coordinator: coord.Addr(),
+				JobID: j.JobID, Coordinator: addr,
 				Resume: resume,
 			})
 			if err := cmds[r].Start(); err != nil {
@@ -950,14 +1406,7 @@ func (j *ClusterJob) Run() error {
 		}
 		worst, firstBad := 0, -1
 		for r, cmd := range cmds {
-			code := 0
-			if err := cmd.Wait(); err != nil {
-				code = 1
-				var ee *exec.ExitError
-				if errors.As(err, &ee) && ee.ExitCode() > 0 {
-					code = ee.ExitCode()
-				}
-			}
+			code := waitExitCode(cmd)
 			if code != 0 && firstBad < 0 {
 				worst, firstBad = code, r
 			}
@@ -974,7 +1423,217 @@ func (j *ClusterJob) Run() error {
 		}
 		j.logf("cluster: rank %d exited with code %d; relaunching from checkpoints (attempt %d/%d)", firstBad, worst, attempt+1, j.MaxRestarts)
 		time.Sleep(backoff << attempt)
+		if coord.Epoch() == epoch {
+			// The coordinator advances itself when a ready generation
+			// fails; a generation that died before assembling (or a
+			// child that never joined) still needs the fence.
+			coord.AdvanceEpoch()
+		}
+	}
+}
+
+// runWarm is the surgical supervision loop. Rank processes exit only
+// when convicted (or on non-recoverable errors): survivors of a crash
+// roll back in place and rejoin, so the loop relaunches exactly the
+// processes that died. Overlapping failures (a second exit while one
+// recovery is pending, or a rank that keeps dying) escalate to a full
+// gang relaunch. MaxRestarts bounds the total relaunch events.
+func (j *ClusterJob) runWarm(coord *Coordinator, addr string, crashCh <-chan crashDecl, backoff time.Duration) error {
+	exitCh := make(chan procExit, 2*j.P)
+	cmds := make([]*exec.Cmd, j.P)
+	running := make([]bool, j.P)
+	// killed marks ranks whose exit we provoked (conviction kills and
+	// gang teardowns); their exit events carry no new information.
+	killed := make([]bool, j.P)
+	lastCode := make([]int, j.P)
+	// launchedEpoch dedupes the two reports of one failure: a crash
+	// declaration and the dead process's own exit can both arrive. A
+	// declaration whose newEpoch is not past the epoch we already
+	// launched that rank at refers to a failure already recovered.
+	launchedEpoch := make([]int, j.P)
+	restarts := 0
+
+	launch := func(rank int, resume bool) error {
+		spec := ClusterProcSpec{
+			Rank: rank, P: j.P, Epoch: coord.Epoch(),
+			JobID: j.JobID, Coordinator: addr,
+			Resume: resume, Warm: true,
+		}
+		cmd := j.Command(spec)
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("cluster: start rank %d: %w", rank, err)
+		}
+		cmds[rank] = cmd
+		running[rank] = true
+		killed[rank] = false
+		lastCode[rank] = -1
+		launchedEpoch[rank] = spec.Epoch
+		go func() {
+			code := waitExitCode(cmd)
+			exitCh <- procExit{rank: rank, code: code}
+		}()
+		return nil
+	}
+	// reap makes sure rank's process is dead and its exit consumed (a
+	// convicted-but-stalled process may never exit on its own). Exits
+	// of other ranks drained along the way are recorded in lastCode,
+	// where the overlapping-failure check sees them.
+	reap := func(rank int) {
+		if !running[rank] {
+			return
+		}
+		killed[rank] = true
+		cmds[rank].Process.Kill()
+		for running[rank] {
+			ev := <-exitCh
+			running[ev.rank] = false
+			lastCode[ev.rank] = ev.code
+		}
+	}
+	killAll := func() {
+		for r := 0; r < j.P; r++ {
+			reap(r)
+		}
+	}
+
+	j.logf("cluster: launching warm generation epoch=%d (p=%d)", coord.Epoch(), j.P)
+	for r := 0; r < j.P; r++ {
+		if err := launch(r, false); err != nil {
+			killAll()
+			return err
+		}
+	}
+
+	// relaunchGang is the fallback: tear everything down, fence the
+	// epoch (unconditionally — a half-assembled generation of dead
+	// joins must not reject the new gang as duplicate ranks), start
+	// over from the latest complete cut.
+	relaunchGang := func(why string) error {
+		if restarts >= j.MaxRestarts {
+			return fmt.Errorf("cluster: job %q failed (%s) after %d attempt(s)", j.JobID, why, restarts+1)
+		}
+		restarts++
+		killAll()
+		time.Sleep(backoff)
 		coord.AdvanceEpoch()
+		j.countGangRelaunch()
+		j.logf("cluster: gang-relaunching at epoch %d (%s; restart %d/%d)", coord.Epoch(), why, restarts, j.MaxRestarts)
+		for r := 0; r < j.P; r++ {
+			if err := launch(r, true); err != nil {
+				killAll()
+				return err
+			}
+		}
+		return nil
+	}
+	// recoverRank performs one warm recovery of a single failed rank:
+	// make sure its process is dead, then start the replacement at the
+	// coordinator's current epoch with Resume set — the survivors are
+	// already rolling back in place and will re-admit it at the fenced
+	// rejoin. Overlapping failures escalate to the gang fallback.
+	recoverRank := func(rank int, why string) error {
+		reap(rank)
+		for r := 0; r < j.P; r++ {
+			if r != rank && !running[r] && lastCode[r] != 0 {
+				return relaunchGang(fmt.Sprintf("overlapping failures (rank %d and rank %d)", rank, r))
+			}
+		}
+		if restarts >= j.MaxRestarts {
+			return fmt.Errorf("cluster: rank %d of job %q failed (%s) after %d attempt(s)", rank, j.JobID, why, restarts+1)
+		}
+		// The dead process's exit event can outrun the coordinator's
+		// processing of the failure itself (the abort frame, or the
+		// dropped control connection). Launching the replacement before
+		// the coordinator fences the failed generation would hand it
+		// the stale epoch and get it rejected, so wait for the epoch to
+		// move past the one the dead process was launched at. The fence
+		// always arrives — a cooperative abort advances the epoch when
+		// its frame is read, and a silent death is convicted via the
+		// dropped connection or missed heartbeats within the suspicion
+		// timeout; if it still has not by then, fall back to the gang
+		// relaunch, which fences unconditionally.
+		fenceBy := time.Now().Add(j.fenceWait())
+		for coord.Epoch() <= launchedEpoch[rank] {
+			if time.Now().After(fenceBy) {
+				return relaunchGang(fmt.Sprintf("rank %d died but its generation was never fenced", rank))
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		restarts++
+		j.countRankRestart(rank)
+		j.logf("cluster: warm-relaunching rank %d at epoch %d (%s; restart %d/%d)", rank, coord.Epoch(), why, restarts, j.MaxRestarts)
+		return launch(rank, true)
+	}
+
+	for {
+		anyRunning := false
+		for r := 0; r < j.P; r++ {
+			if running[r] {
+				anyRunning = true
+			}
+		}
+		if !anyRunning {
+			clean := true
+			worst, firstBad := 0, -1
+			for r := 0; r < j.P; r++ {
+				if lastCode[r] != 0 {
+					clean = false
+					if firstBad < 0 {
+						worst, firstBad = lastCode[r], r
+					}
+				}
+			}
+			if clean {
+				j.logf("cluster: job %q completed cleanly (%d restart(s))", j.JobID, restarts)
+				return nil
+			}
+			// Every process is gone with at least one failure: the warm
+			// path cannot help, only a gang relaunch can.
+			if !j.recoverable(worst) {
+				return fmt.Errorf("cluster: rank %d of job %q failed with exit code %d (not recoverable)", firstBad, j.JobID, worst)
+			}
+			if err := relaunchGang(fmt.Sprintf("rank %d exited with code %d with no survivors", firstBad, worst)); err != nil {
+				return err
+			}
+			continue
+		}
+
+		select {
+		case decl := <-crashCh:
+			// The coordinator convicted a rank (liveness suspicion or a
+			// dropped control connection). Replace exactly that
+			// process — unless the declaration is a stale duplicate of
+			// a failure already recovered.
+			if decl.newEpoch <= launchedEpoch[decl.rank] {
+				continue
+			}
+			if err := recoverRank(decl.rank, fmt.Sprintf("declared crashed: %s", decl.reason)); err != nil {
+				killAll()
+				return err
+			}
+		case ev := <-exitCh:
+			running[ev.rank] = false
+			lastCode[ev.rank] = ev.code
+			switch {
+			case killed[ev.rank]:
+				// We provoked this exit; the recovery that triggered it
+				// is already in flight.
+			case ev.code == 0:
+				// Clean exit; completion is checked at the top.
+			case !j.recoverable(ev.code):
+				killAll()
+				return fmt.Errorf("cluster: rank %d of job %q failed with exit code %d (not recoverable)", ev.rank, j.JobID, ev.code)
+			default:
+				// A recoverable self-exit: the child decided it could
+				// not retry in-process (it was the convicted rank, or
+				// its rejoin failed). If it is the only failure, warm-
+				// relaunch it; survivors are rejoining already.
+				if err := recoverRank(ev.rank, fmt.Sprintf("exited with code %d", ev.code)); err != nil {
+					killAll()
+					return err
+				}
+			}
+		}
 	}
 }
 

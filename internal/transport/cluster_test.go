@@ -45,6 +45,7 @@ func joinErr(t *testing.T, cfg ClusterConfig) error {
 // TestClusterRejectsWrongJobID: a handshake carrying another job's id
 // must be fenced at the coordinator with an error naming both ids.
 func TestClusterRejectsWrongJobID(t *testing.T) {
+	defer checkGoroutines(t)()
 	coord, err := StartCoordinator(1, CoordinatorOptions{JobID: "right-job"})
 	if err != nil {
 		t.Fatal(err)
@@ -131,6 +132,7 @@ func TestClusterRejectsStaleEpoch(t *testing.T) {
 // rank 1 never even connects — must not hang: the joined ranks are
 // rejected after the join timeout with the missing rank named.
 func TestClusterJoinTimeoutNamesSilentRank(t *testing.T) {
+	defer checkGoroutines(t)()
 	coord, err := StartCoordinator(2, CoordinatorOptions{
 		JobID: "silent", JoinTimeout: 300 * time.Millisecond,
 	})
@@ -245,16 +247,16 @@ func TestClusterMemberAdapter(t *testing.T) {
 // recoverable exit fails after MaxRestarts generations with the epoch
 // advanced per relaunch.
 func TestClusterJobLauncher(t *testing.T) {
-	run := func(j ClusterJob) error { return j.Run() }
+	run := func(j *ClusterJob) error { return j.Run() }
 
-	if err := run(ClusterJob{
+	if err := run(&ClusterJob{
 		P: 3, JobID: "clean",
 		Command: func(spec ClusterProcSpec) *exec.Cmd { return exec.Command("true") },
 	}); err != nil {
 		t.Errorf("clean gang: %v", err)
 	}
 
-	err := run(ClusterJob{
+	err := run(&ClusterJob{
 		P: 2, JobID: "hard",
 		Command: func(spec ClusterProcSpec) *exec.Cmd {
 			if spec.Rank == 1 {
@@ -269,7 +271,7 @@ func TestClusterJobLauncher(t *testing.T) {
 
 	var specs []ClusterProcSpec
 	var mu sync.Mutex
-	err = run(ClusterJob{
+	err = run(&ClusterJob{
 		P: 1, JobID: "soft", MaxRestarts: 2, Backoff: time.Millisecond,
 		Command: func(spec ClusterProcSpec) *exec.Cmd {
 			mu.Lock()
@@ -298,6 +300,7 @@ func TestClusterJobLauncher(t *testing.T) {
 // leaving (its control connection drops) must turn into a gang-wide
 // abort, not a hang — the coordinator's crash fan-out.
 func TestClusterCrashFansOutAsAbort(t *testing.T) {
+	defer checkGoroutines(t)()
 	const p = 2
 	coord, err := StartCoordinator(p, CoordinatorOptions{JobID: "crashy", JoinTimeout: 10 * time.Second})
 	if err != nil {

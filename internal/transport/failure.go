@@ -1,0 +1,72 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file holds the typed failure vocabulary of the cluster
+// membership layer: the crash declaration a coordinator fans out when
+// liveness suspicion (or a dropped control connection) convicts a
+// rank, and the join error a member raises when it cannot enter a
+// gang. Both carry enough identity (job, rank, epoch) for a launcher
+// or a log reader to reconstruct the failure without the surrounding
+// context.
+
+// ErrJoin marks every failure of a member's cluster join — the
+// coordinator dial, the handshake, the readiness wait or the pairwise
+// data plane. Match with errors.Is; the concrete *JoinError names the
+// job, rank and epoch.
+var ErrJoin = errors.New("cluster: join failed")
+
+// JoinError is a failed cluster join, identified by the job the member
+// tried to enter. It wraps the underlying cause and matches ErrJoin.
+type JoinError struct {
+	JobID string
+	Rank  int
+	Epoch int
+	Err   error
+}
+
+func (e *JoinError) Error() string {
+	return fmt.Sprintf("cluster: rank %d failed to join job %q at epoch %d: %v", e.Rank, e.JobID, e.Epoch, e.Err)
+}
+
+func (e *JoinError) Unwrap() error { return e.Err }
+
+// Is matches ErrJoin so callers can classify without the concrete type.
+func (e *JoinError) Is(target error) bool { return target == ErrJoin }
+
+// CrashError is a coordinator crash declaration as seen by a surviving
+// member: rank Rank of the gang stopped proving liveness (or its
+// control connection dropped without a leave), the generation Epoch is
+// dead, and survivors rejoin at NewEpoch. It matches ErrCrashed, so
+// the recovery machinery treats it exactly like an observed hard
+// crash — but the declaration names the convicted rank, which is what
+// lets a warm launcher relaunch only that process.
+type CrashError struct {
+	JobID string
+	// Rank is the rank declared crashed (which may be the local rank:
+	// a stalled process that wakes up learns it was fenced).
+	Rank int
+	// Epoch is the generation that died; NewEpoch the one survivors
+	// rejoin at.
+	Epoch    int
+	NewEpoch int
+	Reason   string
+}
+
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("cluster: rank %d of job %q declared crashed in epoch %d (rejoin at epoch %d): %s",
+		e.Rank, e.JobID, e.Epoch, e.NewEpoch, e.Reason)
+}
+
+func (e *CrashError) Unwrap() error { return ErrCrashed }
+
+// abortCauser lets the exchange engine surface the membership-level
+// cause behind an abort: a cluster member that received a crash
+// declaration returns it here, so a survivor's Sync fails with the
+// named *CrashError instead of the anonymous ErrAborted.
+type abortCauser interface {
+	abortCause() *CrashError
+}

@@ -36,6 +36,7 @@ func TestLocalGroupJoinValidation(t *testing.T) {
 }
 
 func TestGroupAbortFanOut(t *testing.T) {
+	defer checkGoroutines(t)()
 	g, _ := NewLocalGroup(2, GroupOptions{})
 	m0, _ := g.Join(0)
 	m1, _ := g.Join(1)
@@ -72,6 +73,7 @@ func TestGroupAbortFanOut(t *testing.T) {
 }
 
 func TestGroupLeaveTracking(t *testing.T) {
+	defer checkGoroutines(t)()
 	g, _ := NewLocalGroup(3, GroupOptions{})
 	members := make([]GroupMember, 3)
 	for i := range members {

@@ -1,0 +1,369 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// checkGoroutines snapshots the goroutine count and returns a teardown
+// function failing the test if the count has not settled back — the
+// leak guard for abort, reject and timeout paths, which historically
+// are where reader/monitor goroutines get orphaned. Register it first
+// (defer checkGoroutines(t)()) so it runs after every other cleanup.
+func checkGoroutines(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			n := runtime.NumGoroutine()
+			if n <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				t.Errorf("goroutine leak: %d before, %d after\n%s", before, n, buf[:runtime.Stack(buf, true)])
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// TestClusterLivenessConvictsStalledRank: a rank that stays connected
+// but stops proving liveness — a hung process, not a dead one — must be
+// convicted by the coordinator within the suspicion timeout and fanned
+// out as a named crash declaration, long before any superstep timeout.
+// The survivors' Sync must fail with a *CrashError naming the convicted
+// rank and the rejoin epoch.
+func TestClusterLivenessConvictsStalledRank(t *testing.T) {
+	defer checkGoroutines(t)()
+	const p = 3
+	const suspectAfter = 500 * time.Millisecond
+	coord, err := StartCoordinator(p, CoordinatorOptions{
+		JobID: "hung", JoinTimeout: 10 * time.Second,
+		HeartbeatInterval: 50 * time.Millisecond, SuspectAfter: suspectAfter,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	eps := make([]Endpoint, p)
+	var joinWG sync.WaitGroup
+	for r := 0; r < p; r++ {
+		joinWG.Add(1)
+		go func() {
+			defer joinWG.Done()
+			ep, err := JoinCluster(ClusterConfig{
+				Coordinator: coord.Addr(), JobID: "hung", Rank: r, P: p,
+				JoinTimeout:       10 * time.Second,
+				HeartbeatInterval: 50 * time.Millisecond, SuspectAfter: suspectAfter,
+			})
+			if err != nil {
+				t.Errorf("rank %d join: %v", r, err)
+				return
+			}
+			eps[r] = ep
+		}()
+	}
+	joinWG.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Rank 1 hangs: sockets stay open, heartbeats stop.
+	eps[1].(*tcpEndpoint).m.(*clusterMember).stopHeartbeats()
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	errs := make([]error, p)
+	for _, r := range []int{0, 2} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ep := eps[r]
+			ep.Begin()
+			ep.Send(1, []byte("to the hung rank"))
+			if _, err := ep.Sync(); err != nil {
+				errs[r] = err
+				return
+			}
+			errs[r] = fmt.Errorf("rank %d: Sync with a hung peer succeeded", r)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if elapsed > 2*suspectAfter {
+		t.Errorf("conviction took %v, want within 2x the %v suspicion timeout", elapsed, suspectAfter)
+	}
+	for _, r := range []int{0, 2} {
+		err := errs[r]
+		if !errors.Is(err, ErrCrashed) {
+			t.Fatalf("rank %d: %v, want ErrCrashed", r, err)
+		}
+		var ce *CrashError
+		if !errors.As(err, &ce) {
+			t.Fatalf("rank %d: %v, want *CrashError", r, err)
+		}
+		if ce.Rank != 1 || ce.Epoch != 0 || ce.NewEpoch != 1 || ce.JobID != "hung" {
+			t.Errorf("rank %d: crash declaration %+v, want rank 1, epoch 0 -> 1, job hung", r, ce)
+		}
+	}
+	// The coordinator fenced the failed generation: survivors rejoin at
+	// the declaration's NewEpoch.
+	if got := coord.Epoch(); got != 1 {
+		t.Errorf("coordinator epoch after conviction = %d, want 1", got)
+	}
+	// The hung rank, when it wakes up, learns it was the one fenced.
+	if _, err := eps[1].Sync(); err == nil {
+		t.Error("the convicted rank's Sync must fail")
+	} else {
+		var ce *CrashError
+		if !errors.As(err, &ce) || ce.Rank != 1 {
+			t.Errorf("the convicted rank must see itself named, got: %v", err)
+		}
+	}
+	for _, ep := range eps {
+		ep.Close()
+	}
+}
+
+// TestClusterJoinErrorsAreTyped: every JoinCluster failure — dial,
+// handshake rejection, anything — is a *JoinError matching ErrJoin and
+// naming job, rank and epoch, so launchers can classify membership
+// failures without string matching.
+func TestClusterJoinErrorsAreTyped(t *testing.T) {
+	coord, err := StartCoordinator(1, CoordinatorOptions{JobID: "typed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	rejectErr := joinErr(t, ClusterConfig{
+		Coordinator: coord.Addr(), JobID: "other", Rank: 0, P: 1,
+		JoinTimeout: 5 * time.Second,
+	})
+	if !errors.Is(rejectErr, ErrJoin) {
+		t.Errorf("rejection must match ErrJoin, got: %v", rejectErr)
+	}
+	var je *JoinError
+	if !errors.As(rejectErr, &je) || je.JobID != "other" || je.Rank != 0 {
+		t.Errorf("rejection must carry identity, got: %v", rejectErr)
+	}
+
+	dialErr := joinErr(t, ClusterConfig{
+		Coordinator: "127.0.0.1:1", JobID: "nobody", Rank: 2, P: 3, Epoch: 4,
+		JoinTimeout: 300 * time.Millisecond,
+	})
+	if !errors.Is(dialErr, ErrJoin) {
+		t.Errorf("dial failure must match ErrJoin, got: %v", dialErr)
+	}
+	je = nil
+	if !errors.As(dialErr, &je) || je.Rank != 2 || je.Epoch != 4 {
+		t.Errorf("dial failure must carry identity, got: %v", dialErr)
+	}
+}
+
+// TestDialCoordinatorRetriesUntilListener: the member-side join dial
+// retries with backoff under its overall deadline, so a rank launched a
+// beat before its coordinator (or rejoining while the old listener is
+// torn down) connects as soon as the listener appears instead of dying
+// on the first ECONNREFUSED.
+func TestDialCoordinatorRetriesUntilListener(t *testing.T) {
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr().String()
+	probe.Close()
+
+	const lag = 250 * time.Millisecond
+	lnCh := make(chan net.Listener, 1)
+	go func() {
+		time.Sleep(lag)
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			t.Errorf("re-listen on %s: %v", addr, err)
+			lnCh <- nil
+			return
+		}
+		go func() {
+			if c, err := ln.Accept(); err == nil {
+				c.Close()
+			}
+		}()
+		lnCh <- ln
+	}()
+
+	start := time.Now()
+	c, err := dialCoordinator(addr, time.Now().Add(10*time.Second))
+	elapsed := time.Since(start)
+	if ln := <-lnCh; ln != nil {
+		ln.Close()
+	}
+	if err != nil {
+		t.Fatalf("dial with retry: %v", err)
+	}
+	c.Close()
+	if elapsed < lag/2 {
+		t.Errorf("dial succeeded in %v, before the listener could exist", elapsed)
+	}
+
+	// With no listener ever, the retry loop is bounded by the deadline.
+	start = time.Now()
+	if _, err := dialCoordinator(addr, time.Now().Add(300*time.Millisecond)); err == nil {
+		t.Fatal("dial with no listener must fail")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("bounded dial took %v, want around the 300ms deadline", elapsed)
+	}
+}
+
+// TestClusterCoordinatorSurvivesHalfOpenJoins: control connections that
+// connect but never complete a handshake — one fully mute, one stalling
+// mid-frame — must be dropped within the join timeout and must not
+// wedge the coordinator: a legitimate gang joins while they dangle.
+func TestClusterCoordinatorSurvivesHalfOpenJoins(t *testing.T) {
+	defer checkGoroutines(t)()
+	const joinTimeout = 400 * time.Millisecond
+	coord, err := StartCoordinator(1, CoordinatorOptions{
+		JobID: "mute", JoinTimeout: joinTimeout,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	// Peer 1: connects and never writes a byte.
+	mute, err := net.DialTimeout("tcp", coord.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mute.Close()
+	// Peer 2: writes half a handshake frame, then stalls forever.
+	stall, err := net.DialTimeout("tcp", coord.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stall.Close()
+	payload := wire.Handshake{JobID: "mute", Rank: 0, P: 1}.EncodePayload()
+	frame := make([]byte, 4+len(payload))
+	frame[0] = byte(len(payload))
+	copy(frame[4:], payload)
+	if _, err := stall.Write(frame[:len(frame)/2]); err != nil {
+		t.Fatal(err)
+	}
+
+	// The coordinator stays serviceable while both dangle.
+	ep, err := JoinCluster(ClusterConfig{
+		Coordinator: coord.Addr(), JobID: "mute", Rank: 0, P: 1,
+		JoinTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("legitimate join alongside half-open conns: %v", err)
+	}
+	ep.Close()
+
+	// And both half-open conns are dropped within the join timeout.
+	for name, c := range map[string]net.Conn{"mute": mute, "stalled": stall} {
+		c.SetReadDeadline(time.Now().Add(4 * joinTimeout))
+		// EOF or a reset both mean "dropped"; only a timeout (the conn
+		// still dangling) is a failure. Data would be a protocol bug.
+		if _, err := c.Read(make([]byte, 1)); err == nil {
+			t.Errorf("%s conn received data", name)
+		} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			t.Errorf("%s conn still open after 4x the join timeout", name)
+		}
+	}
+}
+
+// TestClusterPartitionedJoinFailsCleanly: a network partition between a
+// member and its coordinator during the join handshake fails the join
+// within the member's deadline (typed as ErrJoin), and the coordinator
+// comes through untouched — a full gang joins right after the fault.
+func TestClusterPartitionedJoinFailsCleanly(t *testing.T) {
+	defer checkGoroutines(t)()
+	const p = 2
+	coord, err := StartCoordinator(p, CoordinatorOptions{
+		JobID: "split", JoinTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	proxy, err := NewChaosProxy(coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	// The route to the coordinator dies before the handshake can cross.
+	proxy.Partition(time.Minute)
+	start := time.Now()
+	err = joinErr(t, ClusterConfig{
+		Coordinator: proxy.Addr(), JobID: "split", Rank: 0, P: p,
+		JoinTimeout: time.Second,
+	})
+	if !errors.Is(err, ErrJoin) {
+		t.Errorf("partitioned join must match ErrJoin, got: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("partitioned join took %v, want bounded by the 1s join timeout", elapsed)
+	}
+	// Tear the route down rather than healing it: a heal would deliver
+	// the held handshake of the long-gone member (partitioned traffic is
+	// delayed, not lost), registering a ghost rank the fresh gang below
+	// would collide with. The dead-host case is the one this test pins.
+	proxy.Close()
+
+	// The coordinator never saw the partitioned member; a real gang
+	// joins and exchanges unharmed.
+	var wg sync.WaitGroup
+	errs := make([]error, p)
+	eps := make([]Endpoint, p)
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ep, err := JoinCluster(ClusterConfig{
+				Coordinator: coord.Addr(), JobID: "split", Rank: r, P: p,
+				JoinTimeout: 10 * time.Second,
+			})
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			eps[r] = ep
+			ep.Begin()
+			ep.Send(1-r, []byte("post-fault"))
+			in, err := ep.Sync()
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			if got := drain(in); len(got) != 1 || string(got[0]) != "post-fault" {
+				errs[r] = fmt.Errorf("inbox %q", got)
+			}
+		}()
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Errorf("rank %d after partition healed: %v", r, err)
+		}
+	}
+	for _, ep := range eps {
+		if ep != nil {
+			ep.Close()
+		}
+	}
+}

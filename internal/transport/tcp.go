@@ -300,8 +300,14 @@ func newTCPEndpoint(st *tcpState, m GroupMember, id int) *tcpEndpoint {
 	}
 }
 
-// SetTrace implements TraceSetter.
-func (e *tcpEndpoint) SetTrace(b *trace.Buf) { e.buf = b }
+// SetTrace implements TraceSetter. A cluster member also keeps the
+// buf, so its heartbeat loop can bump the liveness counters.
+func (e *tcpEndpoint) SetTrace(b *trace.Buf) {
+	e.buf = b
+	if ts, ok := e.m.(interface{ setTraceBuf(*trace.Buf) }); ok {
+		ts.setTraceBuf(b)
+	}
+}
 
 // SetProf implements ProfSetter.
 func (e *tcpEndpoint) SetProf(r *prof.Rank) { e.pr = r }
@@ -446,6 +452,20 @@ func (e *tcpEndpoint) stageError(peer int, err error) error {
 		fs.settleFailure(peer)
 	}
 	if e.m.Aborted() {
+		// A coordinator crash declaration outranks the anonymous abort:
+		// surfacing the named *CrashError lets the recovery layer know
+		// exactly which rank died (and which epoch to rejoin at), which
+		// is what makes warm single-rank recovery possible. The trace
+		// instant is recorded here — on the rank goroutine, the only
+		// legal writer of this rank's event buffer.
+		if ac, ok := e.m.(abortCauser); ok {
+			if cause := ac.abortCause(); cause != nil {
+				if e.buf != nil {
+					e.buf.Suspect(int(e.round), time.Now().UnixNano(), cause.Rank)
+				}
+				return cause
+			}
+		}
 		return ErrAborted
 	}
 	if e.m.Left(peer) {

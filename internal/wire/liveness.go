@@ -1,0 +1,69 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Heartbeat is the liveness frame exchanged on the cluster control
+// plane: members beat to the coordinator on a fixed interval and the
+// coordinator beats back, so a hung-but-connected process — one whose
+// TCP socket stays open while its goroutines are stuck — is detected
+// by the absence of beats instead of waiting for the sync watchdog.
+// The epoch fences beats exactly like the handshake fences joins: a
+// beat from a previous gang generation is ignored, never counted as
+// liveness for the current one.
+type Heartbeat struct {
+	// Rank is the beating member's rank, or CoordinatorRank for beats
+	// the coordinator sends to members.
+	Rank int
+	// Epoch is the gang generation the sender believes is current.
+	Epoch int
+	// Seq increments per beat from one sender; gaps tell the receiver
+	// how many beats a slow link swallowed.
+	Seq uint32
+}
+
+// CoordinatorRank is the Rank a coordinator presents in its own beats;
+// it can never collide with a member rank (those live in [0, P)).
+const CoordinatorRank = -1
+
+// HeartbeatMagic brands heartbeat payloads, distinct from
+// HandshakeMagic so a misrouted frame fails loudly as the wrong kind.
+const HeartbeatMagic = 0x42535048 // "HPSB" little-endian on the wire
+
+// heartbeatLen is the exact payload size: magic, version, rank, epoch,
+// seq — five little-endian uint32s.
+const heartbeatLen = 20
+
+// EncodePayload renders the heartbeat as a frame payload (without the
+// length prefix). Rank is encoded as a two's-complement uint32 so
+// CoordinatorRank survives the round trip.
+func (h Heartbeat) EncodePayload() []byte {
+	b := make([]byte, heartbeatLen)
+	binary.LittleEndian.PutUint32(b[0:4], HeartbeatMagic)
+	binary.LittleEndian.PutUint32(b[4:8], HandshakeVersion)
+	binary.LittleEndian.PutUint32(b[8:12], uint32(int32(h.Rank)))
+	binary.LittleEndian.PutUint32(b[12:16], uint32(h.Epoch))
+	binary.LittleEndian.PutUint32(b[16:20], h.Seq)
+	return b
+}
+
+// DecodeHeartbeatPayload parses a frame payload produced by
+// EncodePayload, validating the magic and version.
+func DecodeHeartbeatPayload(b []byte) (Heartbeat, error) {
+	if len(b) != heartbeatLen {
+		return Heartbeat{}, fmt.Errorf("wire: heartbeat payload of %d bytes, want %d", len(b), heartbeatLen)
+	}
+	if m := binary.LittleEndian.Uint32(b[0:4]); m != HeartbeatMagic {
+		return Heartbeat{}, fmt.Errorf("wire: bad heartbeat magic %#08x", m)
+	}
+	if v := binary.LittleEndian.Uint32(b[4:8]); v != HandshakeVersion {
+		return Heartbeat{}, fmt.Errorf("wire: heartbeat version %d, this build speaks %d", v, HandshakeVersion)
+	}
+	return Heartbeat{
+		Rank:  int(int32(binary.LittleEndian.Uint32(b[8:12]))),
+		Epoch: int(binary.LittleEndian.Uint32(b[12:16])),
+		Seq:   binary.LittleEndian.Uint32(b[16:20]),
+	}, nil
+}

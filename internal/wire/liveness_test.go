@@ -1,0 +1,43 @@
+package wire
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+func TestHeartbeatRoundTrip(t *testing.T) {
+	cases := []Heartbeat{
+		{Rank: 0, Epoch: 0, Seq: 0},
+		{Rank: 3, Epoch: 2, Seq: 41},
+		{Rank: CoordinatorRank, Epoch: 7, Seq: 1 << 30},
+	}
+	for _, want := range cases {
+		got, err := DecodeHeartbeatPayload(want.EncodePayload())
+		if err != nil {
+			t.Fatalf("decode %+v: %v", want, err)
+		}
+		if got != want {
+			t.Fatalf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestHeartbeatDecodeRejectsGarbage(t *testing.T) {
+	if _, err := DecodeHeartbeatPayload(nil); err == nil {
+		t.Fatal("empty payload: want error")
+	}
+	if _, err := DecodeHeartbeatPayload(make([]byte, heartbeatLen-1)); err == nil {
+		t.Fatal("short payload: want error")
+	}
+	// A handshake payload has the wrong magic for a heartbeat.
+	hs := Handshake{JobID: "", Rank: 1, Epoch: 0, P: 4}.EncodePayload()
+	if _, err := DecodeHeartbeatPayload(hs); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("handshake payload as heartbeat: got %v, want magic error", err)
+	}
+	bad := Heartbeat{Rank: 1}.EncodePayload()
+	binary.LittleEndian.PutUint32(bad[4:8], HandshakeVersion+1)
+	if _, err := DecodeHeartbeatPayload(bad); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future version: got %v, want version error", err)
+	}
+}

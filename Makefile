@@ -33,6 +33,12 @@
 #                     last warm round is validated by tracecheck
 #   make soak-smoke   the same, bounded for CI: a short seeded soak
 #                     with the soak binary built under -race
+#   make postmortem-smoke  end-to-end crash-forensics smoke: a chaos-
+#                     crashed p=4 cluster psort WITHOUT -trace must
+#                     leave a complete postmortem bundle (the always-on
+#                     flight recorder), validated by tracecheck
+#                     -postmortem, and bsppost's report must name the
+#                     injected crash rank and superstep
 #   make fuzz         brief wire encode/decode + snapshot codec fuzz pass
 #   make bench        transport latency/throughput microbenchmarks
 #   make bench-gate   benchmark-regression gate: run the exchange and
@@ -48,6 +54,7 @@ GO ?= go
 TRACE_DIR ?= /tmp/bsp-trace-smoke
 PROF_DIR ?= /tmp/bsp-prof-smoke
 CLUSTER_DIR ?= /tmp/bsp-cluster-smoke
+POST_DIR ?= /tmp/bsp-postmortem-smoke
 SOAK_DIR ?= /tmp/bsp-soak
 SOAK_DURATION ?= 60s
 SOAK_SMOKE_DURATION ?= 15s
@@ -59,7 +66,7 @@ BENCH_N ?= 3
 BENCH_TOL ?= 2.0
 COMMIT := $(shell git rev-parse --short HEAD 2>/dev/null)
 
-.PHONY: build test vet race verify verify-race verify-alloc conformance trace-smoke cluster-smoke soak soak-smoke fuzz bench bench-alloc bench-gate prof-smoke
+.PHONY: build test vet race verify verify-race verify-alloc conformance trace-smoke cluster-smoke postmortem-smoke soak soak-smoke fuzz bench bench-alloc bench-gate prof-smoke
 
 build:
 	$(GO) build ./...
@@ -113,6 +120,24 @@ cluster-smoke:
 		-checkpoint-dir $(CLUSTER_DIR)/ckpt -trace $(CLUSTER_DIR)/crash.json \
 		-sync-timeout 30s
 	$(CLUSTER_DIR)/tracecheck -ranks 4 -require-crash -require-rollback $(CLUSTER_DIR)/crash.json
+
+# The crash forensics must work with tracing OFF — that is the whole
+# point of the always-on flight recorder — so the run deliberately has
+# no -trace and no -checkpoint-dir: the gang cold-relaunches fault-free
+# (exit 0) and the dead epoch-0 generation's bundle is what we audit.
+# The chaos plan crashes rank 1 in its 3rd superstep, which the trace
+# axis records as 0-based superstep 2 — the line bsppost must print.
+postmortem-smoke:
+	rm -rf $(POST_DIR) && mkdir -p $(POST_DIR)
+	$(GO) build -o $(POST_DIR)/bsprun ./cmd/bsprun
+	$(GO) build -o $(POST_DIR)/bsppost ./cmd/bsppost
+	$(GO) build -o $(POST_DIR)/tracecheck ./cmd/tracecheck
+	$(POST_DIR)/bsprun -app psort -size 4000 -p 4 -cluster \
+		-chaos "seed=1,delay=0,stall=0,connerr=0,crash=1:3" \
+		-postmortem-dir $(POST_DIR)/bundle -sync-timeout 30s
+	$(POST_DIR)/tracecheck -postmortem -ranks 4 $(POST_DIR)/bundle
+	$(POST_DIR)/bsppost $(POST_DIR)/bundle | tee $(POST_DIR)/report.txt
+	grep -q "injected crash: rank 1 at superstep 2" $(POST_DIR)/report.txt
 
 soak:
 	rm -rf $(SOAK_DIR) && mkdir -p $(SOAK_DIR)

@@ -32,6 +32,7 @@ const (
 	envClusterWarm    = "BSPRUN_CLUSTER_WARM"
 	envClusterShards  = "BSPRUN_CLUSTER_SHARD_DIR"
 	envClusterMetrics = "BSPRUN_CLUSTER_METRICS"
+	envClusterPostDir = "BSPRUN_CLUSTER_POSTDIR"
 )
 
 // clusterChild is the slot a cluster child process was launched into.
@@ -42,6 +43,7 @@ type clusterChild struct {
 	warm           bool   // survivors retry in place; only crashed processes are replaced
 	shardDir       string // where to write this rank's trace shard ("" = no trace)
 	metricsAddr    string // this rank's metrics address ("" = none)
+	postDir        string // where to dump this rank's postmortem on failure ("" = off)
 }
 
 // clusterChildFromEnv decodes the child spec, if this process is one.
@@ -76,6 +78,7 @@ func clusterChildFromEnv() (clusterChild, bool, error) {
 	c.warm = os.Getenv(envClusterWarm) == "1"
 	c.shardDir = os.Getenv(envClusterShards)
 	c.metricsAddr = os.Getenv(envClusterMetrics)
+	c.postDir = os.Getenv(envClusterPostDir)
 	return c, true, nil
 }
 
@@ -132,6 +135,7 @@ type clusterRun struct {
 	ckptArmed    bool
 	traceFile    string
 	metricsAddr  string
+	postDir      string
 	hbInterval   time.Duration
 	suspectAfter time.Duration
 }
@@ -149,6 +153,16 @@ func launchCluster(o clusterRun) (time.Duration, *trace.Recorder, error) {
 			return 0, nil, err
 		}
 		if err := os.MkdirAll(shardDir, 0o755); err != nil {
+			return 0, nil, err
+		}
+	}
+	if o.postDir != "" {
+		// A fresh bundle per invocation: stale dumps from an earlier run
+		// would corrupt the root-cause report.
+		if err := os.RemoveAll(o.postDir); err != nil {
+			return 0, nil, err
+		}
+		if err := os.MkdirAll(o.postDir, 0o755); err != nil {
 			return 0, nil, err
 		}
 	}
@@ -201,6 +215,9 @@ func launchCluster(o clusterRun) (time.Duration, *trace.Recorder, error) {
 			if shardDir != "" {
 				env = append(env, envClusterShards+"="+shardDir)
 			}
+			if o.postDir != "" {
+				env = append(env, envClusterPostDir+"="+o.postDir)
+			}
 			if metricsBase > 0 {
 				env = append(env, envClusterMetrics+"="+net.JoinHostPort(metricsHost, strconv.Itoa(metricsBase+spec.Rank)))
 			}
@@ -212,6 +229,16 @@ func launchCluster(o clusterRun) (time.Duration, *trace.Recorder, error) {
 	t0 := time.Now()
 	runErr := job.Run()
 	wall := time.Since(t0)
+	if o.postDir != "" {
+		// Gather whatever dumps the children left — also after a
+		// successful run, which may have recovered over a failed epoch
+		// whose forensics are worth keeping.
+		if man, gerr := trace.GatherBundle(o.postDir); gerr != nil {
+			fmt.Fprintln(os.Stderr, "bsprun: gather postmortem bundle:", gerr)
+		} else if len(man.Dumps) > 0 {
+			fmt.Printf("postmortem bundle: %d dump(s) in %s (analyze with bsppost)\n", len(man.Dumps), o.postDir)
+		}
+	}
 	var rec *trace.Recorder
 	if shardDir != "" {
 		var merr error
@@ -261,7 +288,7 @@ type launcherFlags struct {
 	app                                string
 	size, p                            int
 	chaosSpec, ckptDir                 string
-	traceFile, metricsAddr             string
+	traceFile, metricsAddr, postDir    string
 	costReport                         bool
 	costMachine                        string
 	cpuProfile, memProfile, rtraceFile string
@@ -294,6 +321,7 @@ func runClusterLauncher(f launcherFlags) {
 		ckptArmed:    f.ckptDir != "",
 		traceFile:    f.traceFile,
 		metricsAddr:  f.metricsAddr,
+		postDir:      f.postDir,
 		hbInterval:   f.hbInterval,
 		suspectAfter: f.suspectAfter,
 	})

@@ -66,6 +66,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/ckpt"
@@ -97,6 +98,7 @@ func main() {
 	suspectAfter := flag.Duration("suspect-after", 0, "declare a connected-but-silent cluster rank crashed after this long without a heartbeat (0 = 5s default, negative disables)")
 	ckptEvery := flag.Int("checkpoint-every", 1, "snapshot every Nth eligible superstep boundary")
 	resume := flag.Bool("resume", false, "continue from the latest complete snapshot in -checkpoint-dir")
+	postDir := flag.String("postmortem-dir", "", "crash-forensics bundle directory: on a failed run every rank dumps its always-on flight ring, metrics and goroutine stacks here (analyze with bsppost); empty arms a per-PID default under $TMPDIR for -cluster runs and stays off otherwise; \"none\" disables")
 	traceFile := flag.String("trace", "", "write the run's timeline as Chrome trace-event JSON to this file (open in Perfetto)")
 	metricsAddr := flag.String("metrics-addr", "", "serve live metrics over HTTP: Prometheus text at /metrics, expvar JSON at /debug/vars, profiles at /debug/pprof/")
 	costReport := flag.Bool("cost-report", false, "print per-superstep predicted-vs-recorded cost-model residuals")
@@ -112,6 +114,17 @@ func main() {
 		fail(err)
 	}
 	if *cluster && !isChild {
+		// The postmortem bundle is on by default for cluster runs: the
+		// flight recorder is free (fixed ring, no allocations) and a
+		// multi-process gang is exactly where a dead run is otherwise
+		// hardest to diagnose.
+		dir := *postDir
+		if dir == "" {
+			dir = filepath.Join(os.TempDir(), fmt.Sprintf("bsprun-postmortem-%d", os.Getpid()))
+		}
+		if dir == "none" {
+			dir = ""
+		}
 		runClusterLauncher(launcherFlags{
 			app: *app, size: *size, p: *p,
 			chaosSpec: *chaosSpec, ckptDir: *ckptDir,
@@ -120,6 +133,7 @@ func main() {
 			cpuProfile: *cpuProfile, memProfile: *memProfile,
 			rtraceFile: *rtraceFile, profReport: *profReport,
 			hbInterval: *hbInterval, suspectAfter: *suspectAfter,
+			postDir: dir,
 		})
 		return
 	}
@@ -190,6 +204,42 @@ func main() {
 	}
 	if isChild {
 		cfg.Group = &transport.GroupOptions{JobID: child.job, Epoch: child.epoch}
+	}
+	// Crash forensics: a cluster child dumps into the launcher's bundle
+	// directory (handed down through the environment, so every rank's
+	// shard lands in one bundle under the gang's job id); a standalone
+	// run dumps only when -postmortem-dir names a directory. Arming
+	// Postmortem while cfg.Trace is nil auto-arms the zero-allocation
+	// flight recorder, so a production run pays nothing for this.
+	pmDir := *postDir
+	if isChild {
+		pmDir = child.postDir
+	}
+	if pmDir == "none" {
+		pmDir = ""
+	}
+	if pmDir != "" {
+		job := fmt.Sprintf("bsprun-%s-p%d", *app, *p)
+		if isChild {
+			job = child.job
+		}
+		cfg.Postmortem = &core.PostmortemConfig{Dir: pmDir, Job: job}
+	}
+	// gatherPostmortem indexes whatever dumps the run left (a recovered
+	// run keeps the failed attempt's) — the launcher does this for a
+	// gang, so children skip it.
+	gatherPostmortem := func() {
+		if isChild || cfg.Postmortem == nil {
+			return
+		}
+		man, gerr := trace.GatherBundle(pmDir)
+		if gerr != nil {
+			fmt.Fprintln(os.Stderr, "bsprun: gather postmortem bundle:", gerr)
+			return
+		}
+		if len(man.Dumps) > 0 {
+			fmt.Printf("postmortem bundle: %d dump(s) in %s (analyze with bsppost)\n", len(man.Dumps), pmDir)
+		}
 	}
 	machine := cost.SGI
 	if *costReport {
@@ -273,6 +323,7 @@ func main() {
 		captures.stop()
 		captures.writeMem()
 		writeTrace()
+		gatherPostmortem()
 		shutdownMetrics()
 		fail(err)
 	}
@@ -280,6 +331,7 @@ func main() {
 	captures.stop()
 	captures.writeMem()
 	writeTrace()
+	gatherPostmortem()
 	shutdownMetrics()
 	if isChild {
 		// The per-rank line; the launcher prints the gang summary and

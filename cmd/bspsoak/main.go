@@ -33,6 +33,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -57,6 +58,7 @@ const (
 	envCkpt   = "BSPSOAK_CKPT_DIR"
 	envOut    = "BSPSOAK_OUT_DIR"
 	envShards = "BSPSOAK_SHARD_DIR"
+	envPost   = "BSPSOAK_POST_DIR"
 	envSize   = "BSPSOAK_SIZE"
 	envSeed   = "BSPSOAK_SEED"
 )
@@ -265,7 +267,7 @@ func (s *soak) shmOceanCrash(rng *rand.Rand) (string, error) {
 
 // gangCommand builds the ClusterJob Command hook: this binary,
 // re-executed as one rank.
-func (s *soak) gangCommand(outDir, ckptDir, shardDir, chaos string) func(transport.ClusterProcSpec) *exec.Cmd {
+func (s *soak) gangCommand(outDir, ckptDir, shardDir, postDir, chaos string) func(transport.ClusterProcSpec) *exec.Cmd {
 	return func(spec transport.ClusterProcSpec) *exec.Cmd {
 		cmd := exec.Command(s.exe)
 		cmd.Env = append(os.Environ(),
@@ -281,6 +283,7 @@ func (s *soak) gangCommand(outDir, ckptDir, shardDir, chaos string) func(transpo
 			envCkpt+"="+ckptDir,
 			envOut+"="+outDir,
 			envShards+"="+shardDir,
+			envPost+"="+postDir,
 			envSize+"="+strconv.Itoa(s.size),
 			envSeed+"="+strconv.FormatInt(s.seed, 10),
 		)
@@ -304,7 +307,7 @@ func (s *soak) ensureGangBaseline() error {
 		P:           s.p,
 		JobID:       fmt.Sprintf("soak-baseline-%d", os.Getpid()),
 		JoinTimeout: 15 * time.Second,
-		Command:     s.gangCommand(outDir, "", "", ""),
+		Command:     s.gangCommand(outDir, "", "", "", ""),
 	}
 	if err := job.Run(); err != nil {
 		return fmt.Errorf("fault-free baseline gang: %w", err)
@@ -352,11 +355,12 @@ func (s *soak) clusterWarmCrash(rng *rand.Rand) (string, error) {
 	roundDir := filepath.Join(s.dir, fmt.Sprintf("round-%03d", s.round))
 	outDir := filepath.Join(roundDir, "out")
 	ckptDir := filepath.Join(roundDir, "ckpt")
+	postDir := filepath.Join(roundDir, "post")
 	shardDir := ""
 	if s.trace != "" {
 		shardDir = filepath.Join(roundDir, "shards")
 	}
-	for _, d := range []string{outDir, ckptDir, shardDir} {
+	for _, d := range []string{outDir, ckptDir, postDir, shardDir} {
 		if d != "" {
 			if err := os.MkdirAll(d, 0o755); err != nil {
 				return "", err
@@ -373,7 +377,7 @@ func (s *soak) clusterWarmCrash(rng *rand.Rand) (string, error) {
 		Warm:              true,
 		HeartbeatInterval: 100 * time.Millisecond,
 		SuspectAfter:      2 * time.Second,
-		Command:           s.gangCommand(outDir, ckptDir, shardDir, plan.String()),
+		Command:           s.gangCommand(outDir, ckptDir, shardDir, postDir, plan.String()),
 	}
 	if err := job.Run(); err != nil {
 		return "", fmt.Errorf("warm gang did not recover [plan %s]: %w", plan, err)
@@ -404,6 +408,9 @@ func (s *soak) clusterWarmCrash(rng *rand.Rand) (string, error) {
 	if err := s.comparePartitions(outDir); err != nil {
 		return "", fmt.Errorf("%w [plan %s]", err, plan)
 	}
+	if err := s.checkPostmortem(postDir, crashed, plan); err != nil {
+		return "", err
+	}
 	if shardDir != "" {
 		if err := mergeShards(shardDir, s.trace); err != nil {
 			return "", fmt.Errorf("merge trace shards: %w", err)
@@ -411,7 +418,57 @@ func (s *soak) clusterWarmCrash(rng *rand.Rand) (string, error) {
 	}
 	s.rankRelaunches++
 	os.RemoveAll(roundDir)
-	return fmt.Sprintf("crash %d:%d, 1 surgical relaunch", plan.CrashRank, plan.CrashStep), nil
+	return fmt.Sprintf("crash %d:%d, 1 surgical relaunch, %d-dump postmortem", plan.CrashRank, plan.CrashStep, s.p), nil
+}
+
+// checkPostmortem asserts the crash forensics of one warm round: the
+// dead generation left exactly one complete postmortem bundle — one
+// epoch-0 dump per rank, no duplicates from the dump broadcast racing
+// the local failure path — every survivor's dump names the convicted
+// rank, and the dumps agree on the failing superstep (the injected
+// crash fires in 0-based superstep CrashStep-1, so every survivor's
+// last completed barrier is within one recording slot of CrashStep-2).
+func (s *soak) checkPostmortem(postDir string, crashed int, plan transport.FaultPlan) error {
+	if _, err := trace.GatherBundle(postDir); err != nil {
+		return fmt.Errorf("gather postmortem bundle: %w [plan %s]", err, plan)
+	}
+	_, dumps, err := trace.ReadBundle(postDir)
+	if err != nil {
+		return fmt.Errorf("warm round left no postmortem bundle: %w [plan %s]", err, plan)
+	}
+	if len(dumps) != s.p {
+		return fmt.Errorf("postmortem bundle has %d dumps, want exactly one per rank (%d) [plan %s]", len(dumps), s.p, plan)
+	}
+	failStep := plan.CrashStep - 1 // 0-based superstep the crash fired in
+	var crashDump bool
+	for _, d := range dumps {
+		if d.Epoch != 0 {
+			return fmt.Errorf("rank %d dumped at epoch %d, want 0 — only the dead generation dumps [plan %s]", d.Rank, d.Epoch, plan)
+		}
+		if d.Rank == crashed {
+			crashDump = true
+			for _, e := range d.Events {
+				if e.Kind == trace.KindFault && trace.FaultCode(e.A) == trace.FaultCrash && int(e.Step) != failStep {
+					return fmt.Errorf("crashed rank's ring has the fault at superstep %d, want %d [plan %s]", e.Step, failStep, plan)
+				}
+			}
+			continue
+		}
+		if !strings.Contains(d.Reason, fmt.Sprintf("rank %d", crashed)) {
+			return fmt.Errorf("survivor rank %d's dump reason %q does not name the convicted rank %d [plan %s]", d.Rank, d.Reason, crashed, plan)
+		}
+		// A survivor is blocked in the failing superstep's barrier when
+		// it dumps: its last recorded barrier is failStep-1, or one
+		// earlier if the dump frame won the race against the recording
+		// of the barrier it just completed.
+		if last := d.LastCompletedStep(); last < failStep-2 || last > failStep-1 {
+			return fmt.Errorf("survivor rank %d's last completed superstep %d disagrees with the failing superstep %d [plan %s]", d.Rank, last, failStep, plan)
+		}
+	}
+	if !crashDump {
+		return fmt.Errorf("no dump from the convicted rank %d [plan %s]", crashed, plan)
+	}
+	return nil
 }
 
 // clusterPartitionJoin assembles a gang whose control plane runs
@@ -435,7 +492,7 @@ func (s *soak) clusterPartitionJoin(rng *rand.Rand) (string, error) {
 		P:           s.p,
 		JobID:       fmt.Sprintf("soak-part-%d-%d", os.Getpid(), s.round),
 		JoinTimeout: 20 * time.Second,
-		Command:     s.gangCommand(outDir, "", "", ""),
+		Command:     s.gangCommand(outDir, "", "", "", ""),
 		AdvertiseCoordinator: func(addr string) string {
 			if proxy, perr = transport.NewChaosProxy(addr); perr != nil {
 				return addr
@@ -579,6 +636,11 @@ func runRank() int {
 	if shardDir != "" {
 		rec = trace.New(p)
 		cfg.Trace = rec
+	}
+	if dir := os.Getenv(envPost); dir != "" {
+		// Crash forensics for the warm rounds: with no -trace the flight
+		// recorder is auto-armed, so the dumps exist either way.
+		cfg.Postmortem = &core.PostmortemConfig{Dir: dir, Job: mcfg.JobID}
 	}
 	if dir := os.Getenv(envCkpt); dir != "" {
 		cfg.Checkpoint = &core.CheckpointConfig{Dir: dir, Every: 1, Retries: -1, Resume: os.Getenv(envResume) == "1"}

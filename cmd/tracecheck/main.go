@@ -19,6 +19,17 @@
 // run; when the trace contains a rollback, re-executed supersteps
 // double-count handoffs, so the pair check is skipped with a notice.
 //
+// With -postmortem the argument is a crash postmortem bundle directory
+// (bsprun -postmortem-dir) instead of a trace file, and the audit
+// switches to the dump invariants: every rank<r>/dump-e<epoch>.json
+// must parse, carry time-sorted events that belong to its rank, and
+// reconcile its ring truncation marker (dropped + retained == total
+// ever recorded); the MANIFEST.json must index exactly the dumps on
+// disk with matching rank/epoch/file entries; and with -ranks N every
+// rank 0..N-1 must have dumped at least once:
+//
+//	tracecheck -postmortem -ranks 4 /tmp/bundle
+//
 // Usage:
 //
 //	tracecheck -ranks 4 [-require-crash] [-require-rollback] [-check-pairs] trace.json
@@ -31,8 +42,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
+
+	"repro/internal/trace"
 )
 
 type traceEvent struct {
@@ -66,12 +80,18 @@ func main() {
 	requireCrash := flag.Bool("require-crash", false, "fail unless a chaos crash marker is present")
 	requireRollback := flag.Bool("require-rollback", false, "fail unless a rollback marker is present")
 	checkPairs := flag.Bool("check-pairs", false, "audit per-(src,dst) batch packet totals against each sync span's sent/recv counters (clean runs on batching transports)")
+	postmortem := flag.Bool("postmortem", false, "the argument is a postmortem bundle directory (bsprun -postmortem-dir); validate the dump and manifest invariants instead of a Chrome trace")
 	flag.Parse()
 	if *ranks <= 0 || flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: tracecheck -ranks N [-require-crash] [-require-rollback] [-check-pairs] <trace.json>")
+		fmt.Fprintln(os.Stderr, "       tracecheck -postmortem -ranks N <bundle-dir>")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
+	if *postmortem {
+		checkPostmortem(path, *ranks)
+		return
+	}
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		fatal("read: %v", err)
@@ -214,4 +234,127 @@ func main() {
 func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// checkPostmortem audits a crash postmortem bundle: every dump on disk
+// must hold the flight-recorder invariants, the manifest must index
+// exactly those dumps, and every rank of the gang must have one.
+func checkPostmortem(dir string, ranks int) {
+	paths, err := filepath.Glob(filepath.Join(dir, "rank*", "dump-*.json"))
+	if err != nil {
+		fatal("scan %s: %v", dir, err)
+	}
+	if len(paths) == 0 {
+		fatal("no postmortem dumps under %s", dir)
+	}
+	sort.Strings(paths)
+
+	bad := 0
+	problem := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
+		bad++
+	}
+
+	type key struct{ rank, epoch int }
+	onDisk := map[key]string{} // -> path relative to dir
+	dumped := map[int]bool{}   // ranks with at least one dump
+	job, p := "", 0
+	events := 0
+	for i, path := range paths {
+		rel, rerr := filepath.Rel(dir, path)
+		if rerr != nil {
+			rel = path
+		}
+		d, err := trace.ReadDump(path)
+		if err != nil {
+			problem("%s: %v", rel, err)
+			continue
+		}
+		// The dump must live in its own rank's directory under its
+		// epoch's name — the layout the gathering and the analyzer key
+		// on.
+		if want := fmt.Sprintf("rank%d", d.Rank); filepath.Base(filepath.Dir(path)) != want {
+			problem("%s: dump claims rank %d but lives in %s/", rel, d.Rank, filepath.Base(filepath.Dir(path)))
+		}
+		if want := fmt.Sprintf("dump-e%d.json", d.Epoch); filepath.Base(path) != want {
+			problem("%s: dump claims epoch %d but is named %s", rel, d.Epoch, filepath.Base(path))
+		}
+		// Ring truncation marker: dropped + retained must account for
+		// every event the ring ever recorded.
+		if d.RingDropped+uint64(len(d.Events)) != d.RingTotal {
+			problem("%s: ring accounting broken: %d dropped + %d retained != %d total",
+				rel, d.RingDropped, len(d.Events), d.RingTotal)
+		}
+		// Events are one rank's timeline: time-sorted, owned by the
+		// dumping rank (or the machine track, rank -1).
+		for j, e := range d.Events {
+			if j > 0 && e.Start < d.Events[j-1].Start {
+				problem("%s: events not time-sorted at index %d", rel, j)
+				break
+			}
+			if int(e.Rank) != d.Rank && e.Rank != trace.MachineRank {
+				problem("%s: event %d belongs to rank %d, not the dumping rank %d", rel, j, e.Rank, d.Rank)
+				break
+			}
+		}
+		if d.Reason == "" {
+			problem("%s: dump has no reason", rel)
+		}
+		// Every dump in a bundle shares the job identity.
+		if i == 0 {
+			job, p = d.Job, d.P
+		} else if d.Job != job || d.P != p {
+			problem("%s: job identity (%q, p=%d) differs from the bundle's (%q, p=%d)", rel, d.Job, d.P, job, p)
+		}
+		k := key{d.Rank, d.Epoch}
+		if prev, dup := onDisk[k]; dup {
+			problem("%s: duplicate dump for rank %d epoch %d (also %s)", rel, d.Rank, d.Epoch, prev)
+		}
+		onDisk[k] = rel
+		dumped[d.Rank] = true
+		events += len(d.Events)
+	}
+
+	// The manifest must index exactly the dumps on disk.
+	raw, err := os.ReadFile(filepath.Join(dir, trace.ManifestName))
+	if err != nil {
+		problem("bundle was never gathered: %v", err)
+	} else {
+		var man trace.BundleManifest
+		if err := json.Unmarshal(raw, &man); err != nil {
+			problem("%s: %v", trace.ManifestName, err)
+		} else {
+			if man.Job != job || man.P != p {
+				problem("manifest identity (%q, p=%d) differs from the dumps' (%q, p=%d)", man.Job, man.P, job, p)
+			}
+			inManifest := map[key]bool{}
+			for _, e := range man.Dumps {
+				k := key{e.Rank, e.Epoch}
+				inManifest[k] = true
+				if got, ok := onDisk[k]; !ok {
+					problem("manifest indexes rank %d epoch %d but no such dump is on disk", e.Rank, e.Epoch)
+				} else if got != e.File {
+					problem("manifest names %s for rank %d epoch %d, dump is at %s", e.File, e.Rank, e.Epoch, got)
+				}
+			}
+			for k, rel := range onDisk {
+				if !inManifest[k] {
+					problem("%s is on disk but not in the manifest", rel)
+				}
+			}
+		}
+	}
+
+	// Gang coverage: a complete bundle has forensics from every rank.
+	for r := 0; r < ranks; r++ {
+		if !dumped[r] {
+			problem("rank %d left no dump (bundle incomplete)", r)
+		}
+	}
+
+	if bad > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("tracecheck: %s ok — postmortem bundle, job %s, %d dump(s) over %d rank(s), %d ring events\n",
+		dir, job, len(onDisk), len(dumped), events)
 }

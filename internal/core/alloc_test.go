@@ -17,6 +17,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -141,5 +142,15 @@ func TestExchangeAllocGate(t *testing.T) {
 	if avg > allocTraceOffMax {
 		t.Errorf("alloc gate: %.1f allocs/superstep with tracing disabled, want <= %d — the nil-check disabled path must add zero allocations over the batched baseline",
 			avg, allocTraceOffMax)
+	}
+	// The always-on flight recorder must hold the same bound: ring
+	// writes are pre-allocated atomic slots and the histograms are
+	// fixed buckets, so arming it costs zero allocations on the hot
+	// path — the whole premise of keeping it on in production runs.
+	flight := measureExchangeAllocs(t, Config{P: allocP, Transport: transport.ShmTransport{}, Trace: trace.NewFlight(allocP)})
+	t.Logf("allocs per all-to-all superstep with the flight recorder armed: %.1f", flight)
+	if flight > allocTraceOffMax {
+		t.Errorf("alloc gate: %.1f allocs/superstep with the flight recorder armed, want <= %d — the ring and histogram path must not allocate",
+			flight, allocTraceOffMax)
 	}
 }

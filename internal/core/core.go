@@ -91,6 +91,17 @@ type Config struct {
 	// re-executed supersteps on one timeline. Nil disables tracing;
 	// the disabled path is a nil check only (see the alloc gate).
 	Trace *trace.Recorder
+	// Postmortem, when non-nil with a Dir, arms crash forensics: a run
+	// that fails with a crash, timeout or abort dumps every hosted
+	// rank's flight-recorder ring, a metrics snapshot and the
+	// process's goroutine stacks into the bundle directory, and on
+	// cluster transports the coordinator's dump broadcast makes
+	// survivors dump too. If Trace is nil, runMachine arms a
+	// flight-only recorder (trace.NewFlight) automatically, so
+	// postmortems work — at fixed memory cost — on runs launched
+	// without -trace. Share one pointer across a job's config copies:
+	// it deduplicates dumps per (rank, epoch).
+	Postmortem *PostmortemConfig
 	// Profile, when non-nil, tags each rank goroutine with pprof labels
 	// on the BSP axes (bsp_rank, bsp_superstep bucket, bsp_phase,
 	// bsp_app) and mirrors the superstep structure into runtime/trace
@@ -331,6 +342,13 @@ func runMachine(cfg Config, fn func(*Proc), hooks Hooks, rs *runState) (*Stats, 
 	if tr == nil {
 		tr = transport.ShmTransport{}
 	}
+	if cfg.Postmortem.armed() && cfg.Trace == nil {
+		// Always-on forensics without tracing: a flight-only recorder
+		// keeps the last events of every rank in fixed memory, ready to
+		// dump, while the unbounded event slices stay empty. cfg is a
+		// local copy, so each recovery attempt gets a fresh ring.
+		cfg.Trace = trace.NewFlight(cfg.P)
+	}
 	var gopts transport.GroupOptions
 	if cfg.Group != nil {
 		gopts = *cfg.Group
@@ -397,6 +415,18 @@ func runMachine(cfg Config, fn func(*Proc), hooks Hooks, rs *runState) (*Stats, 
 				// before Begin so no event precedes the buffer.
 				if ts, ok := ep.(transport.TraceSetter); ok {
 					ts.SetTrace(cfg.Trace.Rank(i))
+				}
+			}
+			if cfg.Postmortem.armed() {
+				// Membership planes that can request forensics (the
+				// cluster coordinator's dump broadcast) get the hook;
+				// the (rank, epoch) dedup absorbs the overlap with the
+				// local failure-path dump below.
+				if ds, ok := ep.(transport.DumpSetter); ok {
+					rec := cfg.Trace
+					ds.SetDump(func(reason string) {
+						cfg.Postmortem.dump(rec, i, gopts.Epoch, reason)
+					})
 				}
 			}
 			ep.Begin()
@@ -483,13 +513,24 @@ func runMachine(cfg Config, fn func(*Proc), hooks Hooks, rs *runState) (*Stats, 
 			procErr = e
 		}
 	}
+	var finalErr error
 	switch {
 	case procErr != nil:
-		return nil, procErr
+		finalErr = procErr
 	case timeoutErr != nil:
-		return nil, timeoutErr
+		finalErr = timeoutErr
 	case abortErr != nil:
-		return nil, abortErr
+		finalErr = abortErr
+	}
+	if finalErr != nil {
+		if cfg.Postmortem.armed() && dumpWorthy(finalErr) {
+			// The machine is quiescent (wg.Wait above), so each hosted
+			// rank's ring shows its final moments; dump them all.
+			for s := range eps {
+				cfg.Postmortem.dump(cfg.Trace, ranks[s], gopts.Epoch, finalErr.Error())
+			}
+		}
+		return nil, finalErr
 	}
 	return mergeStats(cfg.P, procs)
 }

@@ -40,9 +40,10 @@ func goldenRecorder() *Recorder {
 	// launcher warm-relaunches only rank 1.
 	b0.Pair(1, 1, 3000, 32, 2, 2)
 	b1.Fault(1, FaultCrash, 3100, 0)
-	b0.Heartbeat()
-	b0.Heartbeat()
-	b0.Heartbeat()
+	b0.Heartbeat(1, 0)
+	b0.Heartbeat(2, 0)
+	b0.Heartbeat(3, 0)
+	b0.HeartbeatRTT(2, 1_500_000) // the coordinator echoed beat 2 in 1.5ms
 	b0.HeartbeatMiss()
 	b0.Suspect(1, 3400, 1)
 	b0.WarmRestart()

@@ -35,6 +35,122 @@ type Metrics struct {
 	HeartbeatMisses atomic.Int64 // heartbeat intervals that passed without a peer beat
 	Suspects        atomic.Int64 // ranks declared crashed by liveness suspicion or conn loss
 	WarmRestarts    atomic.Int64 // surgical single-rank process relaunches observed
+
+	// Latency/size distributions, machine-wide (no rank labels: the
+	// point is the shape — straggler tails, bimodal batch sizes — and
+	// per-rank totals already exist above). Fixed log-scale buckets so
+	// goldens and cross-run comparisons are stable.
+	StepDur      *Hist // superstep duration (compute + barrier), ns
+	SyncWait     *Hist // barrier + exchange wait, ns
+	PairBatch    *Hist // per-(src,dst) batch handoff, bytes
+	HeartbeatRTT *Hist // control-plane heartbeat round trip, ns
+
+	LastHeartbeatSeq   atomic.Int64 // sequence of the newest heartbeat sent
+	LastHeartbeatEpoch atomic.Int64 // gang epoch that heartbeat was sent in
+}
+
+// Hist is a fixed-bucket histogram with atomic counters: Observe is
+// lock- and allocation-free, so it can sit on the superstep hot path
+// and on transport control-plane goroutines. Buckets are upper bounds
+// in the native unit (ns or bytes), ascending; one overflow bucket
+// catches everything above the last bound.
+type Hist struct {
+	bounds []int64 // upper bounds (inclusive), native unit
+	scale  float64 // native units per exported unit (1e9: ns → s)
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+}
+
+func newHist(bounds []int64, scale float64) *Hist {
+	return &Hist{bounds: bounds, scale: scale, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// logBounds returns n upper bounds lo, lo*base, lo*base², … — the
+// fixed log-scale ladder every histogram family uses.
+func logBounds(lo int64, base, n int) []int64 {
+	b := make([]int64, n)
+	v := lo
+	for i := range b {
+		b[i] = v
+		v *= int64(base)
+	}
+	return b
+}
+
+// durationBounds spans 1µs to ~17s in powers of four: wide enough for
+// a microbenchmark superstep and a stalled barrier in the same ladder.
+func durationBounds() []int64 { return logBounds(1_000, 4, 13) }
+
+// byteBounds spans 64B to ~16MiB in powers of four, bracketing the
+// per-pair batch sizes the transports actually ship.
+func byteBounds() []int64 { return logBounds(64, 4, 10) }
+
+// Observe adds one sample in the native unit. Nil-safe, never
+// allocates.
+func (h *Hist) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+}
+
+// HistSnapshot is a plain-data copy of a Hist in its exported unit
+// (seconds for durations, bytes for sizes), fit for JSON encoding.
+// Counts has one entry per bound plus a trailing overflow bucket.
+type HistSnapshot struct {
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+}
+
+// Snapshot copies the histogram. Safe concurrently with observers.
+func (h *Hist) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	scale := h.scale
+	if scale == 0 {
+		scale = 1
+	}
+	s := HistSnapshot{
+		Count:  h.count.Load(),
+		Sum:    float64(h.sum.Load()) / scale,
+		Bounds: make([]float64, len(h.bounds)),
+		Counts: make([]int64, len(h.counts)),
+	}
+	for i, b := range h.bounds {
+		s.Bounds[i] = float64(b) / scale
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// writePrometheus renders the histogram in the Prometheus text format
+// (cumulative le buckets, _sum, _count).
+func (h *Hist) writePrometheus(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	scale := h.scale
+	if scale == 0 {
+		scale = 1
+	}
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, float64(b)/scale, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.count.Load())
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sum.Load())/scale)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
 }
 
 func newMetrics(p int) *Metrics {
@@ -48,6 +164,11 @@ func newMetrics(p int) *Metrics {
 		pairBytes:  make([]atomic.Int64, p*p),
 		pairFrames: make([]atomic.Int64, p*p),
 		pairPkts:   make([]atomic.Int64, p*p),
+
+		StepDur:      newHist(durationBounds(), 1e9),
+		SyncWait:     newHist(durationBounds(), 1e9),
+		PairBatch:    newHist(byteBounds(), 1),
+		HeartbeatRTT: newHist(durationBounds(), 1e9),
 	}
 }
 
@@ -86,6 +207,14 @@ type Snapshot struct {
 	HeartbeatMisses int64
 	Suspects        int64
 	WarmRestarts    int64
+
+	LastHeartbeatSeq   int64
+	LastHeartbeatEpoch int64
+
+	StepDur      HistSnapshot
+	SyncWait     HistSnapshot
+	PairBatch    HistSnapshot
+	HeartbeatRTT HistSnapshot
 }
 
 // Snapshot copies the counters. Safe concurrently with a running
@@ -111,6 +240,14 @@ func (m *Metrics) Snapshot() Snapshot {
 		HeartbeatMisses: m.HeartbeatMisses.Load(),
 		Suspects:        m.Suspects.Load(),
 		WarmRestarts:    m.WarmRestarts.Load(),
+
+		LastHeartbeatSeq:   m.LastHeartbeatSeq.Load(),
+		LastHeartbeatEpoch: m.LastHeartbeatEpoch.Load(),
+
+		StepDur:      m.StepDur.Snapshot(),
+		SyncWait:     m.SyncWait.Snapshot(),
+		PairBatch:    m.PairBatch.Snapshot(),
+		HeartbeatRTT: m.HeartbeatRTT.Snapshot(),
 	}
 	for i := 0; i < m.p; i++ {
 		s.Ranks[i] = RankSnapshot{
@@ -193,6 +330,12 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "# HELP bsp_heartbeat_misses_total Heartbeat intervals that passed without a peer beat.\n# TYPE bsp_heartbeat_misses_total counter\nbsp_heartbeat_misses_total %d\n", m.HeartbeatMisses.Load())
 	fmt.Fprintf(w, "# HELP bsp_suspects_total Ranks declared crashed by liveness suspicion or connection loss.\n# TYPE bsp_suspects_total counter\nbsp_suspects_total %d\n", m.Suspects.Load())
 	fmt.Fprintf(w, "# HELP bsp_warm_restarts_total Surgical single-rank process relaunches observed.\n# TYPE bsp_warm_restarts_total counter\nbsp_warm_restarts_total %d\n", m.WarmRestarts.Load())
+	fmt.Fprintf(w, "# HELP bsp_heartbeat_last_seq Sequence number of the newest heartbeat sent.\n# TYPE bsp_heartbeat_last_seq gauge\nbsp_heartbeat_last_seq %d\n", m.LastHeartbeatSeq.Load())
+	fmt.Fprintf(w, "# HELP bsp_heartbeat_last_epoch Gang epoch the newest heartbeat was sent in.\n# TYPE bsp_heartbeat_last_epoch gauge\nbsp_heartbeat_last_epoch %d\n", m.LastHeartbeatEpoch.Load())
+	m.StepDur.writePrometheus(w, "bsp_superstep_duration_seconds", "Superstep duration (compute plus barrier), all ranks.")
+	m.SyncWait.writePrometheus(w, "bsp_sync_wait_seconds", "Barrier and exchange wait per superstep, all ranks.")
+	m.PairBatch.writePrometheus(w, "bsp_pair_batch_bytes", "Bytes per (src,dst) batch handoff.")
+	m.HeartbeatRTT.writePrometheus(w, "bsp_heartbeat_rtt_seconds", "Control-plane heartbeat round trip, send to coordinator echo.")
 }
 
 // Handler returns an http.Handler serving the Prometheus text format

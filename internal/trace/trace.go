@@ -81,6 +81,13 @@ const (
 	// every rank back and re-executes. A holds the attempt number that
 	// is about to start, B the superstep the machine resumes from.
 	KindRollback
+	// KindHeartbeat is a control-plane liveness observation (instant,
+	// flight-ring only — heartbeats run on transport goroutines, not
+	// rank goroutines, so they never enter the per-rank event slices).
+	// A holds the heartbeat sequence number, B the gang epoch, and C
+	// the measured round-trip time in ns when the event records the
+	// coordinator's echo (0 for the send itself).
+	KindHeartbeat
 )
 
 // String names the kind as it appears in exported traces.
@@ -102,6 +109,8 @@ func (k Kind) String() string {
 		return "fault"
 	case KindRollback:
 		return "rollback"
+	case KindHeartbeat:
+		return "heartbeat"
 	}
 	return "unknown"
 }
@@ -176,6 +185,38 @@ type Buf struct {
 	// CkptSave, CkptRestore) already carry global steps and bypass it.
 	base   int32
 	events []Event
+	// ring is the rank's flight recorder: every event is also published
+	// here (atomics only, fixed memory), so a postmortem dump can
+	// recover the recent history of any rank at any moment — including
+	// flight-only mode, where the unbounded events slice stays empty.
+	ring   *Ring
+	flight bool // flight-only: record to the ring, skip the events slice
+	// lastComputeNs is the rank's most recent compute-span length,
+	// staged so SyncSpan can observe the full superstep duration
+	// (compute + barrier) in one histogram sample. Rank-confined like
+	// the events slice: Compute and SyncSpan run back to back on the
+	// owning rank's goroutine.
+	lastComputeNs int64
+}
+
+// record publishes ev to the flight ring and, outside flight-only
+// mode, appends it to the rank's event slice.
+func (b *Buf) record(ev Event) {
+	b.ring.Record(ev)
+	if !b.flight {
+		b.events = append(b.events, ev)
+	}
+}
+
+// RingSnapshot copies the rank's retained flight-ring events (in
+// record order) plus the count of events ever recorded; the
+// difference is how many the ring has overwritten. Safe from any
+// goroutine, concurrently with a running rank.
+func (b *Buf) RingSnapshot() ([]Event, uint64) {
+	if b == nil {
+		return nil, 0
+	}
+	return b.ring.Snapshot(), b.ring.Total()
 }
 
 // Rank returns the rank this buffer records for.
@@ -207,7 +248,8 @@ func (b *Buf) Compute(step int, start, end int64, units int) {
 	if b == nil {
 		return
 	}
-	b.events = append(b.events, Event{Kind: KindCompute, Rank: b.rank, Step: int32(step), Start: start, End: end, A: int64(units)})
+	b.record(Event{Kind: KindCompute, Rank: b.rank, Step: int32(step), Start: start, End: end, A: int64(units)})
+	b.lastComputeNs = end - start
 	if b.m != nil {
 		b.m.workNs[b.rank].Add(end - start)
 	}
@@ -221,13 +263,16 @@ func (b *Buf) SyncSpan(step int, start, end int64, sentPkts, recvPkts, selfPkts 
 	if b == nil {
 		return
 	}
-	b.events = append(b.events, Event{Kind: KindSync, Rank: b.rank, Step: int32(step), Start: start, End: end, A: int64(sentPkts), B: int64(recvPkts), C: int64(selfPkts)})
+	b.record(Event{Kind: KindSync, Rank: b.rank, Step: int32(step), Start: start, End: end, A: int64(sentPkts), B: int64(recvPkts), C: int64(selfPkts)})
 	if b.m != nil {
 		b.m.waitNs[b.rank].Add(end - start)
 		b.m.steps[b.rank].Add(1)
 		b.m.sentPkts[b.rank].Add(int64(sentPkts))
 		b.m.recvPkts[b.rank].Add(int64(recvPkts))
+		b.m.SyncWait.Observe(end - start)
+		b.m.StepDur.Observe(b.lastComputeNs + (end - start))
 	}
+	b.lastComputeNs = 0
 }
 
 // Exchange records a transport data-movement span nested in the
@@ -236,7 +281,7 @@ func (b *Buf) Exchange(step int, start, end int64) {
 	if b == nil {
 		return
 	}
-	b.events = append(b.events, Event{Kind: KindExchange, Rank: b.rank, Step: b.base + int32(step), Start: start, End: end})
+	b.record(Event{Kind: KindExchange, Rank: b.rank, Step: b.base + int32(step), Start: start, End: end})
 }
 
 // Pair records the handoff of one (src,dst) batch: bytes, frames and
@@ -246,13 +291,14 @@ func (b *Buf) Pair(step, dst int, at int64, bytes, frames, pkts int) {
 	if b == nil {
 		return
 	}
-	b.events = append(b.events, Event{Kind: KindPair, Rank: b.rank, Step: b.base + int32(step), Start: at, End: at, A: int64(dst), B: int64(bytes), C: int64(frames), D: int64(pkts)})
+	b.record(Event{Kind: KindPair, Rank: b.rank, Step: b.base + int32(step), Start: at, End: at, A: int64(dst), B: int64(bytes), C: int64(frames), D: int64(pkts)})
 	if b.m != nil {
 		if i := b.m.pairIndex(int(b.rank), dst); i >= 0 {
 			b.m.pairBytes[i].Add(int64(bytes))
 			b.m.pairFrames[i].Add(int64(frames))
 			b.m.pairPkts[i].Add(int64(pkts))
 		}
+		b.m.PairBatch.Observe(int64(bytes))
 	}
 }
 
@@ -261,7 +307,7 @@ func (b *Buf) CkptSave(step int, start, end int64, bytes int) {
 	if b == nil {
 		return
 	}
-	b.events = append(b.events, Event{Kind: KindCkptSave, Rank: b.rank, Step: int32(step), Start: start, End: end, B: int64(bytes)})
+	b.record(Event{Kind: KindCkptSave, Rank: b.rank, Step: int32(step), Start: start, End: end, B: int64(bytes)})
 	if b.m != nil {
 		b.m.CkptSaves.Add(1)
 		b.m.CkptBytes.Add(int64(bytes))
@@ -274,7 +320,7 @@ func (b *Buf) CkptRestore(step int, start, end int64) {
 	if b == nil {
 		return
 	}
-	b.events = append(b.events, Event{Kind: KindCkptRestore, Rank: b.rank, Step: int32(step), Start: start, End: end})
+	b.record(Event{Kind: KindCkptRestore, Rank: b.rank, Step: int32(step), Start: start, End: end})
 	if b.m != nil {
 		b.m.Restores.Add(1)
 	}
@@ -286,7 +332,7 @@ func (b *Buf) Fault(step int, code FaultCode, at int64, aux int64) {
 	if b == nil {
 		return
 	}
-	b.events = append(b.events, Event{Kind: KindFault, Rank: b.rank, Step: b.base + int32(step), Start: at, End: at, A: int64(code), B: aux})
+	b.record(Event{Kind: KindFault, Rank: b.rank, Step: b.base + int32(step), Start: at, End: at, A: int64(code), B: aux})
 	if b.m != nil {
 		b.m.Faults.Add(1)
 	}
@@ -299,21 +345,44 @@ func (b *Buf) Suspect(step int, at int64, suspected int) {
 	if b == nil {
 		return
 	}
-	b.events = append(b.events, Event{Kind: KindFault, Rank: b.rank, Step: b.base + int32(step), Start: at, End: at, A: int64(FaultSuspect), B: int64(suspected)})
+	b.record(Event{Kind: KindFault, Rank: b.rank, Step: b.base + int32(step), Start: at, End: at, A: int64(FaultSuspect), B: int64(suspected)})
 	if b.m != nil {
 		b.m.Suspects.Add(1)
 	}
 }
 
-// Heartbeat counts one liveness heartbeat sent on the control plane.
-// Unlike the event appenders it is safe from any goroutine: it touches
-// only the atomic Metrics counters (the transport's heartbeat loop is
-// not a rank goroutine).
-func (b *Buf) Heartbeat() {
-	if b == nil || b.m == nil {
+// Heartbeat records one liveness heartbeat sent on the control plane:
+// seq is the beat's sequence number, epoch the gang epoch it was sent
+// in. Unlike the event appenders it is safe from any goroutine (the
+// transport's heartbeat loop is not a rank goroutine): it touches only
+// the atomic Metrics counters and the flight ring, never the event
+// slice.
+func (b *Buf) Heartbeat(seq, epoch int) {
+	if b == nil {
 		return
 	}
-	b.m.Heartbeats.Add(1)
+	now := b.Now()
+	b.ring.Record(Event{Kind: KindHeartbeat, Rank: b.rank, Start: now, End: now, A: int64(seq), B: int64(epoch)})
+	if b.m != nil {
+		b.m.Heartbeats.Add(1)
+		b.m.LastHeartbeatSeq.Store(int64(seq))
+		b.m.LastHeartbeatEpoch.Store(int64(epoch))
+	}
+}
+
+// HeartbeatRTT records the control-plane round trip of heartbeat seq:
+// the coordinator echoed the beat back and the member measured rttNs
+// from send to echo. Safe from any goroutine (atomics and the flight
+// ring only).
+func (b *Buf) HeartbeatRTT(seq int, rttNs int64) {
+	if b == nil {
+		return
+	}
+	now := b.Now()
+	b.ring.Record(Event{Kind: KindHeartbeat, Rank: b.rank, Start: now, End: now, A: int64(seq), C: rttNs})
+	if b.m != nil {
+		b.m.HeartbeatRTT.Observe(rttNs)
+	}
 }
 
 // HeartbeatMiss counts a heartbeat interval that passed without a
@@ -351,12 +420,28 @@ type Recorder struct {
 }
 
 // New returns a Recorder for a p-rank machine. The epoch — time zero
-// of every recorded timestamp — is the call time.
+// of every recorded timestamp — is the call time. Every rank also
+// gets a flight ring (DefaultRingSize slots), so postmortem dumps
+// work whether tracing is full or flight-only.
 func New(p int) *Recorder {
+	return newRecorder(p, false)
+}
+
+// NewFlight returns a flight-only Recorder: every rank records the
+// last DefaultRingSize events into its fixed-size ring and nothing
+// into the unbounded event slices, so memory stays constant however
+// long the run. This is the recorder core arms automatically when
+// postmortems are requested without -trace; Events() yields only
+// machine-level events in this mode — dump the rings instead.
+func NewFlight(p int) *Recorder {
+	return newRecorder(p, true)
+}
+
+func newRecorder(p int, flight bool) *Recorder {
 	r := &Recorder{epoch: time.Now(), m: newMetrics(p)}
 	r.bufs = make([]*Buf, p)
 	for i := range r.bufs {
-		r.bufs[i] = &Buf{rank: int32(i), epoch: r.epoch, m: r.m}
+		r.bufs[i] = &Buf{rank: int32(i), epoch: r.epoch, m: r.m, ring: NewRing(DefaultRingSize), flight: flight}
 	}
 	return r
 }

@@ -382,6 +382,14 @@ func (e *chaosEndpoint) SetTrace(b *trace.Buf) {
 	}
 }
 
+// SetDump implements DumpSetter by forwarding to the wrapped endpoint:
+// the membership plane that requests dumps lives below the decorator.
+func (e *chaosEndpoint) SetDump(fn func(reason string)) {
+	if ds, ok := e.Endpoint.(DumpSetter); ok {
+		ds.SetDump(fn)
+	}
+}
+
 // SetProf implements ProfSetter by forwarding to the wrapped endpoint:
 // the decorator adds no data movement of its own, so the base
 // transport's exchange marks are the whole story.

@@ -53,6 +53,7 @@ const (
 	ctrlLeave  = 'L' // member -> coordinator: clean detach; broadcast back with rank
 	ctrlPing   = 'H' // either direction: liveness heartbeat (wire.Heartbeat payload)
 	ctrlCrash  = 'C' // coordinator -> member: crashed rank + new epoch + reason
+	ctrlDump   = 'D' // coordinator -> member: write a postmortem dump, reason follows
 )
 
 // ctrlFrameLimit bounds control frames (the address book dominates:
@@ -436,8 +437,16 @@ func (c *Coordinator) monitor(gen *coordGen, m *coordMember) {
 		m.lastBeat.Store(time.Now().UnixNano())
 		switch b[0] {
 		case ctrlPing:
-			// Beats carry no payload the coordinator acts on beyond the
-			// liveness clock update above; a malformed one is ignored.
+			// Echo the beat back verbatim: the member recognizes its own
+			// rank in the payload and measures the control-plane round
+			// trip from it. Serialized under c.mu like every coordinator
+			// write; beyond the echo (and the liveness clock update
+			// above) a beat carries nothing the coordinator acts on.
+			c.mu.Lock()
+			if !gen.aborted && !m.left {
+				writeCtrlFrame(m.conn, b)
+			}
+			c.mu.Unlock()
 		case ctrlAbort:
 			c.mu.Lock()
 			c.abortGenLocked(gen, fmt.Sprintf("rank %d aborted: %s", m.rank, b[1:]))
@@ -536,6 +545,16 @@ func (c *Coordinator) failGenLocked(gen *coordGen, crashedRank int, reason strin
 		}
 		c.gen = nil
 	}
+	// Ask every member to persist its flight ring before the failure
+	// frame lands: survivors dump their view of the dead generation
+	// too, not just the rank whose process noticed first. Members that
+	// already died simply never read the frame.
+	dump := append([]byte{ctrlDump}, reason...)
+	for _, m := range gen.members {
+		if !m.left {
+			writeCtrlFrame(m.conn, dump)
+		}
+	}
 	var frame []byte
 	if crashedRank >= 0 {
 		frame = make([]byte, 9, 9+len(reason))
@@ -630,6 +649,15 @@ type clusterMember struct {
 	buf atomic.Pointer[trace.Buf]
 	// coordBeat is the unix-nano time of the coordinator's last frame.
 	coordBeat atomic.Int64
+	// hbSentSeq/hbSentAt record the newest heartbeat this member sent,
+	// so the control reader can turn the coordinator's echo of that
+	// beat into a round-trip observation.
+	hbSentSeq atomic.Int64
+	hbSentAt  atomic.Int64
+	// dumpFn is the postmortem hook core installs via the endpoint's
+	// SetDump: the control reader invokes it when the coordinator
+	// broadcasts a ctrlDump frame. Stored as func(string) (the reason).
+	dumpFn atomic.Value
 	// hbStop ends the heartbeat loop; stopping it while staying
 	// connected is exactly what a stalled process looks like, which
 	// the suspicion tests exploit.
@@ -675,6 +703,12 @@ func (m *clusterMember) abortCause() *CrashError { return m.crashCause.Load() }
 // SetTrace, for the metrics-only counters the liveness goroutines bump.
 func (m *clusterMember) setTraceBuf(b *trace.Buf) { m.buf.Store(b) }
 
+// setDumpFunc receives the postmortem hook from the endpoint's
+// SetDump. The hook must be safe from the control-reader goroutine
+// and tolerate duplicate invocations (the local failure path dumps
+// too; the dedup lives in core).
+func (m *clusterMember) setDumpFunc(fn func(reason string)) { m.dumpFn.Store(fn) }
+
 func (m *clusterMember) stopHeartbeats() {
 	m.hbStopOnce.Do(func() { close(m.hbStop) })
 }
@@ -698,8 +732,10 @@ func (m *clusterMember) heartbeatLoop(interval, suspect time.Duration) {
 		}
 		seq++
 		hb := wire.Heartbeat{Rank: m.rank, Epoch: m.core.opts.Epoch, Seq: seq}
+		m.hbSentSeq.Store(int64(seq))
+		m.hbSentAt.Store(time.Now().UnixNano())
 		m.sendCtrl(append([]byte{ctrlPing}, hb.EncodePayload()...))
-		m.buf.Load().Heartbeat()
+		m.buf.Load().Heartbeat(int(seq), m.core.opts.Epoch)
 		if last := m.coordBeat.Load(); last > 0 {
 			gap := time.Now().UnixNano() - last
 			if gap > 2*int64(interval) {
@@ -755,7 +791,26 @@ func (m *clusterMember) readControl() {
 		m.coordBeat.Store(time.Now().UnixNano())
 		switch b[0] {
 		case ctrlPing:
-			// The liveness clock update above is the whole effect.
+			// Two flavors arrive under this tag: the coordinator's own
+			// periodic beat (Rank == CoordinatorRank; the liveness clock
+			// update above is its whole effect) and the echo of this
+			// member's newest beat, which closes the round trip the
+			// heartbeat loop opened.
+			if hb, err := wire.DecodeHeartbeatPayload(b[1:]); err == nil && hb.Rank == m.rank {
+				if int64(hb.Seq) == m.hbSentSeq.Load() {
+					if at := m.hbSentAt.Load(); at > 0 {
+						m.buf.Load().HeartbeatRTT(int(hb.Seq), time.Now().UnixNano()-at)
+					}
+				}
+			}
+		case ctrlDump:
+			// The coordinator failed the generation and wants every
+			// member's forensics. Synchronous on purpose: the dump
+			// completes before the crash/abort frame behind it is read,
+			// so the ring still shows the moment of death.
+			if fn, ok := m.dumpFn.Load().(func(string)); ok && fn != nil {
+				fn(string(b[1:]))
+			}
 		case ctrlAbort:
 			m.core.abort()
 		case ctrlCrash:

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -366,4 +367,62 @@ func TestClusterPartitionedJoinFailsCleanly(t *testing.T) {
 			ep.Close()
 		}
 	}
+}
+
+// TestClusterHeartbeatRTTEcho: the coordinator echoes each member
+// beat back verbatim, and the member turns the echo of its newest
+// beat into a round-trip observation — the bsp_heartbeat_rtt_seconds
+// histogram and a flight-ring heartbeat event carrying the RTT.
+func TestClusterHeartbeatRTTEcho(t *testing.T) {
+	defer checkGoroutines(t)()
+	coord, err := StartCoordinator(1, CoordinatorOptions{
+		JobID: "rtt", JoinTimeout: 10 * time.Second,
+		HeartbeatInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	ep, err := JoinCluster(ClusterConfig{
+		Coordinator: coord.Addr(), JobID: "rtt", Rank: 0, P: 1,
+		JoinTimeout:       10 * time.Second,
+		HeartbeatInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.New(1)
+	ep.(TraceSetter).SetTrace(rec.Rank(0))
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if rec.Metrics().Snapshot().HeartbeatRTT.Count > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no heartbeat RTT observed within 5s of 20ms beats")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	snap := rec.Metrics().Snapshot()
+	if snap.Heartbeats < 1 || snap.LastHeartbeatSeq < 1 {
+		t.Errorf("beats=%d lastSeq=%d, want both >= 1", snap.Heartbeats, snap.LastHeartbeatSeq)
+	}
+	if snap.HeartbeatRTT.Sum <= 0 {
+		t.Errorf("RTT histogram sum = %g, want > 0 (a loopback round trip takes time)", snap.HeartbeatRTT.Sum)
+	}
+	// The ring carries the observation too: a heartbeat event whose C
+	// payload is the measured RTT in ns.
+	evs, _ := rec.Rank(0).RingSnapshot()
+	rtt := false
+	for _, e := range evs {
+		if e.Kind == trace.KindHeartbeat && e.C > 0 {
+			rtt = true
+		}
+	}
+	if !rtt {
+		t.Error("no ring heartbeat event carries an RTT")
+	}
+	ep.(*tcpEndpoint).m.Leave()
+	ep.Close()
 }

@@ -312,6 +312,15 @@ func (e *tcpEndpoint) SetTrace(b *trace.Buf) {
 // SetProf implements ProfSetter.
 func (e *tcpEndpoint) SetProf(r *prof.Rank) { e.pr = r }
 
+// SetDump implements DumpSetter: the hook rides to the group member,
+// whose control reader is where the coordinator's dump requests land.
+// Plain TCP groups have no membership plane and ignore it.
+func (e *tcpEndpoint) SetDump(fn func(reason string)) {
+	if ds, ok := e.m.(interface{ setDumpFunc(func(string)) }); ok {
+		ds.setDumpFunc(fn)
+	}
+}
+
 // setConn installs the connection to peer. The raw conn is kept for
 // Close/CloseWrite/teardown; the framing readers and writers run over
 // the retry-and-deadline stageConn (optionally over a fault-injecting

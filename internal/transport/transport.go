@@ -109,6 +109,20 @@ type ProfSetter interface {
 	SetProf(*prof.Rank)
 }
 
+// DumpSetter is implemented by endpoints whose membership plane can
+// request a postmortem dump: the cluster coordinator broadcasts a
+// ctrl "dump" frame when it fails a generation, and the member invokes
+// the installed hook so survivors persist their flight rings while the
+// evidence is fresh — not only the rank whose process noticed the
+// failure first. core installs the hook after Open when
+// Config.Postmortem is armed. Unlike SetTrace, the hook is invoked
+// from a control-plane goroutine, not the rank goroutine; it must be
+// concurrency-safe and tolerate duplicate invocations (the local
+// failure path dumps too, deduplicated by the hook's owner).
+type DumpSetter interface {
+	SetDump(func(reason string))
+}
+
 // Transport creates connected endpoint groups.
 type Transport interface {
 	// Name identifies the transport ("shm", "xchg", "tcp", "sim",

@@ -39,6 +39,15 @@
 #                     flight recorder), validated by tracecheck
 #                     -postmortem, and bsppost's report must name the
 #                     injected crash rank and superstep
+#   make top-smoke    end-to-end live-telemetry smoke: a p=4 cluster
+#                     psort runs with -status-addr; while it runs,
+#                     bsptop must see every rank advance past its first
+#                     superstep and the aggregated /metrics must carry
+#                     the rank-labeled families; after it finishes, the
+#                     launcher's live-vs-post-hoc (g, L) agreement line
+#                     must read ok, the final status dump must render a
+#                     row per rank, and tracecheck -status must
+#                     reconcile the dump against the merged trace
 #   make fuzz         brief wire encode/decode + snapshot codec fuzz pass
 #   make bench        transport latency/throughput microbenchmarks
 #   make bench-gate   benchmark-regression gate: run the exchange and
@@ -55,6 +64,8 @@ TRACE_DIR ?= /tmp/bsp-trace-smoke
 PROF_DIR ?= /tmp/bsp-prof-smoke
 CLUSTER_DIR ?= /tmp/bsp-cluster-smoke
 POST_DIR ?= /tmp/bsp-postmortem-smoke
+TOP_DIR ?= /tmp/bsp-top-smoke
+TOP_PORT ?= 8338
 SOAK_DIR ?= /tmp/bsp-soak
 SOAK_DURATION ?= 60s
 SOAK_SMOKE_DURATION ?= 15s
@@ -66,7 +77,7 @@ BENCH_N ?= 3
 BENCH_TOL ?= 2.0
 COMMIT := $(shell git rev-parse --short HEAD 2>/dev/null)
 
-.PHONY: build test vet race verify verify-race verify-alloc conformance trace-smoke cluster-smoke postmortem-smoke soak soak-smoke fuzz bench bench-alloc bench-gate prof-smoke
+.PHONY: build test vet race verify verify-race verify-alloc conformance trace-smoke cluster-smoke postmortem-smoke top-smoke soak soak-smoke fuzz bench bench-alloc bench-gate prof-smoke
 
 build:
 	$(GO) build ./...
@@ -139,6 +150,50 @@ postmortem-smoke:
 	$(POST_DIR)/bsppost $(POST_DIR)/bundle | tee $(POST_DIR)/report.txt
 	grep -q "injected crash: rank 1 at superstep 2" $(POST_DIR)/report.txt
 
+# The psort run at this size lasts only a couple of seconds, so the
+# mid-run probes poll in a tight 0.1s loop from t=0 instead of sleeping
+# first: bsptop -min-step 1 succeeds only once every rank has advanced
+# past its first superstep, and the aggregated /metrics scrape is taken
+# in that same live window. The post-run checks then validate the
+# launcher's live-vs-post-hoc (g, L) agreement line, the final status
+# dump (one bsptop row per rank), the golden metric families, and the
+# status-vs-trace reconciliation.
+top-smoke:
+	rm -rf $(TOP_DIR) && mkdir -p $(TOP_DIR)
+	$(GO) build -o $(TOP_DIR)/bsprun ./cmd/bsprun
+	$(GO) build -o $(TOP_DIR)/bsptop ./cmd/bsptop
+	$(GO) build -o $(TOP_DIR)/tracecheck ./cmd/tracecheck
+	set -e; \
+	$(TOP_DIR)/bsprun -app psort -size 2000000 -p 4 -cluster \
+		-status-addr 127.0.0.1:$(TOP_PORT) -telemetry-interval 25ms \
+		-metrics-addr 127.0.0.1:0 -trace $(TOP_DIR)/trace.json \
+		-status-dump $(TOP_DIR)/status.json -postmortem-dir none \
+		> $(TOP_DIR)/run.log 2>&1 & \
+	run=$$!; ok=0; \
+	for i in $$(seq 1 100); do \
+		if $(TOP_DIR)/bsptop -status http://127.0.0.1:$(TOP_PORT) \
+			-once -min-step 1 > $(TOP_DIR)/top.txt 2>/dev/null; then \
+			curl -s http://127.0.0.1:$(TOP_PORT)/metrics > $(TOP_DIR)/metrics.txt; \
+			ok=1; break; \
+		fi; \
+		sleep 0.1; \
+	done; \
+	wait $$run; \
+	test $$ok -eq 1 || { \
+		echo "top-smoke: never caught a live /status with every rank past superstep 1"; \
+		cat $(TOP_DIR)/run.log; exit 1; }
+	cat $(TOP_DIR)/top.txt
+	grep -q "agreement ok" $(TOP_DIR)/run.log
+	$(TOP_DIR)/bsptop -status $(TOP_DIR)/status.json -once | tee $(TOP_DIR)/top_final.txt
+	test "$$(grep -c '^r[0-3] ' $(TOP_DIR)/top_final.txt)" = 4
+	grep -q 'bsp_rank_supersteps_total{rank="3"}' $(TOP_DIR)/metrics.txt
+	grep -q 'bsp_rank_last_superstep{rank="0"}' $(TOP_DIR)/metrics.txt
+	grep -q 'bsp_rank_pair_bytes_total' $(TOP_DIR)/metrics.txt
+	grep -q 'bsp_sync_wait_seconds_bucket' $(TOP_DIR)/metrics.txt
+	grep -q 'bsp_calib_g_us_per_packet' $(TOP_DIR)/metrics.txt
+	grep -q 'bsp_calib_l_us' $(TOP_DIR)/metrics.txt
+	$(TOP_DIR)/tracecheck -ranks 4 -status $(TOP_DIR)/status.json $(TOP_DIR)/trace.json
+
 soak:
 	rm -rf $(SOAK_DIR) && mkdir -p $(SOAK_DIR)
 	$(GO) build -o $(SOAK_DIR)/bspsoak ./cmd/bspsoak
@@ -159,6 +214,7 @@ fuzz:
 	$(GO) test ./internal/wire/ -fuzz FuzzRoundTrip -fuzztime 10s
 	$(GO) test ./internal/wire/ -fuzz FuzzReaderShortMessage -fuzztime 5s
 	$(GO) test ./internal/wire/ -fuzz FuzzFrameBatch -fuzztime 5s
+	$(GO) test ./internal/wire/ -fuzz FuzzTelemetryFrame -fuzztime 10s
 	$(GO) test ./internal/ckpt/ -fuzz FuzzSnapshotRecord -fuzztime 10s
 	$(GO) test ./internal/psort/ -fuzz FuzzSampleSort -fuzztime 10s
 

@@ -3,6 +3,7 @@ package main
 import (
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"os"
 	"os/exec"
@@ -33,6 +34,7 @@ const (
 	envClusterShards  = "BSPRUN_CLUSTER_SHARD_DIR"
 	envClusterMetrics = "BSPRUN_CLUSTER_METRICS"
 	envClusterPostDir = "BSPRUN_CLUSTER_POSTDIR"
+	envClusterTelem   = "BSPRUN_CLUSTER_TELEMETRY"
 )
 
 // clusterChild is the slot a cluster child process was launched into.
@@ -40,10 +42,11 @@ type clusterChild struct {
 	rank, p, epoch int
 	job, coord     string
 	resume         bool
-	warm           bool   // survivors retry in place; only crashed processes are replaced
-	shardDir       string // where to write this rank's trace shard ("" = no trace)
-	metricsAddr    string // this rank's metrics address ("" = none)
-	postDir        string // where to dump this rank's postmortem on failure ("" = off)
+	warm           bool          // survivors retry in place; only crashed processes are replaced
+	shardDir       string        // where to write this rank's trace shard ("" = no trace)
+	metricsAddr    string        // this rank's metrics address ("" = none)
+	postDir        string        // where to dump this rank's postmortem on failure ("" = off)
+	telemetry      time.Duration // telemetry push interval (0 = off)
 }
 
 // clusterChildFromEnv decodes the child spec, if this process is one.
@@ -79,6 +82,13 @@ func clusterChildFromEnv() (clusterChild, bool, error) {
 	c.shardDir = os.Getenv(envClusterShards)
 	c.metricsAddr = os.Getenv(envClusterMetrics)
 	c.postDir = os.Getenv(envClusterPostDir)
+	if v := os.Getenv(envClusterTelem); v != "" {
+		d, derr := time.ParseDuration(v)
+		if derr != nil {
+			return c, true, fmt.Errorf("cluster child: bad %s=%q: %w", envClusterTelem, v, derr)
+		}
+		c.telemetry = d
+	}
 	return c, true, nil
 }
 
@@ -93,6 +103,11 @@ func (c clusterChild) transport(chaosSpec string, hbInterval, suspectAfter time.
 		Coordinator: c.coord, JobID: c.job,
 		Rank: c.rank, Epoch: c.epoch, P: c.p,
 		HeartbeatInterval: hbInterval, SuspectAfter: suspectAfter,
+	}
+	if c.telemetry > 0 {
+		// c.metricsAddr is the resolved (post-":0") address by the time
+		// the transport is built, so /status shows a usable endpoint.
+		cfg.Telemetry = transport.TelemetryConfig{Interval: c.telemetry, MetricsAddr: c.metricsAddr}
 	}
 	if chaosSpec != "" {
 		plan, err := transport.ParseFaultPlan(chaosSpec)
@@ -138,45 +153,49 @@ type clusterRun struct {
 	postDir      string
 	hbInterval   time.Duration
 	suspectAfter time.Duration
+	statusAddr   string        // coordinator /status + aggregated /metrics HTTP address ("" = off)
+	telemetry    time.Duration // child telemetry push interval (0 = default when statusAddr set)
+	statusDump   string        // write the final /status document here ("" = off)
 }
 
 // launchCluster supervises the gang: one OS process per rank, relaunch
 // from checkpoints on recoverable failures, and a merged trace from
 // whatever shards the children left behind (a partial timeline of a
 // failed gang still shows where it died). Returns the gang wall time,
-// the merged recorder (nil without -trace) and the run error.
-func launchCluster(o clusterRun) (time.Duration, *trace.Recorder, error) {
+// the merged recorder (nil without -trace), the finished job (for the
+// telemetry summary and final status snapshot) and the run error.
+func launchCluster(o clusterRun) (time.Duration, *trace.Recorder, *transport.ClusterJob, error) {
 	shardDir := ""
 	if o.traceFile != "" {
 		shardDir = o.traceFile + ".shards"
 		if err := os.RemoveAll(shardDir); err != nil {
-			return 0, nil, err
+			return 0, nil, nil, err
 		}
 		if err := os.MkdirAll(shardDir, 0o755); err != nil {
-			return 0, nil, err
+			return 0, nil, nil, err
 		}
 	}
 	if o.postDir != "" {
 		// A fresh bundle per invocation: stale dumps from an earlier run
 		// would corrupt the root-cause report.
 		if err := os.RemoveAll(o.postDir); err != nil {
-			return 0, nil, err
+			return 0, nil, nil, err
 		}
 		if err := os.MkdirAll(o.postDir, 0o755); err != nil {
-			return 0, nil, err
+			return 0, nil, nil, err
 		}
 	}
-	metricsHost, metricsBase := "", 0
+	metricsOn, metricsHost, metricsBase := false, "", 0
 	if o.metricsAddr != "" {
 		host, portStr, err := net.SplitHostPort(o.metricsAddr)
 		if err != nil {
-			return 0, nil, fmt.Errorf("-cluster -metrics-addr must be host:port (rank r serves on port+r): %w", err)
+			return 0, nil, nil, fmt.Errorf("-cluster -metrics-addr must be host:port (rank r serves on port+r; port 0 = each rank picks a free port): %w", err)
 		}
 		port, err := strconv.Atoi(portStr)
-		if err != nil || port <= 0 {
-			return 0, nil, fmt.Errorf("-cluster -metrics-addr needs an explicit numeric base port (rank r serves on port+r), got %q", portStr)
+		if err != nil || port < 0 {
+			return 0, nil, nil, fmt.Errorf("-cluster -metrics-addr needs a numeric base port (rank r serves on port+r; 0 = each rank picks a free port), got %q", portStr)
 		}
-		metricsHost, metricsBase = host, port
+		metricsOn, metricsHost, metricsBase = true, host, port
 	}
 	// Without checkpoints or injected faults a relaunch would just
 	// repeat the same failure; with them, a crashed generation resumes
@@ -185,10 +204,19 @@ func launchCluster(o clusterRun) (time.Duration, *trace.Recorder, error) {
 	if o.ckptArmed || o.chaosArmed {
 		restarts = 3
 	}
-	job := transport.ClusterJob{
-		P:           o.p,
-		JobID:       fmt.Sprintf("bsprun-%s-p%d-%d", o.app, o.p, os.Getpid()),
-		MaxRestarts: restarts,
+	// The telemetry plane rides the existing control connections; arming
+	// the status server without an explicit interval picks a default
+	// that keeps each frame under ~100 bytes / 4 pushes per second.
+	telemetry := o.telemetry
+	if o.statusAddr != "" && telemetry == 0 {
+		telemetry = 250 * time.Millisecond
+	}
+	job := &transport.ClusterJob{
+		P:                 o.p,
+		JobID:             fmt.Sprintf("bsprun-%s-p%d-%d", o.app, o.p, os.Getpid()),
+		MaxRestarts:       restarts,
+		StatusAddr:        o.statusAddr,
+		TelemetryInterval: telemetry,
 		// Warm recovery needs a shared checkpoint cut for the survivors
 		// to roll back to; without one, recovery stays gang-relaunch.
 		Warm:              o.ckptArmed,
@@ -218,8 +246,18 @@ func launchCluster(o clusterRun) (time.Duration, *trace.Recorder, error) {
 			if o.postDir != "" {
 				env = append(env, envClusterPostDir+"="+o.postDir)
 			}
-			if metricsBase > 0 {
-				env = append(env, envClusterMetrics+"="+net.JoinHostPort(metricsHost, strconv.Itoa(metricsBase+spec.Rank)))
+			if metricsOn {
+				// Base port 0 stays 0 for every rank: each child binds
+				// ":0", resolves its own free port, and reports the bound
+				// address over the telemetry plane (shown in /status).
+				port := 0
+				if metricsBase > 0 {
+					port = metricsBase + spec.Rank
+				}
+				env = append(env, envClusterMetrics+"="+net.JoinHostPort(metricsHost, strconv.Itoa(port)))
+			}
+			if spec.Telemetry > 0 {
+				env = append(env, envClusterTelem+"="+spec.Telemetry.String())
 			}
 			cmd.Env = env
 			cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
@@ -229,6 +267,19 @@ func launchCluster(o clusterRun) (time.Duration, *trace.Recorder, error) {
 	t0 := time.Now()
 	runErr := job.Run()
 	wall := time.Since(t0)
+	if o.statusDump != "" {
+		// The final /status document, captured at job end — the same
+		// shape bsptop and tracecheck consume from a live coordinator.
+		if b := job.StatusSnapshot(); len(b) > 0 {
+			if werr := os.WriteFile(o.statusDump, b, 0o644); werr != nil {
+				fmt.Fprintln(os.Stderr, "bsprun: write status dump:", werr)
+			} else {
+				fmt.Printf("final status written to %s (render with bsptop -status %s -once)\n", o.statusDump, o.statusDump)
+			}
+		} else {
+			fmt.Fprintln(os.Stderr, "bsprun: -status-dump: no status captured (is -status-addr set?)")
+		}
+	}
 	if o.postDir != "" {
 		// Gather whatever dumps the children left — also after a
 		// successful run, which may have recovered over a failed epoch
@@ -250,7 +301,7 @@ func launchCluster(o clusterRun) (time.Duration, *trace.Recorder, error) {
 			}
 		}
 	}
-	return wall, rec, runErr
+	return wall, rec, job, runErr
 }
 
 // mergeShardDir folds every shard the children wrote into one recorder
@@ -274,6 +325,41 @@ func mergeShardDir(dir string) (*trace.Recorder, error) {
 	return trace.MergeShards(shards)
 }
 
+// printCalibration reports the live (g, L) fit and — when a merged
+// trace is available — cross-checks it post hoc: the same Eq-1
+// actual/predicted ratio recomputed from the full per-superstep
+// timeline under the live-fitted parameters. On a clean run the two
+// views see the same machine, so they must agree within 20%.
+func printCalibration(sum transport.TelemetrySummary, rec *trace.Recorder) {
+	if !sum.Enabled() {
+		return
+	}
+	if !sum.FitOK {
+		fmt.Printf("live calibration: degenerate fit over %d interval(s) (constant h cannot identify g); L ~ %.1f µs\n",
+			sum.Window, sum.Fit.L)
+		return
+	}
+	fmt.Printf("live calibration: g = %.3f µs/pkt, L = %.1f µs over %d interval(s); live Eq-1 ratio %.3f\n",
+		sum.Fit.G, sum.Fit.L, sum.Window, sum.LiveRatio)
+	if rec == nil || sum.LiveRatio == 0 {
+		return
+	}
+	var actual, predicted float64
+	for _, r := range trace.Residuals(rec, sum.Fit) {
+		actual += float64(r.Actual)
+		predicted += float64(r.Predicted)
+	}
+	if predicted <= 0 {
+		return
+	}
+	post := actual / predicted
+	verdict := "agreement ok"
+	if math.Abs(sum.LiveRatio-post) > 0.2*post {
+		verdict = "agreement DIVERGED"
+	}
+	fmt.Printf("  post-hoc Eq-1 ratio under the live fit: %.3f (live %.3f) — %s\n", post, sum.LiveRatio, verdict)
+}
+
 // rejectClusterProfileFlags guards the launcher against per-process
 // capture flags that cannot describe a multi-process gang.
 func rejectClusterProfileFlags(cpuProfile, memProfile, rtraceFile string, profReport bool) error {
@@ -294,6 +380,8 @@ type launcherFlags struct {
 	cpuProfile, memProfile, rtraceFile string
 	profReport                         bool
 	hbInterval, suspectAfter           time.Duration
+	statusAddr, statusDump             string
+	telemetryInterval                  time.Duration
 }
 
 // runClusterLauncher is bsprun's -cluster entry point: it validates
@@ -315,7 +403,7 @@ func runClusterLauncher(f launcherFlags) {
 	if f.costReport && f.traceFile == "" {
 		fail(errors.New("-cluster -cost-report reads the merged trace; add -trace <file>"))
 	}
-	wall, rec, err := launchCluster(clusterRun{
+	wall, rec, job, err := launchCluster(clusterRun{
 		app: f.app, size: f.size, p: f.p,
 		chaosArmed:   f.chaosSpec != "",
 		ckptArmed:    f.ckptDir != "",
@@ -324,6 +412,9 @@ func runClusterLauncher(f launcherFlags) {
 		postDir:      f.postDir,
 		hbInterval:   f.hbInterval,
 		suspectAfter: f.suspectAfter,
+		statusAddr:   f.statusAddr,
+		telemetry:    f.telemetryInterval,
+		statusDump:   f.statusDump,
 	})
 	if rec != nil && f.traceFile != "" {
 		if werr := rec.WriteChromeFile(f.traceFile); werr != nil {
@@ -337,6 +428,9 @@ func runClusterLauncher(f launcherFlags) {
 	}
 	fmt.Printf("%s size=%d p=%d on cluster: wall %v (%d rank process(es) over loopback TCP)\n",
 		f.app, f.size, f.p, wall, f.p)
+	if job != nil {
+		printCalibration(job.Telemetry(), rec)
+	}
 	if f.costReport {
 		machine, err := cost.MachineByName(f.costMachine)
 		if err != nil {

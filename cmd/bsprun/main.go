@@ -65,6 +65,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"path/filepath"
 	"time"
@@ -100,7 +101,10 @@ func main() {
 	resume := flag.Bool("resume", false, "continue from the latest complete snapshot in -checkpoint-dir")
 	postDir := flag.String("postmortem-dir", "", "crash-forensics bundle directory: on a failed run every rank dumps its always-on flight ring, metrics and goroutine stacks here (analyze with bsppost); empty arms a per-PID default under $TMPDIR for -cluster runs and stays off otherwise; \"none\" disables")
 	traceFile := flag.String("trace", "", "write the run's timeline as Chrome trace-event JSON to this file (open in Perfetto)")
-	metricsAddr := flag.String("metrics-addr", "", "serve live metrics over HTTP: Prometheus text at /metrics, expvar JSON at /debug/vars, profiles at /debug/pprof/")
+	metricsAddr := flag.String("metrics-addr", "", "serve live metrics over HTTP: Prometheus text at /metrics, expvar JSON at /debug/vars, profiles at /debug/pprof/; with -cluster, rank r serves on port+r (port 0: each rank picks a free port, reported in /status)")
+	statusAddr := flag.String("status-addr", "", "with -cluster: serve the coordinator's aggregated live view over HTTP — job-level JSON at /status, rank-labeled Prometheus text at /metrics (watch with bsptop)")
+	telemetryInterval := flag.Duration("telemetry-interval", 0, "with -cluster: how often each rank pushes its metrics snapshot to the coordinator (0 = 250ms when -status-addr is set, else off)")
+	statusDump := flag.String("status-dump", "", "with -cluster -status-addr: write the final /status JSON document to this file when the job ends")
 	costReport := flag.Bool("cost-report", false, "print per-superstep predicted-vs-recorded cost-model residuals")
 	costMachine := flag.String("cost-machine", "SGI", "machine profile for -cost-report: SGI|Cenju|PC")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (ranks labeled on the BSP axes)")
@@ -133,11 +137,20 @@ func main() {
 			cpuProfile: *cpuProfile, memProfile: *memProfile,
 			rtraceFile: *rtraceFile, profReport: *profReport,
 			hbInterval: *hbInterval, suspectAfter: *suspectAfter,
-			postDir: dir,
+			postDir:    dir,
+			statusAddr: *statusAddr, statusDump: *statusDump,
+			telemetryInterval: *telemetryInterval,
 		})
 		return
 	}
+	// Children re-parse the launcher's argv, so the launcher-only status
+	// flags are legal for them (and ignored: the coordinator side lives
+	// in the launcher process).
+	if !isChild && (*statusAddr != "" || *statusDump != "" || *telemetryInterval != 0) {
+		fail(errors.New("-status-addr/-telemetry-interval/-status-dump aggregate a gang's telemetry; they need -cluster"))
+	}
 	var tr transport.Transport
+	var metricsLn net.Listener
 	if isChild {
 		// A cluster child hosts exactly one rank: its transport is the
 		// gang membership handed down by the launcher, chaos included
@@ -146,6 +159,16 @@ func main() {
 		// report flags are neutralized.
 		if child.p != *p {
 			fail(fmt.Errorf("cluster child: launched for p=%d but -p is %d", child.p, *p))
+		}
+		if child.metricsAddr != "" {
+			// Pre-bind before joining: a ":0" address resolves to a real
+			// port here, and the resolved address rides the telemetry
+			// plane to the coordinator's /status. Binding first also
+			// turns a port collision into a clean join-time failure.
+			if metricsLn, err = net.Listen("tcp", child.metricsAddr); err != nil {
+				fail(fmt.Errorf("cluster child rank %d: bind metrics address: %w", child.rank, err))
+			}
+			child.metricsAddr = metricsLn.Addr().String()
 		}
 		if tr, err = child.transport(*chaosSpec, *hbInterval, *suspectAfter); err != nil {
 			fail(err)
@@ -290,7 +313,12 @@ func main() {
 		}
 	}
 	var metrics *metricsServer
-	if *metricsAddr != "" {
+	if metricsLn != nil {
+		if metrics, err = startMetricsServerOn(metricsLn, rec); err != nil {
+			fail(err)
+		}
+		fmt.Printf("live metrics on http://%s/metrics (Prometheus text), /debug/vars (expvar JSON), /debug/pprof/ (profiles)\n", metrics.Addr())
+	} else if *metricsAddr != "" {
 		if metrics, err = startMetricsServer(*metricsAddr, rec); err != nil {
 			fail(err)
 		}

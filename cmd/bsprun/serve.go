@@ -41,6 +41,14 @@ func startMetricsServer(addr string, rec *trace.Recorder) (*metricsServer, error
 	if err != nil {
 		return nil, err
 	}
+	return startMetricsServerOn(ln, rec)
+}
+
+// startMetricsServerOn serves rec's metrics on an already-bound
+// listener. Cluster children pre-bind (":0" picks a free port) so the
+// resolved address can be reported to the coordinator before the
+// recorder exists.
+func startMetricsServerOn(ln net.Listener, rec *trace.Recorder) (*metricsServer, error) {
 	expvarRec.Store(rec)
 	expvarOnce.Do(func() {
 		expvar.Publish("bsp", expvar.Func(func() any { return expvarRec.Load().Metrics().Snapshot() }))

@@ -61,6 +61,7 @@ const (
 	envPost   = "BSPSOAK_POST_DIR"
 	envSize   = "BSPSOAK_SIZE"
 	envSeed   = "BSPSOAK_SEED"
+	envTelem  = "BSPSOAK_TELEMETRY"
 )
 
 func main() {
@@ -287,6 +288,9 @@ func (s *soak) gangCommand(outDir, ckptDir, shardDir, postDir, chaos string) fun
 			envSize+"="+strconv.Itoa(s.size),
 			envSeed+"="+strconv.FormatInt(s.seed, 10),
 		)
+		if spec.Telemetry > 0 {
+			cmd.Env = append(cmd.Env, envTelem+"="+spec.Telemetry.String())
+		}
 		cmd.Stderr = os.Stderr
 		return cmd
 	}
@@ -377,10 +381,17 @@ func (s *soak) clusterWarmCrash(rng *rand.Rand) (string, error) {
 		Warm:              true,
 		HeartbeatInterval: 100 * time.Millisecond,
 		SuspectAfter:      2 * time.Second,
+		// Aggressive telemetry across the crash: the soak asserts below
+		// that the per-rank streams stay delta-consistent (zero sequence
+		// gaps) through conviction, warm rollback and relaunch.
+		TelemetryInterval: 25 * time.Millisecond,
 		Command:           s.gangCommand(outDir, ckptDir, shardDir, postDir, plan.String()),
 	}
 	if err := job.Run(); err != nil {
 		return "", fmt.Errorf("warm gang did not recover [plan %s]: %w", plan, err)
+	}
+	if err := s.checkTelemetry(job, plan); err != nil {
+		return "", err
 	}
 	if n := job.GangRelaunches(); n != 0 {
 		return "", fmt.Errorf("gang relaunches = %d, want 0 — warm recovery must be surgical [plan %s]", n, plan)
@@ -419,6 +430,41 @@ func (s *soak) clusterWarmCrash(rng *rand.Rand) (string, error) {
 	s.rankRelaunches++
 	os.RemoveAll(roundDir)
 	return fmt.Sprintf("crash %d:%d, 1 surgical relaunch, %d-dump postmortem", plan.CrashRank, plan.CrashStep, s.p), nil
+}
+
+// checkTelemetry asserts one warm round's telemetry plane stayed
+// coherent across the crash: every rank's delta stream reassembled
+// without a single sequence gap (a gap means the coordinator rebuilt
+// counters from a torn base), every rank reported at least one frame
+// (the leave-time flush guarantees this even for short generations),
+// and the final per-rank last-superstep view is uniform — recovery
+// left no rank's public progress behind.
+func (s *soak) checkTelemetry(job *transport.ClusterJob, plan transport.FaultPlan) error {
+	sum := job.Telemetry()
+	if !sum.Enabled() {
+		return fmt.Errorf("telemetry armed but no rank ever reported [plan %s]", plan)
+	}
+	if len(sum.Ranks) != s.p {
+		return fmt.Errorf("telemetry summary covers %d ranks, want %d [plan %s]", len(sum.Ranks), s.p, plan)
+	}
+	last := int64(-2)
+	for r, rs := range sum.Ranks {
+		if rs.SeqGaps != 0 {
+			return fmt.Errorf("rank %d telemetry stream has %d sequence gap(s) — delta stream torn across recovery [plan %s]", r, rs.SeqGaps, plan)
+		}
+		if rs.Reports < 1 || rs.Baselines < 1 {
+			return fmt.Errorf("rank %d reported %d frame(s), %d baseline(s); want at least one of each [plan %s]", r, rs.Reports, rs.Baselines, plan)
+		}
+		if last == -2 {
+			last = rs.LastStep
+		} else if rs.LastStep != last {
+			return fmt.Errorf("final last-superstep diverges: rank %d at %d, rank 0 at %d [plan %s]", r, rs.LastStep, last, plan)
+		}
+	}
+	if last < 0 {
+		return fmt.Errorf("telemetry never saw a completed superstep [plan %s]", plan)
+	}
+	return nil
 }
 
 // checkPostmortem asserts the crash forensics of one warm round: the
@@ -607,6 +653,14 @@ func runRank() int {
 	if warm {
 		mcfg.HeartbeatInterval = 100 * time.Millisecond
 		mcfg.SuspectAfter = 2 * time.Second
+	}
+	if v := os.Getenv(envTelem); v != "" {
+		d, derr := time.ParseDuration(v)
+		if derr != nil {
+			fmt.Fprintf(os.Stderr, "bspsoak rank: bad %s=%q: %v\n", envTelem, v, derr)
+			return 1
+		}
+		mcfg.Telemetry = transport.TelemetryConfig{Interval: d}
 	}
 	if spec := os.Getenv(envChaos); spec != "" && epoch == 0 {
 		// Faults fire in the first generation only; relaunched

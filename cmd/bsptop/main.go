@@ -1,0 +1,184 @@
+// Command bsptop is a terminal viewer for a live BSP cluster run. It
+// polls the coordinator's /status endpoint (bsprun -status-addr) and
+// renders one row per rank — state, last superstep, a progress bar
+// against the front-runner, packet and wait counters — plus the online
+// (g, L) calibration line, refreshing in place like top(1).
+//
+// The -status argument accepts either a URL (http://host:port, the
+// /status path is appended if missing) or a path to a status JSON file
+// on disk (bsprun -status-dump), so a finished run can be inspected
+// the same way as a live one.
+//
+// Usage:
+//
+//	bsptop -status http://127.0.0.1:8338            # live, refreshing
+//	bsptop -status http://127.0.0.1:8338 -once      # single frame
+//	bsptop -status /tmp/run/status.json -once       # post-hoc file
+//	bsptop -status ... -once -min-step 1            # CI gate: exit 1
+//	                                                # if any rank has
+//	                                                # not passed step 1
+//
+// With -json the raw status document is printed instead of the table.
+// Exit status: 0 on success, 1 if -min-step is not met or the status
+// source cannot be read.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/transport"
+)
+
+func main() {
+	status := flag.String("status", "", "status source: coordinator URL (http://host:port) or status JSON file")
+	interval := flag.Duration("interval", time.Second, "refresh interval in live mode")
+	once := flag.Bool("once", false, "render a single frame and exit")
+	rawJSON := flag.Bool("json", false, "print the raw status JSON instead of the table")
+	minStep := flag.Int64("min-step", -1, "exit 1 unless every rank's last superstep is >= this")
+	flag.Parse()
+	if *status == "" {
+		fmt.Fprintln(os.Stderr, "bsptop: -status is required (URL or file)")
+		os.Exit(2)
+	}
+
+	live := strings.HasPrefix(*status, "http://") || strings.HasPrefix(*status, "https://")
+	for {
+		doc, raw, err := fetch(*status, live)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bsptop: %v\n", err)
+			os.Exit(1)
+		}
+		if *rawJSON {
+			os.Stdout.Write(raw)
+			if len(raw) > 0 && raw[len(raw)-1] != '\n' {
+				fmt.Println()
+			}
+		} else {
+			if !*once && live {
+				fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+			}
+			render(os.Stdout, doc, *status)
+		}
+		if *once || !live {
+			if *minStep >= 0 {
+				if bad := belowStep(doc, *minStep); len(bad) > 0 {
+					fmt.Fprintf(os.Stderr, "bsptop: ranks %v below step %d\n", bad, *minStep)
+					os.Exit(1)
+				}
+			}
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// fetch loads the status document from a URL or a file.
+func fetch(src string, live bool) (transport.StatusDoc, []byte, error) {
+	var doc transport.StatusDoc
+	var raw []byte
+	if live {
+		url := src
+		if !strings.HasSuffix(url, "/status") {
+			url = strings.TrimRight(url, "/") + "/status"
+		}
+		resp, err := http.Get(url)
+		if err != nil {
+			return doc, nil, err
+		}
+		defer resp.Body.Close()
+		raw, err = io.ReadAll(resp.Body)
+		if err != nil {
+			return doc, nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return doc, nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+		}
+	} else {
+		var err error
+		raw, err = os.ReadFile(src)
+		if err != nil {
+			return doc, nil, err
+		}
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return doc, nil, fmt.Errorf("decode %s: %w", src, err)
+	}
+	return doc, raw, nil
+}
+
+// belowStep returns the ranks whose last superstep is under min.
+// Ranks that left cleanly are exempt — a finished rank parked at its
+// final step is not a laggard.
+func belowStep(doc transport.StatusDoc, min int64) []int {
+	var bad []int
+	for _, r := range doc.Ranks {
+		if r.LastStep < min && r.State != "left" {
+			bad = append(bad, r.Rank)
+		}
+	}
+	sort.Ints(bad)
+	return bad
+}
+
+// render draws one frame: a job header, the calibration line, and one
+// row per rank. Rank rows start with "r<rank> " at column 0 so they
+// are grep-able from CI transcripts.
+func render(w io.Writer, doc transport.StatusDoc, src string) {
+	fmt.Fprintf(w, "bsptop — job %q  p=%d  epoch=%d  (%s)\n", doc.Job, doc.P, doc.Epoch, src)
+	c := doc.Calib
+	if c.Fit {
+		fmt.Fprintf(w, "calib: g=%.3f µs/pkt  L=%.1f µs  window=%d  eq1 live ratio=%.3f\n",
+			c.GUsPerPkt, c.LUs, c.Window, c.LiveRatio)
+	} else if c.Window > 0 {
+		fmt.Fprintf(w, "calib: (degenerate fit, window=%d)  L~%.1f µs  eq1 live ratio=%.3f\n",
+			c.Window, c.LUs, c.LiveRatio)
+	} else {
+		fmt.Fprintln(w, "calib: (no observations yet)")
+	}
+	var maxStep int64 = -1
+	for _, r := range doc.Ranks {
+		if r.LastStep > maxStep {
+			maxStep = r.LastStep
+		}
+	}
+	fmt.Fprintf(w, "%-4s %-8s %9s %-22s %10s %10s %12s %9s %8s %s\n",
+		"rank", "state", "step", "progress", "sent pkts", "recv pkts", "bytes", "wait", "rtt", "metrics")
+	for _, r := range doc.Ranks {
+		bar := progressBar(r.LastStep, maxStep, 20)
+		wait := time.Duration(r.WaitNs).Round(time.Millisecond)
+		rtt := "-"
+		if r.RTTAvgNs > 0 {
+			rtt = time.Duration(r.RTTAvgNs).Round(10 * time.Microsecond).String()
+		}
+		extra := r.MetricsAddr
+		if r.ConvictReason != "" {
+			extra = strings.TrimSpace(extra + " [" + r.ConvictReason + "]")
+		}
+		fmt.Fprintf(w, "r%-3d %-8s %9d %-22s %10d %10d %12d %9s %8s %s\n",
+			r.Rank, r.State, r.LastStep, bar, r.SentPkts, r.RecvPkts, r.PairBytes, wait, rtt, extra)
+	}
+}
+
+// progressBar renders rank progress against the front-runner.
+func progressBar(step, max int64, width int) string {
+	if max < 0 {
+		return "[" + strings.Repeat(" ", width) + "]"
+	}
+	// steps are 0-based; +1 so the front-runner shows a full bar.
+	fill := int((step + 1) * int64(width) / (max + 1))
+	if fill < 0 {
+		fill = 0
+	}
+	if fill > width {
+		fill = width
+	}
+	return "[" + strings.Repeat("#", fill) + strings.Repeat(" ", width-fill) + "]"
+}

@@ -47,6 +47,7 @@ import (
 	"strings"
 
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
 
 type traceEvent struct {
@@ -81,9 +82,10 @@ func main() {
 	requireRollback := flag.Bool("require-rollback", false, "fail unless a rollback marker is present")
 	checkPairs := flag.Bool("check-pairs", false, "audit per-(src,dst) batch packet totals against each sync span's sent/recv counters (clean runs on batching transports)")
 	postmortem := flag.Bool("postmortem", false, "the argument is a postmortem bundle directory (bsprun -postmortem-dir); validate the dump and manifest invariants instead of a Chrome trace")
+	statusFile := flag.String("status", "", "final /status JSON document (bsprun -status-dump): cross-validate the telemetry plane's per-rank last-superstep view against the trace timeline")
 	flag.Parse()
 	if *ranks <= 0 || flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck -ranks N [-require-crash] [-require-rollback] [-check-pairs] <trace.json>")
+		fmt.Fprintln(os.Stderr, "usage: tracecheck -ranks N [-require-crash] [-require-rollback] [-check-pairs] [-status status.json] <trace.json>")
 		fmt.Fprintln(os.Stderr, "       tracecheck -postmortem -ranks N <bundle-dir>")
 		os.Exit(2)
 	}
@@ -184,6 +186,19 @@ func main() {
 	if *requireRollback && rollbacks == 0 {
 		problem("no rollback marker (required)")
 	}
+	if *statusFile != "" {
+		// The telemetry plane and the trace recorder observe the same
+		// SyncSpan instrumentation through independent paths (delta
+		// frames over the control plane vs merged shard files); their
+		// per-rank last-superstep views must agree exactly.
+		maxSync := map[int]int{}
+		for k := range syncs {
+			if cur, ok := maxSync[k.rank]; !ok || k.step > cur {
+				maxSync[k.rank] = k.step
+			}
+		}
+		checkStatus(*statusFile, *ranks, rollbacks, maxSync, problem)
+	}
 	pairsChecked := 0
 	if *checkPairs {
 		if rollbacks > 0 {
@@ -229,6 +244,52 @@ func main() {
 		fmt.Printf(", %d (rank,superstep) packet reconciliations", pairsChecked)
 	}
 	fmt.Println()
+}
+
+// checkStatus cross-validates a bsprun -status-dump document against
+// the trace timeline: the job shape must match, every rank must have
+// reported, and — on rollback-free runs — each rank's last_step must
+// equal the largest sync-span superstep its trace track carries. With
+// rollbacks the merged trace holds spans from dead generations whose
+// shard set may be incomplete, so the per-step comparison is skipped
+// with a notice (both views are monotone, but over different event
+// subsets).
+func checkStatus(path string, ranks, rollbacks int, maxSync map[int]int, problem func(string, ...any)) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		problem("status: %v", err)
+		return
+	}
+	var doc transport.StatusDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		problem("status: %s is not a /status document: %v", path, err)
+		return
+	}
+	if doc.P != ranks {
+		problem("status: document describes p=%d, trace audited for %d ranks", doc.P, ranks)
+	}
+	if len(doc.Ranks) != doc.P {
+		problem("status: %d rank rows for p=%d", len(doc.Ranks), doc.P)
+		return
+	}
+	for _, row := range doc.Ranks {
+		if row.Seq == 0 {
+			problem("status: rank %d never pushed a telemetry frame", row.Rank)
+		}
+	}
+	if rollbacks > 0 {
+		fmt.Printf("tracecheck: %s has %d rollback(s); status last-step cross-check skipped (trace spans span generations)\n", path, rollbacks)
+		return
+	}
+	for _, row := range doc.Ranks {
+		want := int64(-1)
+		if s, ok := maxSync[row.Rank]; ok {
+			want = int64(s)
+		}
+		if row.LastStep != want {
+			problem("status: rank %d last_step=%d, trace timeline shows %d", row.Rank, row.LastStep, want)
+		}
+	}
 }
 
 func fatal(format string, args ...any) {

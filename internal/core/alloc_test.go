@@ -16,9 +16,11 @@ package core
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/trace"
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 const (
@@ -152,5 +154,59 @@ func TestExchangeAllocGate(t *testing.T) {
 	if flight > allocTraceOffMax {
 		t.Errorf("alloc gate: %.1f allocs/superstep with the flight recorder armed, want <= %d — the ring and histogram path must not allocate",
 			flight, allocTraceOffMax)
+	}
+	// The telemetry push path must be equally invisible: while the
+	// machine runs, a pusher goroutine snapshots every rank's counters
+	// and delta-encodes a wire frame every millisecond using only the
+	// alloc-free accessors (Metrics.Rank, RankSentBytes, Hist.Total,
+	// Hist.CopyCounts, TelemetryEncoder.AppendEncode into reused
+	// buffers). AllocsPerRun counts the whole process, so any allocation
+	// in the pusher shows up here too — the gate holds the same
+	// tracing-off bound with live telemetry armed.
+	rec := trace.NewFlight(allocP)
+	stop := make(chan struct{})
+	var pushWG sync.WaitGroup
+	pushWG.Add(1)
+	go func() {
+		defer pushWG.Done()
+		met := rec.Metrics()
+		nb := len(trace.DurationBounds()) + 1
+		var snap wire.Telemetry
+		snap.StepDur = make([]int64, nb)
+		snap.SyncWait = make([]int64, nb)
+		var enc wire.TelemetryEncoder
+		frame := make([]byte, 0, 512)
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				for r := 0; r < allocP; r++ {
+					rs := met.Rank(r)
+					snap.Rank = r
+					snap.LastStep = rs.LastStep
+					snap.Steps = rs.Steps
+					snap.WorkNs = rs.WorkNs
+					snap.WaitNs = rs.WaitNs
+					snap.SentPkts = rs.SentPkts
+					snap.RecvPkts = rs.RecvPkts
+					snap.PairBytes = met.RankSentBytes(r)
+					snap.HBRTTCount, snap.HBRTTNs = met.HeartbeatRTT.Total()
+					met.StepDur.CopyCounts(snap.StepDur)
+					met.SyncWait.CopyCounts(snap.SyncWait)
+					frame = enc.AppendEncode(frame[:0], &snap)
+				}
+			}
+		}
+	}()
+	telem := measureExchangeAllocs(t, Config{P: allocP, Transport: transport.ShmTransport{}, Trace: rec})
+	close(stop)
+	pushWG.Wait()
+	t.Logf("allocs per all-to-all superstep with a 1ms telemetry pusher armed: %.1f", telem)
+	if telem > allocTraceOffMax {
+		t.Errorf("alloc gate: %.1f allocs/superstep with live telemetry armed, want <= %d — the push path (snapshot + delta encode) must not allocate",
+			telem, allocTraceOffMax)
 	}
 }

@@ -532,7 +532,11 @@ func runMachine(cfg Config, fn func(*Proc), hooks Hooks, rs *runState) (*Stats, 
 		}
 		return nil, finalErr
 	}
-	return mergeStats(cfg.P, procs)
+	st, err := mergeStats(cfg.P, procs)
+	if err == nil && cfg.Trace != nil {
+		st.Live = liveStatsFrom(cfg.Trace.Metrics(), cfg.P)
+	}
+	return st, err
 }
 
 func isAbort(err error) bool { return errors.Is(err, transport.ErrAborted) }

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Step summarizes one superstep across all processes.
@@ -37,6 +39,44 @@ type Stats struct {
 	// Ckpt summarizes checkpoint capture and recovery; nil unless the
 	// run came from RunRecoverable with checkpointing armed.
 	Ckpt *CkptStats
+	// Live is the liveness view of the finished run — last completed
+	// superstep and control-plane heartbeat round-trip quantiles; nil
+	// unless the run recorded traces (cfg.Trace).
+	Live *LiveStats
+}
+
+// LiveStats summarizes the run's liveness telemetry.
+type LiveStats struct {
+	// LastStep is the highest superstep any locally-hosted rank
+	// completed a barrier for (-1 = none). Monotone across rollbacks:
+	// re-executed supersteps never move it backwards.
+	LastStep int64
+	// RTTCount is the number of heartbeat round trips measured; the
+	// quantiles below are meaningful only when it is nonzero (only
+	// cluster members heartbeat).
+	RTTCount int64
+	// RTTp50 and RTTp99 are heartbeat round-trip quantiles, estimated
+	// from the recorder's histogram by linear interpolation.
+	RTTp50, RTTp99 time.Duration
+}
+
+// liveStatsFrom reads the liveness summary off the run's metrics.
+func liveStatsFrom(m *trace.Metrics, p int) *LiveStats {
+	if m == nil {
+		return nil
+	}
+	lv := &LiveStats{LastStep: -1}
+	for i := 0; i < p; i++ {
+		if ls := m.Rank(i).LastStep; ls > lv.LastStep {
+			lv.LastStep = ls
+		}
+	}
+	lv.RTTCount, _ = m.HeartbeatRTT.Total()
+	if lv.RTTCount > 0 {
+		lv.RTTp50 = time.Duration(m.HeartbeatRTT.Quantile(0.50))
+		lv.RTTp99 = time.Duration(m.HeartbeatRTT.Quantile(0.99))
+	}
+	return lv
 }
 
 // S returns the number of supersteps (global synchronizations).
@@ -108,6 +148,14 @@ func (s *Stats) String() string {
 	if ck := s.Ckpt; ck != nil {
 		out += fmt.Sprintf(" ckpt[snaps=%d cuts=%d bytes=%d attempts=%d resume=%d]",
 			ck.Snapshots, ck.Cuts, ck.Bytes, ck.Attempts, ck.ResumeStep)
+	}
+	if lv := s.Live; lv != nil {
+		out += fmt.Sprintf(" live[laststep=%d", lv.LastStep)
+		if lv.RTTCount > 0 {
+			out += fmt.Sprintf(" hb_rtt_p50=%v p99=%v",
+				lv.RTTp50.Round(10*time.Microsecond), lv.RTTp99.Round(10*time.Microsecond))
+		}
+		out += "]"
 	}
 	return out
 }

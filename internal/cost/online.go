@@ -1,0 +1,113 @@
+package cost
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// OnlineEstimator fits effective (g, L) from a running job's observed
+// (h, sync wait) pairs — the live counterpart of the post-hoc probe
+// that Params profiles capture offline. Equation 1 predicts the
+// non-compute share of a superstep as g·h + L, so each telemetry
+// interval contributes one observation (h per superstep, wait per
+// superstep in µs) and an ordinary least-squares line through the
+// window is exactly an (g, L) estimate: slope = g in µs per packet,
+// intercept = L in µs.
+//
+// The window is a fixed-size ring: old intervals age out, so the fit
+// tracks the network the job is on now (a transient straggler or a
+// cold cache shifts the estimate only while it is in the window). All
+// methods are safe for concurrent use.
+type OnlineEstimator struct {
+	mu   sync.Mutex
+	obs  []gObs
+	next int
+	full bool
+}
+
+type gObs struct {
+	h      float64 // packets in the superstep (max of fan-in/fan-out)
+	waitUs float64 // barrier + exchange wait for that superstep, µs
+}
+
+// onlineWindow holds roughly a minute of 250ms telemetry intervals
+// from a p=16 gang — enough samples to damp noise, small enough to
+// track drift.
+const onlineWindow = 256
+
+// NewOnlineEstimator returns an estimator with the default window.
+func NewOnlineEstimator() *OnlineEstimator {
+	return &OnlineEstimator{obs: make([]gObs, 0, onlineWindow)}
+}
+
+// Observe adds one interval observation: h packet units moved per
+// superstep and the sync wait per superstep. Non-finite or negative
+// inputs are dropped.
+func (e *OnlineEstimator) Observe(h float64, wait time.Duration) {
+	if e == nil || h < 0 || wait < 0 || math.IsNaN(h) || math.IsInf(h, 0) {
+		return
+	}
+	o := gObs{h: h, waitUs: float64(wait.Nanoseconds()) / 1e3}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.obs) < cap(e.obs) {
+		e.obs = append(e.obs, o)
+		return
+	}
+	e.obs[e.next] = o
+	e.next = (e.next + 1) % len(e.obs)
+	e.full = true
+}
+
+// N reports the number of observations currently in the window.
+func (e *OnlineEstimator) N() int {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.obs)
+}
+
+// Fit returns the least-squares (g, L) over the current window. ok is
+// false while the window is too small or degenerate (fewer than 2
+// distinct h values — an intercept-only fit cannot separate g from L;
+// in that case the returned Params carry L = mean wait and g = 0,
+// which is still the best Eq-1 predictor available). Estimates are
+// clamped at zero: a negative slope or intercept is measurement noise,
+// not a machine that pays you to communicate.
+func (e *OnlineEstimator) Fit() (pm Params, ok bool) {
+	if e == nil {
+		return Params{}, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := float64(len(e.obs))
+	if n == 0 {
+		return Params{}, false
+	}
+	var sh, sw, shh, shw float64
+	for _, o := range e.obs {
+		sh += o.h
+		sw += o.waitUs
+		shh += o.h * o.h
+		shw += o.h * o.waitUs
+	}
+	det := n*shh - sh*sh
+	meanWait := sw / n
+	// det ~ n²·Var(h): no spread in h means slope is unidentifiable.
+	if len(e.obs) < 4 || det <= 1e-9*n*shh || det <= 0 {
+		return Params{G: 0, L: math.Max(meanWait, 0)}, false
+	}
+	g := (n*shw - sh*sw) / det
+	l := (sw - g*sh) / n
+	if g < 0 {
+		g = 0
+		l = meanWait
+	}
+	if l < 0 {
+		l = 0
+	}
+	return Params{G: g, L: l}, true
+}

@@ -1,0 +1,87 @@
+package cost
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestOnlineEstimatorRecovers: feeding synthetic supersteps generated
+// from a known (g, L) must recover both parameters closely, even with
+// multiplicative noise on the waits.
+func TestOnlineEstimatorRecovers(t *testing.T) {
+	const g, l = 2.5, 800.0 // µs/pkt, µs
+	rng := rand.New(rand.NewSource(7))
+	e := NewOnlineEstimator()
+	for i := 0; i < 200; i++ {
+		h := float64(100 + rng.Intn(4000))
+		waitUs := (g*h + l) * (1 + 0.05*rng.NormFloat64())
+		e.Observe(h, time.Duration(waitUs*1e3)*time.Nanosecond)
+	}
+	pm, ok := e.Fit()
+	if !ok {
+		t.Fatalf("Fit not ok after %d observations", e.N())
+	}
+	if math.Abs(pm.G-g)/g > 0.15 {
+		t.Errorf("fitted g = %.3f, want ~%.1f", pm.G, g)
+	}
+	if math.Abs(pm.L-l)/l > 0.25 {
+		t.Errorf("fitted L = %.1f, want ~%.0f", pm.L, l)
+	}
+}
+
+// TestOnlineEstimatorDegenerate: constant h cannot identify a slope;
+// the fit must report !ok but still hand back L = mean wait as the
+// best available predictor, and never go negative.
+func TestOnlineEstimatorDegenerate(t *testing.T) {
+	e := NewOnlineEstimator()
+	for i := 0; i < 50; i++ {
+		e.Observe(1000, 3*time.Millisecond)
+	}
+	pm, ok := e.Fit()
+	if ok {
+		t.Error("Fit ok with zero spread in h")
+	}
+	if pm.G != 0 || math.Abs(pm.L-3000) > 1 {
+		t.Errorf("degenerate fit = %+v, want G=0 L=~3000µs", pm)
+	}
+
+	// Decreasing wait with increasing h would fit a negative g; the
+	// clamp must kick in.
+	e2 := NewOnlineEstimator()
+	for i := 0; i < 50; i++ {
+		e2.Observe(float64(100+i*100), time.Duration(50-i)*time.Millisecond)
+	}
+	if pm2, _ := e2.Fit(); pm2.G < 0 || pm2.L < 0 {
+		t.Errorf("clamp failed: %+v", pm2)
+	}
+
+	var nilE *OnlineEstimator
+	nilE.Observe(1, time.Second)
+	if _, ok := nilE.Fit(); ok || nilE.N() != 0 {
+		t.Error("nil estimator must be inert")
+	}
+}
+
+// TestOnlineEstimatorWindow: the ring must age old observations out,
+// so a regime change (g doubles) moves the fit once the window rolls.
+func TestOnlineEstimatorWindow(t *testing.T) {
+	e := NewOnlineEstimator()
+	rng := rand.New(rand.NewSource(11))
+	feed := func(g float64, n int) {
+		for i := 0; i < n; i++ {
+			h := float64(100 + rng.Intn(2000))
+			e.Observe(h, time.Duration((g*h+500)*1e3)*time.Nanosecond)
+		}
+	}
+	feed(1.0, onlineWindow)
+	feed(4.0, onlineWindow) // fully displaces the old regime
+	pm, ok := e.Fit()
+	if !ok || math.Abs(pm.G-4.0) > 0.4 {
+		t.Errorf("fit after regime change = %+v ok=%v, want g~4.0", pm, ok)
+	}
+	if e.N() != onlineWindow {
+		t.Errorf("window size %d, want %d", e.N(), onlineWindow)
+	}
+}

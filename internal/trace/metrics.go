@@ -20,6 +20,7 @@ type Metrics struct {
 	waitNs   []atomic.Int64 // barrier+exchange time, per rank
 	sentPkts []atomic.Int64 // packets sent, per rank
 	recvPkts []atomic.Int64 // packets received, per rank
+	lastStep []atomic.Int64 // newest completed global superstep + 1, per rank (0 = none)
 
 	pairBytes  []atomic.Int64 // bytes shipped, [src*p+dst]
 	pairFrames []atomic.Int64 // frames shipped, [src*p+dst]
@@ -82,6 +83,12 @@ func logBounds(lo int64, base, n int) []int64 {
 // a microbenchmark superstep and a stalled barrier in the same ladder.
 func durationBounds() []int64 { return logBounds(1_000, 4, 13) }
 
+// DurationBounds returns a copy of the fixed duration-histogram bucket
+// bounds in nanoseconds, so aggregators that receive raw bucket counts
+// (the cluster telemetry plane) can render them without guessing the
+// ladder.
+func DurationBounds() []int64 { return durationBounds() }
+
 // byteBounds spans 64B to ~16MiB in powers of four, bracketing the
 // per-pair batch sizes the transports actually ship.
 func byteBounds() []int64 { return logBounds(64, 4, 10) }
@@ -99,6 +106,75 @@ func (h *Hist) Observe(v int64) {
 		i++
 	}
 	h.counts[i].Add(1)
+}
+
+// Total returns the raw sample count and the sum in the histogram's
+// native unit (ns or bytes), without the exported-unit scaling that
+// Snapshot applies. Nil-safe and allocation-free.
+func (h *Hist) Total() (count, sum int64) {
+	if h == nil {
+		return 0, 0
+	}
+	return h.count.Load(), h.sum.Load()
+}
+
+// NumBuckets returns the number of counters including the overflow
+// bucket. Nil-safe.
+func (h *Hist) NumBuckets() int {
+	if h == nil {
+		return 0
+	}
+	return len(h.counts)
+}
+
+// CopyCounts fills dst with the raw bucket counts (one per bound plus
+// the overflow bucket) and returns the number written. dst shorter
+// than NumBuckets is truncated. Nil-safe and allocation-free — this is
+// the telemetry push loop's reader.
+func (h *Hist) CopyCounts(dst []int64) int {
+	if h == nil {
+		return 0
+	}
+	n := len(h.counts)
+	if len(dst) < n {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = h.counts[i].Load()
+	}
+	return n
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) in the native unit by
+// linear interpolation within the containing bucket. Samples in the
+// overflow bucket report the last bound. Returns 0 on an empty
+// histogram. Nil-safe.
+func (h *Hist) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	cum := float64(0)
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if cum+c >= target && c > 0 {
+			if i >= len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := int64(0)
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			frac := (target - cum) / c
+			return lo + int64(frac*float64(h.bounds[i]-lo))
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
 }
 
 // HistSnapshot is a plain-data copy of a Hist in its exported unit
@@ -161,6 +237,7 @@ func newMetrics(p int) *Metrics {
 		waitNs:     make([]atomic.Int64, p),
 		sentPkts:   make([]atomic.Int64, p),
 		recvPkts:   make([]atomic.Int64, p),
+		lastStep:   make([]atomic.Int64, p),
 		pairBytes:  make([]atomic.Int64, p*p),
 		pairFrames: make([]atomic.Int64, p*p),
 		pairPkts:   make([]atomic.Int64, p*p),
@@ -181,12 +258,46 @@ func (m *Metrics) pairIndex(src, dst int) int {
 }
 
 // RankSnapshot is one rank's counter values at a point in time.
+// LastStep is the newest completed global superstep, or -1 before the
+// first barrier.
 type RankSnapshot struct {
 	Steps    int64
 	WorkNs   int64
 	WaitNs   int64
 	SentPkts int64
 	RecvPkts int64
+	LastStep int64
+}
+
+// Rank returns one rank's counters without allocating (Snapshot builds
+// maps; the telemetry push loop runs every interval and reads just its
+// own row). Nil-safe; out-of-range ranks return a zero snapshot.
+func (m *Metrics) Rank(i int) RankSnapshot {
+	if m == nil || i < 0 || i >= m.p {
+		return RankSnapshot{LastStep: -1}
+	}
+	return RankSnapshot{
+		Steps:    m.steps[i].Load(),
+		WorkNs:   m.workNs[i].Load(),
+		WaitNs:   m.waitNs[i].Load(),
+		SentPkts: m.sentPkts[i].Load(),
+		RecvPkts: m.recvPkts[i].Load(),
+		LastStep: m.lastStep[i].Load() - 1,
+	}
+}
+
+// RankSentBytes returns the total batch bytes rank src has shipped
+// across all destinations (the row-sum of the pair matrix). Nil-safe
+// and allocation-free.
+func (m *Metrics) RankSentBytes(src int) int64 {
+	if m == nil || src < 0 || src >= m.p {
+		return 0
+	}
+	var sum int64
+	for dst := 0; dst < m.p; dst++ {
+		sum += m.pairBytes[src*m.p+dst].Load()
+	}
+	return sum
 }
 
 // Snapshot is a plain-data copy of every counter, fit for JSON
@@ -250,13 +361,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		HeartbeatRTT: m.HeartbeatRTT.Snapshot(),
 	}
 	for i := 0; i < m.p; i++ {
-		s.Ranks[i] = RankSnapshot{
-			Steps:    m.steps[i].Load(),
-			WorkNs:   m.workNs[i].Load(),
-			WaitNs:   m.waitNs[i].Load(),
-			SentPkts: m.sentPkts[i].Load(),
-			RecvPkts: m.recvPkts[i].Load(),
-		}
+		s.Ranks[i] = m.Rank(i)
 	}
 	for src := 0; src < m.p; src++ {
 		for dst := 0; dst < m.p; dst++ {

@@ -1,0 +1,67 @@
+package trace
+
+import "testing"
+
+// TestHistQuantileAndTotal: the quantile estimator must land inside
+// the containing bucket and Total must report native units.
+func TestHistQuantileAndTotal(t *testing.T) {
+	h := newHist(durationBounds(), 1e9)
+	// 90 samples at ~2µs (bucket le=4096ns), 10 at ~1ms.
+	for i := 0; i < 90; i++ {
+		h.Observe(2_000)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1_000_000)
+	}
+	if c, s := h.Total(); c != 100 || s != 90*2_000+10*1_000_000 {
+		t.Fatalf("Total() = (%d, %d)", c, s)
+	}
+	if q := h.Quantile(0.5); q < 1_000 || q > 4_096 {
+		t.Errorf("p50 = %dns, want within the ~2µs bucket", q)
+	}
+	if q := h.Quantile(0.99); q < 262_144 || q > 1_048_576 {
+		t.Errorf("p99 = %dns, want within the ~1ms bucket", q)
+	}
+	var nilH *Hist
+	if nilH.Quantile(0.5) != 0 || nilH.NumBuckets() != 0 {
+		t.Error("nil Hist accessors must return zeros")
+	}
+	if n := h.NumBuckets(); n != len(durationBounds())+1 {
+		t.Errorf("NumBuckets = %d", n)
+	}
+	dst := make([]int64, h.NumBuckets())
+	h.CopyCounts(dst)
+	var sum int64
+	for _, v := range dst {
+		sum += v
+	}
+	if sum != 100 {
+		t.Errorf("CopyCounts buckets sum to %d", sum)
+	}
+}
+
+// TestMetricsLastStep: SyncSpan must publish the newest completed
+// global superstep per rank, monotone across rollback re-execution.
+func TestMetricsLastStep(t *testing.T) {
+	r := New(2)
+	b := r.Rank(0)
+	if got := r.Metrics().Rank(0).LastStep; got != -1 {
+		t.Fatalf("LastStep before first barrier = %d, want -1", got)
+	}
+	b.SyncSpan(0, 0, 10, 1, 1, 0)
+	b.SyncSpan(1, 20, 30, 1, 1, 0)
+	b.SyncSpan(0, 40, 50, 1, 1, 0) // rollback replays step 0
+	if got := r.Metrics().Rank(0).LastStep; got != 1 {
+		t.Fatalf("LastStep = %d, want 1 (monotone across rollback)", got)
+	}
+	if got := r.Metrics().Rank(1).LastStep; got != -1 {
+		t.Fatalf("rank 1 LastStep = %d, want -1", got)
+	}
+	if got := r.Metrics().RankSentBytes(0); got != 0 {
+		t.Fatalf("RankSentBytes with no Pair events = %d", got)
+	}
+	b.Pair(0, 1, 5, 2048, 1, 128)
+	if got := r.Metrics().RankSentBytes(0); got != 2048 {
+		t.Fatalf("RankSentBytes = %d, want 2048", got)
+	}
+}

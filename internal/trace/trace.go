@@ -222,6 +222,16 @@ func (b *Buf) RingSnapshot() ([]Event, uint64) {
 // Rank returns the rank this buffer records for.
 func (b *Buf) Rank() int { return int(b.rank) }
 
+// Metrics returns the machine-wide counters this buffer feeds, or nil.
+// Nil-safe, so transports holding a possibly-nil Buf can chain
+// b.Metrics().Rank(i) without guarding.
+func (b *Buf) Metrics() *Metrics {
+	if b == nil {
+		return nil
+	}
+	return b.m
+}
+
 // SetStepBase aligns transport-originated events with the machine's
 // superstep axis: step is added to the endpoint-local step of every
 // subsequent Pair, Exchange and Fault event. Core calls it with the
@@ -271,6 +281,11 @@ func (b *Buf) SyncSpan(step int, start, end int64, sentPkts, recvPkts, selfPkts 
 		b.m.recvPkts[b.rank].Add(int64(recvPkts))
 		b.m.SyncWait.Observe(end - start)
 		b.m.StepDur.Observe(b.lastComputeNs + (end - start))
+		// step is global here (core passes the machine superstep), so
+		// the stored value survives rollbacks as "newest step reached".
+		if v := int64(step) + 1; v > b.m.lastStep[b.rank].Load() {
+			b.m.lastStep[b.rank].Store(v)
+		}
 	}
 	b.lastComputeNs = 0
 }

@@ -2,11 +2,13 @@ package transport
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"net"
+	"net/http"
 	"os/exec"
 	"sort"
 	"sync"
@@ -47,13 +49,14 @@ import (
 // Control frame tags, coordinator <-> member. Every control frame is a
 // [u32 length][payload] wire frame whose first payload byte is the tag.
 const (
-	ctrlBook   = 'B' // coordinator -> member: p peer data addresses
-	ctrlReject = 'R' // coordinator -> member: join rejected, reason follows
-	ctrlAbort  = 'X' // either direction: gang abort, reason follows
-	ctrlLeave  = 'L' // member -> coordinator: clean detach; broadcast back with rank
-	ctrlPing   = 'H' // either direction: liveness heartbeat (wire.Heartbeat payload)
-	ctrlCrash  = 'C' // coordinator -> member: crashed rank + new epoch + reason
-	ctrlDump   = 'D' // coordinator -> member: write a postmortem dump, reason follows
+	ctrlBook      = 'B' // coordinator -> member: p peer data addresses
+	ctrlReject    = 'R' // coordinator -> member: join rejected, reason follows
+	ctrlAbort     = 'X' // either direction: gang abort, reason follows
+	ctrlLeave     = 'L' // member -> coordinator: clean detach; broadcast back with rank
+	ctrlPing      = 'H' // either direction: liveness heartbeat (wire.Heartbeat payload)
+	ctrlCrash     = 'C' // coordinator -> member: crashed rank + new epoch + reason
+	ctrlDump      = 'D' // coordinator -> member: write a postmortem dump, reason follows
+	ctrlTelemetry = 'T' // member -> coordinator: delta-encoded metrics snapshot (wire.Telemetry payload)
 )
 
 // ctrlFrameLimit bounds control frames (the address book dominates:
@@ -139,6 +142,15 @@ type CoordinatorOptions struct {
 	// exactly the convicted rank's process.
 	OnCrash func(rank, failedEpoch, newEpoch int, reason string)
 
+	// StatusAddr, when set, serves the aggregated live-telemetry plane
+	// over HTTP: /status (job-level JSON: per-rank last superstep,
+	// live/suspect state, the online (g, L) fit) and /metrics (rank-
+	// labeled Prometheus families — one scrape target for the whole
+	// job). Member telemetry frames feed it; without any, the document
+	// shows every rank silent. ":0" binds an ephemeral port (see
+	// Coordinator.StatusURL).
+	StatusAddr string
+
 	// closeOnIdle shuts the coordinator down once a ready generation's
 	// members have all disconnected (the in-process ClusterTransport
 	// sets it; a launcher that relaunches generations keeps it off).
@@ -181,6 +193,13 @@ type Coordinator struct {
 	opts CoordinatorOptions
 	ln   net.Listener
 
+	// telem aggregates member telemetry frames into the job-level live
+	// view; always non-nil, and deliberately coordinator-scoped (not
+	// generation-scoped) so the view survives warm restarts.
+	telem     *telemetryAgg
+	statusLn  net.Listener
+	statusSrv *http.Server
+
 	mu     sync.Mutex
 	epoch  int
 	gen    *coordGen
@@ -220,7 +239,13 @@ func StartCoordinator(p int, opts CoordinatorOptions) (*Coordinator, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: coordinator listen: %w", err)
 	}
-	c := &Coordinator{p: p, opts: opts, ln: ln, epoch: opts.Epoch}
+	c := &Coordinator{p: p, opts: opts, ln: ln, epoch: opts.Epoch, telem: newTelemetryAgg(p)}
+	if opts.StatusAddr != "" {
+		if err := c.startStatusServer(opts.StatusAddr); err != nil {
+			ln.Close()
+			return nil, err
+		}
+	}
 	go c.acceptLoop()
 	return c, nil
 }
@@ -260,6 +285,9 @@ func (c *Coordinator) Close() error {
 	c.closed = true
 	gen := c.gen
 	c.mu.Unlock()
+	if c.statusSrv != nil {
+		c.statusSrv.Close()
+	}
 	err := c.ln.Close()
 	if gen != nil {
 		for _, m := range gen.members {
@@ -427,6 +455,7 @@ func (c *Coordinator) monitor(gen *coordGen, m *coordMember) {
 			gen.live--
 			idle := gen.live == 0 && c.opts.closeOnIdle
 			c.mu.Unlock()
+			c.telem.disconnect(m.rank, m.left)
 			m.conn.Close()
 			if idle {
 				c.Close()
@@ -436,6 +465,8 @@ func (c *Coordinator) monitor(gen *coordGen, m *coordMember) {
 		// Any frame proves the member's process is alive.
 		m.lastBeat.Store(time.Now().UnixNano())
 		switch b[0] {
+		case ctrlTelemetry:
+			c.telem.ingest(m.rank, b[1:])
 		case ctrlPing:
 			// Echo the beat back verbatim: the member recognizes its own
 			// rank in the payload and measures the control-plane round
@@ -570,6 +601,9 @@ func (c *Coordinator) failGenLocked(gen *coordGen, crashedRank int, reason strin
 			writeCtrlFrame(m.conn, frame)
 		}
 	}
+	if crashedRank >= 0 {
+		c.telem.convict(crashedRank, reason)
+	}
 	if cb := c.opts.OnCrash; cb != nil && crashedRank >= 0 {
 		go cb(crashedRank, gen.epoch, c.epoch, reason)
 	}
@@ -594,6 +628,10 @@ type ClusterConfig struct {
 	// the cluster defaults; negative disables.
 	HeartbeatInterval time.Duration
 	SuspectAfter      time.Duration
+	// Telemetry arms the live metrics push loop (see TelemetryConfig).
+	// Off by default: only launchers that serve a status plane pay for
+	// the frames.
+	Telemetry TelemetryConfig
 	// StageTimeout and MaxRetries tune the staged exchange engine
 	// exactly as on TCPTransport.
 	StageTimeout time.Duration
@@ -663,6 +701,16 @@ type clusterMember struct {
 	// the suspicion tests exploit.
 	hbStop     chan struct{}
 	hbStopOnce sync.Once
+
+	// Telemetry push state (telemetry.go): tmMu serializes the
+	// interval pushes with the final flush in Leave; the snapshot,
+	// encoder and frame buffers are reused across pushes.
+	tmArmed atomic.Bool
+	tmAddr  string
+	tmMu    sync.Mutex
+	tmSnap  wire.Telemetry
+	tmEnc   wire.TelemetryEncoder
+	tmFrame []byte
 }
 
 func (m *clusterMember) Rank() int                       { return m.rank }
@@ -688,6 +736,12 @@ func (m *clusterMember) Abort() {
 // The hosting process owns exactly one member, so Leave always reports
 // last == true (the endpoint then tears down this process's sockets).
 func (m *clusterMember) Leave() (last bool) {
+	// Flush the final telemetry state first (the ordered control
+	// connection delivers it before the leave), so the coordinator's
+	// job view is complete even for runs shorter than one interval.
+	if m.tmArmed.Load() {
+		m.pushTelemetry()
+	}
 	m.leftSelf.Store(true)
 	m.stopHeartbeats()
 	m.sendCtrl([]byte{ctrlLeave})
@@ -937,6 +991,9 @@ func joinCluster(cfg ClusterConfig) (Endpoint, error) {
 	go m.readControl()
 	if interval := cfg.heartbeatInterval(); interval > 0 {
 		go m.heartbeatLoop(interval, cfg.suspectAfter())
+	}
+	if cfg.Telemetry.Interval > 0 {
+		m.startTelemetry(cfg.Telemetry)
 	}
 
 	wrap := cfg.wrapConn
@@ -1251,6 +1308,9 @@ type ClusterProcSpec struct {
 	// cut and rejoining at the bumped epoch) and exit only when it is
 	// itself the convicted rank.
 	Warm bool
+	// Telemetry is the live metrics push interval the child should arm
+	// (ClusterConfig.Telemetry.Interval); zero leaves telemetry off.
+	Telemetry time.Duration
 }
 
 // ClusterJob launches one OS process per rank and supervises the gang.
@@ -1299,10 +1359,21 @@ type ClusterJob struct {
 	AdvertiseCoordinator func(addr string) string
 	// Logf, when set, receives launcher progress lines.
 	Logf func(format string, args ...any)
+	// StatusAddr, when set, serves the coordinator's aggregated
+	// /status + /metrics plane (see CoordinatorOptions.StatusAddr).
+	StatusAddr string
+	// TelemetryInterval arms the member push loops in the children
+	// (passed through ClusterProcSpec.Telemetry). Zero disables.
+	TelemetryInterval time.Duration
 
 	statsMu      sync.Mutex
 	rankRestarts []int64
 	gangRelaunch int64
+
+	telemMu      sync.Mutex
+	telemSummary TelemetrySummary
+	statusFinal  []byte
+	statusURL    string
 }
 
 func (j *ClusterJob) logf(format string, args ...any) {
@@ -1407,6 +1478,7 @@ func (j *ClusterJob) Run() error {
 		JoinTimeout:       j.JoinTimeout,
 		HeartbeatInterval: j.HeartbeatInterval,
 		SuspectAfter:      j.SuspectAfter,
+		StatusAddr:        j.StatusAddr,
 	}
 	crashCh := make(chan crashDecl, 4*j.P)
 	if j.Warm {
@@ -1422,6 +1494,12 @@ func (j *ClusterJob) Run() error {
 		return err
 	}
 	defer coord.Close()
+	if url := coord.StatusURL(); url != "" {
+		j.telemMu.Lock()
+		j.statusURL = url
+		j.telemMu.Unlock()
+		j.logf("cluster: live status on %s/status (metrics on %s/metrics)", url, url)
+	}
 	addr := coord.Addr()
 	if j.AdvertiseCoordinator != nil {
 		addr = j.AdvertiseCoordinator(addr)
@@ -1430,10 +1508,46 @@ func (j *ClusterJob) Run() error {
 	if backoff <= 0 {
 		backoff = 100 * time.Millisecond
 	}
+	var runErr error
 	if j.Warm {
-		return j.runWarm(coord, addr, crashCh, backoff)
+		runErr = j.runWarm(coord, addr, crashCh, backoff)
+	} else {
+		runErr = j.runCold(coord, addr, backoff)
 	}
-	return j.runCold(coord, addr, backoff)
+	// Capture the final job view before the deferred coord.Close tears
+	// the aggregation's HTTP plane down.
+	j.telemMu.Lock()
+	j.telemSummary = coord.TelemetrySummary()
+	if doc, err := json.MarshalIndent(coord.StatusDoc(), "", "  "); err == nil {
+		j.statusFinal = doc
+	}
+	j.telemMu.Unlock()
+	return runErr
+}
+
+// Telemetry returns the aggregated-telemetry digest of the last Run:
+// the online (g, L) fit, the live Eq-1 residual ratio, and per-rank
+// stream health. Zero before the first Run or with telemetry off.
+func (j *ClusterJob) Telemetry() TelemetrySummary {
+	j.telemMu.Lock()
+	defer j.telemMu.Unlock()
+	return j.telemSummary
+}
+
+// StatusSnapshot returns the final /status JSON document captured when
+// the last Run ended (nil before).
+func (j *ClusterJob) StatusSnapshot() []byte {
+	j.telemMu.Lock()
+	defer j.telemMu.Unlock()
+	return j.statusFinal
+}
+
+// StatusURL returns the base URL of the live status plane once Run has
+// started it ("" without StatusAddr).
+func (j *ClusterJob) StatusURL() string {
+	j.telemMu.Lock()
+	defer j.telemMu.Unlock()
+	return j.statusURL
 }
 
 // runCold is the original gang supervision: launch all p, wait for all
@@ -1449,7 +1563,7 @@ func (j *ClusterJob) runCold(coord *Coordinator, addr string, backoff time.Durat
 			cmds[r] = j.Command(ClusterProcSpec{
 				Rank: r, P: j.P, Epoch: epoch,
 				JobID: j.JobID, Coordinator: addr,
-				Resume: resume,
+				Resume: resume, Telemetry: j.TelemetryInterval,
 			})
 			if err := cmds[r].Start(); err != nil {
 				for k := 0; k < r; k++ {
@@ -1512,7 +1626,7 @@ func (j *ClusterJob) runWarm(coord *Coordinator, addr string, crashCh <-chan cra
 		spec := ClusterProcSpec{
 			Rank: rank, P: j.P, Epoch: coord.Epoch(),
 			JobID: j.JobID, Coordinator: addr,
-			Resume: resume, Warm: true,
+			Resume: resume, Warm: true, Telemetry: j.TelemetryInterval,
 		}
 		cmd := j.Command(spec)
 		if err := cmd.Start(); err != nil {

@@ -1,0 +1,249 @@
+package transport
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// TestClusterTelemetryAggregation is the end-to-end pass over the live
+// telemetry plane inside one process: p members join a coordinator
+// with push loops armed, their recorders observe synthetic supersteps
+// generated from a known (g, L), and the coordinator's /status and
+// /metrics must show every rank advancing, the counters adding up, and
+// the online estimator recovering the planted parameters.
+func TestClusterTelemetryAggregation(t *testing.T) {
+	defer checkGoroutines(t)()
+	const p = 2
+	const steps = 10
+	const gNsPerPkt, lNs = 2_000, 500_000 // g = 2µs/pkt, L = 500µs
+	coord, err := StartCoordinator(p, CoordinatorOptions{
+		JobID: "telem", JoinTimeout: 10 * time.Second,
+		HeartbeatInterval: 20 * time.Millisecond, SuspectAfter: 5 * time.Second,
+		StatusAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	statusURL := coord.StatusURL()
+	if statusURL == "" {
+		t.Fatal("StatusAddr :0 produced no StatusURL")
+	}
+
+	rec := trace.New(p)
+	eps := make([]Endpoint, p)
+	var joinWG sync.WaitGroup
+	for r := 0; r < p; r++ {
+		joinWG.Add(1)
+		go func() {
+			defer joinWG.Done()
+			ep, err := JoinCluster(ClusterConfig{
+				Coordinator: coord.Addr(), JobID: "telem", Rank: r, P: p,
+				JoinTimeout:       10 * time.Second,
+				HeartbeatInterval: 20 * time.Millisecond, SuspectAfter: 5 * time.Second,
+				Telemetry: TelemetryConfig{
+					Interval:    5 * time.Millisecond,
+					MetricsAddr: fmt.Sprintf("127.0.0.1:1940%d", r),
+				},
+			})
+			if err != nil {
+				t.Errorf("rank %d join: %v", r, err)
+				return
+			}
+			eps[r] = ep
+		}()
+	}
+	joinWG.Wait()
+	if t.Failed() {
+		return
+	}
+	for r := 0; r < p; r++ {
+		eps[r].(TraceSetter).SetTrace(rec.Rank(r))
+	}
+
+	// Synthetic supersteps straight onto the recorder: wait is exactly
+	// g·h + L, with h varying step to step so the least-squares fit
+	// can identify both parameters. Spread over real time so the push
+	// loops ship multiple intervals.
+	now := int64(0)
+	for s := 0; s < steps; s++ {
+		h := 100 * (s + 1)
+		wait := int64(gNsPerPkt*h) + lNs
+		for r := 0; r < p; r++ {
+			b := rec.Rank(r)
+			b.Compute(s, now, now+1_000_000, 1)
+			b.SyncSpan(s, now+1_000_000, now+1_000_000+wait, h, h, 0)
+			b.Pair(s, (r+1)%p, now, h*16, 1, h)
+		}
+		now += 1_000_000 + wait
+		time.Sleep(10 * time.Millisecond)
+	}
+	time.Sleep(30 * time.Millisecond) // let the final interval ship
+
+	var doc StatusDoc
+	get := func(path string) []byte {
+		resp, err := http.Get(statusURL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return b
+	}
+	if err := json.Unmarshal(get("/status"), &doc); err != nil {
+		t.Fatalf("decode /status: %v", err)
+	}
+	if doc.Job != "telem" || doc.P != p || len(doc.Ranks) != p {
+		t.Fatalf("/status header: %+v", doc)
+	}
+	for r, row := range doc.Ranks {
+		if row.State != "live" {
+			t.Errorf("rank %d state %q, want live", r, row.State)
+		}
+		if row.LastStep != steps-1 || row.Steps != steps {
+			t.Errorf("rank %d: last_step=%d steps=%d, want %d/%d", r, row.LastStep, row.Steps, steps-1, steps)
+		}
+		if row.Seq < 2 || row.SeqGaps != 0 || row.Baselines != 1 {
+			t.Errorf("rank %d stream health: seq=%d gaps=%d baselines=%d", r, row.Seq, row.SeqGaps, row.Baselines)
+		}
+		if want := fmt.Sprintf("127.0.0.1:1940%d", r); row.MetricsAddr != want {
+			t.Errorf("rank %d metrics_addr %q, want %q", r, row.MetricsAddr, want)
+		}
+	}
+	if !doc.Calib.Fit {
+		t.Fatalf("online fit not identified: %+v", doc.Calib)
+	}
+	if g := doc.Calib.GUsPerPkt; g < 1.6 || g > 2.4 {
+		t.Errorf("fitted g = %.3f µs/pkt, want ~2.0", g)
+	}
+	if l := doc.Calib.LUs; l < 350 || l > 650 {
+		t.Errorf("fitted L = %.1f µs, want ~500", l)
+	}
+	if ratio := doc.Calib.LiveRatio; ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("live Eq-1 residual ratio = %.3f, want ~1.0 on exact synthetic data", ratio)
+	}
+
+	metrics := string(get("/metrics"))
+	for _, want := range []string{
+		fmt.Sprintf("bsp_rank_supersteps_total{rank=\"1\"} %d", steps),
+		fmt.Sprintf("bsp_rank_last_superstep{rank=\"0\"} %d", steps-1),
+		"bsp_rank_pair_bytes_total{rank=\"0\"}",
+		"bsp_sync_wait_seconds_bucket{le=",
+		"bsp_superstep_duration_seconds_count",
+		"bsp_calib_g_us_per_packet",
+		"bsp_calib_residual_ratio",
+		"bsp_job_epoch 0",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Clean shutdown: members leave; the final flush plus the leave
+	// must put every rank in the "left" state with its final counters.
+	for r := 0; r < p; r++ {
+		eps[r].Close()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		final := coord.StatusDoc()
+		allLeft := true
+		for _, row := range final.Ranks {
+			if row.State != "left" {
+				allLeft = false
+			}
+		}
+		if allLeft {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ranks never reached left state: %+v", final.Ranks)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	sum := coord.TelemetrySummary()
+	if !sum.Enabled() || !sum.FitOK {
+		t.Fatalf("summary: %+v", sum)
+	}
+	for r, rs := range sum.Ranks {
+		if rs.SeqGaps != 0 || rs.Baselines != 1 || rs.LastStep != steps-1 {
+			t.Errorf("summary rank %d: %+v", r, rs)
+		}
+	}
+}
+
+// TestClusterTelemetryConviction: a convicted rank must show up in the
+// /status document with the conviction recorded, and survivors stay
+// visible.
+func TestClusterTelemetryConviction(t *testing.T) {
+	defer checkGoroutines(t)()
+	const p = 2
+	const suspectAfter = 300 * time.Millisecond
+	coord, err := StartCoordinator(p, CoordinatorOptions{
+		JobID: "telem-convict", JoinTimeout: 10 * time.Second,
+		HeartbeatInterval: 25 * time.Millisecond, SuspectAfter: suspectAfter,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	eps := make([]Endpoint, p)
+	var joinWG sync.WaitGroup
+	for r := 0; r < p; r++ {
+		joinWG.Add(1)
+		go func() {
+			defer joinWG.Done()
+			ep, err := JoinCluster(ClusterConfig{
+				Coordinator: coord.Addr(), JobID: "telem-convict", Rank: r, P: p,
+				JoinTimeout:       10 * time.Second,
+				HeartbeatInterval: 25 * time.Millisecond, SuspectAfter: 5 * time.Second,
+				Telemetry: TelemetryConfig{Interval: 10 * time.Millisecond},
+			})
+			if err != nil {
+				t.Errorf("rank %d join: %v", r, err)
+				return
+			}
+			eps[r] = ep
+		}()
+	}
+	joinWG.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Rank 1 goes silent (heartbeats AND telemetry stop — a stalled
+	// process sends nothing); the liveness loop must convict it.
+	eps[1].(*tcpEndpoint).m.(*clusterMember).stopHeartbeats()
+	deadline := time.Now().Add(10 * suspectAfter)
+	for {
+		doc := coord.StatusDoc()
+		if doc.Ranks[1].Convictions > 0 {
+			if doc.Ranks[1].State != "down" {
+				t.Errorf("convicted rank state %q, want down", doc.Ranks[1].State)
+			}
+			if doc.Ranks[1].ConvictReason == "" {
+				t.Error("conviction recorded without a reason")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("rank 1 never convicted in /status")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for r := 0; r < p; r++ {
+		eps[r].Close()
+	}
+}

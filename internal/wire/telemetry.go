@@ -1,0 +1,282 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Telemetry is the periodic per-rank metrics snapshot a cluster member
+// pushes to the coordinator on the control plane (ctrl frame 'T').
+// Every numeric field is cumulative since the start of the member's
+// current incarnation, which lets the coordinator difference any two
+// frames to get an interval and makes a lost frame harmless for
+// totals. Frames are delta-encoded against the previous frame from the
+// same incarnation: the control plane is ordered, reliable TCP, so the
+// decoder can carry state, and a steady-state frame is a handful of
+// near-zero zigzag varints instead of ~30 fixed-width counters.
+//
+// Seq starts at 1 for every incarnation. A Seq==1 frame is a baseline:
+// it is encoded against an all-zero previous frame and resets the
+// decoder, which is how a warm-restarted rank (fresh process, fresh
+// counters) re-synchronises the stream without any out-of-band signal.
+type Telemetry struct {
+	Rank  int
+	Epoch int
+	Seq   uint32
+
+	// LastStep is the newest global superstep this rank has completed
+	// a barrier for, or -1 before the first barrier.
+	LastStep int64
+
+	// Superstep counters and Eq-1 terms, cumulative.
+	Steps    int64
+	WorkNs   int64
+	WaitNs   int64
+	SentPkts int64
+	RecvPkts int64
+
+	// PairBytes is the total payload bytes this rank has sent across
+	// all destinations (the row-sum of the pair-batch matrix).
+	PairBytes int64
+
+	// Heartbeat round-trip accumulator (native ns sum + sample count),
+	// so the aggregator can show a mean RTT per rank.
+	HBRTTNs    int64
+	HBRTTCount int64
+
+	// Resilience counters.
+	CkptSaves int64
+	Restores  int64
+	Rollbacks int64
+
+	// Histogram bucket counts (cumulative, one entry per bucket
+	// including the overflow bucket) for superstep duration and sync
+	// wait, in the recorder's native bucket layout.
+	StepDur  []int64
+	SyncWait []int64
+
+	// MetricsAddr is the bound address of this rank's own /metrics
+	// endpoint ("" when none is served). Reported so the coordinator
+	// can advertise real bound addresses instead of a port convention.
+	MetricsAddr string
+}
+
+// TelemetryMagic identifies a telemetry frame payload ("TPSB" in
+// little-endian byte order, next to "GPSB"/"HPSB" for handshakes and
+// heartbeats).
+const TelemetryMagic = 0x42535054
+
+const (
+	telemetryFixed      = 20  // magic, version, rank, epoch, seq
+	telemetryMaxBuckets = 64  // sanity cap on histogram width
+	telemetryMaxAddr    = 256 // sanity cap on the metrics address
+)
+
+// Telemetry stream errors. ErrTelemetryGap is the one the aggregator
+// cares about: a delta frame whose Seq does not directly follow the
+// previous frame, which on an ordered transport means frames were lost
+// or reordered upstream of the codec.
+var (
+	ErrTelemetryGap      = errors.New("wire: telemetry sequence gap")
+	ErrTelemetryBaseline = errors.New("wire: telemetry delta frame before baseline")
+)
+
+// TelemetryEncoder delta-encodes successive snapshots from one member
+// incarnation. The zero value is ready to use; the first AppendEncode
+// emits a baseline (Seq 1). The encoder owns its previous-frame state
+// and reuses its backing storage, so steady-state encoding performs no
+// allocations beyond growing dst.
+type TelemetryEncoder struct {
+	prev Telemetry
+	seq  uint32
+}
+
+// Seq reports the sequence number of the last encoded frame (0 before
+// the first).
+func (e *TelemetryEncoder) Seq() uint32 { return e.seq }
+
+// AppendEncode appends the encoded frame for t to dst and returns the
+// extended slice. It assigns t.Seq from the encoder's counter.
+func (e *TelemetryEncoder) AppendEncode(dst []byte, t *Telemetry) []byte {
+	e.seq++
+	t.Seq = e.seq
+
+	var hdr [telemetryFixed]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], TelemetryMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], HandshakeVersion)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(int32(t.Rank)))
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(int32(t.Epoch)))
+	binary.LittleEndian.PutUint32(hdr[16:20], e.seq)
+	dst = append(dst, hdr[:]...)
+
+	p := &e.prev
+	dst = binary.AppendVarint(dst, t.LastStep-p.LastStep)
+	dst = binary.AppendVarint(dst, t.Steps-p.Steps)
+	dst = binary.AppendVarint(dst, t.WorkNs-p.WorkNs)
+	dst = binary.AppendVarint(dst, t.WaitNs-p.WaitNs)
+	dst = binary.AppendVarint(dst, t.SentPkts-p.SentPkts)
+	dst = binary.AppendVarint(dst, t.RecvPkts-p.RecvPkts)
+	dst = binary.AppendVarint(dst, t.PairBytes-p.PairBytes)
+	dst = binary.AppendVarint(dst, t.HBRTTNs-p.HBRTTNs)
+	dst = binary.AppendVarint(dst, t.HBRTTCount-p.HBRTTCount)
+	dst = binary.AppendVarint(dst, t.CkptSaves-p.CkptSaves)
+	dst = binary.AppendVarint(dst, t.Restores-p.Restores)
+	dst = binary.AppendVarint(dst, t.Rollbacks-p.Rollbacks)
+	dst = appendBucketDeltas(dst, t.StepDur, p.StepDur)
+	dst = appendBucketDeltas(dst, t.SyncWait, p.SyncWait)
+	dst = binary.AppendUvarint(dst, uint64(len(t.MetricsAddr)))
+	dst = append(dst, t.MetricsAddr...)
+
+	e.prev.copyFrom(t)
+	return dst
+}
+
+func appendBucketDeltas(dst []byte, cur, prev []int64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(cur)))
+	for i, v := range cur {
+		var pv int64
+		if i < len(prev) {
+			pv = prev[i]
+		}
+		dst = binary.AppendVarint(dst, v-pv)
+	}
+	return dst
+}
+
+// copyFrom deep-copies t into the receiver, reusing existing slice
+// capacity so repeated encodes stay allocation-free.
+func (p *Telemetry) copyFrom(t *Telemetry) {
+	stepDur, syncWait := p.StepDur, p.SyncWait
+	*p = *t
+	p.StepDur = append(stepDur[:0], t.StepDur...)
+	p.SyncWait = append(syncWait[:0], t.SyncWait...)
+}
+
+// TelemetryDecoder reconstructs cumulative snapshots from a delta
+// stream. The zero value is ready; a baseline frame (Seq 1) resets it,
+// so one decoder instance survives warm restarts of the sending rank.
+type TelemetryDecoder struct {
+	prev Telemetry
+	have bool
+}
+
+// Decode parses one telemetry payload (without the ctrl tag byte) and
+// returns the reconstructed cumulative snapshot. The returned value
+// does not alias decoder state. A delta frame that does not directly
+// follow the previous one fails with ErrTelemetryGap; decoder state is
+// left unchanged on any error, so the stream recovers at the next
+// baseline.
+func (d *TelemetryDecoder) Decode(payload []byte) (Telemetry, error) {
+	if len(payload) < telemetryFixed {
+		return Telemetry{}, fmt.Errorf("wire: telemetry frame too short (%d bytes)", len(payload))
+	}
+	if m := binary.LittleEndian.Uint32(payload[0:4]); m != TelemetryMagic {
+		return Telemetry{}, fmt.Errorf("wire: bad telemetry magic %#x", m)
+	}
+	if v := binary.LittleEndian.Uint32(payload[4:8]); v != HandshakeVersion {
+		return Telemetry{}, fmt.Errorf("wire: telemetry version %d, want %d", v, HandshakeVersion)
+	}
+	t := Telemetry{
+		Rank:  int(int32(binary.LittleEndian.Uint32(payload[8:12]))),
+		Epoch: int(int32(binary.LittleEndian.Uint32(payload[12:16]))),
+		Seq:   binary.LittleEndian.Uint32(payload[16:20]),
+	}
+	var base *Telemetry
+	switch {
+	case t.Seq == 1:
+		base = &Telemetry{}
+	case !d.have:
+		return Telemetry{}, ErrTelemetryBaseline
+	case t.Seq != d.prev.Seq+1:
+		return Telemetry{}, fmt.Errorf("%w: got seq %d after %d", ErrTelemetryGap, t.Seq, d.prev.Seq)
+	case t.Rank != d.prev.Rank:
+		return Telemetry{}, fmt.Errorf("wire: telemetry rank changed %d -> %d without baseline", d.prev.Rank, t.Rank)
+	default:
+		base = &d.prev
+	}
+
+	b := payload[telemetryFixed:]
+	fields := [...]*int64{
+		&t.LastStep, &t.Steps, &t.WorkNs, &t.WaitNs, &t.SentPkts, &t.RecvPkts,
+		&t.PairBytes, &t.HBRTTNs, &t.HBRTTCount, &t.CkptSaves, &t.Restores, &t.Rollbacks,
+	}
+	bases := [...]int64{
+		base.LastStep, base.Steps, base.WorkNs, base.WaitNs, base.SentPkts, base.RecvPkts,
+		base.PairBytes, base.HBRTTNs, base.HBRTTCount, base.CkptSaves, base.Restores, base.Rollbacks,
+	}
+	var err error
+	for i, f := range fields {
+		var dv int64
+		if dv, b, err = takeVarint(b); err != nil {
+			return Telemetry{}, err
+		}
+		*f = bases[i] + dv
+	}
+	if t.StepDur, b, err = takeBucketDeltas(b, base.StepDur); err != nil {
+		return Telemetry{}, err
+	}
+	if t.SyncWait, b, err = takeBucketDeltas(b, base.SyncWait); err != nil {
+		return Telemetry{}, err
+	}
+	n, b, err := takeUvarint(b)
+	if err != nil {
+		return Telemetry{}, err
+	}
+	if n > telemetryMaxAddr {
+		return Telemetry{}, fmt.Errorf("wire: telemetry metrics addr %d bytes exceeds %d", n, telemetryMaxAddr)
+	}
+	if uint64(len(b)) < n {
+		return Telemetry{}, fmt.Errorf("wire: telemetry frame truncated in metrics addr")
+	}
+	t.MetricsAddr = string(b[:n])
+	b = b[n:]
+	if len(b) != 0 {
+		return Telemetry{}, fmt.Errorf("wire: %d trailing bytes after telemetry frame", len(b))
+	}
+
+	d.prev.copyFrom(&t)
+	d.have = true
+	return t, nil
+}
+
+func takeVarint(b []byte) (int64, []byte, error) {
+	v, n := binary.Varint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("wire: telemetry frame truncated in varint")
+	}
+	return v, b[n:], nil
+}
+
+func takeUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("wire: telemetry frame truncated in uvarint")
+	}
+	return v, b[n:], nil
+}
+
+func takeBucketDeltas(b []byte, base []int64) ([]int64, []byte, error) {
+	n, b, err := takeUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > telemetryMaxBuckets {
+		return nil, nil, fmt.Errorf("wire: telemetry histogram %d buckets exceeds %d", n, telemetryMaxBuckets)
+	}
+	if n == 0 {
+		return nil, b, nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		var dv int64
+		if dv, b, err = takeVarint(b); err != nil {
+			return nil, nil, err
+		}
+		if i < len(base) {
+			dv += base[i]
+		}
+		out[i] = dv
+	}
+	return out, b, nil
+}

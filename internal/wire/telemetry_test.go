@@ -1,0 +1,220 @@
+package wire
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func sampleTelemetry(rank, epoch int, scale int64) Telemetry {
+	return Telemetry{
+		Rank:        rank,
+		Epoch:       epoch,
+		LastStep:    scale - 1,
+		Steps:       scale,
+		WorkNs:      scale * 1_000_003,
+		WaitNs:      scale * 400_007,
+		SentPkts:    scale * 129,
+		RecvPkts:    scale * 131,
+		PairBytes:   scale * 2048,
+		HBRTTNs:     scale * 310_000,
+		HBRTTCount:  scale / 2,
+		CkptSaves:   scale / 3,
+		Restores:    scale / 7,
+		Rollbacks:   scale / 9,
+		StepDur:     []int64{scale, scale * 2, 0, scale / 2},
+		SyncWait:    []int64{0, scale, scale * 3},
+		MetricsAddr: "127.0.0.1:9402",
+	}
+}
+
+// equalTelemetry ignores nil-vs-empty slice differences, which the
+// codec does not promise to preserve.
+func equalTelemetry(a, b Telemetry) bool {
+	norm := func(t *Telemetry) {
+		if len(t.StepDur) == 0 {
+			t.StepDur = nil
+		}
+		if len(t.SyncWait) == 0 {
+			t.SyncWait = nil
+		}
+	}
+	norm(&a)
+	norm(&b)
+	return reflect.DeepEqual(a, b)
+}
+
+// TestTelemetryRoundTrip: a monotone stream of snapshots must
+// reconstruct exactly through the stateful delta codec, and the
+// steady-state frames must be far smaller than the fixed-width
+// equivalent.
+func TestTelemetryRoundTrip(t *testing.T) {
+	var enc TelemetryEncoder
+	var dec TelemetryDecoder
+	var buf []byte
+	for i := int64(1); i <= 20; i++ {
+		in := sampleTelemetry(3, 0, i*7)
+		buf = enc.AppendEncode(buf[:0], &in)
+		if in.Seq != uint32(i) {
+			t.Fatalf("frame %d assigned seq %d", i, in.Seq)
+		}
+		out, err := dec.Decode(buf)
+		if err != nil {
+			t.Fatalf("decode frame %d: %v", i, err)
+		}
+		if !equalTelemetry(in, out) {
+			t.Fatalf("frame %d round-trip mismatch:\n in %+v\nout %+v", i, in, out)
+		}
+		// Fixed-width encoding of the same frame would be 20 bytes of
+		// header + 19 * 8-byte counters + the addr: > 180 bytes.
+		if i > 1 && len(buf) > 100 {
+			t.Errorf("steady-state delta frame is %d bytes, want compact (<100)", len(buf))
+		}
+	}
+}
+
+// TestTelemetryBaselineReset: a fresh encoder (warm-restarted member)
+// emits Seq 1, which must reset the decoder's accumulated state even
+// though the old incarnation's counters were much larger.
+func TestTelemetryBaselineReset(t *testing.T) {
+	var enc1 TelemetryEncoder
+	var dec TelemetryDecoder
+	for i := int64(1); i <= 5; i++ {
+		in := sampleTelemetry(2, 0, i*100)
+		if _, err := dec.Decode(enc1.AppendEncode(nil, &in)); err != nil {
+			t.Fatalf("epoch-0 frame %d: %v", i, err)
+		}
+	}
+	var enc2 TelemetryEncoder // fresh incarnation, small counters again
+	in := sampleTelemetry(2, 1, 3)
+	out, err := dec.Decode(enc2.AppendEncode(nil, &in))
+	if err != nil {
+		t.Fatalf("baseline after restart: %v", err)
+	}
+	if out.Seq != 1 || out.Epoch != 1 || !equalTelemetry(in, out) {
+		t.Fatalf("baseline reset mismatch:\n in %+v\nout %+v", in, out)
+	}
+	// And the restarted stream keeps decoding.
+	in2 := sampleTelemetry(2, 1, 9)
+	out2, err := dec.Decode(enc2.AppendEncode(nil, &in2))
+	if err != nil || !equalTelemetry(in2, out2) {
+		t.Fatalf("post-reset delta frame: err=%v\n in %+v\nout %+v", err, in2, out2)
+	}
+}
+
+// TestTelemetryGapDetection: dropping a delta frame must surface as
+// ErrTelemetryGap, and the stream must recover at the next baseline.
+func TestTelemetryGapDetection(t *testing.T) {
+	var enc TelemetryEncoder
+	var dec TelemetryDecoder
+	t1 := sampleTelemetry(0, 0, 1)
+	t2 := sampleTelemetry(0, 0, 2)
+	t3 := sampleTelemetry(0, 0, 3)
+	f1 := enc.AppendEncode(nil, &t1)
+	_ = enc.AppendEncode(nil, &t2) // lost in transit
+	f3 := enc.AppendEncode(nil, &t3)
+	if _, err := dec.Decode(f1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.Decode(f3); !errors.Is(err, ErrTelemetryGap) {
+		t.Fatalf("decode after gap: err=%v, want ErrTelemetryGap", err)
+	}
+	var enc2 TelemetryEncoder
+	t4 := sampleTelemetry(0, 1, 4)
+	if out, err := dec.Decode(enc2.AppendEncode(nil, &t4)); err != nil || !equalTelemetry(t4, out) {
+		t.Fatalf("baseline after gap: err=%v out=%+v", err, out)
+	}
+}
+
+// TestTelemetryDeltaBeforeBaseline: a decoder that joins mid-stream
+// (coordinator restart would need this) refuses delta frames until it
+// sees a baseline.
+func TestTelemetryDeltaBeforeBaseline(t *testing.T) {
+	var enc TelemetryEncoder
+	t1 := sampleTelemetry(1, 0, 1)
+	t2 := sampleTelemetry(1, 0, 2)
+	_ = enc.AppendEncode(nil, &t1)
+	f2 := enc.AppendEncode(nil, &t2)
+	var dec TelemetryDecoder
+	if _, err := dec.Decode(f2); !errors.Is(err, ErrTelemetryBaseline) {
+		t.Fatalf("err=%v, want ErrTelemetryBaseline", err)
+	}
+}
+
+// TestTelemetryDecodeRejects: malformed frames must error, never
+// panic or over-allocate.
+func TestTelemetryDecodeRejects(t *testing.T) {
+	var enc TelemetryEncoder
+	tm := sampleTelemetry(0, 0, 5)
+	good := enc.AppendEncode(nil, &tm)
+	cases := map[string][]byte{
+		"short":     good[:10],
+		"bad magic": append([]byte{0, 0, 0, 0}, good[4:]...),
+		"truncated": good[:len(good)-3],
+		"trailing":  append(append([]byte{}, good...), 0xff),
+	}
+	for name, b := range cases {
+		var dec TelemetryDecoder
+		if _, err := dec.Decode(b); err == nil {
+			t.Errorf("%s: decode accepted malformed frame", name)
+		}
+	}
+}
+
+// TestTelemetryEncodeNoAlloc: the push loop runs concurrently with the
+// superstep hot path, so steady-state encoding must not allocate.
+func TestTelemetryEncodeNoAlloc(t *testing.T) {
+	var enc TelemetryEncoder
+	tm := sampleTelemetry(0, 0, 1)
+	buf := enc.AppendEncode(make([]byte, 0, 512), &tm)
+	n := int64(2)
+	allocs := testing.AllocsPerRun(100, func() {
+		tm = sampleTelemetry(0, 0, n)
+		n++
+		buf = enc.AppendEncode(buf[:0], &tm)
+	})
+	// sampleTelemetry itself allocates the two bucket slices; allow
+	// those but nothing from the encoder.
+	if allocs > 2 {
+		t.Errorf("steady-state encode: %.1f allocs/op, want <= 2", allocs)
+	}
+}
+
+// FuzzTelemetryFrame: the decoder must never panic on arbitrary
+// payloads, and anything it accepts must survive a re-encode /
+// re-decode round trip as a baseline frame.
+func FuzzTelemetryFrame(f *testing.F) {
+	var enc TelemetryEncoder
+	t1 := sampleTelemetry(0, 0, 1)
+	t2 := sampleTelemetry(0, 0, 4)
+	f.Add(enc.AppendEncode(nil, &t1))
+	f.Add(enc.AppendEncode(nil, &t2))
+	var encNeg TelemetryEncoder
+	neg := Telemetry{Rank: -1, Epoch: 3, LastStep: -1, WorkNs: -5}
+	f.Add(encNeg.AppendEncode(nil, &neg))
+	rng := rand.New(rand.NewSource(42))
+	junk := make([]byte, 64)
+	rng.Read(junk)
+	f.Add(junk)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var dec TelemetryDecoder
+		got, err := dec.Decode(data)
+		if err != nil {
+			return
+		}
+		var re TelemetryEncoder
+		reframed := re.AppendEncode(nil, &got)
+		var dec2 TelemetryDecoder
+		got2, err := dec2.Decode(reframed)
+		if err != nil {
+			t.Fatalf("re-decode of accepted frame failed: %v", err)
+		}
+		got.Seq, got2.Seq = 0, 0 // re-encode restarts the sequence
+		if !equalTelemetry(got, got2) {
+			t.Fatalf("re-encode round trip diverged:\n got %+v\ngot2 %+v", got, got2)
+		}
+	})
+}
